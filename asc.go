@@ -1,0 +1,456 @@
+// Package asc is the public API of the MTASC library: a cycle-accurate
+// simulator of the Multithreaded Associative SIMD Processor of Schaffer &
+// Walker (IPDPS 2007), together with its assembler, the non-pipelined and
+// coarse-grain-multithreaded baseline machines, an FPGA resource/clock
+// model, and a library of associative kernels.
+//
+// Quick start:
+//
+//	prog, err := asc.Assemble(`
+//		plw p1, 0(p0)     ; each PE loads its value
+//		rmax s1, p1       ; global maximum in one instruction
+//		sw s1, 0(s0)
+//		halt
+//	`)
+//	proc, err := asc.New(asc.Config{PEs: 16, Threads: 16}, prog)
+//	proc.LoadLocalMem(values)           // one row per PE
+//	stats, err := proc.Run(0)
+//	result := proc.ScalarMem(0)
+//
+// The simulator models the paper's split pipeline exactly: a k-ary
+// pipelined broadcast tree (b = ceil(log_k p) stages), pipelined reduction
+// trees (r = ceil(log2 p) stages), EX->B1 forwarding that removes broadcast
+// hazards, the b+r-cycle reduction and broadcast-reduction hazards, and
+// fine-grain multithreading with a rotating-priority scheduler that hides
+// those hazards when enough threads are runnable.
+package asc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/fpga"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Config selects the architecture to simulate. The zero value gives the
+// paper's prototype: 16 8-bit PEs, 16 hardware threads, 1 KB of local
+// memory per PE, and a 4-ary broadcast tree.
+type Config struct {
+	// PEs is the number of processing elements (default 16).
+	PEs int
+	// Threads is the number of hardware thread contexts (default 16).
+	Threads int
+	// Width is the data width in bits: 8, 16, or 32 (default 8).
+	Width uint
+	// LocalMemWords is the PE local memory size in words (default 1024).
+	LocalMemWords int
+	// Arity is the broadcast tree arity k (default 4).
+	Arity int
+	// SeqMul selects the sequential multiplier instead of the pipelined
+	// hard-block implementation (section 6.2 of the paper).
+	SeqMul bool
+	// FixedPriority replaces the rotating-priority scheduler with a fixed
+	// lowest-thread-first policy (ablation).
+	FixedPriority bool
+	// SMT enables dual issue: one scalar-path and one parallel/reduction-
+	// path instruction per cycle, from different hardware threads (the
+	// paper's section 5 discusses SMT as the costlier multithreading
+	// variant; the split pipeline has exactly two issue ports). IPC may
+	// then exceed 1.0.
+	SMT bool
+	// TraceDepth keeps the most recent N instruction records for pipeline
+	// diagrams (0 = off, -1 = keep all).
+	TraceDepth int
+}
+
+func (c Config) coreConfig() core.Config {
+	cc := core.Config{
+		Machine: machine.Config{
+			PEs:           c.PEs,
+			Threads:       c.Threads,
+			Width:         c.Width,
+			LocalMemWords: c.LocalMemWords,
+		},
+		Arity:      c.Arity,
+		SeqMul:     c.SeqMul,
+		SMT:        c.SMT,
+		TraceDepth: c.TraceDepth,
+	}
+	if c.FixedPriority {
+		cc.Scheduler = core.SchedFixed
+	}
+	return cc
+}
+
+// Program is an assembled MTASC program.
+type Program struct {
+	prog *asm.Program
+}
+
+// Assemble translates MTASC assembly into a program. See internal/asm for
+// the full syntax; errors carry 1-based source line numbers.
+func Assemble(src string) (*Program, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// MustAssemble is Assemble that panics on error, for constant sources.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Listing renders a disassembly listing with labels and encodings.
+func (p *Program) Listing() string { return asm.Disassemble(p.prog) }
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.prog.Insts) }
+
+// Label returns the address of a label.
+func (p *Program) Label(name string) (int, bool) {
+	addr, ok := p.prog.Labels[name]
+	return addr, ok
+}
+
+// Words returns the binary encoding of the program.
+func (p *Program) Words() []uint32 { return append([]uint32(nil), p.prog.Words...) }
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	// Cycles is the total cycle count including pipeline drain.
+	Cycles int64
+	// Instructions issued, total and by pipeline path.
+	Instructions int64
+	Scalar       int64
+	Parallel     int64
+	Reduction    int64
+	// IdleCycles is the number of issue slots no thread could fill;
+	// IdleByCause attributes them ("reduction", "broadcast-reduction",
+	// "data", "structural", "control", "sync", "fetch").
+	IdleCycles  int64
+	IdleByCause map[string]int64
+	// StallByCause sums per-instruction wait cycles by hazard class.
+	StallByCause map[string]int64
+	// PerThread[t] is the instruction count issued by hardware thread t.
+	PerThread []int64
+}
+
+// IPC is issued instructions per cycle: at most 1.0 for the single-issue
+// machine, at most 2.0 with Config.SMT.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+func convertStats(cs core.Stats) Stats {
+	s := Stats{
+		Cycles:       cs.Cycles,
+		Instructions: cs.Instructions,
+		Scalar:       cs.Scalar,
+		Parallel:     cs.Parallel,
+		Reduction:    cs.Reduction,
+		IdleCycles:   cs.IdleCycles,
+		IdleByCause:  map[string]int64{},
+		StallByCause: map[string]int64{},
+		PerThread:    append([]int64(nil), cs.PerThread...),
+	}
+	for k, v := range cs.IdleByKind {
+		s.IdleByCause[k.String()] = v
+	}
+	for k, v := range cs.StallByKind {
+		s.StallByCause[k.String()] = v
+	}
+	return s
+}
+
+// Processor is a simulated Multithreaded ASC Processor instance.
+type Processor struct {
+	cfg  Config
+	core *core.Processor
+}
+
+// New builds a processor running prog.
+func New(cfg Config, prog *Program) (*Processor, error) {
+	c, err := core.New(cfg.coreConfig(), prog.prog.Insts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Processor{cfg: cfg, core: c}
+	if len(prog.prog.Data) > 0 {
+		img := make([]int64, len(prog.prog.Data))
+		for i, w := range prog.prog.Data {
+			img[i] = int64(w)
+		}
+		if err := p.LoadScalarMem(img); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// LoadLocalMem initializes PE local memories: data[pe][word].
+func (p *Processor) LoadLocalMem(data [][]int64) error {
+	return p.core.Machine().LoadLocalMem(data)
+}
+
+// LoadScalarMem initializes the control unit data memory from address 0.
+func (p *Processor) LoadScalarMem(data []int64) error {
+	return p.core.Machine().LoadScalarMem(data)
+}
+
+// Run simulates to completion, or for at most maxCycles (0 = unlimited).
+func (p *Processor) Run(maxCycles int64) (Stats, error) {
+	cs, err := p.core.Run(maxCycles)
+	return convertStats(cs), err
+}
+
+// Step advances one clock cycle; it reports false once the machine halted
+// and the pipeline drained.
+func (p *Processor) Step() (bool, error) { return p.core.Step() }
+
+// Scalar reads scalar register r of hardware thread t.
+func (p *Processor) Scalar(t int, r int) int64 {
+	return p.core.Machine().Scalar(t, uint8(r))
+}
+
+// Parallel reads parallel register r of PE pe in thread t.
+func (p *Processor) Parallel(t, pe, r int) int64 {
+	return p.core.Machine().Parallel(t, pe, uint8(r))
+}
+
+// Flag reads flag register r of PE pe in thread t.
+func (p *Processor) Flag(t, pe, r int) bool {
+	return p.core.Machine().Flag(t, pe, uint8(r))
+}
+
+// ScalarMem reads word w of the control unit data memory.
+func (p *Processor) ScalarMem(w int) int64 { return p.core.Machine().ScalarMem(w) }
+
+// LocalMem reads word w of PE pe's local memory.
+func (p *Processor) LocalMem(pe, w int) int64 { return p.core.Machine().LocalMem(pe, w) }
+
+// Debug runs an interactive debugger REPL on the processor (step,
+// breakpoints, register/memory inspection, pipeline diagrams). Commands
+// are read from in and responses written to out; build the processor with
+// TraceDepth != 0 for diagrams and breakpoints.
+func (p *Processor) Debug(in io.Reader, out io.Writer) error {
+	return debug.New(p.core, in, out).Run()
+}
+
+// Snapshot serializes the complete architectural state (registers, flags,
+// memories, thread contexts) for checkpointing. Restore it into a processor
+// built with the same Config and Program. Snapshots capture architectural
+// state between instructions; pipeline state rebuilds on resume.
+func (p *Processor) Snapshot() []byte { return p.core.Snapshot() }
+
+// Restore loads a Snapshot taken from an identically configured processor.
+func (p *Processor) Restore(data []byte) error { return p.core.Restore(data) }
+
+// NetworkLatencies returns the derived broadcast (b) and reduction (r)
+// pipeline depths.
+func (p *Processor) NetworkLatencies() (b, r int) { return p.core.NetworkLatencies() }
+
+// PipelineDiagram renders the Figure-2-style stage diagram of the traced
+// instructions (requires Config.TraceDepth != 0).
+func (p *Processor) PipelineDiagram() string {
+	return trace.Diagram(p.core.Params(), p.core.Trace())
+}
+
+// VCD renders the traced run as a Value Change Dump waveform (viewable in
+// GTKWave); requires Config.TraceDepth != 0.
+func (p *Processor) VCD() string {
+	return trace.VCD(p.core.Params(), p.core.Trace())
+}
+
+// PipelineGraph renders the Figure-1-style pipeline organization.
+func (p *Processor) PipelineGraph() string { return p.core.Params().StageGraph() }
+
+// Describe summarizes the configuration (PEs, threads, network shape).
+func (p *Processor) Describe() string {
+	return p.core.Describe() + p.core.FrontEnd().Describe()
+}
+
+// FormatStats renders a human-readable run summary.
+func FormatStats(s Stats) string {
+	var out string
+	out += fmt.Sprintf("cycles: %d  instructions: %d  IPC: %.3f\n", s.Cycles, s.Instructions, s.IPC())
+	out += fmt.Sprintf("by path: scalar %d, parallel %d, reduction %d\n", s.Scalar, s.Parallel, s.Reduction)
+	out += fmt.Sprintf("idle cycles: %d %v\n", s.IdleCycles, s.IdleByCause)
+	return out
+}
+
+// Baselines.
+
+// BaselineResult reports a baseline machine run.
+type BaselineResult struct {
+	Cycles       int64
+	Instructions int64
+	Switches     int64 // coarse-grain thread switches
+}
+
+// IPC is instructions per cycle.
+func (r BaselineResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// NonPipelined simulates prog on the non-pipelined ASC processor baseline
+// (the 2002/2003 prototypes: CPI 1 but bit-serial max/min and a clock that
+// must cover full network propagation) and returns its cycle counts along
+// with the finished machine state reader.
+type NonPipelined struct {
+	b *baseline.NonPipelined
+}
+
+// NewNonPipelined builds the non-pipelined baseline.
+func NewNonPipelined(cfg Config, prog *Program) (*NonPipelined, error) {
+	b, err := baseline.NewNonPipelined(machine.Config{
+		PEs: cfg.PEs, Threads: 1, Width: cfg.Width, LocalMemWords: cfg.LocalMemWords,
+	}, prog.prog.Insts)
+	if err != nil {
+		return nil, err
+	}
+	return &NonPipelined{b: b}, nil
+}
+
+// LoadLocalMem initializes PE local memories.
+func (n *NonPipelined) LoadLocalMem(data [][]int64) error { return n.b.Machine().LoadLocalMem(data) }
+
+// LoadScalarMem initializes the data memory.
+func (n *NonPipelined) LoadScalarMem(data []int64) error { return n.b.Machine().LoadScalarMem(data) }
+
+// Run executes to completion.
+func (n *NonPipelined) Run(maxCycles int64) (BaselineResult, error) {
+	r, err := n.b.Run(maxCycles)
+	return BaselineResult{Cycles: r.Cycles, Instructions: r.Instructions}, err
+}
+
+// ScalarMem reads the finished data memory.
+func (n *NonPipelined) ScalarMem(w int) int64 { return n.b.Machine().ScalarMem(w) }
+
+// CoarseGrain simulates prog on the coarse-grain multithreaded baseline
+// (switch-on-long-stall with a flush penalty, section 5).
+type CoarseGrain struct {
+	b *baseline.CoarseGrain
+}
+
+// NewCoarseGrain builds the coarse-grain baseline.
+func NewCoarseGrain(cfg Config, prog *Program) (*CoarseGrain, error) {
+	arity := cfg.Arity
+	b, err := baseline.NewCoarseGrain(machine.Config{
+		PEs: cfg.PEs, Threads: cfg.Threads, Width: cfg.Width, LocalMemWords: cfg.LocalMemWords,
+	}, arity, prog.prog.Insts)
+	if err != nil {
+		return nil, err
+	}
+	return &CoarseGrain{b: b}, nil
+}
+
+// LoadLocalMem initializes PE local memories.
+func (c *CoarseGrain) LoadLocalMem(data [][]int64) error { return c.b.Machine().LoadLocalMem(data) }
+
+// LoadScalarMem initializes the data memory.
+func (c *CoarseGrain) LoadScalarMem(data []int64) error { return c.b.Machine().LoadScalarMem(data) }
+
+// Run executes to completion.
+func (c *CoarseGrain) Run(maxCycles int64) (BaselineResult, error) {
+	r, err := c.b.Run(maxCycles)
+	return BaselineResult{Cycles: r.Cycles, Instructions: r.Instructions, Switches: r.Switches}, err
+}
+
+// ScalarMem reads the finished data memory.
+func (c *CoarseGrain) ScalarMem(w int) int64 { return c.b.Machine().ScalarMem(w) }
+
+// FPGA resource and clock model (Table 1 of the paper).
+
+// ResourceReport is the Table-1 style breakdown in Cyclone II terms.
+type ResourceReport struct {
+	ControlUnitLEs, ControlUnitRAMs int
+	PEArrayLEs, PEArrayRAMs         int
+	NetworkLEs, NetworkRAMs         int
+	TotalLEs, TotalRAMs             int
+}
+
+func (r ResourceReport) String() string {
+	return fpga.Report{
+		ControlUnit: fpga.Usage{LEs: r.ControlUnitLEs, RAMs: r.ControlUnitRAMs},
+		PEArray:     fpga.Usage{LEs: r.PEArrayLEs, RAMs: r.PEArrayRAMs},
+		Network:     fpga.Usage{LEs: r.NetworkLEs, RAMs: r.NetworkRAMs},
+		Total:       fpga.Usage{LEs: r.TotalLEs, RAMs: r.TotalRAMs},
+	}.String()
+}
+
+func archOf(cfg Config) fpga.Arch {
+	return fpga.Arch{
+		PEs:           cfg.PEs,
+		Threads:       cfg.Threads,
+		Width:         cfg.Width,
+		LocalMemWords: cfg.LocalMemWords,
+		Arity:         cfg.Arity,
+	}
+}
+
+// EstimateResources sizes the configuration with the calibrated FPGA model.
+func EstimateResources(cfg Config) ResourceReport {
+	r := fpga.Estimate(archOf(cfg))
+	return ResourceReport{
+		ControlUnitLEs: r.ControlUnit.LEs, ControlUnitRAMs: r.ControlUnit.RAMs,
+		PEArrayLEs: r.PEArray.LEs, PEArrayRAMs: r.PEArray.RAMs,
+		NetworkLEs: r.Network.LEs, NetworkRAMs: r.Network.RAMs,
+		TotalLEs: r.Total.LEs, TotalRAMs: r.Total.RAMs,
+	}
+}
+
+// MaxPEsOnDevice returns how many PEs of this configuration fit a named
+// Cyclone II device (e.g. "EP2C35"), and which resource binds.
+func MaxPEsOnDevice(cfg Config, device string) (int, string, error) {
+	d, ok := fpga.DeviceByName(device)
+	if !ok {
+		return 0, "", fmt.Errorf("asc: unknown device %q", device)
+	}
+	n, binding := fpga.MaxPEs(archOf(cfg), d)
+	return n, binding, nil
+}
+
+// PipelinedClockMHz is the modeled clock of the pipelined design.
+func PipelinedClockMHz(cfg Config) float64 {
+	a := archOf(cfg)
+	if a.Width == 0 {
+		a.Width = 8
+	}
+	return fpga.PipelinedClockMHz(a.Width)
+}
+
+// NonPipelinedClockMHz is the modeled clock of the non-pipelined baseline,
+// which degrades as the PE count grows.
+func NonPipelinedClockMHz(cfg Config) float64 {
+	a := archOf(cfg)
+	if a.Width == 0 {
+		a.Width = 8
+	}
+	if a.PEs == 0 {
+		a.PEs = 16
+	}
+	return fpga.NonPipelinedClockMHz(a.PEs, a.Width)
+}
+
+// WallTimeMs converts cycles at a clock rate to milliseconds.
+func WallTimeMs(cycles int64, clockMHz float64) float64 {
+	return fpga.WallTimeMs(cycles, clockMHz)
+}

@@ -1,0 +1,256 @@
+package asc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := Assemble(`
+		plw p1, 0(p0)
+		rmax s1, p1
+		sw s1, 0(s0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := New(Config{PEs: 8, Threads: 1, Width: 16}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]int64{{3}, {99}, {12}, {7}, {55}, {1}, {42}, {98}}
+	if err := proc.LoadLocalMem(vals); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := proc.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.ScalarMem(0); got != 99 {
+		t.Errorf("max = %d, want 99", got)
+	}
+	if stats.Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", stats.Instructions)
+	}
+	if stats.IPC() <= 0 || stats.IPC() > 1 {
+		t.Errorf("IPC = %f", stats.IPC())
+	}
+}
+
+func TestDefaultsArePaperPrototype(t *testing.T) {
+	proc, err := New(Config{}, MustAssemble("halt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r := proc.NetworkLatencies()
+	if b != 2 || r != 4 {
+		t.Errorf("default b=%d r=%d, want 2, 4 (16 PEs, k=4)", b, r)
+	}
+	d := proc.Describe()
+	if !strings.Contains(d, "16 PEs") || !strings.Contains(d, "16 hardware threads") {
+		t.Errorf("defaults: %s", d)
+	}
+}
+
+func TestProgramIntrospection(t *testing.T) {
+	prog := MustAssemble(`
+	main:
+		li s1, 5
+		halt
+	`)
+	if prog.Len() != 2 {
+		t.Errorf("len = %d", prog.Len())
+	}
+	if addr, ok := prog.Label("main"); !ok || addr != 0 {
+		t.Errorf("label main = %d, %v", addr, ok)
+	}
+	if len(prog.Words()) != 2 {
+		t.Error("missing encoded words")
+	}
+	if !strings.Contains(prog.Listing(), "addi s1, s0, 5") {
+		t.Errorf("listing:\n%s", prog.Listing())
+	}
+}
+
+func TestDataSegmentAutoloaded(t *testing.T) {
+	prog := MustAssemble(`
+		.data
+	v:	.word 41
+		.text
+		li s1, v
+		lw s2, 0(s1)
+		addi s2, s2, 1
+		sw s2, 1(s1)
+		halt
+	`)
+	proc, err := New(Config{PEs: 2, Width: 16}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.ScalarMem(1); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestPipelineDiagramAndGraph(t *testing.T) {
+	proc, err := New(Config{PEs: 16, Threads: 1, TraceDepth: -1}, MustAssemble(`
+		rmax s1, p1
+		sub s2, s1, s3
+		halt
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	d := proc.PipelineDiagram()
+	for _, frag := range []string{"rmax", "sub", "R4", "ID"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("diagram missing %q:\n%s", frag, d)
+		}
+	}
+	g := proc.PipelineGraph()
+	if !strings.Contains(g, "reduction path") {
+		t.Errorf("graph:\n%s", g)
+	}
+}
+
+func TestStatsCauses(t *testing.T) {
+	proc, _ := New(Config{PEs: 64, Threads: 1, Width: 16}, MustAssemble(`
+		pidx p1
+		rmax s1, p1
+		add s2, s1, s0
+		halt
+	`))
+	stats, err := proc.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IdleByCause["reduction"] == 0 {
+		t.Errorf("expected reduction idle cycles, got %v", stats.IdleByCause)
+	}
+	if stats.StallByCause["reduction"] == 0 {
+		t.Errorf("expected reduction stalls, got %v", stats.StallByCause)
+	}
+	if !strings.Contains(FormatStats(stats), "reduction") {
+		t.Error("FormatStats missing cause breakdown")
+	}
+}
+
+func TestBaselinesAgreeWithCore(t *testing.T) {
+	src := `
+		plw p1, 0(p0)
+		rsum s1, p1
+		sw s1, 0(s0)
+		halt
+	`
+	vals := [][]int64{{10}, {20}, {30}, {40}}
+	cfg := Config{PEs: 4, Threads: 2, Width: 16}
+
+	proc, _ := New(cfg, MustAssemble(src))
+	proc.LoadLocalMem(vals)
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	np, err := NewNonPipelined(cfg, MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np.LoadLocalMem(vals)
+	npRes, err := np.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cg, err := NewCoarseGrain(cfg, MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.LoadLocalMem(vals)
+	if _, err := cg.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	want := int64(100)
+	if proc.ScalarMem(0) != want || np.ScalarMem(0) != want || cg.ScalarMem(0) != want {
+		t.Errorf("results differ: core %d, np %d, cg %d",
+			proc.ScalarMem(0), np.ScalarMem(0), cg.ScalarMem(0))
+	}
+	if npRes.Instructions != 4 {
+		t.Errorf("np instructions = %d", npRes.Instructions)
+	}
+}
+
+func TestResourceModelFacade(t *testing.T) {
+	r := EstimateResources(Config{})
+	if r.TotalLEs != 9672 || r.TotalRAMs != 104 {
+		t.Errorf("paper config resources = %d LEs / %d RAMs, want 9672 / 104", r.TotalLEs, r.TotalRAMs)
+	}
+	if !strings.Contains(r.String(), "Control Unit") {
+		t.Error("report formatting")
+	}
+	n, binding, err := MaxPEsOnDevice(Config{}, "EP2C35")
+	if err != nil || n != 16 || binding != "RAMs" {
+		t.Errorf("MaxPEsOnDevice = %d, %s, %v", n, binding, err)
+	}
+	if _, _, err := MaxPEsOnDevice(Config{}, "nope"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestClockModelFacade(t *testing.T) {
+	if f := PipelinedClockMHz(Config{}); f < 74 || f > 76 {
+		t.Errorf("pipelined clock = %.2f, want ~75", f)
+	}
+	small := NonPipelinedClockMHz(Config{PEs: 16})
+	large := NonPipelinedClockMHz(Config{PEs: 1024})
+	if large >= small {
+		t.Error("non-pipelined clock should degrade with PEs")
+	}
+	if ms := WallTimeMs(75000, 75); ms < 0.99 || ms > 1.01 {
+		t.Errorf("wall time = %f", ms)
+	}
+}
+
+func TestFixedPriorityConfig(t *testing.T) {
+	proc, err := New(Config{PEs: 4, Threads: 2, FixedPriority: true}, MustAssemble("halt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepAPI(t *testing.T) {
+	proc, _ := New(Config{PEs: 2}, MustAssemble("nop\nhalt"))
+	steps := 0
+	for {
+		more, err := proc.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		steps++
+		if steps > 100 {
+			t.Fatal("did not finish")
+		}
+	}
+	if steps == 0 {
+		t.Error("no steps taken")
+	}
+}
+
+func TestAssembleError(t *testing.T) {
+	if _, err := Assemble("bogus s1"); err == nil {
+		t.Error("bad source accepted")
+	}
+}

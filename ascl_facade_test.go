@@ -1,0 +1,35 @@
+package asc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileASCLFacade(t *testing.T) {
+	prog, asmText, err := CompileASCL(`
+		parallel v = idx();
+		write(0, sumval(v * v));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, "rsum") {
+		t.Errorf("assembly missing rsum:\n%s", asmText)
+	}
+	proc, err := New(Config{PEs: 8, Threads: 1, Width: 16}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.ScalarMem(0); got != 140 {
+		t.Errorf("sum of squares = %d, want 140", got)
+	}
+}
+
+func TestCompileASCLError(t *testing.T) {
+	if _, _, err := CompileASCL("x = 1;"); err == nil {
+		t.Error("bad program accepted")
+	}
+}

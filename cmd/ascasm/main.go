@@ -1,0 +1,62 @@
+// ascasm assembles MTASC assembly source into binary instruction words.
+//
+// Usage:
+//
+//	ascasm [-hex out.hex] [-q] prog.s
+//
+// With no flags it prints a disassembly listing (addresses, encodings,
+// labels) to stdout. -hex writes one 8-digit hex word per line, the format
+// the hardware prototype's memory initialization files use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	hexOut := flag.String("hex", "", "write hex words to this file")
+	quiet := flag.Bool("q", false, "suppress the listing")
+	isadoc := flag.Bool("isadoc", false, "print the instruction-set reference (Markdown) and exit")
+	flag.Parse()
+	if *isadoc {
+		fmt.Print(isa.Reference())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ascasm [-hex out.hex] [-q] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(asm.Disassemble(prog))
+		if len(prog.Data) > 0 {
+			fmt.Printf("data segment: %d words\n", len(prog.Data))
+		}
+	}
+	if *hexOut != "" {
+		var b strings.Builder
+		for _, w := range prog.Words {
+			fmt.Fprintf(&b, "%08x\n", w)
+		}
+		if err := os.WriteFile(*hexOut, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d words to %s\n", len(prog.Words), *hexOut)
+	}
+}

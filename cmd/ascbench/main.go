@@ -1,0 +1,76 @@
+// ascbench regenerates every table and figure of the paper (and the derived
+// experiments that quantify its prose claims) on the simulator and the
+// calibrated FPGA model. See DESIGN.md section 5 for the experiment index
+// and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	ascbench            # run everything
+//	ascbench -exp T1    # one experiment: T1, F1, F2, F3, D1 ... D9
+//	ascbench -list      # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1, F1, F2, F3, D1..D12) or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	type result struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Output string `json:"output,omitempty"`
+		Error  string `json:"error,omitempty"`
+	}
+	var results []result
+	failed := false
+	for _, e := range all {
+		if *exp != "all" && !strings.EqualFold(*exp, e.ID) {
+			continue
+		}
+		out, err := e.Run()
+		r := result{ID: e.ID, Title: e.Title, Output: out}
+		if err != nil {
+			r.Error = err.Error()
+			failed = true
+		}
+		results = append(results, r)
+		if !*jsonOut {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+				continue
+			}
+			fmt.Println(out)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// asclc compiles ASCL (the associative data-parallel language) to MTASC
+// assembly, and optionally runs it.
+//
+// Usage:
+//
+//	asclc prog.ascl              # print the generated assembly
+//	asclc -run [-pes N] prog.ascl  # compile and simulate, dumping memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	asc "repro"
+)
+
+func main() {
+	runIt := flag.Bool("run", false, "simulate after compiling")
+	pes := flag.Int("pes", 16, "processing elements (with -run)")
+	threads := flag.Int("threads", 16, "hardware threads (with -run)")
+	width := flag.Uint("width", 16, "data width (with -run)")
+	dump := flag.Int("dump", 8, "scalar memory words to dump (with -run)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asclc [-run] [-pes N] prog.ascl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, asmText, err := asc.CompileASCL(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if !*runIt {
+		fmt.Print(asmText)
+		return
+	}
+	proc, err := asc.New(asc.Config{PEs: *pes, Threads: *threads, Width: *width}, prog)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := proc.Run(50_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(asc.FormatStats(stats))
+	fmt.Println("scalar memory:")
+	for i := 0; i < *dump; i++ {
+		fmt.Printf("  [%3d] %d\n", i, proc.ScalarMem(i))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asclc:", err)
+	os.Exit(1)
+}

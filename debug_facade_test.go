@@ -1,0 +1,30 @@
+package asc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDebugFacade(t *testing.T) {
+	proc, err := New(Config{PEs: 4, TraceDepth: -1}, MustAssemble("pidx p1\nrmax s1, p1\nhalt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := proc.Debug(strings.NewReader("c\nr\nq\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "halted") || !strings.Contains(out.String(), "s1 ") {
+		t.Errorf("debug transcript:\n%s", out.String())
+	}
+}
+
+func TestVCDFacade(t *testing.T) {
+	proc, _ := New(Config{PEs: 4, TraceDepth: -1}, MustAssemble("rmax s1, p1\nhalt"))
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if vcd := proc.VCD(); !strings.Contains(vcd, "$enddefinitions") {
+		t.Error("VCD output malformed")
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: the canonical associative operation — find the global maximum
+// of values spread across the PE array in a single RMAX instruction, on the
+// paper's default machine (16 8-bit PEs, 16 hardware threads, 4-ary
+// broadcast tree).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asc "repro"
+)
+
+func main() {
+	prog, err := asc.Assemble(`
+		; each PE holds one value in local memory word 0
+		plw p1, 0(p0)     ; parallel load into p1 on every PE
+		rmax s1, p1       ; global maximum through the max/min tree
+		rmin s2, p1       ; and the minimum
+		rsum s3, p1       ; saturating sum
+		sw s1, 0(s0)      ; results into control-unit data memory
+		sw s2, 1(s0)
+		sw s3, 2(s0)
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proc, err := asc.New(asc.Config{Width: 16, TraceDepth: -1}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	values := [][]int64{
+		{23}, {7}, {91}, {44}, {5}, {68}, {30}, {12},
+		{85}, {2}, {77}, {51}, {19}, {63}, {38}, {90},
+	}
+	if err := proc.LoadLocalMem(values); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := proc.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(proc.Describe())
+	fmt.Printf("\nmax = %d, min = %d, sum = %d\n",
+		proc.ScalarMem(0), proc.ScalarMem(1), proc.ScalarMem(2))
+	fmt.Printf("\n%s", asc.FormatStats(stats))
+	fmt.Println("\npipeline diagram (note the b+r reduction-hazard stalls between\ndependent reductions and the stores that consume them):")
+	fmt.Print(proc.PipelineDiagram())
+}

@@ -1,0 +1,110 @@
+// Stringsearch: associative pattern matching. Every PE holds one candidate
+// window of the text; each pattern character is broadcast once and compared
+// against all windows simultaneously, so the whole search costs O(m)
+// instructions for a pattern of length m, independent of text length (up to
+// the PE count). The responder count at the end is the number of matches,
+// and the resolver walks the match positions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	asc "repro"
+)
+
+const (
+	text    = "the quick brown fox jumps over the lazy dog; the fox ran."
+	pattern = "the"
+)
+
+func main() {
+	p := len(text) - len(pattern) + 1 // candidate windows = PEs
+	m := len(pattern)
+
+	src := fmt.Sprintf(`
+		fset f1           ; every window is still a candidate
+		li s1, 0          ; pattern index j
+		li s2, %d         ; m
+	loop:
+		lw s3, 0(s1)      ; broadcast pattern[j]
+		pmov p3, s1
+		plw p2, 0(p3)     ; window[j] on every PE
+		pceq f2, p2, s3
+		fand f1, f1, f2   ; survive only if still matching
+		inc s1
+		blt s1, s2, loop
+		rcount s4, f1     ; number of matches
+		sw s4, %d(s0)
+		; walk the match positions with the resolver
+		pidx p1
+		li s5, %d         ; output cursor
+	walk:
+		rany s6, f1
+		beqz s6, done
+		rfirst f2, f1
+		ror s7, p1 ?f2    ; position of this match
+		sw s7, 0(s5)
+		inc s5
+		fandn f1, f1, f2
+		j walk
+	done:
+		halt
+	`, m, m, m+1)
+
+	prog, err := asc.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := asc.New(asc.Config{PEs: p, Threads: 1, Width: 16, LocalMemWords: m}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PE i holds the window starting at text[i].
+	windows := make([][]int64, p)
+	for i := range windows {
+		w := make([]int64, m)
+		for j := 0; j < m; j++ {
+			w[j] = int64(text[i+j])
+		}
+		windows[i] = w
+	}
+	if err := proc.LoadLocalMem(windows); err != nil {
+		log.Fatal(err)
+	}
+	pat := make([]int64, m)
+	for j := range pat {
+		pat[j] = int64(pattern[j])
+	}
+	if err := proc.LoadScalarMem(pat); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := proc.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	count := proc.ScalarMem(m)
+	fmt.Printf("text:    %q\npattern: %q\nmatches: %d at positions ", text, pattern, count)
+	var positions []string
+	for i := int64(0); i < count; i++ {
+		positions = append(positions, fmt.Sprint(proc.ScalarMem(m+1+int(i))))
+	}
+	fmt.Println(strings.Join(positions, ", "))
+
+	// Verify against strings.Index-style scanning.
+	want := 0
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if text[i:i+len(pattern)] == pattern {
+			want++
+		}
+	}
+	if int(count) != want {
+		log.Fatalf("MISMATCH: machine found %d, reference %d", count, want)
+	}
+	fmt.Printf("\nsearch cost: %d instructions, %d cycles (IPC %.3f) — O(m) broadcasts\nfor %d candidate windows in parallel\n",
+		stats.Instructions, stats.Cycles, stats.IPC(), p)
+}

@@ -1,0 +1,31 @@
+package asc
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end; each example
+// verifies itself against a Go reference and fails loudly on mismatch.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the toolchain; skipped in -short mode")
+	}
+	examples := []string{
+		"quickstart", "mst", "stringsearch", "imagesum",
+		"multithreading", "asclang", "asclmst",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if strings.Contains(string(out), "MISMATCH") {
+				t.Fatalf("example %s reported a mismatch:\n%s", name, out)
+			}
+		})
+	}
+}

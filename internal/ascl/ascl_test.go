@@ -1,0 +1,397 @@
+package ascl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// run compiles src and executes it on a width-16 machine, returning the
+// machine for result inspection.
+func run(t *testing.T, src string, pes int, local [][]int64, smem []int64) *machine.Machine {
+	t.Helper()
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p, err := core.New(core.Config{
+		Machine: machine.Config{PEs: pes, Threads: 1, Width: 16, LocalMemWords: 64},
+		Arity:   4,
+	}, res.Program.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != nil {
+		if err := p.Machine().LoadLocalMem(local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if smem != nil {
+		if err := p.Machine().LoadScalarMem(smem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v\nassembly:\n%s", err, res.Asm)
+	}
+	return p.Machine()
+}
+
+func TestSumOfSquares(t *testing.T) {
+	m := run(t, `
+		parallel v;
+		scalar s;
+		v = idx();
+		s = sumval(v * v);
+		write(0, s);
+	`, 8, nil, nil)
+	// 0+1+4+9+16+25+36+49 = 140
+	if got := m.ScalarMem(0); got != 140 {
+		t.Errorf("sum of squares = %d, want 140", got)
+	}
+}
+
+func TestScalarControlFlow(t *testing.T) {
+	m := run(t, `
+		scalar n = 5;
+		scalar fact = 1;
+		while (n > 0) {
+			fact = fact * n;
+			n = n - 1;
+		}
+		if (fact == 120) {
+			write(0, 1);
+		} else {
+			write(0, 2);
+		}
+		write(1, fact);
+	`, 2, nil, nil)
+	if m.ScalarMem(0) != 1 || m.ScalarMem(1) != 120 {
+		t.Errorf("fact=%d flag=%d", m.ScalarMem(1), m.ScalarMem(0))
+	}
+}
+
+func TestWhereElsewhere(t *testing.T) {
+	m := run(t, `
+		parallel v;
+		parallel tag;
+		v = idx();
+		where (v < 4) {
+			tag = 100;
+		} elsewhere {
+			tag = 200;
+		}
+		scalar lo = countval(v < 4);
+		scalar s = sumval(tag);
+		write(0, s);
+		write(1, lo);
+	`, 8, nil, nil)
+	// 4*100 + 4*200 = 1200
+	if got := m.ScalarMem(0); got != 1200 {
+		t.Errorf("sum = %d, want 1200", got)
+	}
+	if got := m.ScalarMem(1); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+}
+
+func TestNestedWhere(t *testing.T) {
+	m := run(t, `
+		parallel v = idx();
+		parallel r = 0;
+		where (v < 6) {
+			where (v >= 2) {
+				r = 1;        // PEs 2..5
+			} elsewhere {
+				r = 2;        // PEs 0..1
+			}
+		}
+		write(0, sumval(r));
+		write(1, countval(r == 1));
+		write(2, countval(r == 2));
+	`, 8, nil, nil)
+	if got := m.ScalarMem(0); got != 4+4 {
+		t.Errorf("sum = %d, want 8", got)
+	}
+	if m.ScalarMem(1) != 4 || m.ScalarMem(2) != 2 {
+		t.Errorf("counts = %d, %d", m.ScalarMem(1), m.ScalarMem(2))
+	}
+}
+
+func TestForeachAccumulates(t *testing.T) {
+	m := run(t, `
+		parallel v = idx() * 3;
+		scalar total = 0;
+		scalar visits = 0;
+		foreach (v > 6) {
+			total = total + this(v);
+			visits = visits + 1;
+		}
+		write(0, total);
+		write(1, visits);
+	`, 8, nil, nil)
+	// v = 0,3,6,9,12,15,18,21; responders v>6: 9+12+15+18+21 = 75, 5 visits
+	if got := m.ScalarMem(0); got != 75 {
+		t.Errorf("total = %d, want 75", got)
+	}
+	if got := m.ScalarMem(1); got != 5 {
+		t.Errorf("visits = %d, want 5", got)
+	}
+}
+
+func TestForeachInsideWhere(t *testing.T) {
+	m := run(t, `
+		parallel v = idx();
+		scalar total = 0;
+		where (v < 5) {
+			foreach (v > 1) {
+				total = total + this(v);   // 2+3+4
+			}
+		}
+		write(0, total);
+	`, 8, nil, nil)
+	if got := m.ScalarMem(0); got != 9 {
+		t.Errorf("total = %d, want 9", got)
+	}
+}
+
+func TestLocalMemory(t *testing.T) {
+	local := [][]int64{{5}, {10}, {15}, {20}}
+	m := run(t, `
+		parallel a = pread(0);
+		parallel b = a * 2;
+		pwrite(1, b);
+		write(0, sumval(b));
+	`, 4, local, nil)
+	if got := m.ScalarMem(0); got != 100 {
+		t.Errorf("sum = %d, want 100", got)
+	}
+	for pe := 0; pe < 4; pe++ {
+		if got := m.LocalMem(pe, 1); got != int64((pe+1)*10) {
+			t.Errorf("PE %d mem[1] = %d", pe, got)
+		}
+	}
+}
+
+func TestScalarMemoryAndReductions(t *testing.T) {
+	m := run(t, `
+		scalar threshold = read(0);
+		parallel v = idx();
+		flag big = v >= threshold;
+		write(1, countval(big));
+		write(2, maxval(v));
+		write(3, minval(v));
+		write(4, andval(v | 8));
+	`, 8, nil, []int64{5})
+	if m.ScalarMem(1) != 3 { // 5, 6, 7
+		t.Errorf("count = %d", m.ScalarMem(1))
+	}
+	if m.ScalarMem(2) != 7 || m.ScalarMem(3) != 0 {
+		t.Errorf("max/min = %d/%d", m.ScalarMem(2), m.ScalarMem(3))
+	}
+	if m.ScalarMem(4) != 8 { // AND of (idx|8) over 0..7 = 8
+		t.Errorf("andval = %d", m.ScalarMem(4))
+	}
+}
+
+func TestFlagVariablesAndLogic(t *testing.T) {
+	m := run(t, `
+		parallel v = idx();
+		flag a = v < 4;
+		flag b = v % 2 == 0;
+		flag both = a && b;
+		flag either = a || b;
+		flag onlya = a && !b;
+		write(0, countval(both));    // 0, 2
+		write(1, countval(either));  // 0..3, 4, 6
+		write(2, countval(onlya));   // 1, 3
+	`, 8, nil, nil)
+	if m.ScalarMem(0) != 2 || m.ScalarMem(1) != 6 || m.ScalarMem(2) != 2 {
+		t.Errorf("counts = %d %d %d", m.ScalarMem(0), m.ScalarMem(1), m.ScalarMem(2))
+	}
+}
+
+func TestScalarLogic(t *testing.T) {
+	m := run(t, `
+		scalar a = 3;
+		scalar b = 0;
+		write(0, a && b);
+		write(1, a || b);
+		write(2, !b);
+		write(3, !a);
+		write(4, (a > 1) && (b == 0));
+	`, 2, nil, nil)
+	want := []int64{0, 1, 1, 0, 1}
+	for i, w := range want {
+		if got := m.ScalarMem(i); got != w {
+			t.Errorf("mem[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBroadcastAndMirroredCompare(t *testing.T) {
+	m := run(t, `
+		parallel v = idx();
+		scalar k = 3;
+		write(0, countval(k < v));    // mirrored: v > 3 -> 4 responders
+		write(1, countval(v == k));   // 1
+		parallel w = k - v;           // broadcast left operand
+		write(2, sumval(w * w));
+	`, 8, nil, nil)
+	if m.ScalarMem(0) != 4 || m.ScalarMem(1) != 1 {
+		t.Errorf("counts = %d %d", m.ScalarMem(0), m.ScalarMem(1))
+	}
+	// sum((3-i)^2) for i=0..7 = 9+4+1+0+1+4+9+16 = 44
+	if got := m.ScalarMem(2); got != 44 {
+		t.Errorf("sum = %d, want 44", got)
+	}
+}
+
+func TestMaxSearchProgram(t *testing.T) {
+	// The canonical associative kernel, as an ASCL one-liner pipeline.
+	local := [][]int64{{23}, {7}, {91}, {44}, {5}, {68}, {30}, {12}}
+	m := run(t, `
+		parallel v = pread(0);
+		write(0, maxval(v));
+		write(1, countval(v == maxval(v)));
+	`, 8, local, nil)
+	if m.ScalarMem(0) != 91 || m.ScalarMem(1) != 1 {
+		t.Errorf("max = %d, count = %d", m.ScalarMem(0), m.ScalarMem(1))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"x = 1;", "undeclared"},
+		{"scalar x; scalar x;", "redeclared"},
+		{"scalar x; x = idx();", "cannot assign parallel"},
+		{"parallel v; if (v > 1) { }", "must be scalar"},
+		{"scalar s; where (s > 1) { }", "must be a parallel comparison"},
+		{"scalar s; s = this(s);", "only valid inside foreach"},
+		{"scalar s; s = bogus(1);", "unknown builtin"},
+		{"scalar s; s = sumval(s);", "needs a parallel argument"},
+		{"parallel v; flag f; f = v + 1; ", "cannot assign parallel expression to flag"},
+		{"scalar s; s = 1 +;", "unexpected"},
+		{"if (1) {", "unterminated"},
+		{"scalar s; frob(s);", "unknown statement call"},
+		{"@", "unexpected character"},
+		{"parallel v; v = idx(); foreach (v) { }", "must be a parallel comparison"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error containing %q", tc.src, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Compile(%q) error = %v, want containing %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestGeneratedAssemblyIsReadable(t *testing.T) {
+	res, err := Compile(`
+		parallel v = idx();
+		scalar s = sumval(v);
+		write(0, s);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"pidx", "rsum", "sw", "halt"} {
+		if !strings.Contains(res.Asm, frag) {
+			t.Errorf("assembly missing %q:\n%s", frag, res.Asm)
+		}
+	}
+}
+
+// randomScalarExpr builds a random, safe scalar expression and its Go
+// evaluation (width-16 semantics).
+func randomScalarExpr(r *rand.Rand, depth int) (string, int64) {
+	mask16 := func(v int64) int64 { return v & 0xffff }
+	if depth == 0 || r.Intn(3) == 0 {
+		v := int64(r.Intn(50))
+		return fmt.Sprint(v), v
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[r.Intn(len(ops))]
+	ls, lv := randomScalarExpr(r, depth-1)
+	rs, rv := randomScalarExpr(r, depth-1)
+	var v int64
+	switch op {
+	case "+":
+		v = mask16(lv + rv)
+	case "-":
+		v = mask16(lv - rv)
+	case "*":
+		// Sign-extend before multiplying, as the machine does.
+		sl := lv << 48 >> 48
+		sr := rv << 48 >> 48
+		v = mask16(sl * sr)
+	case "&":
+		v = lv & rv
+	case "|":
+		v = lv | rv
+	case "^":
+		v = lv ^ rv
+	}
+	return "(" + ls + " " + op + " " + rs + ")", v
+}
+
+// Property: compiled scalar arithmetic matches direct Go evaluation.
+func TestRandomScalarExpressions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src, want := randomScalarExpr(r, 3)
+		m := run(t, fmt.Sprintf("scalar x; x = %s; write(0, x);", src), 2, nil, nil)
+		if got := m.ScalarMem(0); got != want {
+			t.Logf("expr %s = %d, want %d", src, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: where-partitioned sums equal the unpartitioned sum (mask
+// soundness: where/elsewhere covers each responder exactly once).
+func TestWherePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pes := 2 + r.Intn(30)
+		threshold := r.Intn(pes)
+		src := fmt.Sprintf(`
+			parallel v = idx() + 1;
+			parallel a = 0;
+			parallel b = 0;
+			where (v > %d) {
+				a = v;
+			} elsewhere {
+				b = v;
+			}
+			write(0, sumval(a));
+			write(1, sumval(b));
+			write(2, sumval(v));
+		`, threshold)
+		m := run(t, src, pes, nil, nil)
+		if m.ScalarMem(0)+m.ScalarMem(1) != m.ScalarMem(2) {
+			t.Logf("pes=%d thr=%d: %d + %d != %d", pes, threshold,
+				m.ScalarMem(0), m.ScalarMem(1), m.ScalarMem(2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

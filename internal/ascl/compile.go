@@ -1,0 +1,516 @@
+package ascl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+// Result is a compiled ASCL program.
+type Result struct {
+	// Asm is the generated MTASC assembly text.
+	Asm string
+	// Program is the assembled binary.
+	Program *asm.Program
+}
+
+// Compile translates ASCL source into MTASC assembly and assembles it.
+func Compile(src string) (*Result, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts, err := parseProgram(toks)
+	if err != nil {
+		return nil, err
+	}
+	stmts = foldStmts(stmts)
+	c := newCompiler()
+	if err := c.stmts(stmts); err != nil {
+		return nil, err
+	}
+	c.emit("halt")
+	text := strings.Join(c.out, "\n") + "\n"
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		// A code generator bug, not a user error.
+		return nil, fmt.Errorf("ascl: internal error: generated assembly rejected: %w\n%s", err, text)
+	}
+	return &Result{Asm: text, Program: prog}, nil
+}
+
+// Register allocation limits. Variables grow from the low registers,
+// temporaries from the high ones; s0/p0/f0 are hardwired, s15 is the link
+// register (unused by generated code but reserved).
+const (
+	maxScalarReg   = 14
+	maxParallelReg = 15
+	maxFlagReg     = 7
+)
+
+type varInfo struct {
+	typ Type
+	reg uint8
+}
+
+// tempPool hands out registers from hi down to lo. Frees may happen in any
+// order (expression temps and block-held masks have interleaved lifetimes).
+type tempPool struct {
+	kind   string
+	lo, hi uint8
+	used   [17]bool
+}
+
+func newTempPool(kind string, lo, hi uint8) *tempPool {
+	return &tempPool{kind: kind, lo: lo, hi: hi}
+}
+
+func (tp *tempPool) alloc(line int) (uint8, error) {
+	for r := tp.hi; r >= tp.lo && r > 0; r-- {
+		if !tp.used[r] {
+			tp.used[r] = true
+			return r, nil
+		}
+	}
+	return 0, &Error{Line: line, Msg: fmt.Sprintf("out of %s registers (expression too complex or too many nested blocks)", tp.kind)}
+}
+
+func (tp *tempPool) free(r uint8) {
+	if !tp.used[r] {
+		panic(fmt.Sprintf("ascl: %s temp %d freed twice", tp.kind, r))
+	}
+	tp.used[r] = false
+}
+
+// value is a compiled expression result.
+type value struct {
+	reg  uint8
+	typ  Type
+	temp bool // the register came from a temp pool and must be freed
+}
+
+type compiler struct {
+	out  []string
+	vars map[string]varInfo
+
+	nextScalar, nextParallel, nextFlag uint8
+
+	stemps *tempPool
+	ptemps *tempPool
+	ftemps *tempPool
+
+	mask   uint8 // current execution mask flag (0 = all PEs)
+	inPick bool  // inside foreach: mask selects exactly one responder
+	labels int
+}
+
+func newCompiler() *compiler {
+	return &compiler{
+		vars:         map[string]varInfo{},
+		nextScalar:   1,
+		nextParallel: 1,
+		nextFlag:     1,
+		// Pools are sized lazily in declare(): temps occupy everything
+		// above the declared variables. Start with the full range; each
+		// declaration raises the floor.
+		stemps: newTempPool("scalar", 1, maxScalarReg),
+		ptemps: newTempPool("parallel", 1, maxParallelReg),
+		ftemps: newTempPool("flag", 1, maxFlagReg),
+	}
+}
+
+func (c *compiler) emit(format string, args ...any) {
+	c.out = append(c.out, "\t"+fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) label() string {
+	c.labels++
+	return fmt.Sprintf("L%d", c.labels)
+}
+
+func (c *compiler) placeLabel(l string) {
+	c.out = append(c.out, l+":")
+}
+
+// maskSuffix is appended to maskable instructions.
+func (c *compiler) maskSuffix() string {
+	if c.mask == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" ?f%d", c.mask)
+}
+
+func (c *compiler) free(v value) {
+	if !v.temp {
+		return
+	}
+	switch v.typ {
+	case TypeScalar:
+		c.stemps.free(v.reg)
+	case TypeParallel:
+		c.ptemps.free(v.reg)
+	case TypeFlag:
+		c.ftemps.free(v.reg)
+	}
+}
+
+func (c *compiler) tempFor(typ Type, line int) (value, error) {
+	var r uint8
+	var err error
+	switch typ {
+	case TypeScalar:
+		r, err = c.stemps.alloc(line)
+	case TypeParallel:
+		r, err = c.ptemps.alloc(line)
+	case TypeFlag:
+		r, err = c.ftemps.alloc(line)
+	}
+	return value{reg: r, typ: typ, temp: true}, err
+}
+
+func regName(typ Type, r uint8) string {
+	switch typ {
+	case TypeScalar:
+		return fmt.Sprintf("s%d", r)
+	case TypeParallel:
+		return fmt.Sprintf("p%d", r)
+	case TypeFlag:
+		return fmt.Sprintf("f%d", r)
+	}
+	return "?"
+}
+
+func (v value) String() string { return regName(v.typ, v.reg) }
+
+// declare allocates a variable register and raises the temp-pool floor.
+func (c *compiler) declare(d declStmt) error {
+	if _, dup := c.vars[d.name]; dup {
+		return &Error{Line: d.line, Msg: fmt.Sprintf("variable %q redeclared", d.name)}
+	}
+	var reg uint8
+	switch d.typ {
+	case TypeScalar:
+		reg = c.nextScalar
+		c.nextScalar++
+		c.stemps.lo = c.nextScalar
+		if reg > maxScalarReg-2 {
+			return &Error{Line: d.line, Msg: "too many scalar variables"}
+		}
+	case TypeParallel:
+		reg = c.nextParallel
+		c.nextParallel++
+		c.ptemps.lo = c.nextParallel
+		if reg > maxParallelReg-2 {
+			return &Error{Line: d.line, Msg: "too many parallel variables"}
+		}
+	case TypeFlag:
+		reg = c.nextFlag
+		c.nextFlag++
+		c.ftemps.lo = c.nextFlag
+		if reg > maxFlagReg-2 {
+			return &Error{Line: d.line, Msg: "too many flag variables (where/foreach nesting needs headroom)"}
+		}
+	}
+	c.vars[d.name] = varInfo{typ: d.typ, reg: reg}
+	if d.init != nil {
+		return c.assign(assignStmt{name: d.name, value: d.init, line: d.line})
+	}
+	return nil
+}
+
+func (c *compiler) stmts(list []stmt) error {
+	for _, s := range list {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s stmt) error {
+	switch s := s.(type) {
+	case declStmt:
+		return c.declare(s)
+	case assignStmt:
+		return c.assign(s)
+	case haltStmt:
+		c.emit("halt")
+		return nil
+	case callStmt:
+		return c.callStatement(s)
+	case ifStmt:
+		return c.ifStatement(s)
+	case whileStmt:
+		return c.whileStatement(s)
+	case whereStmt:
+		return c.whereStatement(s)
+	case foreachStmt:
+		return c.foreachStatement(s)
+	}
+	return fmt.Errorf("ascl: internal error: unknown statement %T", s)
+}
+
+func (c *compiler) assign(s assignStmt) error {
+	vi, ok := c.vars[s.name]
+	if !ok {
+		return &Error{Line: s.line, Msg: fmt.Sprintf("undeclared variable %q", s.name)}
+	}
+	v, err := c.expr(s.value)
+	if err != nil {
+		return err
+	}
+	defer c.free(v)
+	switch vi.typ {
+	case TypeScalar:
+		if v.typ != TypeScalar {
+			return &Error{Line: s.line, Msg: fmt.Sprintf("cannot assign %s expression to scalar %q", v.typ, s.name)}
+		}
+		c.emit("mov s%d, s%d", vi.reg, v.reg)
+	case TypeParallel:
+		switch v.typ {
+		case TypeParallel:
+			c.emit("pmov p%d, p%d%s", vi.reg, v.reg, c.maskSuffix())
+		case TypeScalar: // broadcast
+			c.emit("pmov p%d, s%d%s", vi.reg, v.reg, c.maskSuffix())
+		default:
+			return &Error{Line: s.line, Msg: fmt.Sprintf("cannot assign flag expression to parallel %q", s.name)}
+		}
+	case TypeFlag:
+		if v.typ != TypeFlag {
+			return &Error{Line: s.line, Msg: fmt.Sprintf("cannot assign %s expression to flag %q", v.typ, s.name)}
+		}
+		c.emit("fmov f%d, f%d%s", vi.reg, v.reg, c.maskSuffix())
+	}
+	return nil
+}
+
+func (c *compiler) ifStatement(s ifStmt) error {
+	cond, err := c.expr(s.cond)
+	if err != nil {
+		return err
+	}
+	if cond.typ != TypeScalar {
+		return &Error{Line: s.line, Msg: "if condition must be scalar (use where for parallel conditions)"}
+	}
+	lElse, lEnd := c.label(), c.label()
+	c.emit("beqz s%d, %s", cond.reg, lElse)
+	c.free(cond)
+	if err := c.stmts(s.then); err != nil {
+		return err
+	}
+	c.emit("j %s", lEnd)
+	c.placeLabel(lElse)
+	if err := c.stmts(s.els); err != nil {
+		return err
+	}
+	c.placeLabel(lEnd)
+	return nil
+}
+
+func (c *compiler) whileStatement(s whileStmt) error {
+	lCond, lEnd := c.label(), c.label()
+	c.placeLabel(lCond)
+	cond, err := c.expr(s.cond)
+	if err != nil {
+		return err
+	}
+	if cond.typ != TypeScalar {
+		return &Error{Line: s.line, Msg: "while condition must be scalar"}
+	}
+	c.emit("beqz s%d, %s", cond.reg, lEnd)
+	c.free(cond)
+	if err := c.stmts(s.body); err != nil {
+		return err
+	}
+	c.emit("j %s", lCond)
+	c.placeLabel(lEnd)
+	return nil
+}
+
+func (c *compiler) whereStatement(s whereStmt) error {
+	cond, err := c.flagExpr(s.cond, s.line, "where condition")
+	if err != nil {
+		return err
+	}
+	// Snapshot the entry mask AND condition into a held temp: the body may
+	// modify the flags the condition was derived from.
+	mt, err := c.tempFor(TypeFlag, s.line)
+	if err != nil {
+		return err
+	}
+	if c.mask != 0 {
+		c.emit("fand f%d, f%d, f%d", mt.reg, cond.reg, c.mask)
+	} else {
+		c.emit("fmov f%d, f%d", mt.reg, cond.reg)
+	}
+	c.free(cond)
+
+	outerMask, outerPick := c.mask, c.inPick
+	c.mask, c.inPick = mt.reg, false
+	err = c.stmts(s.then)
+	c.mask, c.inPick = outerMask, outerPick
+	if err != nil {
+		return err
+	}
+
+	if len(s.els) > 0 {
+		// elsewhere mask: entry mask AND NOT cond = outer ANDN mt.
+		et, err := c.tempFor(TypeFlag, s.line)
+		if err != nil {
+			return err
+		}
+		if outerMask != 0 {
+			c.emit("fandn f%d, f%d, f%d", et.reg, outerMask, mt.reg)
+		} else {
+			c.emit("fnot f%d, f%d", et.reg, mt.reg)
+		}
+		c.mask, c.inPick = et.reg, false
+		err = c.stmts(s.els)
+		c.mask, c.inPick = outerMask, outerPick
+		if err != nil {
+			return err
+		}
+		c.free(et)
+	}
+	c.free(mt)
+	return nil
+}
+
+func (c *compiler) foreachStatement(s foreachStmt) error {
+	cond, err := c.flagExpr(s.cond, s.line, "foreach condition")
+	if err != nil {
+		return err
+	}
+	// Active responder set (consumed as iteration proceeds).
+	fc, err := c.tempFor(TypeFlag, s.line)
+	if err != nil {
+		return err
+	}
+	if c.mask != 0 {
+		c.emit("fand f%d, f%d, f%d", fc.reg, cond.reg, c.mask)
+	} else {
+		c.emit("fmov f%d, f%d", fc.reg, cond.reg)
+	}
+	c.free(cond)
+	fp, err := c.tempFor(TypeFlag, s.line) // the picked responder
+	if err != nil {
+		return err
+	}
+	st, err := c.tempFor(TypeScalar, s.line)
+	if err != nil {
+		return err
+	}
+
+	lLoop, lEnd := c.label(), c.label()
+	c.placeLabel(lLoop)
+	c.emit("rany s%d, f%d", st.reg, fc.reg)
+	c.emit("beqz s%d, %s", st.reg, lEnd)
+	c.emit("rfirst f%d, f%d", fp.reg, fc.reg)
+
+	outerMask, outerPick := c.mask, c.inPick
+	c.mask, c.inPick = fp.reg, true
+	err = c.stmts(s.body)
+	c.mask, c.inPick = outerMask, outerPick
+	if err != nil {
+		return err
+	}
+
+	c.emit("fandn f%d, f%d, f%d", fc.reg, fc.reg, fp.reg)
+	c.emit("j %s", lLoop)
+	c.placeLabel(lEnd)
+
+	c.free(st)
+	c.free(fp)
+	c.free(fc)
+	return nil
+}
+
+// flagExpr compiles an expression that must be flag-typed.
+func (c *compiler) flagExpr(e expr, line int, what string) (value, error) {
+	v, err := c.expr(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.typ != TypeFlag {
+		c.free(v)
+		return value{}, &Error{Line: line, Msg: fmt.Sprintf("%s must be a parallel comparison (flag), got %s", what, v.typ)}
+	}
+	return v, nil
+}
+
+// callStatement handles write/pwrite used as statements.
+func (c *compiler) callStatement(s callStmt) error {
+	switch s.call.name {
+	case "write": // write(addr, value): control-unit data memory
+		if len(s.call.args) != 2 {
+			return &Error{Line: s.line, Msg: "write(addr, value) takes two scalar arguments"}
+		}
+		addr, err := c.scalarArg(s.call.args[0], s.line, "write address")
+		if err != nil {
+			return err
+		}
+		val, err := c.scalarArg(s.call.args[1], s.line, "write value")
+		if err != nil {
+			return err
+		}
+		c.emit("sw s%d, 0(s%d)", val.reg, addr.reg)
+		c.free(val)
+		c.free(addr)
+		return nil
+
+	case "pwrite": // pwrite(addr, value): PE local memory, masked
+		if len(s.call.args) != 2 {
+			return &Error{Line: s.line, Msg: "pwrite(addr, value) takes two arguments"}
+		}
+		addr, err := c.parallelArg(s.call.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		val, err := c.parallelArg(s.call.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		c.emit("psw p%d, 0(p%d)%s", val.reg, addr.reg, c.maskSuffix())
+		c.free(val)
+		c.free(addr)
+		return nil
+	}
+	return &Error{Line: s.line, Msg: fmt.Sprintf("unknown statement call %q (expression results must be assigned)", s.call.name)}
+}
+
+func (c *compiler) scalarArg(e expr, line int, what string) (value, error) {
+	v, err := c.expr(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.typ != TypeScalar {
+		c.free(v)
+		return value{}, &Error{Line: line, Msg: fmt.Sprintf("%s must be scalar, got %s", what, v.typ)}
+	}
+	return v, nil
+}
+
+// parallelArg compiles an expression and broadcasts scalars to a parallel
+// temp.
+func (c *compiler) parallelArg(e expr, line int) (value, error) {
+	v, err := c.expr(e)
+	if err != nil {
+		return value{}, err
+	}
+	switch v.typ {
+	case TypeParallel:
+		return v, nil
+	case TypeScalar:
+		t, err := c.tempFor(TypeParallel, line)
+		if err != nil {
+			c.free(v)
+			return value{}, err
+		}
+		c.emit("pmov p%d, s%d", t.reg, v.reg)
+		c.free(v)
+		return t, nil
+	}
+	c.free(v)
+	return value{}, &Error{Line: line, Msg: "flag value used where a parallel value is required"}
+}

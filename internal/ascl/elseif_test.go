@@ -1,0 +1,25 @@
+package ascl
+
+import "testing"
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+		scalar x = read(0);
+		if (x < 10) {
+			write(1, 1);
+		} else if (x < 20) {
+			write(1, 2);
+		} else if (x < 30) {
+			write(1, 3);
+		} else {
+			write(1, 4);
+		}
+	`
+	cases := map[int64]int64{5: 1, 15: 2, 25: 3, 99: 4}
+	for in, want := range cases {
+		m := run(t, src, 2, nil, []int64{in})
+		if got := m.ScalarMem(1); got != want {
+			t.Errorf("x=%d: branch %d, want %d", in, got, want)
+		}
+	}
+}

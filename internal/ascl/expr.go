@@ -1,0 +1,482 @@
+package ascl
+
+import "fmt"
+
+// expr compiles an expression into a register and returns it with its type.
+func (c *compiler) expr(e expr) (value, error) {
+	switch e := e.(type) {
+	case numLit:
+		t, err := c.tempFor(TypeScalar, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		c.emit("li s%d, %d", t.reg, e.v)
+		return t, nil
+
+	case varRef:
+		vi, ok := c.vars[e.name]
+		if !ok {
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("undeclared variable %q", e.name)}
+		}
+		return value{reg: vi.reg, typ: vi.typ}, nil
+
+	case unary:
+		return c.unaryExpr(e)
+
+	case binary:
+		return c.binaryExpr(e)
+
+	case call:
+		return c.builtin(e)
+	}
+	return value{}, fmt.Errorf("ascl: internal error: unknown expression %T", e)
+}
+
+func (c *compiler) unaryExpr(e unary) (value, error) {
+	x, err := c.expr(e.x)
+	if err != nil {
+		return value{}, err
+	}
+	switch e.op {
+	case "-":
+		switch x.typ {
+		case TypeScalar:
+			t, err := c.tempFor(TypeScalar, e.line)
+			if err != nil {
+				c.free(x)
+				return value{}, err
+			}
+			c.emit("sub s%d, s0, s%d", t.reg, x.reg)
+			c.free(x)
+			return t, nil
+		case TypeParallel:
+			t, err := c.tempFor(TypeParallel, e.line)
+			if err != nil {
+				c.free(x)
+				return value{}, err
+			}
+			c.emit("psub p%d, p0, p%d", t.reg, x.reg)
+			c.free(x)
+			return t, nil
+		}
+		c.free(x)
+		return value{}, &Error{Line: e.line, Msg: "cannot negate a flag"}
+
+	case "!":
+		switch x.typ {
+		case TypeFlag:
+			t, err := c.tempFor(TypeFlag, e.line)
+			if err != nil {
+				c.free(x)
+				return value{}, err
+			}
+			c.emit("fnot f%d, f%d", t.reg, x.reg)
+			c.free(x)
+			return t, nil
+		case TypeScalar:
+			t, err := c.tempFor(TypeScalar, e.line)
+			if err != nil {
+				c.free(x)
+				return value{}, err
+			}
+			c.emit("sltu s%d, s0, s%d", t.reg, x.reg) // x != 0
+			c.emit("xori s%d, s%d, 1", t.reg, t.reg)  // x == 0
+			c.free(x)
+			return t, nil
+		}
+		c.free(x)
+		return value{}, &Error{Line: e.line, Msg: "! applies to flags and scalars"}
+	}
+	c.free(x)
+	return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("unknown unary %q", e.op)}
+}
+
+// Operator name tables.
+var scalarOps = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+	"&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+}
+
+var parallelOps = map[string]string{
+	"+": "padd", "-": "psub", "*": "pmul", "/": "pdiv", "%": "pmod",
+	"&": "pand", "|": "por", "^": "pxor", "<<": "psll", ">>": "psra",
+}
+
+var flagOps = map[string]string{
+	"&": "fand", "|": "for", "^": "fxor", "&&": "fand", "||": "for",
+}
+
+var commutative = map[string]bool{"+": true, "*": true, "&": true, "|": true, "^": true}
+
+// relops maps comparison operators to the parallel compare mnemonics, and
+// mirror gives the operand-swapped operator.
+var relops = map[string]string{
+	"==": "pceq", "!=": "pcne", "<": "pclt", "<=": "pcle", ">": "pcgt", ">=": "pcge",
+}
+var mirror = map[string]string{
+	"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+func isRelop(op string) bool { _, ok := relops[op]; return ok }
+
+func (c *compiler) binaryExpr(e binary) (value, error) {
+	// Immediate-form fast path: `x op literal` (or `literal op x` for
+	// commutative operators) compiles to addi/paddi-style instructions
+	// when the literal fits the immediate field.
+	if !isRelop(e.op) && e.op != "&&" && e.op != "||" {
+		if lit, ok := literalOperand(e.r); ok {
+			l, err := c.expr(e.l)
+			if err != nil {
+				return value{}, err
+			}
+			if t, done, err := c.tryImmediate(e.op, l, lit, e.line); err != nil {
+				c.free(l)
+				return value{}, err
+			} else if done {
+				c.free(l)
+				return t, nil
+			}
+			c.free(l) // fall through to the general path below
+		} else if lit, ok := literalOperand(e.l); ok && commutative[e.op] {
+			r, err := c.expr(e.r)
+			if err != nil {
+				return value{}, err
+			}
+			if t, done, err := c.tryImmediate(e.op, r, lit, e.line); err != nil {
+				c.free(r)
+				return value{}, err
+			} else if done {
+				c.free(r)
+				return t, nil
+			}
+			c.free(r)
+		}
+	}
+
+	l, err := c.expr(e.l)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := c.expr(e.r)
+	if err != nil {
+		c.free(l)
+		return value{}, err
+	}
+	// Free both operands on every path below via this helper.
+	release := func() { c.free(r); c.free(l) }
+
+	switch {
+	case isRelop(e.op):
+		if l.typ == TypeFlag || r.typ == TypeFlag {
+			release()
+			return value{}, &Error{Line: e.line, Msg: "comparisons apply to scalar and parallel values, not flags"}
+		}
+		if l.typ == TypeScalar && r.typ == TypeScalar {
+			v, err := c.scalarRelop(e.op, l, r, e.line)
+			release()
+			return v, err
+		}
+		v, err := c.parallelRelop(e.op, l, r, e.line)
+		release()
+		return v, err
+
+	case e.op == "&&" || e.op == "||":
+		if l.typ == TypeFlag && r.typ == TypeFlag {
+			t, err := c.tempFor(TypeFlag, e.line)
+			if err != nil {
+				release()
+				return value{}, err
+			}
+			c.emit("%s f%d, f%d, f%d", flagOps[e.op], t.reg, l.reg, r.reg)
+			release()
+			return t, nil
+		}
+		if l.typ == TypeScalar && r.typ == TypeScalar {
+			// Normalize to 0/1 and use bitwise and/or.
+			t, err := c.tempFor(TypeScalar, e.line)
+			if err != nil {
+				release()
+				return value{}, err
+			}
+			u, err := c.tempFor(TypeScalar, e.line)
+			if err != nil {
+				c.free(t)
+				release()
+				return value{}, err
+			}
+			c.emit("sltu s%d, s0, s%d", t.reg, l.reg)
+			c.emit("sltu s%d, s0, s%d", u.reg, r.reg)
+			op := "and"
+			if e.op == "||" {
+				op = "or"
+			}
+			c.emit("%s s%d, s%d, s%d", op, t.reg, t.reg, u.reg)
+			c.free(u)
+			release()
+			return t, nil
+		}
+		release()
+		return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("%s needs two flags or two scalars", e.op)}
+
+	case l.typ == TypeFlag || r.typ == TypeFlag:
+		if op, ok := flagOps[e.op]; ok && l.typ == TypeFlag && r.typ == TypeFlag {
+			t, err := c.tempFor(TypeFlag, e.line)
+			if err != nil {
+				release()
+				return value{}, err
+			}
+			c.emit("%s f%d, f%d, f%d", op, t.reg, l.reg, r.reg)
+			release()
+			return t, nil
+		}
+		release()
+		return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("operator %q cannot mix flags with other types", e.op)}
+
+	case l.typ == TypeParallel || r.typ == TypeParallel:
+		op, ok := parallelOps[e.op]
+		if !ok {
+			release()
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("unknown operator %q", e.op)}
+		}
+		t, err := c.tempFor(TypeParallel, e.line)
+		if err != nil {
+			release()
+			return value{}, err
+		}
+		switch {
+		case l.typ == TypeParallel && r.typ == TypeParallel:
+			c.emit("%s p%d, p%d, p%d", op, t.reg, l.reg, r.reg)
+		case l.typ == TypeParallel: // r scalar: broadcast operand form
+			c.emit("%s p%d, p%d, s%d", op, t.reg, l.reg, r.reg)
+		case commutative[e.op]: // l scalar, commutative: swap
+			c.emit("%s p%d, p%d, s%d", op, t.reg, r.reg, l.reg)
+		default: // l scalar, non-commutative: broadcast l first
+			c.emit("pmov p%d, s%d", t.reg, l.reg)
+			c.emit("%s p%d, p%d, p%d", op, t.reg, t.reg, r.reg)
+		}
+		release()
+		return t, nil
+
+	default: // scalar op scalar
+		op, ok := scalarOps[e.op]
+		if !ok {
+			release()
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("unknown operator %q", e.op)}
+		}
+		t, err := c.tempFor(TypeScalar, e.line)
+		if err != nil {
+			release()
+			return value{}, err
+		}
+		c.emit("%s s%d, s%d, s%d", op, t.reg, l.reg, r.reg)
+		release()
+		return t, nil
+	}
+}
+
+// scalarRelop compiles a scalar comparison into a 0/1 scalar.
+func (c *compiler) scalarRelop(op string, l, r value, line int) (value, error) {
+	t, err := c.tempFor(TypeScalar, line)
+	if err != nil {
+		return value{}, err
+	}
+	switch op {
+	case "<":
+		c.emit("slt s%d, s%d, s%d", t.reg, l.reg, r.reg)
+	case ">":
+		c.emit("slt s%d, s%d, s%d", t.reg, r.reg, l.reg)
+	case "<=":
+		c.emit("slt s%d, s%d, s%d", t.reg, r.reg, l.reg)
+		c.emit("xori s%d, s%d, 1", t.reg, t.reg)
+	case ">=":
+		c.emit("slt s%d, s%d, s%d", t.reg, l.reg, r.reg)
+		c.emit("xori s%d, s%d, 1", t.reg, t.reg)
+	case "==":
+		c.emit("xor s%d, s%d, s%d", t.reg, l.reg, r.reg)
+		c.emit("sltu s%d, s0, s%d", t.reg, t.reg)
+		c.emit("xori s%d, s%d, 1", t.reg, t.reg)
+	case "!=":
+		c.emit("xor s%d, s%d, s%d", t.reg, l.reg, r.reg)
+		c.emit("sltu s%d, s0, s%d", t.reg, t.reg)
+	}
+	return t, nil
+}
+
+// parallelRelop compiles a parallel comparison into a flag.
+func (c *compiler) parallelRelop(op string, l, r value, line int) (value, error) {
+	t, err := c.tempFor(TypeFlag, line)
+	if err != nil {
+		return value{}, err
+	}
+	switch {
+	case l.typ == TypeParallel && r.typ == TypeParallel:
+		c.emit("%s f%d, p%d, p%d", relops[op], t.reg, l.reg, r.reg)
+	case l.typ == TypeParallel: // r scalar: broadcast form
+		c.emit("%s f%d, p%d, s%d", relops[op], t.reg, l.reg, r.reg)
+	default: // l scalar: mirror the comparison
+		c.emit("%s f%d, p%d, s%d", relops[mirror[op]], t.reg, r.reg, l.reg)
+	}
+	return t, nil
+}
+
+// Reduction builtins: name -> (mnemonic, argument type).
+var reductions = map[string]struct {
+	mnemonic string
+	argType  Type
+}{
+	"sumval":   {"rsum", TypeParallel},
+	"maxval":   {"rmax", TypeParallel},
+	"minval":   {"rmin", TypeParallel},
+	"maxvalu":  {"rmaxu", TypeParallel},
+	"minvalu":  {"rminu", TypeParallel},
+	"orval":    {"ror", TypeParallel},
+	"andval":   {"rand", TypeParallel},
+	"countval": {"rcount", TypeFlag},
+	"anyval":   {"rany", TypeFlag},
+}
+
+func (c *compiler) builtin(e call) (value, error) {
+	if red, ok := reductions[e.name]; ok {
+		if len(e.args) != 1 {
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("%s takes one argument", e.name)}
+		}
+		arg, err := c.expr(e.args[0])
+		if err != nil {
+			return value{}, err
+		}
+		if arg.typ != red.argType {
+			c.free(arg)
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("%s needs a %s argument, got %s", e.name, red.argType, arg.typ)}
+		}
+		t, err := c.tempFor(TypeScalar, e.line)
+		if err != nil {
+			c.free(arg)
+			return value{}, err
+		}
+		c.emit("%s s%d, %s%s", red.mnemonic, t.reg, arg, c.maskSuffix())
+		c.free(arg)
+		return t, nil
+	}
+
+	if e.name == "mindex" || e.name == "maxdex" {
+		// The classic ASC mindex/maxdex: the PE index of the (first)
+		// minimum or maximum responder. Compiles to a reduction, an
+		// equality search, a resolver pick, and an index read.
+		if len(e.args) != 1 {
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("%s takes one parallel argument", e.name)}
+		}
+		arg, err := c.expr(e.args[0])
+		if err != nil {
+			return value{}, err
+		}
+		if arg.typ != TypeParallel {
+			c.free(arg)
+			return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("%s needs a parallel argument", e.name)}
+		}
+		red := "rmin"
+		if e.name == "maxdex" {
+			red = "rmax"
+		}
+		sv, err := c.tempFor(TypeScalar, e.line) // the extreme value
+		if err != nil {
+			c.free(arg)
+			return value{}, err
+		}
+		fm, err := c.tempFor(TypeFlag, e.line) // holders of the extreme
+		if err != nil {
+			c.free(sv)
+			c.free(arg)
+			return value{}, err
+		}
+		pi, err := c.tempFor(TypeParallel, e.line) // PE indices
+		if err != nil {
+			c.free(fm)
+			c.free(sv)
+			c.free(arg)
+			return value{}, err
+		}
+		c.emit("%s s%d, p%d%s", red, sv.reg, arg.reg, c.maskSuffix())
+		c.emit("pceq f%d, p%d, s%d%s", fm.reg, arg.reg, sv.reg, c.maskSuffix())
+		c.emit("rfirst f%d, f%d%s", fm.reg, fm.reg, c.maskSuffix())
+		c.emit("pidx p%d", pi.reg)
+		c.emit("ror s%d, p%d ?f%d", sv.reg, pi.reg, fm.reg)
+		c.free(pi)
+		c.free(fm)
+		c.free(arg)
+		return sv, nil
+	}
+
+	switch e.name {
+	case "idx": // PE index
+		if len(e.args) != 0 {
+			return value{}, &Error{Line: e.line, Msg: "idx() takes no arguments"}
+		}
+		t, err := c.tempFor(TypeParallel, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		c.emit("pidx p%d", t.reg)
+		return t, nil
+
+	case "this": // value at the responder selected by foreach
+		if !c.inPick {
+			return value{}, &Error{Line: e.line, Msg: "this() is only valid inside foreach"}
+		}
+		if len(e.args) != 1 {
+			return value{}, &Error{Line: e.line, Msg: "this(parallel) takes one argument"}
+		}
+		arg, err := c.expr(e.args[0])
+		if err != nil {
+			return value{}, err
+		}
+		if arg.typ != TypeParallel {
+			c.free(arg)
+			return value{}, &Error{Line: e.line, Msg: "this() needs a parallel argument"}
+		}
+		t, err := c.tempFor(TypeScalar, e.line)
+		if err != nil {
+			c.free(arg)
+			return value{}, err
+		}
+		// The pick mask has exactly one responder, so a masked OR
+		// reduction reads that PE's value.
+		c.emit("ror s%d, p%d ?f%d", t.reg, arg.reg, c.mask)
+		c.free(arg)
+		return t, nil
+
+	case "read": // control-unit data memory
+		if len(e.args) != 1 {
+			return value{}, &Error{Line: e.line, Msg: "read(addr) takes one scalar argument"}
+		}
+		addr, err := c.scalarArg(e.args[0], e.line, "read address")
+		if err != nil {
+			return value{}, err
+		}
+		t, err := c.tempFor(TypeScalar, e.line)
+		if err != nil {
+			c.free(addr)
+			return value{}, err
+		}
+		c.emit("lw s%d, 0(s%d)", t.reg, addr.reg)
+		c.free(addr)
+		return t, nil
+
+	case "pread": // PE local memory (masked: inactive lanes must not trap)
+		if len(e.args) != 1 {
+			return value{}, &Error{Line: e.line, Msg: "pread(addr) takes one argument"}
+		}
+		addr, err := c.parallelArg(e.args[0], e.line)
+		if err != nil {
+			return value{}, err
+		}
+		t, err := c.tempFor(TypeParallel, e.line)
+		if err != nil {
+			c.free(addr)
+			return value{}, err
+		}
+		c.emit("plw p%d, 0(p%d)%s", t.reg, addr.reg, c.maskSuffix())
+		c.free(addr)
+		return t, nil
+	}
+	return value{}, &Error{Line: e.line, Msg: fmt.Sprintf("unknown builtin %q", e.name)}
+}

@@ -1,0 +1,170 @@
+package ascl
+
+// Constant folding and immediate-form selection. Two layers:
+//
+//  1. foldExpr collapses operations on literal operands at compile time
+//     (width-independent: only folds when the result is exact in int64 and
+//     re-masking at runtime gives the same value as folding first, which
+//     holds for the two's-complement ops below);
+//  2. binaryExpr consults immForm to emit addi/andi/... (scalar) and
+//     paddi/pandi/... (parallel) when the right operand is a literal that
+//     fits the instruction's immediate field, instead of materializing the
+//     constant into a register.
+
+// foldExpr rewrites an expression tree, folding literal subtrees.
+func foldExpr(e expr) expr {
+	switch e := e.(type) {
+	case binary:
+		l := foldExpr(e.l)
+		r := foldExpr(e.r)
+		if ln, ok := l.(numLit); ok {
+			if rn, ok := r.(numLit); ok {
+				if v, ok := foldBinary(e.op, ln.v, rn.v); ok {
+					return numLit{v: v, line: e.line}
+				}
+			}
+		}
+		return binary{op: e.op, l: l, r: r, line: e.line}
+	case unary:
+		x := foldExpr(e.x)
+		if xn, ok := x.(numLit); ok && e.op == "-" {
+			return numLit{v: -xn.v, line: e.line}
+		}
+		return unary{op: e.op, x: x, line: e.line}
+	case call:
+		args := make([]expr, len(e.args))
+		for i, a := range e.args {
+			args[i] = foldExpr(a)
+		}
+		return call{name: e.name, args: args, line: e.line}
+	default:
+		return e
+	}
+}
+
+// foldBinary evaluates literal⊕literal where folding commutes with the
+// machine's width masking. Division and modulo are excluded (their results
+// depend on the sign-extension of the *masked* operands, which the compiler
+// does not know at fold time for out-of-width literals), as are shifts
+// (width-dependent overshift) and comparisons (width-dependent signs).
+func foldBinary(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	}
+	return 0, false
+}
+
+// immForm maps a binary operator to its scalar and parallel immediate
+// instruction forms and the immediate field range. Subtraction is handled
+// by negating the literal into an add.
+type immOp struct {
+	scalar   string
+	parallel string
+}
+
+var immForms = map[string]immOp{
+	"+":  {"addi", "paddi"},
+	"&":  {"andi", "pandi"},
+	"|":  {"ori", "pori"},
+	"^":  {"xori", "pxori"},
+	"<<": {"slli", "pslli"},
+	">>": {"srai", "psrai"},
+}
+
+// immRange returns the representable immediate range for a form.
+func immRange(parallel bool) (lo, hi int64) {
+	if parallel {
+		return -(1 << 12), 1<<12 - 1 // imm13
+	}
+	return -(1 << 15), 1<<15 - 1 // imm16
+}
+
+// literalOperand returns the literal value of e if it is a number.
+func literalOperand(e expr) (int64, bool) {
+	n, ok := e.(numLit)
+	return n.v, ok
+}
+
+// tryImmediate emits an immediate-form instruction for `l op lit` when
+// possible, returning (result, true). l must already be compiled.
+func (c *compiler) tryImmediate(op string, l value, lit int64, line int) (value, bool, error) {
+	effOp, effLit := op, lit
+	if op == "-" {
+		effOp, effLit = "+", -lit
+	}
+	form, ok := immForms[effOp]
+	if !ok || l.typ == TypeFlag {
+		return value{}, false, nil
+	}
+	lo, hi := immRange(l.typ == TypeParallel)
+	if effLit < lo || effLit > hi {
+		return value{}, false, nil
+	}
+	t, err := c.tempFor(l.typ, line)
+	if err != nil {
+		return value{}, false, err
+	}
+	if l.typ == TypeParallel {
+		c.emit("%s p%d, p%d, %d", form.parallel, t.reg, l.reg, effLit)
+	} else {
+		c.emit("%s s%d, s%d, %d", form.scalar, t.reg, l.reg, effLit)
+	}
+	return t, true, nil
+}
+
+// foldStmts applies constant folding to every expression in a statement
+// tree.
+func foldStmts(list []stmt) []stmt {
+	out := make([]stmt, len(list))
+	for i, s := range list {
+		out[i] = foldStmt(s)
+	}
+	return out
+}
+
+func foldStmt(s stmt) stmt {
+	switch s := s.(type) {
+	case declStmt:
+		if s.init != nil {
+			s.init = foldExpr(s.init)
+		}
+		return s
+	case assignStmt:
+		s.value = foldExpr(s.value)
+		return s
+	case ifStmt:
+		s.cond = foldExpr(s.cond)
+		s.then = foldStmts(s.then)
+		s.els = foldStmts(s.els)
+		return s
+	case whileStmt:
+		s.cond = foldExpr(s.cond)
+		s.body = foldStmts(s.body)
+		return s
+	case whereStmt:
+		s.cond = foldExpr(s.cond)
+		s.then = foldStmts(s.then)
+		s.els = foldStmts(s.els)
+		return s
+	case foreachStmt:
+		s.cond = foldExpr(s.cond)
+		s.body = foldStmts(s.body)
+		return s
+	case callStmt:
+		s.call = foldExpr(s.call).(call)
+		return s
+	default:
+		return s
+	}
+}

@@ -1,0 +1,96 @@
+package ascl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstantFolding(t *testing.T) {
+	res, err := Compile(`
+		scalar x = 2 + 3 * 4;      // folds to 14
+		scalar y = x + 5;          // addi
+		parallel v = idx() + 10;   // paddi
+		parallel w = v & 7;        // pandi
+		write(0, y);
+		write(1, sumval(w));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Asm, "li s13, 14") && !strings.Contains(res.Asm, ", 14") {
+		t.Errorf("2+3*4 not folded:\n%s", res.Asm)
+	}
+	for _, frag := range []string{"addi", "paddi", "pandi"} {
+		if !strings.Contains(res.Asm, frag) {
+			t.Errorf("missing immediate form %s:\n%s", frag, res.Asm)
+		}
+	}
+	// No separate li for the small literals 5, 10, 7.
+	for _, bad := range []string{"li s13, 5\n", "li s13, 10\n", "li s13, 7\n"} {
+		if strings.Contains(res.Asm, bad) {
+			t.Errorf("literal still materialized (%q):\n%s", bad, res.Asm)
+		}
+	}
+}
+
+func TestFoldingPreservesResults(t *testing.T) {
+	m := run(t, `
+		scalar a = 6 * 7;
+		scalar b = a - 2;
+		scalar c = 100 - b;      // non-commutative with literal LHS: general path
+		parallel v = idx() * 3 + 1;
+		write(0, a);
+		write(1, b);
+		write(2, c);
+		write(3, sumval(v));
+	`, 4, nil, nil)
+	// v = 1, 4, 7, 10 -> 22
+	want := map[int]int64{0: 42, 1: 40, 2: 60, 3: 22}
+	for addr, w := range want {
+		if got := m.ScalarMem(addr); got != w {
+			t.Errorf("mem[%d] = %d, want %d", addr, got, w)
+		}
+	}
+}
+
+func TestImmediateOutOfRangeFallsBack(t *testing.T) {
+	// imm13 cannot hold 5000: the parallel add must fall back to the
+	// broadcast-register form and still compute correctly (width 16).
+	m := run(t, `
+		parallel v = idx() + 5000;
+		write(0, minval(v));
+	`, 4, nil, nil)
+	if got := m.ScalarMem(0); got != 5000 {
+		t.Errorf("min = %d, want 5000", got)
+	}
+}
+
+func TestShiftImmediateForms(t *testing.T) {
+	res, err := Compile(`
+		scalar a = read(0);
+		write(1, a << 3);
+		write(2, a >> 1);
+		parallel v = idx() << 2;
+		write(3, sumval(v));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"slli", "srai", "pslli"} {
+		if !strings.Contains(res.Asm, frag) {
+			t.Errorf("missing %s:\n%s", frag, res.Asm)
+		}
+	}
+	m := run(t, `
+		scalar a = read(0);
+		write(1, a << 3);
+		parallel v = idx() << 2;
+		write(3, sumval(v));
+	`, 4, nil, []int64{5})
+	if m.ScalarMem(1) != 40 {
+		t.Errorf("5<<3 = %d", m.ScalarMem(1))
+	}
+	if m.ScalarMem(3) != 24 { // 0+4+8+12
+		t.Errorf("sum of idx<<2 = %d", m.ScalarMem(3))
+	}
+}

@@ -1,0 +1,31 @@
+package ascl
+
+import "testing"
+
+// FuzzCompile: the compiler must never panic and must never emit assembly
+// the assembler rejects.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"scalar s = 1; write(0, s);",
+		"parallel v = idx(); write(0, sumval(v));",
+		"where (idx() > 2) { } elsewhere { }",
+		"foreach (idx() > 0) { scalar t; t = this(idx()); }",
+		"flag a = idx() < 3; flag b = !a; write(0, countval(a && b));",
+		"while (1 < 0) { halt; }",
+		"scalar x = mindex(idx()); write(0, x);",
+		"{{{", "scalar", "((((1))))", "= = =",
+		"parallel v; v = v * v + v / (v - v);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if res.Program == nil || len(res.Program.Insts) == 0 {
+			t.Fatal("successful compile produced no program")
+		}
+	})
+}

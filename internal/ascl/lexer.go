@@ -1,0 +1,187 @@
+// Package ascl is a compiler for ASCL, a small associative data-parallel
+// language in the spirit of Potter's ASC language (reference [4] of the
+// paper; the paper's section 9 names "implementing software for the
+// architecture" as future work, and its related work includes the ASC
+// language compiler line). ASCL programs compile to MTASC assembly
+// (internal/asm).
+//
+// The language has three value spaces matching the hardware:
+//
+//	scalar x;          // control-unit variables (one per machine)
+//	parallel v;        // one value per PE
+//	flag f;            // one bit per PE (responder sets)
+//
+// and the associative control structures:
+//
+//	where (v > 3) { ... } elsewhere { ... }   // masked parallel execution
+//	foreach (v > 0) { s = s + this(v); }      // responder iteration
+//	                                          // (RANY/RFIRST/FANDN loop)
+//
+// plus scalar if/while, reductions as builtins (sumval, maxval, minval,
+// maxvalu, minvalu, orval, andval, countval, anyval), and memory access
+// (read/write for control memory, pread/pwrite for PE local memory).
+package ascl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // single or double character operator/punctuation
+	tokKeyword // reserved word
+)
+
+// token is one lexical token with source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"scalar": true, "parallel": true, "flag": true,
+	"if": true, "else": true, "while": true,
+	"where": true, "elsewhere": true, "foreach": true,
+	"halt": true,
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ascl: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// lexer converts source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// twoCharOps are the multi-character operators.
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true,
+	"&&": true, "||": true, "<<": true, ">>": true,
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			goto lexed
+		}
+	}
+lexed:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsDigit(rune(c)) || c == 'x' || c == 'X' ||
+				(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case strings.ContainsRune("+-*/%&|^!<>=(){},;", rune(c)):
+		l.advance()
+		text := string(c)
+		if l.pos < len(l.src) {
+			two := text + string(l.peekByte())
+			if twoCharOps[two] {
+				l.advance()
+				text = two
+			}
+		}
+		return token{kind: tokPunct, text: text, line: line, col: col}, nil
+	}
+	return token{}, l.errorf("unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package ascl
+
+import "testing"
+
+func TestDivisionAndShifts(t *testing.T) {
+	m := run(t, `
+		scalar a = 45;
+		scalar b = 7;
+		write(0, a / b);        // 6
+		write(1, a % b);        // 3
+		write(2, a / 0);        // all-ones quotient (no trap)
+		write(3, a % 0);        // dividend
+		write(4, 3 << 4);       // 48
+		write(5, -16 >> 2);     // arithmetic: -4
+		parallel v = idx() + 1;
+		write(6, sumval(v / 2));   // 0+1+1+2 = 4 at 4 PEs
+		write(7, sumval(v << 1));  // 2+4+6+8 = 20
+	`, 4, nil, nil)
+	want := map[int]int64{
+		0: 6, 1: 3, 2: 0xffff, 3: 45, 4: 48,
+		5: (-4) & 0xffff, 6: 4, 7: 20,
+	}
+	for addr, w := range want {
+		if got := m.ScalarMem(addr); got != w {
+			t.Errorf("mem[%d] = %d, want %d", addr, got, w)
+		}
+	}
+}
+
+func TestNegationAndPrecedence(t *testing.T) {
+	m := run(t, `
+		scalar a = -5;
+		write(0, -a);                 // 5
+		write(1, 2 + 3 * 4);          // 14, not 20
+		write(2, (2 + 3) * 4);        // 20
+		write(3, 1 + 2 == 3);         // comparison binds looser: 1
+		parallel v = -idx();
+		write(4, minval(v));          // -(p-1)
+	`, 8, nil, nil)
+	want := map[int]int64{0: 5, 1: 14, 2: 20, 3: 1, 4: (-7) & 0xffff}
+	for addr, w := range want {
+		if got := m.ScalarMem(addr); got != w {
+			t.Errorf("mem[%d] = %d, want %d", addr, got, w)
+		}
+	}
+}
+
+func TestUnsignedReductionsASCL(t *testing.T) {
+	m := run(t, `
+		parallel v = idx() - 2;       // wraps negative at PEs 0,1
+		write(0, maxvalu(v));         // 0xffff (from -1)
+		write(1, minvalu(v));         // 0 (from idx 2)
+		write(2, maxval(v));          // p-3 signed
+	`, 8, nil, nil)
+	if m.ScalarMem(0) != 0xffff || m.ScalarMem(1) != 0 || m.ScalarMem(2) != 5 {
+		t.Errorf("got %d %d %d", m.ScalarMem(0), m.ScalarMem(1), m.ScalarMem(2))
+	}
+}
+
+func TestEmptyResponderSemantics(t *testing.T) {
+	m := run(t, `
+		parallel v = idx();
+		flag none = v < 0 && v > 100;   // empty
+		write(0, countval(none));
+		write(1, anyval(none));
+		where (none) {
+			write(2, sumval(v));         // identity 0 (no responders)
+			write(3, maxval(v));         // most negative: 0x8000
+		}
+	`, 8, nil, nil)
+	if m.ScalarMem(0) != 0 || m.ScalarMem(1) != 0 {
+		t.Errorf("count/any = %d/%d", m.ScalarMem(0), m.ScalarMem(1))
+	}
+	if m.ScalarMem(2) != 0 {
+		t.Errorf("empty sum = %d", m.ScalarMem(2))
+	}
+	if m.ScalarMem(3) != 0x8000 {
+		t.Errorf("empty max = %#x, want 0x8000", m.ScalarMem(3))
+	}
+}

@@ -1,0 +1,118 @@
+package ascl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+// runOnInstance compiles ASCL source and runs it against the data and
+// correctness oracle of a hand-written assembly kernel instance: both
+// programs must produce identical results at the same memory locations.
+func runOnInstance(t *testing.T, src string, ins progs.Instance, pes int) core.Stats {
+	t.Helper()
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", ins.Name, err)
+	}
+	p, err := core.New(core.Config{
+		Machine: ins.MachineConfig(pes, 1),
+		Arity:   4,
+	}, res.Program.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Machine().LoadLocalMem(ins.LocalMem); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Machine().LoadScalarMem(ins.ScalarMem); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Run(10_000_000)
+	if err != nil {
+		t.Fatalf("%s: run: %v\n%s", ins.Name, err, res.Asm)
+	}
+	if err := ins.Check(p.Machine()); err != nil {
+		t.Fatalf("ASCL version failed the kernel oracle: %v\n%s", err, res.Asm)
+	}
+	return stats
+}
+
+// maxSearchASCL is the ASCL equivalent of progs.MaxSearch: result at
+// scalar memory word 0.
+const maxSearchASCL = `
+	parallel v = pread(0);
+	write(0, maxval(v));
+`
+
+// countAndSumASCL mirrors progs.CountAndSum: threshold at word 0, count at
+// word 1, saturating sum of responders at word 2.
+const countAndSumASCL = `
+	scalar threshold = read(0);
+	parallel v = pread(0);
+	flag hit = v > threshold;
+	write(1, countval(hit));
+	where (hit) {
+		write(2, sumval(v));
+	}
+`
+
+// responderSumASCL mirrors progs.ResponderSum: threshold at word 0, the
+// responder-iterated sum at word 1, responder count at word 2.
+const responderSumASCL = `
+	scalar threshold = read(0);
+	parallel v = pread(0);
+	flag hit = v > threshold;
+	write(2, countval(hit));
+	scalar total = 0;
+	foreach (hit) {
+		total = total + this(v);
+	}
+	write(1, total);
+`
+
+// histogramASCL mirrors progs.Histogram with 8 bins.
+const histogramASCL = `
+	parallel v = pread(0);
+	scalar bin = 0;
+	while (bin < 8) {
+		write(bin, countval(v == bin));
+		bin = bin + 1;
+	}
+`
+
+func TestASCLMatchesHandwrittenKernels(t *testing.T) {
+	const pes = 32
+	cases := []struct {
+		src string
+		ins progs.Instance
+	}{
+		{maxSearchASCL, progs.MaxSearch(pes, 7)},
+		{countAndSumASCL, progs.CountAndSum(pes, 8)},
+		{responderSumASCL, progs.ResponderSum(pes, 9)},
+		{histogramASCL, progs.Histogram(pes, 8, 10)},
+	}
+	for _, c := range cases {
+		runOnInstance(t, c.src, c.ins, pes)
+	}
+}
+
+// TestASCLOverheadBounded compares compiled against hand-written cycle
+// counts: the compiler's register-to-register moves cost something, but
+// the totals must stay within a small constant factor.
+func TestASCLOverheadBounded(t *testing.T) {
+	const pes = 32
+	ins := progs.ResponderSum(pes, 5)
+	hand, err := ins.RunCore(pes, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := runOnInstance(t, responderSumASCL, ins, pes)
+	ratio := float64(compiled.Cycles) / float64(hand.Cycles)
+	if ratio > 3.0 {
+		t.Errorf("compiled/hand cycle ratio = %.2f (compiled %d, hand %d): compiler regression?",
+			ratio, compiled.Cycles, hand.Cycles)
+	}
+	t.Logf("responder-sum: hand %d cycles, ASCL %d cycles (x%.2f)", hand.Cycles, compiled.Cycles, ratio)
+}

@@ -1,0 +1,110 @@
+package ascl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomParallelExpr builds a random parallel expression over idx() and
+// constants, along with a Go evaluator (width-16 semantics).
+func randomParallelExpr(r *rand.Rand, depth int) (string, func(pe int64) int64) {
+	mask16 := func(v int64) int64 { return v & 0xffff }
+	sext := func(v int64) int64 { return v << 48 >> 48 }
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return "idx()", func(pe int64) int64 { return pe }
+		}
+		v := int64(r.Intn(30))
+		return fmt.Sprint(v), func(int64) int64 { return v }
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[r.Intn(len(ops))]
+	ls, lf := randomParallelExpr(r, depth-1)
+	rs, rf := randomParallelExpr(r, depth-1)
+	eval := func(pe int64) int64 {
+		l, rr := lf(pe), rf(pe)
+		switch op {
+		case "+":
+			return mask16(l + rr)
+		case "-":
+			return mask16(l - rr)
+		case "*":
+			return mask16(sext(l) * sext(rr))
+		case "&":
+			return l & rr
+		case "|":
+			return l | rr
+		}
+		return l ^ rr
+	}
+	return "(" + ls + " " + op + " " + rs + ")", eval
+}
+
+// Property: compiled parallel expressions match pointwise Go evaluation,
+// checked through an unsigned max reduction and a sum over a random mask.
+func TestRandomParallelExpressions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pes := 2 + r.Intn(14)
+		src, eval := randomParallelExpr(r, 3)
+		threshold := int64(r.Intn(int(pes)))
+		program := fmt.Sprintf(`
+			parallel v = %s;
+			write(0, maxvalu(v));
+			write(1, countval(idx() >= %d));
+		`, src, threshold)
+		m := run(t, program, pes, nil, nil)
+		wantMax := int64(0)
+		for pe := int64(0); pe < int64(pes); pe++ {
+			if v := eval(pe); v > wantMax {
+				wantMax = v
+			}
+		}
+		if got := m.ScalarMem(0); got != wantMax {
+			t.Logf("seed %d pes %d expr %s: maxvalu = %d, want %d", seed, pes, src, got, wantMax)
+			return false
+		}
+		if got := m.ScalarMem(1); got != int64(pes)-threshold {
+			t.Logf("countval = %d, want %d", got, int64(pes)-threshold)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMindexMaxdex(t *testing.T) {
+	m := run(t, `
+		parallel v = (idx() - 3) * (idx() - 3);   // min at PE 3, max at the far end
+		write(0, mindex(v));
+		write(1, maxdex(v));
+		where (idx() < 6) {
+			write(2, maxdex(v));   // masked: max over PEs 0..5 is at PE 0
+		}
+	`, 10, nil, nil)
+	if got := m.ScalarMem(0); got != 3 {
+		t.Errorf("mindex = %d, want 3", got)
+	}
+	if got := m.ScalarMem(1); got != 9 {
+		t.Errorf("maxdex = %d, want 9", got)
+	}
+	if got := m.ScalarMem(2); got != 0 {
+		t.Errorf("masked maxdex = %d, want 0", got)
+	}
+}
+
+func TestMindexTies(t *testing.T) {
+	// Ties resolve to the first responder (lowest PE), matching RFIRST.
+	m := run(t, `
+		parallel v = idx() % 3;
+		write(0, mindex(v));   // zeros at 0, 3, 6...: first is 0
+		write(1, maxdex(v));   // twos at 2, 5...: first is 2
+	`, 9, nil, nil)
+	if m.ScalarMem(0) != 0 || m.ScalarMem(1) != 2 {
+		t.Errorf("tie resolution: mindex=%d maxdex=%d", m.ScalarMem(0), m.ScalarMem(1))
+	}
+}

@@ -1,0 +1,37 @@
+package ascl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// TestTrackCorrelationASCL: the docs/ASCL.md closing example (associative
+// track correlation with mindex) against the hand-written kernel's oracle,
+// using the same memory layout as progs.TrackCorrelation.
+func TestTrackCorrelationASCL(t *testing.T) {
+	const pes = 16
+	const reports = 8
+	ins := progs.TrackCorrelation(pes, reports, 77)
+	src := fmt.Sprintf(`
+		parallel tx = pread(0);
+		parallel ty = pread(1);
+		flag unmatched = idx() >= 0;
+		scalar i = 0;
+		scalar n = %d;
+		while (i < n) {
+			scalar rx = read(i * 2);
+			scalar ry = read(i * 2 + 1);
+			parallel d = (tx - rx) * (tx - rx) + (ty - ry) * (ty - ry);
+			scalar track = 0;
+			where (unmatched) {
+				track = mindex(d);
+			}
+			write(%d + i, track);
+			unmatched = unmatched && !(idx() == track);
+			i = i + 1;
+		}
+	`, reports, 2*reports)
+	runOnInstance(t, src, ins, pes)
+}

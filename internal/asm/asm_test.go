@@ -1,0 +1,497 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+		; find the maximum of p1 across all PEs
+		start:
+			pidx p1          ; p1 := PE index
+			rmax s1, p1      ; s1 := max over all PEs
+			halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(p.Insts))
+	}
+	want := []isa.Inst{
+		{Op: isa.PIDX, Rd: 1},
+		{Op: isa.RMAX, Rd: 1, Ra: 1},
+		{Op: isa.HALT},
+	}
+	for i, w := range want {
+		if p.Insts[i] != w.Canonical() {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i], w)
+		}
+	}
+	if p.Labels["start"] != 0 {
+		t.Errorf("label start = %d, want 0", p.Labels["start"])
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+		li s1, 10
+	loop:
+		addi s1, s1, -1
+		bnez s1, loop
+		j done
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["loop"] != 1 {
+		t.Errorf("loop = %d, want 1", p.Labels["loop"])
+	}
+	if p.Labels["done"] != 5 {
+		t.Errorf("done = %d, want 5", p.Labels["done"])
+	}
+	// bnez expands to bne s1, s0, 1
+	bne := p.Insts[2]
+	if bne.Op != isa.BNE || bne.Rd != 1 || bne.Ra != 0 || bne.Imm != 1 {
+		t.Errorf("bnez expansion = %v", bne)
+	}
+	if p.Insts[3].Op != isa.J || p.Insts[3].Imm != 5 {
+		t.Errorf("j = %v", p.Insts[3])
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p, err := Assemble(`
+		j fwd
+	back:
+		halt
+	fwd:
+		j back
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 2 || p.Insts[2].Imm != 1 {
+		t.Errorf("fixups wrong: %v", p.Insts)
+	}
+}
+
+func TestMaskSuffix(t *testing.T) {
+	p, err := Assemble(`
+		padd p1, p2, p3 ?f2
+		rsum s1, p4 ?f1
+		pceq f3, p1, p2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Mask != 2 {
+		t.Errorf("padd mask = %d, want 2", p.Insts[0].Mask)
+	}
+	if p.Insts[1].Mask != 1 {
+		t.Errorf("rsum mask = %d, want 1", p.Insts[1].Mask)
+	}
+	if p.Insts[2].Mask != 0 {
+		t.Errorf("pceq default mask = %d, want 0", p.Insts[2].Mask)
+	}
+}
+
+func TestScalarBroadcastOperand(t *testing.T) {
+	p, err := Assemble(`
+		padd p1, p2, s3
+		padd p1, p2, p3
+		pceq f1, p2, s5
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Insts[0].SB || p.Insts[0].Rb != 3 {
+		t.Errorf("broadcast form not detected: %v", p.Insts[0])
+	}
+	if p.Insts[1].SB {
+		t.Errorf("parallel form misdetected: %v", p.Insts[1])
+	}
+	if !p.Insts[2].SB || p.Insts[2].Rb != 5 {
+		t.Errorf("pceq broadcast form: %v", p.Insts[2])
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p, err := Assemble(`
+		lw s1, 8(s2)
+		sw s1, (s2)
+		plw p1, 4(p2)
+		psw p3, 0(p0)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.Insts[0]; in.Rd != 1 || in.Ra != 2 || in.Imm != 8 {
+		t.Errorf("lw = %v", in)
+	}
+	if in := p.Insts[1]; in.Rd != 1 || in.Ra != 2 || in.Imm != 0 {
+		t.Errorf("sw = %v", in)
+	}
+	if in := p.Insts[2]; in.Rd != 1 || in.Ra != 2 || in.Imm != 4 {
+		t.Errorf("plw = %v", in)
+	}
+	if in := p.Insts[3]; in.Rd != 3 || in.Ra != 0 || in.Imm != 0 {
+		t.Errorf("psw = %v", in)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p, err := Assemble(`
+		.data
+	tbl:
+		.word 1, 2, 3
+	extra:
+		.word 0x10
+		.space 2
+		.text
+		li s1, tbl
+		lw s2, 0(s1)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 6 {
+		t.Fatalf("data len = %d, want 6", len(p.Data))
+	}
+	wantData := []uint32{1, 2, 3, 0x10, 0, 0}
+	for i, w := range wantData {
+		if p.Data[i] != w {
+			t.Errorf("data[%d] = %d, want %d", i, p.Data[i], w)
+		}
+	}
+	if p.Labels["tbl"] != 0 || p.Labels["extra"] != 3 {
+		t.Errorf("data labels: %v", p.Labels)
+	}
+	// li s1, tbl resolves to data address 0.
+	if p.Insts[0].Op != isa.ADDI || p.Insts[0].Imm != 0 {
+		t.Errorf("li with data label = %v", p.Insts[0])
+	}
+}
+
+func TestEqu(t *testing.T) {
+	p, err := Assemble(`
+		.equ N 42
+		.equ NEG -7
+		li s1, N
+		addi s2, s0, NEG
+		li s3, -N
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 42 || p.Insts[1].Imm != -7 || p.Insts[2].Imm != -42 {
+		t.Errorf("equ values: %v", p.Insts)
+	}
+}
+
+func TestWideLi(t *testing.T) {
+	// 0x12345 = (0x2 << 15) | 0x2345: addi, slli, ori.
+	p, err := Assemble(`li s1, 0x12345`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{isa.ADDI, isa.SLLI, isa.ORI}
+	if len(p.Insts) != len(wantOps) {
+		t.Fatalf("wide li expanded to %d instructions: %v", len(p.Insts), p.Insts)
+	}
+	for i, op := range wantOps {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i], op)
+		}
+	}
+	if p.Insts[0].Imm != 0x2 || p.Insts[2].Imm != 0x2345 {
+		t.Errorf("chunks: %v", p.Insts)
+	}
+	// Every emitted immediate is non-negative and below 2^15, so the
+	// machine's sign extension can never pollute high bits.
+	for _, in := range p.Insts {
+		if in.Imm < 0 || in.Imm > 0x7fff {
+			t.Errorf("immediate %d out of the sign-safe range", in.Imm)
+		}
+	}
+	if _, err := Assemble("li s1, 0x1ffffffff"); err == nil {
+		t.Error("li beyond 32 bits accepted")
+	}
+}
+
+// TestWideLiValues: the expansion produces the right architectural value
+// for boundary patterns at width 32 (checked by the machine tests at other
+// widths via masking).
+func TestWideLiPatterns(t *testing.T) {
+	cases := []int64{
+		0x8000, 0xffff, 0x12345, 0x7fffffff, -40000, 0xdeadbeef, 1 << 31,
+	}
+	for _, v := range cases {
+		p, err := Assemble("li s1, " + itoaTest(v))
+		if err != nil {
+			t.Errorf("li %d: %v", v, err)
+			continue
+		}
+		// Symbolically evaluate the emitted chain at width 32.
+		got := int64(0)
+		for _, in := range p.Insts {
+			switch in.Op {
+			case isa.ADDI:
+				got = int64(in.Imm)
+			case isa.SLLI:
+				got = got << uint(in.Imm) & 0xffffffff
+			case isa.ORI:
+				got |= int64(in.Imm)
+			default:
+				t.Fatalf("unexpected op %v", in.Op)
+			}
+		}
+		if want := v & 0xffffffff; got != want {
+			t.Errorf("li %d built %#x, want %#x (%v)", v, got, want, p.Insts)
+		}
+	}
+}
+
+func itoaTest(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		b = append([]byte{'-'}, b...)
+	}
+	return string(b)
+}
+
+func TestPseudos(t *testing.T) {
+	p, err := Assemble(`
+		mov s1, s2
+		pmov p1, p2
+		pmov p1, s2
+		inc s3
+		dec s3
+		ble s1, s2, 0
+		bgt s1, s2, 0
+		call 0
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		i    int
+		op   isa.Op
+		desc string
+	}{
+		{0, isa.ADD, "mov"},
+		{1, isa.POR, "pmov pp"},
+		{2, isa.POR, "pmov ps"},
+		{3, isa.ADDI, "inc"},
+		{4, isa.ADDI, "dec"},
+		{5, isa.BGE, "ble"},
+		{6, isa.BLT, "bgt"},
+		{7, isa.JAL, "call"},
+		{8, isa.JR, "ret"},
+	}
+	for _, c := range checks {
+		if p.Insts[c.i].Op != c.op {
+			t.Errorf("%s -> %v, want op %v", c.desc, p.Insts[c.i], c.op)
+		}
+	}
+	// ble s1, s2 swaps to bge s2, s1.
+	if p.Insts[5].Rd != 2 || p.Insts[5].Ra != 1 {
+		t.Errorf("ble operand swap: %v", p.Insts[5])
+	}
+	if !p.Insts[2].SB {
+		t.Errorf("pmov p,s should broadcast: %v", p.Insts[2])
+	}
+	if p.Insts[8].Ra != isa.LinkReg {
+		t.Errorf("ret should use s15: %v", p.Insts[8])
+	}
+}
+
+func TestThreadOps(t *testing.T) {
+	p, err := Assemble(`
+		tspawn s1, worker
+		tsend s1, s2
+		tjoin s1
+		halt
+	worker:
+		trecv s3
+		tid s4
+		texit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.TSPAWN || p.Insts[0].Imm != 4 {
+		t.Errorf("tspawn = %v", p.Insts[0])
+	}
+	if p.Insts[1].Ra != 1 || p.Insts[1].Rb != 2 {
+		t.Errorf("tsend = %v", p.Insts[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"frob s1", "unknown instruction"},
+		{"add s1, s2", "expects 3"},
+		{"add s1, s2, p3", "expected scalar register"},
+		{"j nowhere", "undefined label"},
+		{"x: nop\nx: nop", "duplicate label"},
+		{"addi s1, s2, 99999", "out of range"},
+		{"add s1, s2, s3 ?f1", "does not accept a mask"},
+		{".word 1", ".word outside .data"},
+		{"lw s1, 4[s2]", "invalid integer"},
+		{"padd p1, p2, p3 ?x9", "invalid mask"},
+		{".equ 9bad 3", "invalid .equ name"},
+		{".data\nadd s1, s2, s3", "instruction inside .data"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) error = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	p, err := Assemble(`
+		nop ; semicolon
+		nop # hash
+		nop // slashes
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 3 {
+		t.Errorf("got %d instructions, want 3", len(p.Insts))
+	}
+}
+
+func TestDisassembleListsLabels(t *testing.T) {
+	p := MustAssemble(`
+	main:
+		li s1, 5
+		halt
+	`)
+	text := Disassemble(p)
+	if !strings.Contains(text, "main:") {
+		t.Errorf("listing missing label:\n%s", text)
+	}
+	if !strings.Contains(text, "addi s1, s0, 5") {
+		t.Errorf("listing missing expansion:\n%s", text)
+	}
+}
+
+// Property: assembling the disassembly of a random instruction stream yields
+// the same instructions (assembler/disassembler round trip).
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	// Ops whose String() form is directly re-assemblable (all except those
+	// rendered identically, which is everything in the ISA).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var lines []string
+		var want []isa.Inst
+		for i := 0; i < 20; i++ {
+			in := randomAssemblable(r)
+			want = append(want, in)
+			lines = append(lines, in.String())
+		}
+		p, err := Assemble(strings.Join(lines, "\n"))
+		if err != nil {
+			t.Logf("assemble error: %v\n%s", err, strings.Join(lines, "\n"))
+			return false
+		}
+		if len(p.Insts) != len(want) {
+			return false
+		}
+		for i := range want {
+			if p.Insts[i] != want[i] {
+				t.Logf("inst %d: got %v want %v", i, p.Insts[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomAssemblable returns a random canonical instruction whose textual form
+// round-trips through the assembler. Branch/jump targets are emitted as
+// absolute immediates, which the assembler accepts.
+func randomAssemblable(r *rand.Rand) isa.Inst {
+	for {
+		op := isa.Op(r.Intn(isa.NumOps))
+		if !isa.Valid(op) {
+			continue
+		}
+		info := isa.Lookup(op)
+		in := isa.Inst{
+			Op:   op,
+			Rd:   uint8(r.Intn(16)),
+			Ra:   uint8(r.Intn(16)),
+			Rb:   uint8(r.Intn(16)),
+			Mask: uint8(r.Intn(8)),
+		}
+		switch info.Format {
+		case isa.FormatI:
+			in.Imm = int32(r.Intn(1 << 10)) // nonnegative: avoids sign ambiguity in j/branch targets
+		case isa.FormatPI:
+			in.Imm = int32(r.Intn(1<<11)) - 1<<10
+		case isa.FormatJ:
+			in.Imm = int32(r.Intn(1 << 10))
+		}
+		if info.Format == isa.FormatPR && info.SrcBKind == isa.KindParallel {
+			in.SB = r.Intn(2) == 1
+		}
+		// Register fields used as flag registers must be < 8.
+		if info.DstKind == isa.KindFlag {
+			in.Rd &= 7
+		}
+		if info.SrcAKind == isa.KindFlag {
+			in.Ra &= 7
+		}
+		if info.SrcBKind == isa.KindFlag {
+			in.Rb &= 7
+		}
+		// Zero fields the textual form does not print, so that
+		// String -> Assemble reproduces the instruction exactly.
+		if info.DstKind == isa.KindNone && !info.IsStore && !info.IsBranch {
+			in.Rd = 0
+		}
+		if info.SrcAKind == isa.KindNone && !info.IsBranch {
+			in.Ra = 0
+		}
+		if info.SrcBKind == isa.KindNone {
+			in.Rb = 0
+		}
+		return in.Canonical()
+	}
+}

@@ -1,0 +1,242 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func mcfg(pes, threads int) machine.Config {
+	return machine.Config{PEs: pes, Threads: threads, Width: 8}
+}
+
+const maxKernel = `
+	pidx p1
+	rmax s1, p1
+	add s2, s1, s0
+	halt
+`
+
+func TestNonPipelinedCPI(t *testing.T) {
+	prog := asm.MustAssemble(maxKernel)
+	n, err := NewNonPipelined(mcfg(16, 1), prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pidx 1 + rmax 8 (Falkoff, bit serial) + add 1 + halt 1 = 11.
+	if res.Cycles != 11 {
+		t.Errorf("cycles = %d, want 11", res.Cycles)
+	}
+	if res.Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", res.Instructions)
+	}
+	if got := n.Machine().Scalar(0, 1); got != 15 {
+		t.Errorf("rmax = %d, want 15", got)
+	}
+}
+
+func TestNonPipelinedForcesSingleThread(t *testing.T) {
+	n, err := NewNonPipelined(mcfg(4, 16), asm.MustAssemble("halt").Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Machine().Config().Threads != 1 {
+		t.Error("non-pipelined model must be single threaded")
+	}
+}
+
+func TestNonPipelinedDivLatency(t *testing.T) {
+	prog := asm.MustAssemble(`
+		li s1, 8
+		li s2, 2
+		div s3, s1, s2
+		halt
+	`)
+	n, _ := NewNonPipelined(mcfg(4, 1), prog.Insts)
+	res, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li + li + div(8) + halt = 11.
+	if res.Cycles != 11 {
+		t.Errorf("cycles = %d, want 11", res.Cycles)
+	}
+}
+
+func TestAllModelsAgreeFunctionally(t *testing.T) {
+	src := `
+		pidx p1
+		paddi p2, p1, 3
+		rsum s1, p2
+		rmax s2, p2
+		addi s3, s1, 0
+		sub s4, s3, s2
+		sw s4, 0(s0)
+		halt
+	`
+	prog := asm.MustAssemble(src)
+
+	n, _ := NewNonPipelined(mcfg(8, 1), prog.Insts)
+	if _, err := n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	cg, _ := NewCoarseGrain(mcfg(8, 4), 4, prog.Insts)
+	if _, err := cg.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	fg, err := core.New(core.Config{Machine: mcfg(8, 4), Arity: 4}, prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fg.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	a := n.Machine().ScalarMem(0)
+	b := cg.Machine().ScalarMem(0)
+	c := fg.Machine().ScalarMem(0)
+	if a != b || b != c {
+		t.Errorf("models disagree: non-pipelined %d, coarse %d, fine %d", a, b, c)
+	}
+}
+
+// reductionLoop builds a multithreaded reduction-heavy workload: each of n
+// threads runs `iters` dependent reductions.
+func reductionLoop(threads, iters int) string {
+	src := ""
+	for i := 1; i < threads; i++ {
+		src += "\ttspawn s9, work\n"
+	}
+	src += "work:\n\tpidx p1\n\tli s2, " + itoa(iters) + "\nloop:\n" +
+		"\trmax s1, p1\n" +
+		"\tadd s3, s1, s3\n" + // reduction hazard
+		"\taddi s2, s2, -1\n" +
+		"\tbnez s2, loop\n" +
+		"\ttexit\n"
+	return src
+}
+
+func itoa(v int) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// TestCoarseGrainWorseThanFineGrain is the paper's section 5 argument:
+// reduction stalls are short (b+r cycles) and frequent, so coarse-grain
+// switching (which pays a flush per switch) cannot hide them as well as
+// fine-grain multithreading.
+func TestCoarseGrainWorseThanFineGrain(t *testing.T) {
+	prog := asm.MustAssemble(reductionLoop(8, 50))
+	cfg := mcfg(256, 8) // b+r is large enough to trigger switching
+
+	cg, err := NewCoarseGrain(cfg, 4, prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgRes, err := cg.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fg, err := core.New(core.Config{Machine: cfg, Arity: 4}, prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgRes, err := fg.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cgRes.Switches == 0 {
+		t.Error("coarse-grain model never switched threads")
+	}
+	if fgRes.IPC() <= cgRes.IPC() {
+		t.Errorf("fine-grain IPC %.3f should beat coarse-grain %.3f on short frequent stalls",
+			fgRes.IPC(), cgRes.IPC())
+	}
+}
+
+func TestCoarseGrainBeatsSingleThread(t *testing.T) {
+	prog := asm.MustAssemble(reductionLoop(8, 50))
+	cfg := mcfg(1024, 8)
+
+	cg, _ := NewCoarseGrain(cfg, 4, prog.Insts)
+	cgRes, err := cg.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single, _ := NewCoarseGrain(mcfg(1024, 1), 4, asm.MustAssemble(reductionLoop(1, 400)).Insts)
+	sRes, err := single.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgRes.IPC() <= sRes.IPC() {
+		t.Errorf("coarse-grain with 8 threads (IPC %.3f) should beat 1 thread (IPC %.3f) when stalls exceed the switch cost",
+			cgRes.IPC(), sRes.IPC())
+	}
+}
+
+func TestCoarseGrainAbsorbsShortStalls(t *testing.T) {
+	// Load-use bubbles (1 cycle) are below the switch threshold: no
+	// switches should happen on a load-use-heavy single workload.
+	prog := asm.MustAssemble(`
+		li s1, 0
+		lw s2, 0(s1)
+		add s3, s2, s2
+		lw s4, 1(s1)
+		add s5, s4, s4
+		halt
+	`)
+	cg, _ := NewCoarseGrain(mcfg(16, 4), 4, prog.Insts)
+	res, err := cg.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 0 {
+		t.Errorf("switched %d times on short stalls, want 0", res.Switches)
+	}
+}
+
+func TestCoarseGrainSpawnAndJoin(t *testing.T) {
+	prog := asm.MustAssemble(`
+		tspawn s1, w
+		tjoin s1
+		lw s2, 0(s0)
+		halt
+	w:
+		li s3, 7
+		sw s3, 0(s0)
+		texit
+	`)
+	cg, _ := NewCoarseGrain(mcfg(4, 4), 4, prog.Insts)
+	if _, err := cg.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := cg.Machine().Scalar(0, 2); got != 7 {
+		t.Errorf("join result = %d, want 7", got)
+	}
+}
+
+func TestNonPipelinedBlockedIsError(t *testing.T) {
+	prog := asm.MustAssemble("trecv s1\nhalt")
+	n, _ := NewNonPipelined(mcfg(4, 1), prog.Insts)
+	if _, err := n.Run(1000); err == nil {
+		t.Error("expected error for forever-blocked single-threaded machine")
+	}
+}

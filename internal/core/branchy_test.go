@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// randomBranchyProgram generates a terminating program with data-dependent
+// forward branches and jumps: control flow only ever moves forward, so the
+// program always halts, but taken/untaken outcomes depend on computed
+// register values. This stresses the fetch unit's speculative fetch,
+// flush-on-redirect, and the buffer/architectural PC consistency invariant.
+func randomBranchyProgram(r *rand.Rand, blocks int) []isa.Inst {
+	var prog []isa.Inst
+	type patch struct {
+		at     int
+		target int // block index to resolve
+	}
+	var patches []patch
+	blockStart := make([]int, blocks+1)
+
+	aluOps := []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR}
+	branchOps := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+
+	for bi := 0; bi < blocks; bi++ {
+		blockStart[bi] = len(prog)
+		// A few ALU instructions mixing scalar and parallel work.
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				prog = append(prog, isa.Inst{
+					Op: aluOps[r.Intn(len(aluOps))],
+					Rd: uint8(1 + r.Intn(15)), Ra: uint8(r.Intn(16)), Rb: uint8(r.Intn(16)),
+				})
+			case 1:
+				prog = append(prog, isa.Inst{
+					Op: isa.ADDI, Rd: uint8(1 + r.Intn(15)), Ra: uint8(r.Intn(16)),
+					Imm: int32(r.Intn(64)),
+				})
+			default:
+				prog = append(prog, isa.Inst{
+					Op: isa.PADD, Rd: uint8(1 + r.Intn(15)), Ra: uint8(r.Intn(16)),
+					Rb: uint8(r.Intn(16)), SB: r.Intn(2) == 0,
+				})
+			}
+		}
+		// Block terminator: forward branch, forward jump, or fall-through.
+		if bi < blocks-1 {
+			target := bi + 1 + r.Intn(blocks-bi-1) + 1 // any later block (or the end)
+			if target > blocks {
+				target = blocks
+			}
+			switch r.Intn(3) {
+			case 0:
+				prog = append(prog, isa.Inst{
+					Op: branchOps[r.Intn(len(branchOps))],
+					Rd: uint8(r.Intn(16)), Ra: uint8(r.Intn(16)),
+				})
+				patches = append(patches, patch{at: len(prog) - 1, target: target})
+			case 1:
+				prog = append(prog, isa.Inst{Op: isa.J})
+				patches = append(patches, patch{at: len(prog) - 1, target: target})
+			}
+		}
+	}
+	blockStart[blocks] = len(prog)
+	prog = append(prog, isa.Inst{Op: isa.HALT})
+	for _, p := range patches {
+		prog[p.at].Imm = int32(blockStart[p.target])
+	}
+	return prog
+}
+
+// Property: the pipelined core with speculative fetch and redirect flushes
+// computes exactly the same architectural state as the plain functional
+// interpreter, on random forward-branching programs.
+func TestTimedMatchesFunctionalBranchy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomBranchyProgram(r, 2+r.Intn(12))
+		mc := machine.Config{PEs: 4, Threads: 1, Width: 8}
+
+		ref, err := machine.New(mc, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for !ref.Halted() {
+			if _, err := ref.Exec(0, prog[ref.PC(0)]); err != nil {
+				t.Fatal(err)
+			}
+			if steps++; steps > len(prog)+4 {
+				t.Fatal("forward-only program did not terminate")
+			}
+		}
+
+		p, err := New(Config{Machine: mc, Arity: 2}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		for reg := uint8(1); reg < 16; reg++ {
+			if p.Machine().Scalar(0, reg) != ref.Scalar(0, reg) {
+				t.Logf("seed %d: s%d = %d, want %d", seed, reg,
+					p.Machine().Scalar(0, reg), ref.Scalar(0, reg))
+				return false
+			}
+		}
+		for pe := 0; pe < 4; pe++ {
+			for reg := uint8(1); reg < 16; reg++ {
+				if p.Machine().Parallel(0, pe, reg) != ref.Parallel(0, pe, reg) {
+					t.Logf("seed %d: PE %d p%d mismatch", seed, pe, reg)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same branchy programs behave identically under SMT (the
+// second issue port must never break per-thread program order).
+func TestSMTMatchesFunctionalBranchy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomBranchyProgram(r, 2+r.Intn(10))
+		mc := machine.Config{PEs: 4, Threads: 2, Width: 8}
+
+		ref, err := machine.New(mc, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !ref.Halted() {
+			if _, err := ref.Exec(0, prog[ref.PC(0)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := New(Config{Machine: mc, Arity: 2, SMT: true}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		for reg := uint8(1); reg < 16; reg++ {
+			if p.Machine().Scalar(0, reg) != ref.Scalar(0, reg) {
+				t.Logf("seed %d: s%d mismatch", seed, reg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

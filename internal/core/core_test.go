@@ -1,0 +1,663 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+// paperCfg is the 16-PE, k=4 configuration of Figures 1-2: b=2, r=4.
+func paperCfg(threads int) Config {
+	return Config{
+		Machine:    machine.Config{PEs: 16, Threads: threads, Width: 8},
+		Arity:      4,
+		TraceDepth: -1,
+	}
+}
+
+func build(t *testing.T, cfg Config, src string) *Processor {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cfg, prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Data) > 0 {
+		img := make([]int64, len(prog.Data))
+		for i, w := range prog.Data {
+			img[i] = int64(w)
+		}
+		if err := p.Machine().LoadScalarMem(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func mustRun(t *testing.T, p *Processor) Stats {
+	t.Helper()
+	s, err := p.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func findIssue(t *testing.T, p *Processor, op isa.Op) InstRecord {
+	t.Helper()
+	for _, r := range p.Trace() {
+		if r.Inst.Op == op {
+			return r
+		}
+	}
+	t.Fatalf("no %v in trace", op)
+	return InstRecord{}
+}
+
+func TestPipelineFillAndDrain(t *testing.T) {
+	p := build(t, paperCfg(1), "nop\nhalt")
+	s := mustRun(t, p)
+	nop := findIssue(t, p, isa.NOP)
+	halt := findIssue(t, p, isa.HALT)
+	if nop.Issue != 2 {
+		t.Errorf("first issue at %d, want 2 (IF, ID, SR fill)", nop.Issue)
+	}
+	if halt.Issue != 3 {
+		t.Errorf("halt issue at %d, want 3 (back to back)", halt.Issue)
+	}
+	// halt completes WB at 3+3=6; total cycles = 7.
+	if s.Cycles != 7 {
+		t.Errorf("cycles = %d, want 7 (drain to last WB)", s.Cycles)
+	}
+	if s.Instructions != 2 {
+		t.Errorf("instructions = %d, want 2", s.Instructions)
+	}
+}
+
+// TestFig2BroadcastHazard reproduces the top diagram of Figure 2: SUB
+// followed by a dependent PADD issues with zero stall thanks to EX->B1
+// forwarding.
+func TestFig2BroadcastHazard(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		sub s1, s2, s3
+		padd p1, p2, s1
+		halt
+	`)
+	mustRun(t, p)
+	sub := findIssue(t, p, isa.SUB)
+	padd := findIssue(t, p, isa.PADD)
+	if padd.Issue != sub.Issue+1 {
+		t.Errorf("PADD issued at %d, want %d (zero stall)", padd.Issue, sub.Issue+1)
+	}
+	if padd.Stall != 0 {
+		t.Errorf("PADD stall = %d, want 0", padd.Stall)
+	}
+}
+
+// TestFig2ReductionHazard reproduces the middle diagram of Figure 2: RMAX
+// followed by a dependent scalar SUB stalls b+r = 6 cycles.
+func TestFig2ReductionHazard(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		rmax s1, p1
+		sub s2, s1, s3
+		halt
+	`)
+	mustRun(t, p)
+	b, r := p.NetworkLatencies()
+	if b != 2 || r != 4 {
+		t.Fatalf("b=%d r=%d, want 2, 4", b, r)
+	}
+	rmax := findIssue(t, p, isa.RMAX)
+	sub := findIssue(t, p, isa.SUB)
+	if want := rmax.Issue + int64(b+r) + 1; sub.Issue != want {
+		t.Errorf("SUB issued at %d, want %d (b+r stall)", sub.Issue, want)
+	}
+	if sub.Stall != int64(b+r) {
+		t.Errorf("SUB stall = %d, want %d", sub.Stall, b+r)
+	}
+	if sub.StallKind != pipeline.HazardReduction {
+		t.Errorf("stall kind = %v, want reduction", sub.StallKind)
+	}
+}
+
+// TestFig2BroadcastReductionHazard reproduces the bottom diagram: RMAX
+// followed by a dependent PADD stalls b+r cycles.
+func TestFig2BroadcastReductionHazard(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		rmax s1, p1
+		padd p2, p3, s1
+		halt
+	`)
+	mustRun(t, p)
+	b, r := p.NetworkLatencies()
+	rmax := findIssue(t, p, isa.RMAX)
+	padd := findIssue(t, p, isa.PADD)
+	if want := rmax.Issue + int64(b+r) + 1; padd.Issue != want {
+		t.Errorf("PADD issued at %d, want %d", padd.Issue, want)
+	}
+	if padd.StallKind != pipeline.HazardBroadcastReduction {
+		t.Errorf("stall kind = %v, want broadcast-reduction", padd.StallKind)
+	}
+}
+
+func TestIndependentInstructionsDontStall(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		rmax s1, p1
+		add s2, s3, s4
+		padd p2, p3, p4
+		rmin s5, p1
+		halt
+	`)
+	s := mustRun(t, p)
+	// Four instructions + halt, all independent: back-to-back issue.
+	first := p.Trace()[0]
+	for i, rec := range p.Trace() {
+		if rec.Issue != first.Issue+int64(i) {
+			t.Errorf("inst %d (%v) issued at %d, want %d", i, rec.Inst.Op, rec.Issue, first.Issue+int64(i))
+		}
+	}
+	if got := s.StallByKind[pipeline.HazardReduction]; got != 0 {
+		t.Errorf("reduction stalls = %d, want 0", got)
+	}
+}
+
+func TestReductionResultCorrectWhileStalling(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		pidx p1
+		rmax s1, p1       ; 15
+		addi s2, s1, 1    ; 16
+		rsum s3, p1       ; 120
+		add s4, s3, s2    ; 136
+		halt
+	`)
+	mustRun(t, p)
+	m := p.Machine()
+	if got := m.Scalar(0, 1); got != 15 {
+		t.Errorf("rmax = %d, want 15", got)
+	}
+	if got := m.Scalar(0, 4); got != 136 {
+		t.Errorf("s4 = %d, want 136", got)
+	}
+}
+
+func TestBranchPenalties(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		li s1, 1
+		beqz s1, skip     ; not taken: no penalty
+		add s2, s1, s1
+	skip:
+		j after           ; decode redirect: 1 bubble
+		nop
+	after:
+		beqz s0, end      ; taken: 3 bubbles
+		nop
+	end:
+		halt
+	`)
+	mustRun(t, p)
+	tr := p.Trace()
+	// li@2, beqz@3 (untaken), add@4, j@5, beqz@7 (j penalty 1), halt@11.
+	byOp := map[isa.Op][]int64{}
+	for _, r := range tr {
+		byOp[r.Inst.Op] = append(byOp[r.Inst.Op], r.Issue)
+	}
+	if got := byOp[isa.ADD][0]; got != 4 {
+		t.Errorf("fall-through add at %d, want 4 (untaken branch: no penalty)", got)
+	}
+	if got := byOp[isa.J][0]; got != 5 {
+		t.Errorf("j at %d, want 5", got)
+	}
+	// After j (decode redirect), next issue at j+2.
+	if got := byOp[isa.BEQ][1]; got != 7 {
+		t.Errorf("post-jump branch at %d, want 7 (jump penalty 1)", got)
+	}
+	// Taken branch at 7: next issue at 7+4 = 11.
+	if got := byOp[isa.HALT][0]; got != 11 {
+		t.Errorf("halt at %d, want 11 (taken branch penalty 3)", got)
+	}
+}
+
+func TestLoopExecutesCorrectly(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		li s1, 10
+		li s2, 0
+	loop:
+		add s2, s2, s1
+		addi s1, s1, -1
+		bnez s1, loop
+		halt
+	`)
+	mustRun(t, p)
+	if got := p.Machine().Scalar(0, 2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+// TestMultithreadingHidesReductionStalls is the paper's core claim
+// (section 5): with enough threads, fine-grain multithreading eliminates
+// the reduction-hazard stalls of a single thread.
+func TestMultithreadingHidesReductionStalls(t *testing.T) {
+	// Each worker performs a chain of dependent reductions; the reduction
+	// hazard stalls a single thread b+r cycles per iteration.
+	worker := `
+		pidx p1
+		li s2, 20
+	wloop:
+		rmax s1, p1
+		add s3, s1, s3    ; reduction hazard
+		addi s2, s2, -1
+		bnez s2, wloop
+		texit
+	`
+	results := map[int]float64{}
+	for _, threads := range []int{1, 4, 16} {
+		src := "\tli s1, " + itoa(threads-1) + "\n"
+		src += "\tbeqz s1, work\n\tli s4, " + itoa(threads-1) + "\n"
+		src += "spawnloop:\n\ttspawn s5, work\n\taddi s4, s4, -1\n\tbnez s4, spawnloop\n"
+		src += "work:\n" + worker
+		p := build(t, paperCfg(threads), src)
+		s, err := p.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		results[threads] = s.IPC()
+	}
+	if !(results[1] < results[4] && results[4] < results[16]) {
+		t.Errorf("IPC should increase with threads: %v", results)
+	}
+	if results[16] < 0.85 {
+		t.Errorf("16-thread IPC = %.3f, want near 1 (stalls hidden)", results[16])
+	}
+	if results[1] > 0.5 {
+		t.Errorf("1-thread IPC = %.3f, expected heavy reduction stalls", results[1])
+	}
+}
+
+func TestIdleAttributionReduction(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		rmax s1, p1
+		add s2, s1, s0
+		halt
+	`)
+	s := mustRun(t, p)
+	b, r := p.NetworkLatencies()
+	if got := s.IdleByKind[pipeline.HazardReduction]; got != int64(b+r) {
+		t.Errorf("idle cycles attributed to reduction = %d, want %d", got, b+r)
+	}
+}
+
+func TestSequentialDividerStructuralHazard(t *testing.T) {
+	cfg := paperCfg(2)
+	src := `
+		tspawn s1, work
+	work:
+		pdiv p1, p2, p3
+		pdiv p4, p2, p3
+		texit
+	`
+	p := build(t, cfg, src)
+	s := mustRun(t, p)
+	if got := s.StallByKind[pipeline.HazardStructural] + s.IdleByKind[pipeline.HazardStructural]; got == 0 {
+		t.Error("two threads sharing the sequential divider should see structural stalls")
+	}
+}
+
+func TestPipelinedMultiplierNoStructuralHazard(t *testing.T) {
+	p := build(t, paperCfg(1), `
+		pmul p1, p2, p3
+		pmul p4, p5, p6
+		halt
+	`)
+	s := mustRun(t, p)
+	tr := p.Trace()
+	if tr[1].Issue != tr[0].Issue+1 {
+		t.Errorf("independent PMULs should issue back to back: %d then %d", tr[0].Issue, tr[1].Issue)
+	}
+	if got := s.StallByKind[pipeline.HazardStructural]; got != 0 {
+		t.Errorf("structural stalls with pipelined multiplier = %d", got)
+	}
+}
+
+func TestSequentialMultiplierConfig(t *testing.T) {
+	cfg := paperCfg(1)
+	cfg.SeqMul = true
+	p := build(t, cfg, `
+		pmul p1, p2, p3
+		pmul p4, p5, p6
+		halt
+	`)
+	mustRun(t, p)
+	tr := p.Trace()
+	if tr[1].Issue < tr[0].Issue+int64(p.Params().MulLatency) {
+		t.Errorf("sequential multiplier: second PMUL at %d, want >= %d",
+			tr[1].Issue, tr[0].Issue+int64(p.Params().MulLatency))
+	}
+}
+
+func TestThreadCommunicationPipelined(t *testing.T) {
+	p := build(t, Config{Machine: machine.Config{PEs: 4, Threads: 4, Width: 16}, Arity: 4}, `
+		tspawn s1, worker
+		li s2, 33
+		tsend s1, s2
+		tjoin s1
+		lw s3, 0(s0)
+		halt
+	worker:
+		trecv s1
+		addi s1, s1, 9
+		sw s1, 0(s0)
+		texit
+	`)
+	mustRun(t, p)
+	if got := p.Machine().Scalar(0, 3); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	cfg := paperCfg(1)
+	cfg.DeadlockWindow = 500
+	p := build(t, cfg, `
+		trecv s1    ; nobody ever sends
+		halt
+	`)
+	if _, err := p.Run(100000); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	p := build(t, paperCfg(1), `
+	spin:
+		j spin
+	`)
+	if _, err := p.Run(1000); err == nil {
+		t.Error("expected cycle-limit error")
+	}
+}
+
+func TestTraceDepthLimit(t *testing.T) {
+	cfg := paperCfg(1)
+	cfg.TraceDepth = 3
+	p := build(t, cfg, `
+		nop
+		nop
+		nop
+		nop
+		nop
+		halt
+	`)
+	mustRun(t, p)
+	if len(p.Trace()) != 3 {
+		t.Errorf("trace length = %d, want 3", len(p.Trace()))
+	}
+	last := p.Trace()[2]
+	if last.Inst.Op != isa.HALT {
+		t.Errorf("trace should keep the most recent records, last = %v", last.Inst)
+	}
+}
+
+func TestSchedulerFairnessUnderContention(t *testing.T) {
+	// Four threads all running independent scalar loops: rotating priority
+	// should give each ~25% of issue slots.
+	src := `
+		tspawn s1, w
+		tspawn s1, w
+		tspawn s1, w
+	w:
+		li s2, 200
+	loop:
+		addi s2, s2, -1
+		add s3, s3, s2
+		add s4, s4, s3
+		add s5, s5, s4
+		bnez s2, loop
+		texit
+	`
+	cfg := Config{Machine: machine.Config{PEs: 4, Threads: 4, Width: 16}, Arity: 4}
+	p := build(t, cfg, src)
+	s := mustRun(t, p)
+	total := int64(0)
+	for _, n := range s.PerThread {
+		total += n
+	}
+	for tid, n := range s.PerThread {
+		share := float64(n) / float64(total)
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("thread %d issue share = %.2f, want ~0.25 (rotating priority)", tid, share)
+		}
+	}
+
+	// Fixed priority on the same workload: scalar loops never stall long,
+	// so thread 0 hogs the slot and finishes far more than 25%% of the
+	// early issues. Compare time to first texit per policy instead: just
+	// check the policy runs and total work matches.
+	cfg.Scheduler = SchedFixed
+	p2 := build(t, cfg, src)
+	s2 := mustRun(t, p2)
+	if s2.Instructions != s.Instructions {
+		t.Errorf("fixed policy executed %d instructions, rotating %d; functional work must match",
+			s2.Instructions, s.Instructions)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	p := build(t, paperCfg(2), `
+		tspawn s1, w
+		tjoin s1
+		halt
+	w:
+		pidx p1
+		rmax s2, p1
+		texit
+	`)
+	s := mustRun(t, p)
+	perThread := int64(0)
+	for _, n := range s.PerThread {
+		perThread += n
+	}
+	if perThread != s.Instructions {
+		t.Errorf("per-thread sum %d != instructions %d", perThread, s.Instructions)
+	}
+	if s.Scalar+s.Parallel+s.Reduction != s.Instructions {
+		t.Errorf("class sum %d != instructions %d", s.Scalar+s.Parallel+s.Reduction, s.Instructions)
+	}
+	if s.Cycles < s.Instructions {
+		t.Errorf("cycles %d < instructions %d on a single-issue machine", s.Cycles, s.Instructions)
+	}
+	if s.IPC() <= 0 || s.IPC() > 1 {
+		t.Errorf("IPC = %f out of (0, 1]", s.IPC())
+	}
+}
+
+// randomStraightLine generates a hazard-rich but trap-free straight-line
+// program over parallel registers and reductions.
+func randomStraightLine(r *rand.Rand, n int) []isa.Inst {
+	ops := []isa.Op{
+		isa.ADD, isa.SUB, isa.XOR, isa.ADDI, isa.MUL,
+		isa.PADD, isa.PSUB, isa.PXOR, isa.PMUL, isa.PIDX, isa.PLI,
+		isa.PCEQ, isa.PCLT, isa.FAND, isa.FNOT,
+		isa.RMAX, isa.RMIN, isa.RSUM, isa.ROR, isa.RAND, isa.RCOUNT, isa.RANY, isa.RFIRST,
+	}
+	prog := make([]isa.Inst, 0, n+1)
+	for i := 0; i < n; i++ {
+		op := ops[r.Intn(len(ops))]
+		in := isa.Inst{
+			Op:   op,
+			Rd:   uint8(r.Intn(16)),
+			Ra:   uint8(r.Intn(16)),
+			Rb:   uint8(r.Intn(16)),
+			Mask: uint8(r.Intn(4)),
+		}
+		info := isa.Lookup(op)
+		if info.Format == isa.FormatPR && info.SrcBKind == isa.KindParallel {
+			in.SB = r.Intn(3) == 0
+		}
+		if info.Format == isa.FormatI || info.Format == isa.FormatPI {
+			in.Imm = int32(r.Intn(100))
+		}
+		if info.DstKind == isa.KindFlag {
+			in.Rd &= 7
+		}
+		if info.SrcAKind == isa.KindFlag {
+			in.Ra &= 7
+		}
+		if info.SrcBKind == isa.KindFlag {
+			in.Rb &= 7
+		}
+		prog = append(prog, in.Canonical())
+	}
+	prog = append(prog, isa.Inst{Op: isa.HALT})
+	return prog
+}
+
+// Property: the pipelined, hazard-stalled processor computes exactly the
+// same architectural state as the plain functional interpreter, for random
+// hazard-rich straight-line programs.
+func TestTimedMatchesFunctional(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomStraightLine(r, 60)
+		mc := machine.Config{PEs: 8, Threads: 1, Width: 8}
+
+		// Reference: direct functional execution.
+		ref, err := machine.New(mc, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !ref.Halted() {
+			if _, err := ref.Exec(0, prog[ref.PC(0)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Timed simulation.
+		p, err := New(Config{Machine: mc, Arity: 2}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		got := p.Machine()
+
+		for reg := uint8(1); reg < 16; reg++ {
+			if got.Scalar(0, reg) != ref.Scalar(0, reg) {
+				t.Logf("seed %d: s%d = %d, want %d", seed, reg, got.Scalar(0, reg), ref.Scalar(0, reg))
+				return false
+			}
+		}
+		for pe := 0; pe < 8; pe++ {
+			for reg := uint8(1); reg < 16; reg++ {
+				if got.Parallel(0, pe, reg) != ref.Parallel(0, pe, reg) {
+					t.Logf("seed %d: PE %d p%d mismatch", seed, pe, reg)
+					return false
+				}
+			}
+			for fl := uint8(1); fl < 8; fl++ {
+				if got.Flag(0, pe, fl) != ref.Flag(0, pe, fl) {
+					t.Logf("seed %d: PE %d f%d mismatch", seed, pe, fl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multithreaded execution of independent per-thread work yields
+// the same per-thread results as running each thread's program alone.
+func TestMTMatchesSingleThread(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// A worker computes a seed-dependent arithmetic series.
+		k := 3 + r.Intn(7)
+		src := `
+			tspawn s1, w
+			tspawn s2, w
+			tspawn s3, w
+			tjoin s1
+			tjoin s2
+			tjoin s3
+		w:
+			tid s10
+			li s2, ` + itoa(k) + `
+			li s3, 0
+		loop:
+			add s3, s3, s2
+			mul s4, s3, s2
+			addi s2, s2, -1
+			bnez s2, loop
+			texit
+		`
+		prog := asm.MustAssemble(src)
+		mc := machine.Config{PEs: 4, Threads: 4, Width: 32}
+		p, err := New(Config{Machine: mc, Arity: 4}, prog.Insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		// Expected series value.
+		sum := int64(0)
+		for i := k; i >= 1; i-- {
+			sum += int64(i)
+		}
+		for tid := 0; tid < 4; tid++ {
+			// All threads exited, but their register files persist.
+			if got := p.Machine().Scalar(tid, 3); got != sum {
+				t.Logf("seed %d thread %d: s3 = %d, want %d", seed, tid, got, sum)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestDescribe(t *testing.T) {
+	p := build(t, paperCfg(16), "halt")
+	d := p.Describe()
+	for _, frag := range []string{"16 PEs", "16 hardware threads", "b=2", "r=4"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe missing %q:\n%s", frag, d)
+		}
+	}
+}

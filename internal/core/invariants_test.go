@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+// Structural invariants of the split pipeline, checked over full traces:
+//
+//  1. at most one instruction enters SR per cycle (single issue), or one
+//     per datapath port under SMT;
+//  2. per thread, issues are strictly ordered and never reorder PCs between
+//     redirects (in-order per thread);
+//  3. the broadcast network accepts at most one instruction per cycle (its
+//     B1 stage is a single port);
+//  4. each reduction unit accepts at most one operation per cycle
+//     (initiation rate 1, section 6.4).
+
+// reductionUnit maps a reduction opcode onto its hardware unit.
+func reductionUnit(op isa.Op) string {
+	switch op {
+	case isa.ROR, isa.RAND:
+		return "logic"
+	case isa.RMAX, isa.RMIN, isa.RMAXU, isa.RMINU:
+		return "maxmin"
+	case isa.RSUM:
+		return "sum"
+	case isa.RCOUNT, isa.RANY:
+		return "count"
+	case isa.RFIRST:
+		return "resolver"
+	}
+	return ""
+}
+
+// checkTraceInvariants validates a finished processor's trace.
+func checkTraceInvariants(t *testing.T, p *Processor, smt bool) {
+	t.Helper()
+	params := p.Params()
+	srByCycle := map[int64][]isa.Class{}
+	b1ByCycle := map[int64]int{}
+	unitByCycle := map[string]map[int64]int{}
+	lastIssue := map[int]int64{}
+
+	for _, rec := range p.Trace() {
+		// (2) strict per-thread issue ordering.
+		if last, ok := lastIssue[rec.Thread]; ok && rec.Issue <= last {
+			t.Fatalf("thread %d issued at %d after issuing at %d", rec.Thread, rec.Issue, last)
+		}
+		lastIssue[rec.Thread] = rec.Issue
+
+		cls := rec.Inst.Info().Class
+		srByCycle[rec.Issue] = append(srByCycle[rec.Issue], cls)
+		if cls != isa.ClassScalar {
+			b1ByCycle[rec.Issue+1]++ // B1 is one cycle after SR
+		}
+		if cls == isa.ClassReduction {
+			unit := reductionUnit(rec.Inst.Op)
+			if unitByCycle[unit] == nil {
+				unitByCycle[unit] = map[int64]int{}
+			}
+			// The unit accepts the op at its R1 stage.
+			unitByCycle[unit][rec.Issue+int64(params.B)+2]++
+		}
+	}
+
+	for cyc, classes := range srByCycle {
+		if !smt && len(classes) > 1 {
+			t.Fatalf("cycle %d: %d instructions in SR on a single-issue machine", cyc, len(classes))
+		}
+		if smt {
+			if len(classes) > 2 {
+				t.Fatalf("cycle %d: %d instructions in SR under 2-way SMT", cyc, len(classes))
+			}
+			if len(classes) == 2 && (classes[0] == isa.ClassScalar) == (classes[1] == isa.ClassScalar) {
+				t.Fatalf("cycle %d: two instructions on the same SMT port", cyc)
+			}
+		}
+	}
+	for cyc, n := range b1ByCycle {
+		if n > 1 {
+			t.Fatalf("cycle %d: %d instructions entered the broadcast network", cyc, n)
+		}
+	}
+	for unit, byCycle := range unitByCycle {
+		for cyc, n := range byCycle {
+			if n > 1 {
+				t.Fatalf("cycle %d: %d operations entered the %s unit", cyc, n, unit)
+			}
+		}
+	}
+}
+
+// mtStress builds a multithreaded reduction/parallel/scalar mix.
+func mtStress(threads, iters int) string {
+	var b strings.Builder
+	for i := 1; i < threads; i++ {
+		b.WriteString("\ttspawn s9, work\n")
+	}
+	b.WriteString(`
+	work:
+		pidx p1
+		li s2, ` + itoa(iters) + `
+	loop:
+		rmax s1, p1
+		padd p2, p2, p1
+		add s3, s3, s1
+		rsum s4, p2
+		rcount s5, f0
+		pxor p3, p3, p2
+		addi s2, s2, -1
+		bnez s2, loop
+		texit
+	`)
+	return b.String()
+}
+
+func TestPipelineInvariantsSingleIssue(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		threads := 1 + r.Intn(8)
+		pes := []int{4, 16, 64}[r.Intn(3)]
+		p := build(t, Config{
+			Machine:    machine.Config{PEs: pes, Threads: threads, Width: 16},
+			Arity:      2 + r.Intn(4),
+			TraceDepth: -1,
+		}, mtStress(threads, 10+r.Intn(20)))
+		if _, err := p.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		checkTraceInvariants(t, p, false)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineInvariantsSMT(t *testing.T) {
+	p := build(t, Config{
+		Machine:    machine.Config{PEs: 16, Threads: 6, Width: 16},
+		Arity:      4,
+		SMT:        true,
+		TraceDepth: -1,
+	}, mtStress(6, 25))
+	if _, err := p.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	checkTraceInvariants(t, p, true)
+}
+
+// TestForwardingBoundInvariant: no consumer ever issues earlier than the
+// forwarding rules allow, re-derived from the trace after the fact.
+func TestForwardingBoundInvariant(t *testing.T) {
+	p := build(t, Config{
+		Machine:    machine.Config{PEs: 16, Threads: 1, Width: 16},
+		Arity:      4,
+		TraceDepth: -1,
+	}, `
+		pidx p1
+		rmax s1, p1
+		add s2, s1, s0
+		padd p2, p1, s2
+		rsum s3, p2
+		sub s4, s3, s1
+		halt
+	`)
+	if _, err := p.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	params := p.Params()
+	sb := pipeline.NewScoreboard(params, 1)
+	for _, rec := range p.Trace() {
+		min, _ := sb.MinIssue(0, rec.Inst)
+		if rec.Issue < min {
+			t.Fatalf("%v issued at %d, but forwarding rules allow %d at the earliest", rec.Inst, rec.Issue, min)
+		}
+		sb.Record(0, rec.Inst, rec.Issue)
+	}
+}

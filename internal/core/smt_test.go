@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// smtWorkload: some threads run scalar loops, others parallel loops, so the
+// two issue ports can be used simultaneously.
+const smtWorkload = `
+	tspawn s9, parwork
+	tspawn s9, parwork
+	tspawn s9, scalarwork
+scalarwork:
+	li s2, 100
+sloop:
+	add s3, s3, s2
+	xor s4, s4, s3
+	addi s2, s2, -1
+	bnez s2, sloop
+	texit
+parwork:
+	pidx p1
+	li s2, 100
+ploop:
+	padd p2, p2, p1
+	pxor p3, p3, p2
+	addi s2, s2, -1
+	bnez s2, ploop
+	texit
+`
+
+func runSMT(t *testing.T, smt bool) Stats {
+	t.Helper()
+	p := build(t, Config{
+		Machine: machine.Config{PEs: 16, Threads: 4, Width: 16},
+		Arity:   4,
+		SMT:     smt,
+	}, smtWorkload)
+	s, err := p.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSMTExceedsSingleIssue: with both scalar and parallel threads
+// runnable, dual issue pushes IPC above 1.0 — impossible on the
+// single-issue machine.
+func TestSMTExceedsSingleIssue(t *testing.T) {
+	single := runSMT(t, false)
+	dual := runSMT(t, true)
+	if single.Instructions != dual.Instructions {
+		t.Fatalf("functional work differs: %d vs %d", single.Instructions, dual.Instructions)
+	}
+	if single.IPC() > 1.0+1e-9 {
+		t.Errorf("single-issue IPC = %.3f > 1", single.IPC())
+	}
+	if dual.IPC() <= 1.0 {
+		t.Errorf("SMT IPC = %.3f, want > 1 on mixed workload", dual.IPC())
+	}
+	if dual.Cycles >= single.Cycles {
+		t.Errorf("SMT took %d cycles, single issue %d", dual.Cycles, single.Cycles)
+	}
+}
+
+// TestSMTPortConstraint: the trace never contains two same-path
+// instructions issued in the same cycle, and never more than two issues per
+// cycle.
+func TestSMTPortConstraint(t *testing.T) {
+	cfg := Config{
+		Machine:    machine.Config{PEs: 16, Threads: 4, Width: 16},
+		Arity:      4,
+		SMT:        true,
+		TraceDepth: -1,
+	}
+	p := build(t, cfg, smtWorkload)
+	if _, err := p.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	byCycle := map[int64][]isa.Class{}
+	for _, r := range p.Trace() {
+		byCycle[r.Issue] = append(byCycle[r.Issue], r.Inst.Info().Class)
+	}
+	for cyc, classes := range byCycle {
+		if len(classes) > 2 {
+			t.Fatalf("cycle %d issued %d instructions", cyc, len(classes))
+		}
+		if len(classes) == 2 {
+			a := classes[0] == isa.ClassScalar
+			b := classes[1] == isa.ClassScalar
+			if a == b {
+				t.Fatalf("cycle %d issued two same-path instructions (%v)", cyc, classes)
+			}
+		}
+	}
+}
+
+// TestSMTFunctionalEquivalence: SMT execution computes the same
+// architectural results as single issue.
+func TestSMTFunctionalEquivalence(t *testing.T) {
+	mk := func(smt bool) *Processor {
+		return build(t, Config{
+			Machine: machine.Config{PEs: 8, Threads: 4, Width: 16},
+			Arity:   4,
+			SMT:     smt,
+		}, smtWorkload)
+	}
+	a := mk(false)
+	bproc := mk(true)
+	if _, err := a.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bproc.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 4; tid++ {
+		for r := uint8(1); r < 16; r++ {
+			if a.Machine().Scalar(tid, r) != bproc.Machine().Scalar(tid, r) {
+				t.Errorf("thread %d s%d: single %d, smt %d",
+					tid, r, a.Machine().Scalar(tid, r), bproc.Machine().Scalar(tid, r))
+			}
+		}
+	}
+}
+
+// TestSMTOnPureScalarWorkloadIsHarmless: with only one datapath in use,
+// SMT cannot dual-issue and must behave exactly like single issue.
+func TestSMTOnPureScalarWorkload(t *testing.T) {
+	src := `
+		tspawn s9, w
+	w:
+		li s2, 50
+	loop:
+		add s3, s3, s2
+		addi s2, s2, -1
+		bnez s2, loop
+		texit
+	`
+	mk := func(smt bool) Stats {
+		p := build(t, Config{
+			Machine: machine.Config{PEs: 4, Threads: 2, Width: 16},
+			Arity:   4,
+			SMT:     smt,
+		}, src)
+		s, err := p.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	single := mk(false)
+	dual := mk(true)
+	if dual.Cycles != single.Cycles {
+		t.Errorf("pure scalar workload: smt %d cycles != single %d", dual.Cycles, single.Cycles)
+	}
+	if dual.IPC() > 1.0+1e-9 {
+		t.Errorf("pure scalar IPC = %.3f should stay <= 1", dual.IPC())
+	}
+}

@@ -1,0 +1,207 @@
+// Package cu models the control unit front end of the MTASC processor
+// (Figure 3 of the paper): the fetch unit with per-thread instruction
+// buffers, the thread status table, per-thread decode, and the
+// rotating-priority scheduler that selects one ready thread per cycle.
+//
+// The fetch unit fetches up to FetchWidth instructions per cycle from the
+// single-ported instruction memory, filling the buffers of active threads in
+// round-robin order. An instruction fetched at cycle f is decoded at f+1 and
+// may enter SR (issue) at f+2 or later. Fetch runs ahead speculatively with
+// a predict-not-taken policy; when an issued instruction redirects (taken
+// branch, jump, or thread start) the thread's buffer is flushed and fetch
+// resumes at the new target after the redirect resolves.
+package cu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config sets the front-end geometry.
+type Config struct {
+	Threads     int
+	BufferDepth int // instruction buffer entries per thread
+	FetchWidth  int // instructions fetched per cycle (shared across threads)
+}
+
+// Validate fills defaults and checks ranges.
+func (c *Config) Validate() error {
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 4
+	}
+	if c.FetchWidth == 0 {
+		c.FetchWidth = 1
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("cu: Threads must be >= 1, got %d", c.Threads)
+	}
+	if c.BufferDepth < 1 || c.FetchWidth < 1 {
+		return fmt.Errorf("cu: BufferDepth and FetchWidth must be >= 1")
+	}
+	return nil
+}
+
+// Fetched is one instruction-buffer entry.
+type Fetched struct {
+	PC         int
+	Inst       isa.Inst
+	FetchCycle int64
+}
+
+// EligibleAt is the first cycle the entry may issue: fetched at f, decoded
+// during f+1, SR at f+2.
+func (f Fetched) EligibleAt() int64 { return f.FetchCycle + 2 }
+
+// threadCtl is one row of the thread status table: the thread's fetch PC,
+// state, and instruction buffer (section 6.3).
+type threadCtl struct {
+	active    bool
+	fetchPC   int
+	fetchHold int64 // no fetch before this cycle (redirect/spawn resolution)
+	buffer    []Fetched
+}
+
+// CU is the control unit front end.
+type CU struct {
+	cfg     Config
+	prog    []isa.Inst
+	threads []threadCtl
+
+	fetchRR int // round-robin pointer for fetch arbitration
+	schedRR int // rotating-priority pointer for issue selection
+
+	// Counters for statistics.
+	Fetches int64
+	Flushes int64
+}
+
+// New builds the front end for a program. Thread 0 is started at PC 0.
+func New(cfg Config, prog []isa.Inst) (*CU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CU{cfg: cfg, prog: prog, threads: make([]threadCtl, cfg.Threads)}
+	c.StartThread(0, 0, 0)
+	return c, nil
+}
+
+// Config returns the front-end configuration.
+func (c *CU) Config() Config { return c.cfg }
+
+// StartThread activates a context fetching from pc; its first fetch happens
+// no earlier than cycle firstFetch.
+func (c *CU) StartThread(tid, pc int, firstFetch int64) {
+	t := &c.threads[tid]
+	t.active = true
+	t.fetchPC = pc
+	t.fetchHold = firstFetch
+	t.buffer = t.buffer[:0]
+}
+
+// StopThread frees a context (TEXIT or HALT).
+func (c *CU) StopThread(tid int) {
+	t := &c.threads[tid]
+	t.active = false
+	t.buffer = t.buffer[:0]
+}
+
+// Active reports whether the context is live in the thread status table.
+func (c *CU) Active(tid int) bool { return c.threads[tid].active }
+
+// Fetch runs the fetch unit for one cycle: up to FetchWidth instructions are
+// fetched for active threads with buffer space, round-robin starting after
+// the last thread served.
+func (c *CU) Fetch(cycle int64) {
+	n := len(c.threads)
+	slots := c.cfg.FetchWidth
+	for scan := 0; scan < n && slots > 0; scan++ {
+		tid := (c.fetchRR + 1 + scan) % n
+		t := &c.threads[tid]
+		if !t.active || t.fetchHold > cycle || len(t.buffer) >= c.cfg.BufferDepth {
+			continue
+		}
+		if t.fetchPC < 0 || t.fetchPC >= len(c.prog) {
+			continue // ran past the end; a redirect or halt must intervene
+		}
+		t.buffer = append(t.buffer, Fetched{PC: t.fetchPC, Inst: c.prog[t.fetchPC], FetchCycle: cycle})
+		t.fetchPC++
+		c.fetchRR = tid
+		c.Fetches++
+		slots--
+	}
+}
+
+// Head returns the next instruction in program order for tid, if buffered.
+func (c *CU) Head(tid int) (Fetched, bool) {
+	t := &c.threads[tid]
+	if !t.active || len(t.buffer) == 0 {
+		return Fetched{}, false
+	}
+	return t.buffer[0], true
+}
+
+// PopHead removes the head entry after it issues.
+func (c *CU) PopHead(tid int) Fetched {
+	t := &c.threads[tid]
+	if len(t.buffer) == 0 {
+		panic("cu: PopHead on empty buffer")
+	}
+	head := t.buffer[0]
+	copy(t.buffer, t.buffer[1:])
+	t.buffer = t.buffer[:len(t.buffer)-1]
+	return head
+}
+
+// Redirect flushes tid's buffer and restarts fetch at newPC, no earlier
+// than resumeFetch. Used for taken branches, jumps, and JR.
+func (c *CU) Redirect(tid, newPC int, resumeFetch int64) {
+	t := &c.threads[tid]
+	c.Flushes += int64(len(t.buffer))
+	t.buffer = t.buffer[:0]
+	t.fetchPC = newPC
+	t.fetchHold = resumeFetch
+}
+
+// BufferLen returns the occupancy of tid's instruction buffer.
+func (c *CU) BufferLen(tid int) int { return len(c.threads[tid].buffer) }
+
+// PickRotating selects one thread from ready using the rotating priority
+// policy: the scan starts just after the thread that issued most recently,
+// which guarantees every ready thread issues within Threads cycles
+// (fairness, section 6.3). It returns -1 if ready is empty.
+func (c *CU) PickRotating(ready func(tid int) bool) int {
+	n := len(c.threads)
+	for scan := 0; scan < n; scan++ {
+		tid := (c.schedRR + 1 + scan) % n
+		if c.threads[tid].active && ready(tid) {
+			c.schedRR = tid
+			return tid
+		}
+	}
+	return -1
+}
+
+// PickFixed selects the lowest-numbered ready thread (a deliberately unfair
+// baseline policy for the scheduler ablation experiment).
+func (c *CU) PickFixed(ready func(tid int) bool) int {
+	for tid := range c.threads {
+		if c.threads[tid].active && ready(tid) {
+			return tid
+		}
+	}
+	return -1
+}
+
+// Describe renders the control unit organization (Figure 3 of the paper).
+func (c *CU) Describe() string {
+	return fmt.Sprintf(`control unit organization (Figure 3):
+  fetch unit:    %d instruction(s)/cycle from instruction memory
+  thread status: %d contexts (PC, state, instruction buffer of %d entries each)
+  decode units:  %d (one per hardware thread, decoding in parallel)
+  scheduler:     rotating priority, issues 1 instruction/cycle to the scalar
+                 datapath or the PE array via the broadcast network
+  scalar datapath: organization nearly identical to a PE, plus branch,
+                 fork and join handling
+`, c.cfg.FetchWidth, len(c.threads), c.cfg.BufferDepth, len(c.threads))
+}

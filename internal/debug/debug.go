@@ -1,0 +1,237 @@
+// Package debug is an interactive debugger for the MTASC simulator,
+// wired into `ascsim -i`. It drives a core.Processor cycle by cycle with
+// breakpoints on program counters, register and memory inspection, and
+// pipeline diagrams of recent instructions.
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Debugger is a REPL around a processor. The processor should be built
+// with TraceDepth != 0 so diagrams and breakpoints work.
+type Debugger struct {
+	proc *core.Processor
+	in   *bufio.Scanner
+	out  io.Writer
+
+	breakpoints map[int]bool
+	seenTrace   int // trace records already inspected for breakpoints
+	done        bool
+}
+
+// New builds a debugger reading commands from in and printing to out.
+func New(proc *core.Processor, in io.Reader, out io.Writer) *Debugger {
+	return &Debugger{
+		proc:        proc,
+		in:          bufio.NewScanner(in),
+		out:         out,
+		breakpoints: map[int]bool{},
+	}
+}
+
+func (d *Debugger) printf(format string, args ...any) {
+	fmt.Fprintf(d.out, format, args...)
+}
+
+const helpText = `commands:
+  s [n]       step n cycles (default 1)
+  c           continue to halt or breakpoint
+  b <pc>      toggle a breakpoint at program counter <pc>
+  r [tid]     scalar registers of thread tid (default 0)
+  p <pe> [t]  parallel registers and flags of PE <pe> (thread t, default 0)
+  m <a> <n>   dump n words of scalar data memory from address a
+  t           thread status table
+  d [n]       pipeline diagram of the last n issued instructions (default 8)
+  st          run statistics so far
+  q           quit
+`
+
+// Run executes the REPL until quit, halt (after reporting), or EOF.
+func (d *Debugger) Run() error {
+	d.printf("mtasc debugger: %d PEs; 'help' for commands\n", d.proc.Machine().Config().PEs)
+	for {
+		d.printf("(asc) ")
+		if !d.in.Scan() {
+			return d.in.Err()
+		}
+		line := strings.TrimSpace(d.in.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "q", "quit", "exit":
+			return nil
+		case "help", "h", "?":
+			d.printf("%s", helpText)
+		case "s", "step":
+			n := 1
+			if len(args) > 0 {
+				n = d.atoi(args[0], 1)
+			}
+			d.step(n, false)
+		case "c", "continue":
+			d.step(1<<62, true)
+		case "b", "break":
+			if len(args) != 1 {
+				d.printf("usage: b <pc>\n")
+				continue
+			}
+			pc := d.atoi(args[0], -1)
+			if pc < 0 {
+				continue
+			}
+			if d.breakpoints[pc] {
+				delete(d.breakpoints, pc)
+				d.printf("breakpoint at pc %d removed\n", pc)
+			} else {
+				d.breakpoints[pc] = true
+				d.printf("breakpoint at pc %d set\n", pc)
+			}
+		case "r", "regs":
+			tid := 0
+			if len(args) > 0 {
+				tid = d.atoi(args[0], 0)
+			}
+			d.regs(tid)
+		case "p", "pregs":
+			if len(args) < 1 {
+				d.printf("usage: p <pe> [tid]\n")
+				continue
+			}
+			pe := d.atoi(args[0], 0)
+			tid := 0
+			if len(args) > 1 {
+				tid = d.atoi(args[1], 0)
+			}
+			d.pregs(tid, pe)
+		case "m", "mem":
+			if len(args) < 2 {
+				d.printf("usage: m <addr> <count>\n")
+				continue
+			}
+			a, n := d.atoi(args[0], 0), d.atoi(args[1], 1)
+			for i := 0; i < n; i++ {
+				d.printf("  [%4d] %d\n", a+i, d.proc.Machine().ScalarMem(a+i))
+			}
+		case "t", "threads":
+			d.threads()
+		case "d", "diagram":
+			n := 8
+			if len(args) > 0 {
+				n = d.atoi(args[0], 8)
+			}
+			recs := d.proc.Trace()
+			if len(recs) > n {
+				recs = recs[len(recs)-n:]
+			}
+			d.printf("%s", trace.Diagram(d.proc.Params(), recs))
+		case "st", "stats":
+			d.printf("cycle %d\n", d.proc.Cycle())
+		default:
+			d.printf("unknown command %q; 'help' for help\n", cmd)
+		}
+	}
+}
+
+func (d *Debugger) atoi(s string, def int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		d.printf("bad number %q\n", s)
+		return def
+	}
+	return v
+}
+
+// step advances up to n cycles, stopping at breakpoints when breakable.
+func (d *Debugger) step(n int, breakable bool) {
+	if d.done {
+		d.printf("machine halted; restart the simulator to run again\n")
+		return
+	}
+	for i := 0; i < n; i++ {
+		more, err := d.proc.Step()
+		if err != nil {
+			d.printf("error: %v\n", err)
+			d.done = true
+			return
+		}
+		if !more {
+			d.printf("halted at cycle %d\n", d.proc.Cycle())
+			d.done = true
+			return
+		}
+		// Breakpoint check: any newly issued instruction at a break PC.
+		recs := d.proc.Trace()
+		for ; d.seenTrace < len(recs); d.seenTrace++ {
+			r := recs[d.seenTrace]
+			if breakable && d.breakpoints[r.PC] {
+				d.printf("breakpoint: t%d pc %d %v at cycle %d\n", r.Thread, r.PC, r.Inst, r.Issue)
+				d.seenTrace++
+				return
+			}
+		}
+	}
+	d.printf("cycle %d\n", d.proc.Cycle())
+}
+
+func (d *Debugger) regs(tid int) {
+	m := d.proc.Machine()
+	if tid < 0 || tid >= m.Config().Threads {
+		d.printf("no thread %d\n", tid)
+		return
+	}
+	d.printf("thread %d (pc %d, active %v):\n", tid, m.PC(tid), m.ThreadActive(tid))
+	for r := 0; r < 16; r += 4 {
+		for c := 0; c < 4; c++ {
+			d.printf("  s%-2d %6d", r+c, m.Scalar(tid, uint8(r+c)))
+		}
+		d.printf("\n")
+	}
+}
+
+func (d *Debugger) pregs(tid, pe int) {
+	m := d.proc.Machine()
+	cfg := m.Config()
+	if pe < 0 || pe >= cfg.PEs || tid < 0 || tid >= cfg.Threads {
+		d.printf("no PE %d / thread %d\n", pe, tid)
+		return
+	}
+	d.printf("PE %d, thread %d:\n", pe, tid)
+	for r := 0; r < 16; r += 4 {
+		for c := 0; c < 4; c++ {
+			d.printf("  p%-2d %6d", r+c, m.Parallel(tid, pe, uint8(r+c)))
+		}
+		d.printf("\n")
+	}
+	d.printf("  flags:")
+	for f := 0; f < 8; f++ {
+		v := 0
+		if m.Flag(tid, pe, uint8(f)) {
+			v = 1
+		}
+		d.printf(" f%d=%d", f, v)
+	}
+	d.printf("\n")
+}
+
+func (d *Debugger) threads() {
+	m := d.proc.Machine()
+	d.printf("thread  state    pc  mailbox\n")
+	for t := 0; t < m.Config().Threads; t++ {
+		state := "free"
+		if m.ThreadActive(t) {
+			state = "active"
+		}
+		d.printf("  t%-4d %-7s %4d  %d\n", t, state, m.PC(t), m.MailboxLen(t))
+	}
+}

@@ -1,0 +1,150 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func newProc(t *testing.T, src string) *core.Processor {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{
+		Machine:    machine.Config{PEs: 4, Threads: 2, Width: 16},
+		Arity:      4,
+		TraceDepth: -1,
+	}, prog.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// session runs a scripted debugger session and returns the transcript.
+func session(t *testing.T, src string, commands ...string) string {
+	t.Helper()
+	p := newProc(t, src)
+	var out strings.Builder
+	d := New(p, strings.NewReader(strings.Join(commands, "\n")+"\n"), &out)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+const testProg = `
+	li s1, 7
+	pidx p1
+	rmax s2, p1
+	add s3, s2, s1
+	sw s3, 0(s0)
+	halt
+`
+
+func TestStepAndRegs(t *testing.T) {
+	out := session(t, testProg,
+		"s 4",   // step past li
+		"r",     // registers
+		"c",     // run to halt
+		"r 0",   // registers again
+		"m 0 1", // memory
+		"q",
+	)
+	if !strings.Contains(out, "s1 ") {
+		t.Errorf("register dump missing:\n%s", out)
+	}
+	if !strings.Contains(out, "halted at cycle") {
+		t.Errorf("continue did not report halt:\n%s", out)
+	}
+	// Final result: rmax of idx (3) + 7 = 10 at mem[0].
+	if !strings.Contains(out, "[   0] 10") {
+		t.Errorf("memory dump missing result:\n%s", out)
+	}
+}
+
+func TestBreakpoint(t *testing.T) {
+	out := session(t, testProg,
+		"b 3", // break at the add
+		"c",
+		"q",
+	)
+	if !strings.Contains(out, "breakpoint at pc 3 set") {
+		t.Errorf("set message missing:\n%s", out)
+	}
+	if !strings.Contains(out, "breakpoint: t0 pc 3") {
+		t.Errorf("did not stop at breakpoint:\n%s", out)
+	}
+	if strings.Contains(out, "halted") {
+		t.Errorf("ran past breakpoint to halt:\n%s", out)
+	}
+}
+
+func TestBreakpointToggle(t *testing.T) {
+	out := session(t, testProg, "b 3", "b 3", "c", "q")
+	if !strings.Contains(out, "breakpoint at pc 3 removed") {
+		t.Errorf("toggle missing:\n%s", out)
+	}
+	if !strings.Contains(out, "halted") {
+		t.Errorf("removed breakpoint still fired:\n%s", out)
+	}
+}
+
+func TestInspectionCommands(t *testing.T) {
+	out := session(t, testProg,
+		"c",
+		"p 2",   // PE registers
+		"t",     // thread table
+		"d 5",   // diagram
+		"st",    // stats
+		"bogus", // unknown command
+		"help",
+		"q",
+	)
+	for _, frag := range []string{"PE 2, thread 0", "flags:", "thread  state", "unknown command", "commands:", "cycle"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "rmax") || !strings.Contains(out, "halt") {
+		t.Errorf("diagram missing instructions:\n%s", out)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	out := session(t, testProg, "c", "s", "q")
+	if !strings.Contains(out, "machine halted; restart") {
+		t.Errorf("post-halt step not reported:\n%s", out)
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	out := session(t, testProg,
+		"b",    // missing arg
+		"b xx", // bad number
+		"m 0",  // missing count
+		"p",    // missing pe
+		"r 99", // no such thread
+		"p 99", // no such PE
+		"q",
+	)
+	for _, frag := range []string{"usage: b", "bad number", "usage: m", "usage: p", "no thread 99", "no PE 99"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestEOFEndsSession(t *testing.T) {
+	p := newProc(t, testProg)
+	var out strings.Builder
+	d := New(p, strings.NewReader("s\n"), &out)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

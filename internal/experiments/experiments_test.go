@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fpga"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	out := Table1()
+	for _, frag := range []string{"1897", "5984", "1791", "9672", "104", "33216", "105", "75"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig1ShowsSplitPipeline(t *testing.T) {
+	out := Fig1()
+	for _, frag := range []string{"B1", "B2", "R1", "R4", "scalar path", "parallel path", "reduction path"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig1 missing %q", frag)
+		}
+	}
+}
+
+// TestFig2StallsExact checks the quantitative content of Figure 2: the
+// broadcast hazard costs 0 cycles (forwarding) while the reduction and
+// broadcast-reduction hazards cost exactly b+r = 6 cycles at 16 PEs, k=4.
+func TestFig2StallsExact(t *testing.T) {
+	bcast, red, brRed, err := Fig2Stalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcast != 0 {
+		t.Errorf("broadcast hazard stall = %d, want 0", bcast)
+	}
+	if red != 6 {
+		t.Errorf("reduction hazard stall = %d, want 6 (b+r)", red)
+	}
+	if brRed != 6 {
+		t.Errorf("broadcast-reduction hazard stall = %d, want 6 (b+r)", brRed)
+	}
+}
+
+func TestFig3ShowsInterleaving(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"rotating priority", "t0", "t1", "t2", "t3"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig3 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestD1StallsMatchModelAndGrow(t *testing.T) {
+	rows, err := D1StallScaling([]int{4, 64, 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, r := range rows {
+		if r.Measured != r.Modeled {
+			t.Errorf("p=%d: measured %d != modeled %d", r.PEs, r.Measured, r.Modeled)
+		}
+		if r.Measured <= prev {
+			t.Errorf("p=%d: stall %d did not grow (prev %d)", r.PEs, r.Measured, prev)
+		}
+		prev = r.Measured
+	}
+}
+
+func TestD2IPCRecovers(t *testing.T) {
+	rows, err := D2IPCvsThreads([]int{256}, []int{1, 16}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byThreads := map[int]D2Row{}
+	for _, r := range rows {
+		byThreads[r.Threads] = r
+	}
+	if byThreads[1].IPC >= byThreads[16].IPC {
+		t.Errorf("IPC(1T)=%.3f should be below IPC(16T)=%.3f", byThreads[1].IPC, byThreads[16].IPC)
+	}
+	if byThreads[16].IPC < 0.8 {
+		t.Errorf("16T IPC = %.3f, want > 0.8", byThreads[16].IPC)
+	}
+}
+
+// TestD3Shape checks the headline comparison: at large PE counts the
+// multithreaded pipelined machine wins on wall clock; the non-pipelined
+// machine's slow clock hurts it more as p grows.
+func TestD3Shape(t *testing.T) {
+	rows, err := D3WallClock([]int{16, 1024}, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := map[string]map[int]float64{}
+	for _, r := range rows {
+		if wall[r.Model] == nil {
+			wall[r.Model] = map[int]float64{}
+		}
+		wall[r.Model][r.PEs] = r.WallTimeMs
+	}
+	for _, p := range []int{16, 1024} {
+		if wall["pipelined 16T"][p] >= wall["pipelined 1T"][p] {
+			t.Errorf("p=%d: 16T (%f ms) should beat 1T (%f ms)", p, wall["pipelined 16T"][p], wall["pipelined 1T"][p])
+		}
+		if wall["pipelined 16T"][p] >= wall["non-pipelined"][p] {
+			t.Errorf("p=%d: 16T (%f ms) should beat non-pipelined (%f ms)", p, wall["pipelined 16T"][p], wall["non-pipelined"][p])
+		}
+	}
+	// The non-pipelined machine falls further behind at scale.
+	ratio16 := wall["non-pipelined"][16] / wall["pipelined 16T"][16]
+	ratio1024 := wall["non-pipelined"][1024] / wall["pipelined 16T"][1024]
+	if ratio1024 <= ratio16 {
+		t.Errorf("speedup should grow with p: x%.2f at 16 PEs vs x%.2f at 1024", ratio16, ratio1024)
+	}
+}
+
+func TestD4PaperDeviceRow(t *testing.T) {
+	rows := D4MaxPEs()
+	found := false
+	for _, r := range rows {
+		if r.Device == "EP2C35" && r.LocalMemB == 1024 && r.Threads == 16 {
+			found = true
+			if r.MaxPEs != 16 || r.Binding != "RAMs" {
+				t.Errorf("EP2C35 paper organization: %d PEs binding %s, want 16 / RAMs", r.MaxPEs, r.Binding)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("paper organization row missing")
+	}
+}
+
+func TestD6FewerStagesWithHigherArity(t *testing.T) {
+	rows, err := D6AritySweep(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].B > rows[i-1].B {
+			t.Errorf("b should not grow with arity: %+v", rows)
+		}
+		if rows[i].IPC1T < rows[i-1].IPC1T-1e-9 {
+			t.Errorf("1T IPC should not fall as b shrinks: %+v", rows)
+		}
+	}
+}
+
+func TestD7SequentialMultiplierHurts(t *testing.T) {
+	r, err := D7Multiplier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SequentialIPC >= r.PipelinedIPC {
+		t.Errorf("sequential multiplier IPC %.3f should be below pipelined %.3f",
+			r.SequentialIPC, r.PipelinedIPC)
+	}
+}
+
+func TestD8RotatingIsFair(t *testing.T) {
+	r, err := D8Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, share := range r.RotatingShares {
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("rotating share[%d] = %.3f, want ~0.25", i, share)
+		}
+	}
+	// Rotating priority lets every thread progress together; fixed
+	// priority serves threads in id order, so the last thread finishes
+	// far later.
+	if r.RotatingSpread*10 > r.FixedSpread {
+		t.Errorf("finish spread: rotating %d should be far below fixed %d",
+			r.RotatingSpread, r.FixedSpread)
+	}
+}
+
+func TestD9FineBeatsCoarse(t *testing.T) {
+	rows, err := D9CoarseVsFine([]int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.FineIPC <= r.CoarseIPC {
+		t.Errorf("fine-grain IPC %.3f should beat coarse-grain %.3f", r.FineIPC, r.CoarseIPC)
+	}
+	if r.CoarseIPC <= r.SingleIPC {
+		t.Errorf("coarse-grain IPC %.3f should beat single-thread %.3f", r.CoarseIPC, r.SingleIPC)
+	}
+}
+
+func TestD10SMTBeatsSingleIssue(t *testing.T) {
+	r, err := D10SMT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SMTIPC <= 1.0 {
+		t.Errorf("SMT IPC = %.3f, want > 1 on the mixed workload", r.SMTIPC)
+	}
+	if r.SMTCycles >= r.SingleCycles {
+		t.Errorf("SMT cycles %d should be below single-issue %d", r.SMTCycles, r.SingleCycles)
+	}
+}
+
+func TestD11Crossover(t *testing.T) {
+	rows := D11Organizations(fpga.EP2C35())
+	var few, many D11Row
+	for _, r := range rows {
+		if r.Threads == 2 {
+			few = r
+		}
+		if r.Threads == 16 {
+			many = r
+		}
+	}
+	if few.LUTMaxPEs <= few.BlockRAMMaxPEs {
+		t.Errorf("2 threads: LUT %d should beat block RAM %d", few.LUTMaxPEs, few.BlockRAMMaxPEs)
+	}
+	if many.LUTMaxPEs >= many.BlockRAMMaxPEs {
+		t.Errorf("16 threads: block RAM %d should beat LUT %d", many.BlockRAMMaxPEs, many.LUTMaxPEs)
+	}
+}
+
+func TestD12CompilerWithinFactor(t *testing.T) {
+	rows, err := D12Compiler(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ratio := float64(r.CompiledCycles) / float64(r.HandCycles)
+		if ratio > 3.0 {
+			t.Errorf("%s: compiled/hand = %.2f (compiled %d, hand %d)",
+				r.Kernel, ratio, r.CompiledCycles, r.HandCycles)
+		}
+	}
+}
+
+func TestD13ValidationCompletes(t *testing.T) {
+	rows, err := D13Validation(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, r := range rows {
+		total += r.Reductions
+	}
+	if total == 0 {
+		t.Error("no reductions were co-validated")
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file guards: the figure reproductions are part of the recorded
+// results (EXPERIMENTS.md), so any drift in the pipeline model shows up as
+// a diff here before it silently changes the documented outputs.
+// Regenerate with:
+//
+//	go run ./cmd/ascbench -exp F1 | sed '1d' > internal/experiments/testdata/fig1.golden
+//	go run ./cmd/ascbench -exp F2 | sed '1d' > internal/experiments/testdata/fig2.golden
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s: %v", path, err)
+	}
+	// The harness prints a trailing newline after each experiment body.
+	if strings.TrimRight(got, "\n") != strings.TrimRight(string(want), "\n") {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestFig1Golden(t *testing.T) {
+	checkGolden(t, "fig1.golden", Fig1())
+}
+
+func TestFig2Golden(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2.golden", out)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/fpga"
+	"repro/internal/trace"
+)
+
+// D11Row compares PE organizations (block-RAM vs LUT register files) at one
+// thread count.
+type D11Row struct {
+	Threads        int
+	BlockRAMMaxPEs int
+	BlockBinding   string
+	LUTMaxPEs      int
+	LUTBinding     string
+}
+
+// D11Organizations quantifies the section-9 direction: "alternative PE
+// organizations that require fewer RAM blocks and take advantage of unused
+// logic resources". Moving register files into logic frees two M4Ks per PE
+// but costs 1.5 LEs per register bit, so it only wins while the thread
+// count (and hence register capacity) is small — which is exactly why
+// section 6.2 rules it out for the 16-thread prototype.
+func D11Organizations(dev fpga.Device) []D11Row {
+	var rows []D11Row
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		a := fpga.PaperArch()
+		a.Threads = threads
+		nBlock, bindBlock := fpga.MaxPEs(a, dev)
+		a.RegFileInLUTs = true
+		nLUT, bindLUT := fpga.MaxPEs(a, dev)
+		rows = append(rows, D11Row{
+			Threads:        threads,
+			BlockRAMMaxPEs: nBlock, BlockBinding: bindBlock,
+			LUTMaxPEs: nLUT, LUTBinding: bindLUT,
+		})
+	}
+	return rows
+}
+
+// D11Render prints the PE-organization ablation.
+func D11Render() (string, error) {
+	dev := fpga.EP2C35()
+	t := trace.NewTable("threads", "block-RAM regfiles: max PEs", "binding", "LUT regfiles: max PEs", "binding")
+	for _, r := range D11Organizations(dev) {
+		t.Row(r.Threads, r.BlockRAMMaxPEs, r.BlockBinding, r.LUTMaxPEs, r.LUTBinding)
+	}
+	return "PE organization ablation on the EP2C35 (section 9 future work):\n" + t.String() +
+		"\nwith few threads, LUT register files dodge the M4K port floor and fit\n" +
+		"more PEs; at 16 threads the register files are too large for logic —\n" +
+		"exactly the section 6.2 argument for block RAM in the prototype\n", nil
+}

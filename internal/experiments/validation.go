@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// D13Row summarizes one kernel's structural co-simulation run.
+type D13Row struct {
+	Kernel     string
+	Reductions int64
+	Cycles     int64
+}
+
+// D13Validation runs the entire kernel suite with structural network
+// co-simulation enabled: every reduction instruction is simultaneously
+// pushed through the register-accurate pipelined tree models
+// (network.Bank) and must emerge with the functional value at exactly the
+// modeled latency. Any disagreement fails the run, so a completed table is
+// the proof artifact that the instruction-level timing constants (b, r)
+// and the structural hardware model agree.
+func D13Validation(pes int, seed int64) ([]D13Row, error) {
+	var rows []D13Row
+	for _, ins := range progs.Suite(pes, seed) {
+		stats, err := ins.RunCoreStructural(pes, 1, 4)
+		if err != nil {
+			return nil, fmt.Errorf("structural co-simulation failed: %w", err)
+		}
+		rows = append(rows, D13Row{Kernel: ins.Name, Reductions: stats.Reduction, Cycles: stats.Cycles})
+	}
+	return rows, nil
+}
+
+// D13Render prints the validation table.
+func D13Render() (string, error) {
+	const pes = 32
+	rows, err := D13Validation(pes, 2026)
+	if err != nil {
+		return "", err
+	}
+	t := trace.NewTable("kernel", "reductions co-validated", "cycles")
+	total := int64(0)
+	for _, r := range rows {
+		t.Row(r.Kernel, r.Reductions, r.Cycles)
+		total += r.Reductions
+	}
+	return fmt.Sprintf("structural co-simulation of the kernel suite at %d PEs: every\nreduction is replayed through the register-accurate pipelined tree\nmodels and checked for value AND latency (zero tolerance):\n", pes) +
+		t.String() +
+		fmt.Sprintf("\n%d reductions validated, 0 mismatches — the b/r timing constants are\nproduced by the structural hardware model, not merely asserted\n", total), nil
+}

@@ -1,0 +1,383 @@
+// Package fpga is the analytic FPGA resource and clock model that
+// reproduces Table 1 of the paper ("Resource usage for initial processor
+// prototype implemented in EP2C35 FPGA") and supports the scaling studies
+// of sections 7 and 9 (RAM blocks limit the number of PEs; the critical
+// path is the forwarding logic in the PE).
+//
+// Because we cannot run Quartus synthesis here, the model is parametric in
+// the architecture knobs (PEs, threads, data width, local memory size,
+// broadcast tree arity) with per-component constants calibrated on the
+// three subsystem rows of Table 1. The decomposition follows the paper's
+// section 6.2 discussion of how each memory structure maps onto M4K block
+// RAMs:
+//
+//   - PE local memory: one M4K per 4096 data bits (1 KB x 8 bit = 2 blocks).
+//   - General-purpose register files: implemented in block RAM because
+//     flip-flop arrays and LUT RAM waste logic; a register file needs two
+//     operand read ports plus a write-back port, which on true-dual-port
+//     M4Ks costs two duplicated port pairs (4 blocks) regardless of how few
+//     bits 16 threads x 16 registers occupy — the port structure, not the
+//     capacity, is the limit. The same structure appears once in the
+//     control unit for the scalar register file.
+//   - Flag register files: far too small for their own M4K, so they are
+//     packed into the spare capacity of the GP register-file blocks and
+//     shared between PEs (section 6.2); they only cost extra blocks when
+//     the spare capacity runs out.
+//   - The broadcast/reduction network is pure logic: zero RAM blocks.
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+)
+
+// M4KBits is the usable data capacity of one Cyclone II M4K block RAM.
+const M4KBits = 4096
+
+// Arch describes the architecture being sized.
+type Arch struct {
+	PEs           int
+	Threads       int
+	Width         uint // data width in bits
+	LocalMemWords int  // words of PE local memory
+	Arity         int  // broadcast tree arity k
+	ImemWords     int  // instruction memory capacity (32-bit words)
+
+	// RegFileInLUTs moves the general-purpose and flag register files out
+	// of M4K blocks and into logic-cell registers/LUT muxing. Section 6.2
+	// rules this out for the 16-thread prototype ("flip-flop arrays ...
+	// waste logic resources", "distributed (LUT-based) RAM ... is also
+	// ruled out due to the need for large register files"), but section 9
+	// proposes exploring alternative PE organizations that need fewer RAM
+	// blocks and "take advantage of unused logic resources" — this flag is
+	// that organization, and experiment D11 quantifies the crossover.
+	RegFileInLUTs bool
+}
+
+// PaperArch is the prototype of section 7: 16 8-bit PEs, 1 KB local memory
+// per PE, 16 hardware threads.
+func PaperArch() Arch {
+	return Arch{PEs: 16, Threads: 16, Width: 8, LocalMemWords: 1024, Arity: 4, ImemWords: 512}
+}
+
+func (a *Arch) defaults() {
+	if a.PEs == 0 {
+		a.PEs = 16
+	}
+	if a.Threads == 0 {
+		a.Threads = 16
+	}
+	if a.Width == 0 {
+		a.Width = 8
+	}
+	if a.LocalMemWords == 0 {
+		a.LocalMemWords = 1024
+	}
+	if a.Arity == 0 {
+		a.Arity = 4
+	}
+	if a.ImemWords == 0 {
+		a.ImemWords = 512
+	}
+}
+
+// Usage is a resource figure in Cyclone II terms.
+type Usage struct {
+	LEs  int // logic elements
+	RAMs int // M4K block RAMs
+}
+
+// Add accumulates a component figure.
+func (u Usage) Add(v Usage) Usage { return Usage{LEs: u.LEs + v.LEs, RAMs: u.RAMs + v.RAMs} }
+
+// Report is the Table-1 breakdown.
+type Report struct {
+	ControlUnit Usage
+	PEArray     Usage
+	Network     Usage
+	Total       Usage
+}
+
+// Calibrated per-component LE constants (fit to Table 1; see package
+// comment). All scale with data width w, thread count T, or PE count p as
+// indicated.
+const (
+	leALUPerBit     = 14 // adder/logic/compare slice per data bit
+	leForwardPerBit = 24 // forwarding network per data bit (the critical path)
+	lePEControl     = 70 // per-PE decode/control overhead
+
+	leFetchUnit       = 291 // fetch unit + instruction buffers control
+	leDecodePerThread = 64  // one decode unit per hardware thread
+	leSchedPerThread  = 8   // rotating-priority scheduler slice
+	leScalarExtra     = 80  // branch/fork/join handling beyond a PE datapath
+
+	leBcastNodePerBit = 1  // broadcast tree register per bit
+	leBcastNodeFixed  = 26 // broadcast tree node control
+	leLogicPerBit     = 1  // OR-tree node per bit
+	leLogicNodeFixed  = 2  // node overhead
+	leLogicInvPerBit  = 4  // bypassable inverters before/after the tree
+	leMaxMinPerBit    = 3  // compare-select node per bit
+	leMaxMinFixed     = 6
+	leSumPerBit       = 2 // saturating adder node per bit
+	leSumFixed        = 6
+	leCountFixed      = 8 // response counter node beyond log-width adder
+	leResolverPerNode = 4 // parallel-prefix cell
+	leNetworkControl  = 223
+)
+
+// gprBlocks is the full M4K cost of one multiported register file: two
+// operand read ports plus a write-back port on true-dual-port RAMs means two
+// duplicated write copies times two port pairs, each pair holding all the
+// register bits. The port structure (4 blocks), not the capacity, is the
+// floor for small register files.
+func gprBlocks(threads int, regs int, width uint) int {
+	bits := threads * regs * int(width)
+	perCopy := (bits + M4KBits - 1) / M4KBits
+	if perCopy < 1 {
+		perCopy = 1
+	}
+	const copies = 2    // duplicated for the second read port
+	const portPairs = 2 // operand fetch + write-back/load port pair
+	return copies * portPairs * perCopy
+}
+
+// lutRegLEs is the logic cost of holding a register file in logic cells:
+// one LE register per bit plus read-mux LUTs amortized at half an LE per
+// bit (4-input LUTs mux four bits per level).
+func lutRegLEs(bits int) int { return bits + bits/2 }
+
+// peRAMs is the per-PE M4K count: local memory plus register file (unless
+// the register file lives in LUTs).
+func peRAMs(a Arch) int {
+	local := (a.LocalMemWords*int(a.Width) + M4KBits - 1) / M4KBits
+	if a.RegFileInLUTs {
+		return local
+	}
+	return local + gprBlocks(a.Threads, 16, a.Width)
+}
+
+// flagBlocks returns extra M4Ks needed for the flag register files after
+// packing them into the spare GPR block capacity (usually zero). With
+// LUT-based register files the flags are flip-flops too.
+func flagBlocks(a Arch) int {
+	if a.RegFileInLUTs {
+		return 0
+	}
+	flagBits := a.PEs * a.Threads * 8
+	spare := a.PEs * gprBlocks(a.Threads, 16, a.Width) * M4KBits
+	spare -= a.PEs * a.Threads * 16 * int(a.Width)
+	if flagBits <= spare {
+		return 0
+	}
+	return (flagBits - spare + M4KBits - 1) / M4KBits
+}
+
+// peLEs is the logic cost of one PE (section 6.2: local memory, GP register
+// file, flag register file, ALU, multiplier, divider — memories are RAM,
+// the rest is logic; the forwarding paths dominate the critical path).
+// With RegFileInLUTs the register and flag files are added as logic.
+func peLEs(a Arch) int {
+	w := int(a.Width)
+	les := leALUPerBit*w + leForwardPerBit*w + lePEControl
+	if a.RegFileInLUTs {
+		les += lutRegLEs(a.Threads * 16 * w) // GP register file
+		les += lutRegLEs(a.Threads * 8)      // flag register file
+	}
+	return les
+}
+
+// ControlUnit sizes the control unit (Figure 3: fetch unit, per-thread
+// decode, scheduler, scalar datapath).
+func ControlUnit(a Arch) Usage {
+	a.defaults()
+	les := leFetchUnit +
+		a.Threads*leDecodePerThread +
+		a.Threads*leSchedPerThread +
+		peLEs(a) + leScalarExtra
+	imem := (a.ImemWords*32 + M4KBits - 1) / M4KBits
+	rams := imem
+	if !a.RegFileInLUTs {
+		rams += gprBlocks(a.Threads, 16, a.Width)
+	}
+	return Usage{LEs: les, RAMs: rams}
+}
+
+// PEArray sizes the full PE array.
+func PEArray(a Arch) Usage {
+	a.defaults()
+	return Usage{
+		LEs:  a.PEs * peLEs(a),
+		RAMs: a.PEs*peRAMs(a) + flagBlocks(a),
+	}
+}
+
+// Network sizes the broadcast/reduction network (zero RAM blocks: it is a
+// register-and-logic tree structure).
+func Network(a Arch) Usage {
+	a.defaults()
+	w := int(a.Width)
+	p := a.PEs
+	bnodes := network.BroadcastNodes(p, a.Arity)
+	rnodes := network.ReduceNodes(p)
+	depth := network.ReductionLatency(p)
+
+	les := bnodes * (leBcastNodePerBit*w + leBcastNodeFixed)
+	les += rnodes*(leLogicPerBit*w+leLogicNodeFixed) + leLogicInvPerBit*w // logic unit
+	les += rnodes * (leMaxMinPerBit*w + leMaxMinFixed)                    // max/min unit
+	les += rnodes * (leSumPerBit*w + leSumFixed)                          // sum unit
+	les += rnodes * (depth + leCountFixed)                                // response counter
+	les += p * depth * leResolverPerNode                                  // multiple response resolver
+	les += leNetworkControl
+	return Usage{LEs: les}
+}
+
+// Estimate produces the full Table-1 style breakdown for an architecture.
+func Estimate(a Arch) Report {
+	a.defaults()
+	cu := ControlUnit(a)
+	pe := PEArray(a)
+	nw := Network(a)
+	return Report{
+		ControlUnit: cu,
+		PEArray:     pe,
+		Network:     nw,
+		Total:       cu.Add(pe).Add(nw),
+	}
+}
+
+// Device is an FPGA device's capacity.
+type Device struct {
+	Name string
+	LEs  int
+	RAMs int // M4K blocks
+}
+
+// Devices is the Altera Cyclone II catalog (the EP2C35 row carries the
+// capacities quoted in Table 1: 33,216 LEs and 105 M4K blocks).
+var Devices = []Device{
+	{Name: "EP2C5", LEs: 4608, RAMs: 26},
+	{Name: "EP2C8", LEs: 8256, RAMs: 36},
+	{Name: "EP2C20", LEs: 18752, RAMs: 52},
+	{Name: "EP2C35", LEs: 33216, RAMs: 105},
+	{Name: "EP2C50", LEs: 50528, RAMs: 129},
+	{Name: "EP2C70", LEs: 68416, RAMs: 250},
+}
+
+// DeviceByName looks up a catalog entry.
+func DeviceByName(name string) (Device, bool) {
+	for _, d := range Devices {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
+
+// EP2C35 is the paper's target device.
+func EP2C35() Device {
+	d, _ := DeviceByName("EP2C35")
+	return d
+}
+
+// Fits reports whether the architecture fits the device, and which resource
+// binds first.
+func Fits(a Arch, d Device) (fits bool, binding string) {
+	r := Estimate(a)
+	leFrac := float64(r.Total.LEs) / float64(d.LEs)
+	ramFrac := float64(r.Total.RAMs) / float64(d.RAMs)
+	if leFrac <= 1 && ramFrac <= 1 {
+		if ramFrac >= leFrac {
+			return true, "RAMs"
+		}
+		return true, "LEs"
+	}
+	if ramFrac >= leFrac {
+		return false, "RAMs"
+	}
+	return false, "LEs"
+}
+
+// MaxPEs returns the largest PE count of the given architecture template
+// that fits the device, and the resource that stops further growth.
+func MaxPEs(a Arch, d Device) (int, string) {
+	a.defaults()
+	lo, hi := 0, 1
+	for {
+		a.PEs = hi
+		if ok, _ := Fits(a, d); !ok {
+			break
+		}
+		hi *= 2
+		if hi > 1<<20 {
+			break
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		a.PEs = mid
+		if ok, _ := Fits(a, d); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a.PEs = hi
+	_, binding := Fits(a, d)
+	return lo, binding
+}
+
+// Clock model. The pipelined design's cycle time is set by the PE
+// forwarding logic (section 7) and is independent of the PE count — that is
+// the entire point of pipelining the broadcast/reduction networks. The
+// non-pipelined design's cycle must additionally cover combinational
+// propagation through the network: a gate-depth term growing with log2(p)
+// and an interconnect term growing with sqrt(p) (die traversal), following
+// the analysis of Allen & Schimmel [ref 3 of the paper]. Constants are
+// calibrated so the paper configuration runs at 75 MHz pipelined, and so
+// the non-pipelined clocks of the related-work designs ([10]: 95 PEs at
+// 68 MHz without broadcast pipelining; [11]: 88 PEs at 121 MHz with it)
+// are bracketed in shape, not matched exactly (different devices).
+
+// StageTimeNs is the pipelined cycle time in nanoseconds.
+func StageTimeNs(width uint) float64 {
+	return 10.0 + 0.4167*float64(width) // 13.33 ns (75 MHz) at 8 bits
+}
+
+// NetworkTimeNs is the additional combinational network propagation a
+// non-pipelined design must absorb into its cycle.
+func NetworkTimeNs(pes int, width uint) float64 {
+	if pes < 1 {
+		pes = 1
+	}
+	depth := float64(network.ReductionLatency(pes))
+	return 1.1*depth + 0.35*math.Sqrt(float64(pes)) + 0.05*float64(width)
+}
+
+// PipelinedClockMHz is the clock rate of the pipelined MTASC design.
+func PipelinedClockMHz(width uint) float64 { return 1000.0 / StageTimeNs(width) }
+
+// NonPipelinedClockMHz is the clock rate of the non-pipelined baseline.
+func NonPipelinedClockMHz(pes int, width uint) float64 {
+	return 1000.0 / (StageTimeNs(width) + NetworkTimeNs(pes, width))
+}
+
+// WallTimeMs converts a cycle count to milliseconds at a clock rate.
+func WallTimeMs(cycles int64, clockMHz float64) float64 {
+	return float64(cycles) / (clockMHz * 1000.0)
+}
+
+// String renders the report like Table 1.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"Component            LEs    RAMs\n"+
+			"Control Unit      %6d  %6d\n"+
+			"PE Array          %6d  %6d\n"+
+			"Network           %6d  %6d\n"+
+			"Total             %6d  %6d\n",
+		r.ControlUnit.LEs, r.ControlUnit.RAMs,
+		r.PEArray.LEs, r.PEArray.RAMs,
+		r.Network.LEs, r.Network.RAMs,
+		r.Total.LEs, r.Total.RAMs)
+}

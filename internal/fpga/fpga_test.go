@@ -1,0 +1,237 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable1Exact checks that the calibrated model reproduces every row of
+// Table 1 of the paper for the prototype configuration.
+func TestTable1Exact(t *testing.T) {
+	r := Estimate(PaperArch())
+	check := func(name string, got, want int) {
+		if got != want {
+			t.Errorf("%s = %d, want %d (Table 1)", name, got, want)
+		}
+	}
+	check("control unit LEs", r.ControlUnit.LEs, 1897)
+	check("control unit RAMs", r.ControlUnit.RAMs, 8)
+	check("PE array LEs", r.PEArray.LEs, 5984)
+	check("PE array RAMs", r.PEArray.RAMs, 96)
+	check("network LEs", r.Network.LEs, 1791)
+	check("network RAMs", r.Network.RAMs, 0)
+	check("total LEs", r.Total.LEs, 9672)
+	check("total RAMs", r.Total.RAMs, 104)
+}
+
+func TestTable1FitsEP2C35(t *testing.T) {
+	dev := EP2C35()
+	if dev.LEs != 33216 || dev.RAMs != 105 {
+		t.Fatalf("EP2C35 capacities = %+v, want 33216 LEs / 105 RAMs (Table 1 'Available' row)", dev)
+	}
+	ok, binding := Fits(PaperArch(), dev)
+	if !ok {
+		t.Fatal("paper prototype does not fit its own device")
+	}
+	if binding != "RAMs" {
+		t.Errorf("binding resource = %s, want RAMs (section 7: RAM blocks limit the PE count)", binding)
+	}
+}
+
+// TestRAMsLimitPEs verifies section 9's claim: the EP2C35 cannot hold a
+// 17th PE because of RAM blocks, long before LEs run out.
+func TestRAMsLimitPEs(t *testing.T) {
+	maxPEs, binding := MaxPEs(PaperArch(), EP2C35())
+	if maxPEs != 16 {
+		t.Errorf("max PEs on EP2C35 = %d, want 16 (the prototype is exactly RAM-limited)", maxPEs)
+	}
+	if binding != "RAMs" {
+		t.Errorf("binding = %s, want RAMs", binding)
+	}
+	// LE capacity alone would allow far more PEs.
+	a := PaperArch()
+	a.PEs = maxPEs + 1
+	r := Estimate(a)
+	if r.Total.LEs > EP2C35().LEs {
+		t.Errorf("LEs should not be the limit at %d PEs: %d > %d", a.PEs, r.Total.LEs, EP2C35().LEs)
+	}
+}
+
+func TestMaxPEsGrowsWithDevice(t *testing.T) {
+	prev := 0
+	for _, d := range Devices {
+		n, _ := MaxPEs(PaperArch(), d)
+		if n < prev {
+			t.Errorf("device %s: max PEs %d < smaller device's %d", d.Name, n, prev)
+		}
+		prev = n
+	}
+	big, _ := DeviceByName("EP2C70")
+	n, _ := MaxPEs(PaperArch(), big)
+	if n <= 16 {
+		t.Errorf("EP2C70 should hold more than 16 PEs, got %d", n)
+	}
+}
+
+func TestFewerThreadsOrSmallerMemoryAllowMorePEs(t *testing.T) {
+	// Section 9: future versions may explore PE organizations that need
+	// fewer RAM blocks. Halving local memory frees blocks for more PEs.
+	small := PaperArch()
+	small.LocalMemWords = 512 // 512 B: 1 block instead of 2
+	n, _ := MaxPEs(small, EP2C35())
+	if n <= 16 {
+		t.Errorf("512B local memory should allow more than 16 PEs, got %d", n)
+	}
+}
+
+func TestResourceScaling(t *testing.T) {
+	base := Estimate(PaperArch())
+	// Doubling PEs roughly doubles PE-array resources.
+	a := PaperArch()
+	a.PEs = 32
+	dbl := Estimate(a)
+	if dbl.PEArray.LEs != 2*base.PEArray.LEs {
+		t.Errorf("PE LEs should scale linearly: %d vs %d", dbl.PEArray.LEs, base.PEArray.LEs)
+	}
+	if dbl.Network.LEs <= base.Network.LEs {
+		t.Error("network LEs should grow with PEs")
+	}
+	if dbl.ControlUnit != base.ControlUnit {
+		t.Error("control unit cost should not depend on PE count")
+	}
+	// Wider datapath costs more logic.
+	w := PaperArch()
+	w.Width = 16
+	wide := Estimate(w)
+	if wide.PEArray.LEs <= base.PEArray.LEs {
+		t.Error("16-bit PEs should cost more LEs than 8-bit")
+	}
+	// More threads cost decode logic and register-file capacity eventually.
+	th := PaperArch()
+	th.Threads = 32
+	many := Estimate(th)
+	if many.ControlUnit.LEs <= base.ControlUnit.LEs {
+		t.Error("more threads should cost more control-unit LEs")
+	}
+}
+
+func TestThreadScalingHitsRAMCapacity(t *testing.T) {
+	// 64 threads x 16 regs x 8 bits = 8192 bits > one M4K per copy:
+	// register files double in block count.
+	if got, want := gprBlocks(64, 16, 8), 8; got != want {
+		t.Errorf("gprBlocks(64 threads) = %d, want %d", got, want)
+	}
+	if got, want := gprBlocks(16, 16, 8), 4; got != want {
+		t.Errorf("gprBlocks(16 threads) = %d, want %d", got, want)
+	}
+	if got, want := gprBlocks(1, 16, 8), 4; got != want {
+		t.Errorf("gprBlocks(1 thread) = %d, want %d (port-limited floor)", got, want)
+	}
+}
+
+func TestClockModel(t *testing.T) {
+	// Pipelined: 75 MHz at 8-bit (section 7), independent of PE count.
+	if f := PipelinedClockMHz(8); math.Abs(f-75.0) > 0.5 {
+		t.Errorf("pipelined clock = %.2f MHz, want ~75", f)
+	}
+	// Non-pipelined clock degrades with PE count.
+	prev := math.Inf(1)
+	for _, p := range []int{4, 16, 64, 256, 1024} {
+		f := NonPipelinedClockMHz(p, 8)
+		if f >= prev {
+			t.Errorf("non-pipelined clock did not degrade: %d PEs -> %.2f MHz", p, f)
+		}
+		if f >= PipelinedClockMHz(8) {
+			t.Errorf("non-pipelined clock %.2f should be below pipelined at %d PEs", f, p)
+		}
+		prev = f
+	}
+}
+
+func TestWallTime(t *testing.T) {
+	// 75 MHz, 75000 cycles = 1 ms.
+	if ms := WallTimeMs(75000, 75.0); math.Abs(ms-1.0) > 1e-9 {
+		t.Errorf("wall time = %f ms, want 1.0", ms)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Estimate(PaperArch()).String()
+	for _, frag := range []string{"Control Unit", "PE Array", "Network", "Total", "9672", "104"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	if _, ok := DeviceByName("EP2C35"); !ok {
+		t.Error("EP2C35 missing from catalog")
+	}
+	if _, ok := DeviceByName("XC9999"); ok {
+		t.Error("unknown device found")
+	}
+}
+
+func TestArityAffectsNetworkCost(t *testing.T) {
+	a2 := PaperArch()
+	a2.Arity = 2
+	a8 := PaperArch()
+	a8.Arity = 8
+	// A binary broadcast tree has more internal nodes than an 8-ary one.
+	if Network(a2).LEs <= Network(a8).LEs {
+		t.Errorf("k=2 network (%d LEs) should cost more than k=8 (%d LEs)",
+			Network(a2).LEs, Network(a8).LEs)
+	}
+}
+
+func TestLUTRegFileOrganization(t *testing.T) {
+	base := PaperArch()
+	lut := PaperArch()
+	lut.RegFileInLUTs = true
+	rb := Estimate(base)
+	rl := Estimate(lut)
+	// Moving register files to logic: fewer RAMs, more LEs.
+	if rl.PEArray.RAMs >= rb.PEArray.RAMs {
+		t.Errorf("LUT organization RAMs %d should be below block-RAM %d", rl.PEArray.RAMs, rb.PEArray.RAMs)
+	}
+	if rl.PEArray.LEs <= rb.PEArray.LEs {
+		t.Errorf("LUT organization LEs %d should exceed block-RAM %d", rl.PEArray.LEs, rb.PEArray.LEs)
+	}
+	// At 16 threads the LUT register files are enormous: 2048 bits x 1.5
+	// LEs per PE. The paper rules this out (section 6.2).
+	if rl.PEArray.LEs < rb.PEArray.LEs+16*2048 {
+		t.Errorf("LUT regfiles too cheap: %d", rl.PEArray.LEs)
+	}
+	// Local memory still needs RAM blocks.
+	if rl.PEArray.RAMs != 16*2 {
+		t.Errorf("LUT organization PE RAMs = %d, want 32 (local memory only)", rl.PEArray.RAMs)
+	}
+}
+
+func TestLUTOrganizationCrossover(t *testing.T) {
+	// Few threads: LUT regfiles fit more PEs (RAM floor gone). Many
+	// threads: block RAM wins (logic explodes).
+	dev := EP2C35()
+	few := PaperArch()
+	few.Threads = 2
+	nBlockFew, _ := MaxPEs(few, dev)
+	few.RegFileInLUTs = true
+	nLUTFew, _ := MaxPEs(few, dev)
+	if nLUTFew <= nBlockFew {
+		t.Errorf("2 threads: LUT organization (%d PEs) should beat block RAM (%d)", nLUTFew, nBlockFew)
+	}
+
+	many := PaperArch()
+	nBlockMany, _ := MaxPEs(many, dev)
+	many.RegFileInLUTs = true
+	nLUTMany, bind := MaxPEs(many, dev)
+	if nLUTMany >= nBlockMany {
+		t.Errorf("16 threads: block RAM (%d PEs) should beat LUT organization (%d, binding %s)",
+			nBlockMany, nLUTMany, bind)
+	}
+	if bind != "LEs" {
+		t.Errorf("16-thread LUT organization should be logic-bound, got %s", bind)
+	}
+}

@@ -1,0 +1,21 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReferenceCoversEveryOpcode(t *testing.T) {
+	ref := Reference()
+	for op := Op(0); int(op) < NumOps; op++ {
+		needle := "`" + Lookup(op).Name + "`"
+		if !strings.Contains(ref, needle) {
+			t.Errorf("reference missing %s", needle)
+		}
+	}
+	for _, frag := range []string{"## Encodings", "## Instructions", "Pseudo-instructions", "Reduction timing"} {
+		if !strings.Contains(ref, frag) {
+			t.Errorf("reference missing section %q", frag)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package isa
+
+import "testing"
+
+func TestOpStringInvalid(t *testing.T) {
+	if got := Op(250).String(); got != "op(250)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestLookupPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup(255) did not panic")
+		}
+	}()
+	Lookup(Op(255))
+}
+
+func TestRegKindStrings(t *testing.T) {
+	cases := map[RegKind]string{
+		KindNone: "none", KindScalar: "scalar", KindParallel: "parallel", KindFlag: "flag",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRegRefString(t *testing.T) {
+	if got := (RegRef{KindParallel, 7}).String(); got != "p7" {
+		t.Errorf("RegRef string = %q", got)
+	}
+}
+
+func TestReadsAndWritesTable(t *testing.T) {
+	var buf [4]RegRef
+	// SW reads base (ra) and value (rd field).
+	reads := (Inst{Op: SW, Rd: 3, Ra: 2}).Reads(buf[:0])
+	if len(reads) != 2 || reads[0] != (RegRef{KindScalar, 2}) || reads[1] != (RegRef{KindScalar, 3}) {
+		t.Errorf("SW reads = %v", reads)
+	}
+	// PSW value is parallel.
+	reads = (Inst{Op: PSW, Rd: 3, Ra: 2}).Reads(buf[:0])
+	if reads[1].Kind != KindParallel {
+		t.Errorf("PSW value kind = %v", reads[1].Kind)
+	}
+	// Branches read rd and ra.
+	reads = (Inst{Op: BEQ, Rd: 1, Ra: 2}).Reads(buf[:0])
+	if len(reads) != 2 {
+		t.Errorf("BEQ reads = %v", reads)
+	}
+	// Masked op includes the mask flag unless it is f0.
+	reads = (Inst{Op: PADD, Rd: 1, Ra: 2, Rb: 3, Mask: 5}).Reads(buf[:0])
+	found := false
+	for _, r := range reads {
+		if r == (RegRef{KindFlag, 5}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("masked PADD reads = %v, missing f5", reads)
+	}
+	// JAL writes the link register.
+	if w, ok := (Inst{Op: JAL, Imm: 3}).Writes(); !ok || w != (RegRef{KindScalar, LinkReg}) {
+		t.Errorf("JAL writes = %v, %v", w, ok)
+	}
+	// Stores write nothing.
+	if _, ok := (Inst{Op: SW}).Writes(); ok {
+		t.Error("SW should write no register")
+	}
+}

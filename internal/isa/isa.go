@@ -1,0 +1,395 @@
+// Package isa defines the instruction set architecture of the Multithreaded
+// Associative SIMD (MTASC) processor: a 32-bit RISC load/store ISA with
+// extensions for SIMD data-parallel computing, associative computing, and
+// multithreading, as described in Schaffer & Walker, "A Prototype
+// Multithreaded Associative SIMD Processor" (IPDPS 2007), section 6.1.
+//
+// The ISA has four register spaces, all replicated (scalar) or split
+// (parallel, flag) per hardware thread:
+//
+//   - 16 scalar registers s0..s15 in the control unit; s0 reads as zero.
+//   - 16 parallel registers p0..p15 in each PE; p0 reads as zero.
+//   - 8 one-bit flag registers f0..f7 in each PE; f0 reads as one, so it
+//     names the "all PEs active" mask.
+//   - A per-thread PC and a per-thread mailbox for interthread communication.
+//
+// Parallel, flag, and reduction instructions carry a 3-bit mask field naming
+// the flag register that gates execution: only PEs whose mask flag is 1
+// (responders) participate. The default mask f0 selects every PE.
+package isa
+
+import "fmt"
+
+// Op is an 8-bit opcode.
+type Op uint8
+
+// Opcodes. The numeric values are part of the binary encoding and must not
+// be reordered; new opcodes must be appended.
+const (
+	// Control.
+	NOP Op = iota
+	HALT
+
+	// Scalar register-register ALU (FormatR).
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	DIV
+	MOD
+
+	// Scalar immediate ALU (FormatI).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI
+
+	// Scalar memory (FormatI): address = s[ra] + imm.
+	LW
+	SW
+
+	// Branches (FormatI): compare s[rd] with s[ra], target = imm (absolute
+	// word address resolved by the assembler).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Jumps.
+	J   // FormatJ
+	JAL // FormatJ: s15 := return address
+	JR  // FormatR: jump to s[ra]
+
+	// Parallel register-register ALU (FormatPR). Operand B is a parallel
+	// register, or a broadcast scalar register when the SB bit is set
+	// ("most parallel instructions allow one of the operands to be a scalar
+	// value that is broadcast to the PE array", section 6.1).
+	PADD
+	PSUB
+	PAND
+	POR
+	PXOR
+	PSLL
+	PSRL
+	PSRA
+	PMUL
+	PDIV
+	PMOD
+
+	// Parallel immediate ALU (FormatPI).
+	PADDI
+	PANDI
+	PORI
+	PXORI
+	PSLLI
+	PSRLI
+	PSRAI
+	PLI // p[rd] := imm (broadcast immediate)
+
+	// Parallel memory (FormatPI): PE-local address = p[ra] + imm.
+	PLW
+	PSW
+
+	// Parallel misc.
+	PIDX // FormatPR: p[rd] := PE index
+
+	// Parallel comparisons producing flags (FormatPR, flag destination).
+	PCEQ
+	PCNE
+	PCLT
+	PCLE
+	PCGT
+	PCGE
+	PCLTU
+	PCLEU
+	PCGTU
+	PCGEU
+
+	// Flag logic (FormatPR, flag operands). Flags are a first-class data
+	// type with their own registers and instructions (section 6.1).
+	FAND
+	FOR
+	FXOR
+	FANDN // f[rd] := f[ra] AND NOT f[rb]; steps responder iteration
+	FNOT
+	FMOV
+	FSET // f[rd] := 1
+	FCLR // f[rd] := 0
+
+	// Reductions (FormatPR: scalar rd, parallel/flag source ra, mask).
+	// Implemented by the pipelined reduction network units (section 6.4).
+	RAND   // logic unit, bitwise AND over responders
+	ROR    // logic unit, bitwise OR over responders
+	RMAX   // max/min unit, signed
+	RMIN   // max/min unit, signed
+	RMAXU  // max/min unit, unsigned
+	RMINU  // max/min unit, unsigned
+	RSUM   // sum unit, saturating
+	RCOUNT // response counter: exact count of responders in f[ra]
+	RANY   // some/none: 1 if any responder in f[ra]
+	RFIRST // multiple response resolver: f[rd] := 1 at first responder of f[ra] only
+
+	// Thread management (section 6.1): allocate and release hardware
+	// threads and communicate data between threads.
+	TSPAWN // FormatI: s[rd] := new thread id started at imm, or -1 if none free
+	TEXIT  // FormatN: release this hardware thread
+	TJOIN  // FormatR: wait until thread s[ra] has exited
+	TSEND  // FormatR: send s[rb] to thread s[ra]'s mailbox (blocks while full)
+	TRECV  // FormatR: s[rd] := next mailbox value (blocks while empty)
+	TID    // FormatR: s[rd] := this thread's id
+
+	numOps // sentinel
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Format describes the bit layout of an instruction word.
+type Format uint8
+
+const (
+	// FormatN has no operands (NOP, HALT, TEXIT).
+	FormatN Format = iota
+	// FormatR is op rd ra rb: scalar register-register.
+	FormatR
+	// FormatPR is op rd ra rb mask sb: parallel/flag/reduction
+	// register-register, with mask flag and scalar-broadcast bit.
+	FormatPR
+	// FormatI is op rd ra imm16: scalar immediate, memory, branch.
+	FormatI
+	// FormatPI is op rd ra mask imm13: parallel immediate and memory.
+	FormatPI
+	// FormatJ is op target24.
+	FormatJ
+)
+
+// Class is the pipeline path an instruction takes (Figure 1 of the paper).
+type Class uint8
+
+const (
+	// ClassScalar executes in the control unit: SR, EX, MA, WB.
+	ClassScalar Class = iota
+	// ClassParallel executes on the PE array via the broadcast network:
+	// SR, B1..Bb, PR, EX, MA, WB.
+	ClassParallel
+	// ClassReduction uses both the broadcast and reduction networks:
+	// SR, B1..Bb, PR, R1..Rr, WB.
+	ClassReduction
+)
+
+// RegKind identifies the register space of an operand.
+type RegKind uint8
+
+const (
+	KindNone RegKind = iota
+	KindScalar
+	KindParallel
+	KindFlag
+)
+
+func (k RegKind) String() string {
+	switch k {
+	case KindScalar:
+		return "scalar"
+	case KindParallel:
+		return "parallel"
+	case KindFlag:
+		return "flag"
+	default:
+		return "none"
+	}
+}
+
+// Info is the static metadata for one opcode, used by the assembler, the
+// functional machine, and the pipeline hazard logic.
+type Info struct {
+	Name   string
+	Format Format
+	Class  Class
+
+	// Register usage. DstKind/SrcAKind/SrcBKind are KindNone when the
+	// corresponding field is unused by the opcode.
+	DstKind  RegKind
+	SrcAKind RegKind
+	SrcBKind RegKind
+
+	// Behavioral attributes.
+	IsLoad    bool // result available one stage later (MA), costs a load-use bubble
+	IsStore   bool
+	IsBranch  bool // resolves in EX; taken branches redirect the thread
+	IsJump    bool // unconditional control transfer
+	IsMul     bool // uses the (possibly sequential) multiplier
+	IsDiv     bool // uses the sequential divider
+	IsHalt    bool
+	IsThread  bool // thread management
+	Blocking  bool // may block the thread (TSEND full, TRECV empty, TJOIN)
+	ReadsMask bool // gated by the 3-bit mask flag field
+}
+
+var infos = [numOps]Info{
+	NOP:  {Name: "nop", Format: FormatN, Class: ClassScalar},
+	HALT: {Name: "halt", Format: FormatN, Class: ClassScalar, IsHalt: true},
+
+	ADD:  {Name: "add", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SUB:  {Name: "sub", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	AND:  {Name: "and", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	OR:   {Name: "or", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	XOR:  {Name: "xor", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SLL:  {Name: "sll", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SRL:  {Name: "srl", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SRA:  {Name: "sra", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SLT:  {Name: "slt", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	SLTU: {Name: "sltu", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar},
+	MUL:  {Name: "mul", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar, IsMul: true},
+	DIV:  {Name: "div", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar, IsDiv: true},
+	MOD:  {Name: "mod", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, SrcBKind: KindScalar, IsDiv: true},
+
+	ADDI: {Name: "addi", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	ANDI: {Name: "andi", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	ORI:  {Name: "ori", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	XORI: {Name: "xori", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	SLTI: {Name: "slti", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	SLLI: {Name: "slli", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	SRLI: {Name: "srli", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	SRAI: {Name: "srai", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar},
+	LUI:  {Name: "lui", Format: FormatI, Class: ClassScalar, DstKind: KindScalar},
+
+	// Stores and branches have no destination; their extra source register
+	// travels in the Rd bit field (FormatI/FormatPI have no Rb field).
+	// Inst.Reads accounts for this.
+	LW: {Name: "lw", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, SrcAKind: KindScalar, IsLoad: true},
+	SW: {Name: "sw", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsStore: true},
+
+	BEQ:  {Name: "beq", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+	BNE:  {Name: "bne", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+	BLT:  {Name: "blt", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+	BGE:  {Name: "bge", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+	BLTU: {Name: "bltu", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+	BGEU: {Name: "bgeu", Format: FormatI, Class: ClassScalar, SrcAKind: KindScalar, IsBranch: true},
+
+	J:   {Name: "j", Format: FormatJ, Class: ClassScalar, IsJump: true},
+	JAL: {Name: "jal", Format: FormatJ, Class: ClassScalar, DstKind: KindScalar, IsJump: true},
+	JR:  {Name: "jr", Format: FormatR, Class: ClassScalar, SrcAKind: KindScalar, IsJump: true},
+
+	PADD: {Name: "padd", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PSUB: {Name: "psub", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PAND: {Name: "pand", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	POR:  {Name: "por", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PXOR: {Name: "pxor", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PSLL: {Name: "psll", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PSRL: {Name: "psrl", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PSRA: {Name: "psra", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PMUL: {Name: "pmul", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, IsMul: true, ReadsMask: true},
+	PDIV: {Name: "pdiv", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, IsDiv: true, ReadsMask: true},
+	PMOD: {Name: "pmod", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, SrcBKind: KindParallel, IsDiv: true, ReadsMask: true},
+
+	PADDI: {Name: "paddi", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PANDI: {Name: "pandi", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PORI:  {Name: "pori", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PXORI: {Name: "pxori", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PSLLI: {Name: "pslli", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PSRLI: {Name: "psrli", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PSRAI: {Name: "psrai", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, ReadsMask: true},
+	PLI:   {Name: "pli", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, ReadsMask: true},
+
+	PLW: {Name: "plw", Format: FormatPI, Class: ClassParallel, DstKind: KindParallel, SrcAKind: KindParallel, IsLoad: true, ReadsMask: true},
+	PSW: {Name: "psw", Format: FormatPI, Class: ClassParallel, SrcAKind: KindParallel, IsStore: true, ReadsMask: true},
+
+	PIDX: {Name: "pidx", Format: FormatPR, Class: ClassParallel, DstKind: KindParallel, ReadsMask: true},
+
+	PCEQ:  {Name: "pceq", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCNE:  {Name: "pcne", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCLT:  {Name: "pclt", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCLE:  {Name: "pcle", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCGT:  {Name: "pcgt", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCGE:  {Name: "pcge", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCLTU: {Name: "pcltu", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCLEU: {Name: "pcleu", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCGTU: {Name: "pcgtu", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+	PCGEU: {Name: "pcgeu", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindParallel, SrcBKind: KindParallel, ReadsMask: true},
+
+	FAND:  {Name: "fand", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, SrcBKind: KindFlag, ReadsMask: true},
+	FOR:   {Name: "for", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, SrcBKind: KindFlag, ReadsMask: true},
+	FXOR:  {Name: "fxor", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, SrcBKind: KindFlag, ReadsMask: true},
+	FANDN: {Name: "fandn", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, SrcBKind: KindFlag, ReadsMask: true},
+	FNOT:  {Name: "fnot", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, ReadsMask: true},
+	FMOV:  {Name: "fmov", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, SrcAKind: KindFlag, ReadsMask: true},
+	FSET:  {Name: "fset", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, ReadsMask: true},
+	FCLR:  {Name: "fclr", Format: FormatPR, Class: ClassParallel, DstKind: KindFlag, ReadsMask: true},
+
+	RAND:   {Name: "rand", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	ROR:    {Name: "ror", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RMAX:   {Name: "rmax", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RMIN:   {Name: "rmin", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RMAXU:  {Name: "rmaxu", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RMINU:  {Name: "rminu", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RSUM:   {Name: "rsum", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindParallel, ReadsMask: true},
+	RCOUNT: {Name: "rcount", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindFlag, ReadsMask: true},
+	RANY:   {Name: "rany", Format: FormatPR, Class: ClassReduction, DstKind: KindScalar, SrcAKind: KindFlag, ReadsMask: true},
+	RFIRST: {Name: "rfirst", Format: FormatPR, Class: ClassReduction, DstKind: KindFlag, SrcAKind: KindFlag, ReadsMask: true},
+
+	TSPAWN: {Name: "tspawn", Format: FormatI, Class: ClassScalar, DstKind: KindScalar, IsThread: true},
+	TEXIT:  {Name: "texit", Format: FormatN, Class: ClassScalar, IsThread: true},
+	TJOIN:  {Name: "tjoin", Format: FormatR, Class: ClassScalar, SrcAKind: KindScalar, IsThread: true, Blocking: true},
+	TSEND:  {Name: "tsend", Format: FormatR, Class: ClassScalar, SrcAKind: KindScalar, SrcBKind: KindScalar, IsThread: true, Blocking: true},
+	TRECV:  {Name: "trecv", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, IsThread: true, Blocking: true},
+	TID:    {Name: "tid", Format: FormatR, Class: ClassScalar, DstKind: KindScalar, IsThread: true},
+}
+
+// Lookup returns the metadata for op. It panics on an undefined opcode;
+// use Valid to check first when decoding untrusted words.
+func Lookup(op Op) Info {
+	if !Valid(op) {
+		panic(fmt.Sprintf("isa: invalid opcode %d", op))
+	}
+	return infos[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func Valid(op Op) bool { return int(op) < NumOps && infos[op].Name != "" }
+
+// ByName maps mnemonic to opcode. Built at init.
+var byName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); int(op) < NumOps; op++ {
+		if infos[op].Name != "" {
+			m[infos[op].Name] = op
+		}
+	}
+	return m
+}()
+
+// OpByName returns the opcode for a mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+func (op Op) String() string {
+	if Valid(op) {
+		return infos[op].Name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Register file geometry. These are architectural constants of the prototype.
+const (
+	NumScalarRegs   = 16 // s0..s15; s0 is hardwired to zero
+	NumParallelRegs = 16 // p0..p15 per PE per thread; p0 is hardwired to zero
+	NumFlagRegs     = 8  // f0..f7 per PE per thread; f0 is hardwired to one
+	LinkReg         = 15 // s15 holds JAL return addresses
+)

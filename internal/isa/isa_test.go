@@ -1,0 +1,226 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEveryOpcodeHasInfo(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		info := Lookup(op)
+		if info.Name == "" {
+			t.Fatalf("opcode %d has no metadata", op)
+		}
+		if got, ok := OpByName(info.Name); !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", info.Name, got, ok, op)
+		}
+	}
+}
+
+func TestNoDuplicateMnemonics(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); int(op) < NumOps; op++ {
+		name := Lookup(op).Name
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q used by both %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+}
+
+func TestClassConsistency(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		info := Lookup(op)
+		switch info.Class {
+		case ClassReduction:
+			// Reductions write scalar or flag (resolver) and read the array.
+			if info.DstKind != KindScalar && info.DstKind != KindFlag {
+				t.Errorf("%s: reduction must produce scalar or flag, got %v", info.Name, info.DstKind)
+			}
+			if !info.ReadsMask {
+				t.Errorf("%s: reductions operate on responders and must read the mask", info.Name)
+			}
+		case ClassParallel:
+			if !info.ReadsMask {
+				t.Errorf("%s: parallel ops are gated by the mask flag", info.Name)
+			}
+			if info.DstKind == KindScalar {
+				t.Errorf("%s: parallel op cannot write a scalar register", info.Name)
+			}
+		case ClassScalar:
+			if info.DstKind == KindParallel || info.DstKind == KindFlag {
+				t.Errorf("%s: scalar op cannot write PE state", info.Name)
+			}
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 24); err == nil {
+		t.Fatal("Decode accepted an invalid opcode")
+	}
+	if _, err := Decode(0xff << 24); err == nil {
+		t.Fatal("Decode accepted opcode 255")
+	}
+	if Valid(Op(255)) {
+		t.Fatal("Valid(255) = true")
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	cases := []Inst{
+		{Op: ADDI, Imm: MaxImm16 + 1},
+		{Op: ADDI, Imm: MinImm16 - 1},
+		{Op: PADDI, Imm: MaxImm13 + 1},
+		{Op: PADDI, Imm: MinImm13 - 1},
+		{Op: J, Imm: MaxImm24 + 1},
+		{Op: ADD, Rd: 16},
+		{Op: PADD, Mask: 8},
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("Encode(%+v) succeeded; want range error", in)
+		}
+	}
+}
+
+func TestEncodeBoundaryValues(t *testing.T) {
+	cases := []Inst{
+		{Op: ADDI, Rd: 15, Ra: 15, Imm: MaxImm16},
+		{Op: ADDI, Imm: MinImm16},
+		{Op: PADDI, Rd: 15, Ra: 15, Mask: 7, Imm: MaxImm13},
+		{Op: PADDI, Imm: MinImm13},
+		{Op: J, Imm: MaxImm24},
+		{Op: JAL, Imm: 0},
+		{Op: PADD, Rd: 15, Ra: 15, Rb: 15, Mask: 7, SB: true},
+	}
+	for _, in := range cases {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in.Canonical() {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+// randomInst builds a random, encodable instruction.
+func randomInst(r *rand.Rand) Inst {
+	for {
+		op := Op(r.Intn(NumOps))
+		if !Valid(op) {
+			continue
+		}
+		in := Inst{
+			Op:   op,
+			Rd:   uint8(r.Intn(16)),
+			Ra:   uint8(r.Intn(16)),
+			Rb:   uint8(r.Intn(16)),
+			Mask: uint8(r.Intn(8)),
+			SB:   r.Intn(2) == 1,
+		}
+		switch Lookup(op).Format {
+		case FormatI:
+			in.Imm = int32(r.Intn(MaxImm16-MinImm16+1)) + MinImm16
+		case FormatPI:
+			in.Imm = int32(r.Intn(MaxImm13-MinImm13+1)) + MinImm13
+		case FormatJ:
+			in.Imm = int32(r.Intn(1 << 20))
+		}
+		return in.Canonical()
+	}
+}
+
+// Property: encode/decode is the identity on canonical instructions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#08x: %v", w, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding any word either fails or yields an instruction that
+// re-encodes to a word decoding to the same instruction (decode is stable).
+func TestDecodeStability(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // invalid opcodes may be rejected
+		}
+		w2, err := in.Encode()
+		if err != nil {
+			t.Logf("re-encode %v: %v", in, err)
+			return false
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			return false
+		}
+		return in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: ADD, Rd: 1, Ra: 2, Rb: 3}, "add s1, s2, s3"},
+		{Inst{Op: ADDI, Rd: 1, Ra: 0, Imm: -5}, "addi s1, s0, -5"},
+		{Inst{Op: LW, Rd: 2, Ra: 3, Imm: 8}, "lw s2, 8(s3)"},
+		{Inst{Op: SW, Rd: 2, Ra: 3, Imm: 8}, "sw s2, 8(s3)"},
+		{Inst{Op: PADD, Rd: 1, Ra: 2, Rb: 3}, "padd p1, p2, p3"},
+		{Inst{Op: PADD, Rd: 1, Ra: 2, Rb: 3, SB: true}, "padd p1, p2, s3"},
+		{Inst{Op: PADD, Rd: 1, Ra: 2, Rb: 3, Mask: 2}, "padd p1, p2, p3 ?f2"},
+		{Inst{Op: PCLT, Rd: 1, Ra: 2, Rb: 3}, "pclt f1, p2, p3"},
+		{Inst{Op: RMAX, Rd: 4, Ra: 5, Mask: 1}, "rmax s4, p5 ?f1"},
+		{Inst{Op: RFIRST, Rd: 2, Ra: 1}, "rfirst f2, f1"},
+		{Inst{Op: PLW, Rd: 1, Ra: 2, Imm: 4}, "plw p1, 4(p2)"},
+		{Inst{Op: J, Imm: 12}, "j 12"},
+		{Inst{Op: TSPAWN, Rd: 3, Imm: 40}, "tspawn s3, 40"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSrcBIsScalar(t *testing.T) {
+	if (Inst{Op: PADD, SB: false}).SrcBIsScalar() {
+		t.Error("PADD without SB should read parallel B")
+	}
+	if !(Inst{Op: PADD, SB: true}).SrcBIsScalar() {
+		t.Error("PADD with SB should read scalar B")
+	}
+	if !(Inst{Op: ADD}).SrcBIsScalar() {
+		t.Error("scalar ADD reads scalar B")
+	}
+	if (Inst{Op: RMAX}).SrcBIsScalar() {
+		t.Error("RMAX has no B operand")
+	}
+}

@@ -1,0 +1,872 @@
+// Package machine implements the architectural state and functional
+// semantics of the MTASC processor: the control unit's scalar state, the PE
+// array (local memory, general-purpose register file, flag register file,
+// ALU, multiplier, divider — section 6.2 of the paper), and the thread
+// contexts with their mailboxes (section 6.1).
+//
+// The package is purely functional: Exec applies one instruction for one
+// thread and reports the control-flow outcome. All timing (pipelines,
+// hazards, multithreaded issue) lives in internal/pipeline and
+// internal/core; the baselines in internal/baseline reuse the same
+// functional core, so every machine model computes identical results.
+//
+// Value representation: registers and memory words hold the raw bit pattern
+// in the low Width bits of an int64 (0 .. 2^Width-1). Signed operations
+// sign-extend explicitly. Register s0 and parallel register p0 read as zero
+// and ignore writes; flag f0 reads as one (the "all PEs active" mask) and
+// ignores writes.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/network"
+)
+
+// Config holds the architectural parameters of a machine instance.
+type Config struct {
+	PEs            int  // number of processing elements (p)
+	Threads        int  // hardware thread contexts (T)
+	Width          uint // data width in bits: 8 (paper prototype), 16, or 32
+	LocalMemWords  int  // PE local memory size in words
+	ScalarMemWords int  // control-unit data memory size in words
+	MailboxCap     int  // per-thread mailbox depth for TSEND/TRECV
+}
+
+// Validate checks the configuration and fills defaults for zero fields.
+func (c *Config) Validate() error {
+	if c.PEs == 0 {
+		c.PEs = 16
+	}
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.LocalMemWords == 0 {
+		c.LocalMemWords = 1024
+	}
+	if c.ScalarMemWords == 0 {
+		c.ScalarMemWords = 4096
+	}
+	if c.MailboxCap == 0 {
+		c.MailboxCap = 4
+	}
+	if c.PEs < 1 {
+		return fmt.Errorf("machine: PEs must be >= 1, got %d", c.PEs)
+	}
+	if c.Threads < 1 || c.Threads > 64 {
+		return fmt.Errorf("machine: Threads must be in [1, 64], got %d", c.Threads)
+	}
+	switch c.Width {
+	case 8, 16, 32:
+	default:
+		return fmt.Errorf("machine: Width must be 8, 16, or 32, got %d", c.Width)
+	}
+	if c.LocalMemWords < 1 || c.ScalarMemWords < 1 {
+		return fmt.Errorf("machine: memory sizes must be positive")
+	}
+	if c.MailboxCap < 1 {
+		return fmt.Errorf("machine: MailboxCap must be >= 1")
+	}
+	return nil
+}
+
+// ThreadState is the lifecycle state of a hardware thread context.
+type ThreadState uint8
+
+const (
+	// ThreadFree contexts can be allocated by TSPAWN.
+	ThreadFree ThreadState = iota
+	// ThreadActive contexts fetch and execute instructions.
+	ThreadActive
+)
+
+// thread is one hardware thread context.
+type thread struct {
+	state   ThreadState
+	pc      int
+	sregs   [isa.NumScalarRegs]int64
+	mailbox []int64
+}
+
+// Machine is the complete architectural state.
+type Machine struct {
+	cfg  Config
+	prog []isa.Inst
+
+	threads []thread
+
+	// PE state, indexed [thread][pe][reg]. The register files are split
+	// between threads at the hardware level (section 6.2).
+	pregs [][][]int64
+	flags [][][]bool
+
+	// localMem is indexed [pe][word]; it is shared between threads at the
+	// hardware level (section 6.2).
+	localMem [][]int64
+
+	// scalarMem is the control unit's data memory, shared by all threads.
+	scalarMem []int64
+
+	halted bool
+
+	// Reduction scratch buffers, reused across Exec calls (the machine is
+	// not safe for concurrent use; neither is the simulator around it).
+	scratchMask   []bool
+	scratchFlags  []bool
+	scratchRaw    []int64
+	scratchSigned []int64
+}
+
+// New builds a machine with the given configuration and program.
+func New(cfg Config, prog []isa.Inst) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, prog: prog}
+	m.threads = make([]thread, cfg.Threads)
+	m.pregs = make([][][]int64, cfg.Threads)
+	m.flags = make([][][]bool, cfg.Threads)
+	for t := range m.threads {
+		m.pregs[t] = make([][]int64, cfg.PEs)
+		m.flags[t] = make([][]bool, cfg.PEs)
+		for pe := 0; pe < cfg.PEs; pe++ {
+			m.pregs[t][pe] = make([]int64, isa.NumParallelRegs)
+			m.flags[t][pe] = make([]bool, isa.NumFlagRegs)
+		}
+	}
+	m.localMem = make([][]int64, cfg.PEs)
+	for pe := range m.localMem {
+		m.localMem[pe] = make([]int64, cfg.LocalMemWords)
+	}
+	m.scalarMem = make([]int64, cfg.ScalarMemWords)
+	m.scratchMask = make([]bool, cfg.PEs)
+	m.scratchFlags = make([]bool, cfg.PEs)
+	m.scratchRaw = make([]int64, cfg.PEs)
+	m.scratchSigned = make([]int64, cfg.PEs)
+	// Thread 0 starts active at PC 0.
+	m.threads[0].state = ThreadActive
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Program returns the loaded program.
+func (m *Machine) Program() []isa.Inst { return m.prog }
+
+// Halted reports whether HALT has executed or every thread has exited.
+func (m *Machine) Halted() bool {
+	if m.halted {
+		return true
+	}
+	for i := range m.threads {
+		if m.threads[i].state == ThreadActive {
+			return false
+		}
+	}
+	return true
+}
+
+// ThreadActive reports whether thread t is an active context.
+func (m *Machine) ThreadActive(t int) bool {
+	return t >= 0 && t < m.cfg.Threads && m.threads[t].state == ThreadActive
+}
+
+// PC returns thread t's program counter.
+func (m *Machine) PC(t int) int { return m.threads[t].pc }
+
+// SetPC sets thread t's program counter (used by the fetch model).
+func (m *Machine) SetPC(t, pc int) { m.threads[t].pc = pc }
+
+// mask returns v truncated to the data width.
+func (m *Machine) mask(v int64) int64 { return v & (int64(1)<<m.cfg.Width - 1) }
+
+// signed sign-extends a width-masked bit pattern.
+func (m *Machine) signed(v int64) int64 {
+	shift := 64 - m.cfg.Width
+	return v << shift >> shift
+}
+
+// Scalar returns the value of scalar register r in thread t (bit pattern).
+func (m *Machine) Scalar(t int, r uint8) int64 {
+	if r == 0 {
+		return 0
+	}
+	return m.threads[t].sregs[r]
+}
+
+// SetScalar writes scalar register r of thread t (s0 writes are dropped).
+func (m *Machine) SetScalar(t int, r uint8, v int64) {
+	if r == 0 {
+		return
+	}
+	m.threads[t].sregs[r] = m.mask(v)
+}
+
+// Parallel returns parallel register r of PE pe in thread t.
+func (m *Machine) Parallel(t, pe int, r uint8) int64 {
+	if r == 0 {
+		return 0
+	}
+	return m.pregs[t][pe][r]
+}
+
+// SetParallel writes parallel register r of PE pe in thread t.
+func (m *Machine) SetParallel(t, pe int, r uint8, v int64) {
+	if r == 0 {
+		return
+	}
+	m.pregs[t][pe][r] = m.mask(v)
+}
+
+// Flag returns flag register r of PE pe in thread t. f0 reads as one.
+func (m *Machine) Flag(t, pe int, r uint8) bool {
+	if r == 0 {
+		return true
+	}
+	return m.flags[t][pe][r]
+}
+
+// SetFlag writes flag register r of PE pe in thread t (f0 writes dropped).
+func (m *Machine) SetFlag(t, pe int, r uint8, v bool) {
+	if r == 0 {
+		return
+	}
+	m.flags[t][pe][r] = v
+}
+
+// LoadLocalMem initializes PE local memory: data[pe][w] -> word w of PE pe.
+// Rows beyond the PE count are ignored; short rows leave the tail zero.
+func (m *Machine) LoadLocalMem(data [][]int64) error {
+	for pe, row := range data {
+		if pe >= m.cfg.PEs {
+			break
+		}
+		if len(row) > m.cfg.LocalMemWords {
+			return fmt.Errorf("machine: local mem row %d has %d words, capacity %d", pe, len(row), m.cfg.LocalMemWords)
+		}
+		for w, v := range row {
+			m.localMem[pe][w] = m.mask(v)
+		}
+	}
+	return nil
+}
+
+// LocalMem returns word w of PE pe's local memory.
+func (m *Machine) LocalMem(pe, w int) int64 { return m.localMem[pe][w] }
+
+// LoadScalarMem initializes the control unit data memory from addr 0.
+func (m *Machine) LoadScalarMem(data []int64) error {
+	if len(data) > m.cfg.ScalarMemWords {
+		return fmt.Errorf("machine: scalar mem image %d words, capacity %d", len(data), m.cfg.ScalarMemWords)
+	}
+	for i, v := range data {
+		m.scalarMem[i] = m.mask(v)
+	}
+	return nil
+}
+
+// ScalarMem returns word w of the control unit data memory.
+func (m *Machine) ScalarMem(w int) int64 { return m.scalarMem[w] }
+
+// MailboxLen returns the number of queued values in thread t's mailbox.
+func (m *Machine) MailboxLen(t int) int { return len(m.threads[t].mailbox) }
+
+// Outcome reports the control-flow effect of executing one instruction.
+type Outcome struct {
+	NextPC   int  // the thread's next program counter
+	Redirect bool // true for taken branches and jumps (pipeline flush)
+	Halt     bool // HALT executed: the whole machine stops
+	Exited   bool // TEXIT executed: this thread's context is now free
+	Spawned  int  // thread id allocated by TSPAWN, or -1
+}
+
+// Blocked reports whether the instruction cannot issue for thread t right
+// now because of interthread synchronization: TRECV with an empty mailbox,
+// TSEND to a full mailbox, or TJOIN on a live thread. Blocked threads are
+// simply not ready to the scheduler (fine-grain multithreading, section 5).
+func (m *Machine) Blocked(t int, in isa.Inst) bool {
+	switch in.Op {
+	case isa.TRECV:
+		return len(m.threads[t].mailbox) == 0
+	case isa.TSEND:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return false // executes and traps
+		}
+		return len(m.threads[target].mailbox) >= m.cfg.MailboxCap
+	case isa.TJOIN:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return false
+		}
+		return m.threads[target].state == ThreadActive
+	}
+	return false
+}
+
+// TrapError is an architectural trap: out-of-range memory access, bad thread
+// operation, or PC out of program bounds.
+type TrapError struct {
+	Thread int
+	PC     int
+	Inst   isa.Inst
+	Msg    string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("machine: trap in thread %d at pc %d (%s): %s", e.Thread, e.PC, e.Inst, e.Msg)
+}
+
+func (m *Machine) trap(t int, in isa.Inst, format string, args ...any) error {
+	return &TrapError{Thread: t, PC: m.threads[t].pc, Inst: in, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Exec executes one instruction for thread t and advances that thread's PC.
+// The caller must ensure the thread is active and not Blocked. Exec applies
+// all architectural effects immediately; the timing layers replay program
+// order per thread, so this matches the in-order pipeline with forwarding.
+func (m *Machine) Exec(t int, in isa.Inst) (Outcome, error) {
+	th := &m.threads[t]
+	out := Outcome{NextPC: th.pc + 1, Spawned: -1}
+	info := in.Info()
+
+	switch {
+	case in.Op == isa.NOP:
+	case in.Op == isa.HALT:
+		m.halted = true
+		out.Halt = true
+
+	case info.IsBranch:
+		taken, err := m.branchTaken(t, in)
+		if err != nil {
+			return out, err
+		}
+		if taken {
+			out.NextPC = int(in.Imm)
+			out.Redirect = true
+		}
+
+	case info.IsJump:
+		switch in.Op {
+		case isa.J:
+			out.NextPC = int(in.Imm)
+		case isa.JAL:
+			m.SetScalar(t, isa.LinkReg, int64(th.pc+1))
+			out.NextPC = int(in.Imm)
+		case isa.JR:
+			out.NextPC = int(m.Scalar(t, in.Ra))
+		}
+		out.Redirect = true
+
+	case info.IsThread:
+		if err := m.execThreadOp(t, in, &out); err != nil {
+			return out, err
+		}
+
+	case in.Op == isa.LW:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, in, "scalar load address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.SetScalar(t, in.Rd, m.scalarMem[addr])
+
+	case in.Op == isa.SW:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, in, "scalar store address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.scalarMem[addr] = m.Scalar(t, in.Rd)
+
+	case in.Op == isa.LUI:
+		m.SetScalar(t, in.Rd, int64(uint16(in.Imm))<<16)
+
+	case info.Class == isa.ClassScalar:
+		// Scalar ALU, register or immediate form.
+		a := m.Scalar(t, in.Ra)
+		var b int64
+		if info.Format == isa.FormatI {
+			b = m.mask(int64(in.Imm))
+		} else {
+			b = m.Scalar(t, in.Rb)
+		}
+		v, err := m.alu(scalarALUOp(in.Op), a, b)
+		if err != nil {
+			return out, m.trap(t, in, "%v", err)
+		}
+		m.SetScalar(t, in.Rd, v)
+
+	case info.Class == isa.ClassParallel:
+		if err := m.execParallel(t, in); err != nil {
+			return out, err
+		}
+
+	case info.Class == isa.ClassReduction:
+		m.execReduction(t, in)
+
+	default:
+		return out, m.trap(t, in, "unimplemented opcode")
+	}
+
+	th.pc = out.NextPC
+	if !out.Halt && !out.Exited {
+		if out.NextPC < 0 || out.NextPC > len(m.prog) {
+			return out, m.trap(t, in, "next pc %d out of program bounds [0, %d]", out.NextPC, len(m.prog))
+		}
+	}
+	return out, nil
+}
+
+func (m *Machine) branchTaken(t int, in isa.Inst) (bool, error) {
+	a := m.Scalar(t, in.Rd)
+	b := m.Scalar(t, in.Ra)
+	sa, sb := m.signed(a), m.signed(b)
+	switch in.Op {
+	case isa.BEQ:
+		return a == b, nil
+	case isa.BNE:
+		return a != b, nil
+	case isa.BLT:
+		return sa < sb, nil
+	case isa.BGE:
+		return sa >= sb, nil
+	case isa.BLTU:
+		return a < b, nil
+	case isa.BGEU:
+		return a >= b, nil
+	}
+	return false, m.trap(t, in, "not a branch")
+}
+
+func (m *Machine) execThreadOp(t int, in isa.Inst, out *Outcome) error {
+	th := &m.threads[t]
+	switch in.Op {
+	case isa.TID:
+		m.SetScalar(t, in.Rd, int64(t))
+
+	case isa.TSPAWN:
+		target := int(in.Imm)
+		if target < 0 || target >= len(m.prog) {
+			return m.trap(t, in, "spawn target %d out of program bounds", target)
+		}
+		spawned := -1
+		for i := range m.threads {
+			if m.threads[i].state == ThreadFree {
+				spawned = i
+				break
+			}
+		}
+		if spawned < 0 {
+			// No free context: rd := -1 (all-ones pattern at the data width).
+			m.SetScalar(t, in.Rd, m.mask(-1))
+			return nil
+		}
+		nt := &m.threads[spawned]
+		nt.state = ThreadActive
+		nt.pc = target
+		nt.sregs = [isa.NumScalarRegs]int64{}
+		nt.mailbox = nil
+		for pe := 0; pe < m.cfg.PEs; pe++ {
+			for r := range m.pregs[spawned][pe] {
+				m.pregs[spawned][pe][r] = 0
+			}
+			for r := range m.flags[spawned][pe] {
+				m.flags[spawned][pe][r] = false
+			}
+		}
+		m.SetScalar(t, in.Rd, int64(spawned))
+		out.Spawned = spawned
+
+	case isa.TEXIT:
+		th.state = ThreadFree
+		out.Exited = true
+
+	case isa.TJOIN:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return m.trap(t, in, "join on invalid thread id %d", target)
+		}
+		// Caller guaranteed the target is no longer active.
+
+	case isa.TSEND:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return m.trap(t, in, "send to invalid thread id %d", target)
+		}
+		tt := &m.threads[target]
+		if len(tt.mailbox) >= m.cfg.MailboxCap {
+			return m.trap(t, in, "send to full mailbox (caller must check Blocked)")
+		}
+		tt.mailbox = append(tt.mailbox, m.Scalar(t, in.Rb))
+
+	case isa.TRECV:
+		if len(th.mailbox) == 0 {
+			return m.trap(t, in, "recv on empty mailbox (caller must check Blocked)")
+		}
+		v := th.mailbox[0]
+		th.mailbox = th.mailbox[1:]
+		m.SetScalar(t, in.Rd, v)
+
+	default:
+		return m.trap(t, in, "unimplemented thread op")
+	}
+	return nil
+}
+
+// aluOp is the internal ALU operation selector shared by the scalar datapath
+// and the PEs ("the scalar datapath ... has an organization nearly identical
+// to the PEs", section 6.3).
+type aluOp uint8
+
+const (
+	opAdd aluOp = iota
+	opSub
+	opAnd
+	opOr
+	opXor
+	opSll
+	opSrl
+	opSra
+	opSlt
+	opSltu
+	opMul
+	opDiv
+	opMod
+)
+
+func scalarALUOp(op isa.Op) aluOp {
+	switch op {
+	case isa.ADD, isa.ADDI:
+		return opAdd
+	case isa.SUB:
+		return opSub
+	case isa.AND, isa.ANDI:
+		return opAnd
+	case isa.OR, isa.ORI:
+		return opOr
+	case isa.XOR, isa.XORI:
+		return opXor
+	case isa.SLL, isa.SLLI:
+		return opSll
+	case isa.SRL, isa.SRLI:
+		return opSrl
+	case isa.SRA, isa.SRAI:
+		return opSra
+	case isa.SLT, isa.SLTI:
+		return opSlt
+	case isa.SLTU:
+		return opSltu
+	case isa.MUL:
+		return opMul
+	case isa.DIV:
+		return opDiv
+	case isa.MOD:
+		return opMod
+	}
+	panic(fmt.Sprintf("machine: %v is not a scalar ALU op", op))
+}
+
+func parallelALUOp(op isa.Op) aluOp {
+	switch op {
+	case isa.PADD, isa.PADDI:
+		return opAdd
+	case isa.PSUB:
+		return opSub
+	case isa.PAND, isa.PANDI:
+		return opAnd
+	case isa.POR, isa.PORI:
+		return opOr
+	case isa.PXOR, isa.PXORI:
+		return opXor
+	case isa.PSLL, isa.PSLLI:
+		return opSll
+	case isa.PSRL, isa.PSRLI:
+		return opSrl
+	case isa.PSRA, isa.PSRAI:
+		return opSra
+	case isa.PMUL:
+		return opMul
+	case isa.PDIV:
+		return opDiv
+	case isa.PMOD:
+		return opMod
+	}
+	panic(fmt.Sprintf("machine: %v is not a parallel ALU op", op))
+}
+
+// alu computes one ALU operation on width-masked bit patterns.
+// Division by zero follows the RISC-V convention: quotient is all ones,
+// remainder is the dividend. There is no divide trap.
+func (m *Machine) alu(op aluOp, a, b int64) (int64, error) {
+	sa, sb := m.signed(a), m.signed(b)
+	shift := uint(b) % 64
+	switch op {
+	case opAdd:
+		return m.mask(a + b), nil
+	case opSub:
+		return m.mask(a - b), nil
+	case opAnd:
+		return a & b, nil
+	case opOr:
+		return a | b, nil
+	case opXor:
+		return a ^ b, nil
+	case opSll:
+		if shift >= m.cfg.Width {
+			return 0, nil
+		}
+		return m.mask(a << shift), nil
+	case opSrl:
+		if shift >= m.cfg.Width {
+			return 0, nil
+		}
+		return a >> shift, nil
+	case opSra:
+		if shift >= m.cfg.Width {
+			shift = m.cfg.Width - 1
+		}
+		return m.mask(sa >> shift), nil
+	case opSlt:
+		if sa < sb {
+			return 1, nil
+		}
+		return 0, nil
+	case opSltu:
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	case opMul:
+		return m.mask(sa * sb), nil
+	case opDiv:
+		if sb == 0 {
+			return m.mask(-1), nil
+		}
+		return m.mask(sa / sb), nil
+	case opMod:
+		if sb == 0 {
+			return m.mask(sa), nil
+		}
+		return m.mask(sa % sb), nil
+	}
+	return 0, fmt.Errorf("unknown alu op %d", op)
+}
+
+// execParallel applies a parallel-class instruction on every responder PE.
+func (m *Machine) execParallel(t int, in isa.Inst) error {
+	info := in.Info()
+	p := m.cfg.PEs
+
+	// active reports whether PE pe participates (its mask flag is set).
+	active := func(pe int) bool { return m.Flag(t, pe, in.Mask) }
+
+	switch {
+	case in.Op == isa.PIDX:
+		for pe := 0; pe < p; pe++ {
+			if active(pe) {
+				m.SetParallel(t, pe, in.Rd, int64(pe))
+			}
+		}
+
+	case in.Op == isa.PLI:
+		for pe := 0; pe < p; pe++ {
+			if active(pe) {
+				m.SetParallel(t, pe, in.Rd, m.mask(int64(in.Imm)))
+			}
+		}
+
+	case in.Op == isa.PLW:
+		for pe := 0; pe < p; pe++ {
+			if !active(pe) {
+				continue
+			}
+			addr := int(m.signed(m.Parallel(t, pe, in.Ra))) + int(in.Imm)
+			if addr < 0 || addr >= m.cfg.LocalMemWords {
+				return m.trap(t, in, "PE %d local load address %d out of [0, %d)", pe, addr, m.cfg.LocalMemWords)
+			}
+			m.SetParallel(t, pe, in.Rd, m.localMem[pe][addr])
+		}
+
+	case in.Op == isa.PSW:
+		for pe := 0; pe < p; pe++ {
+			if !active(pe) {
+				continue
+			}
+			addr := int(m.signed(m.Parallel(t, pe, in.Ra))) + int(in.Imm)
+			if addr < 0 || addr >= m.cfg.LocalMemWords {
+				return m.trap(t, in, "PE %d local store address %d out of [0, %d)", pe, addr, m.cfg.LocalMemWords)
+			}
+			m.localMem[pe][addr] = m.Parallel(t, pe, in.Rd)
+		}
+
+	case info.DstKind == isa.KindFlag && info.SrcAKind == isa.KindParallel:
+		// Parallel comparison producing a flag.
+		for pe := 0; pe < p; pe++ {
+			if !active(pe) {
+				continue
+			}
+			a := m.Parallel(t, pe, in.Ra)
+			var b int64
+			if in.SB {
+				b = m.Scalar(t, in.Rb)
+			} else {
+				b = m.Parallel(t, pe, in.Rb)
+			}
+			m.SetFlag(t, pe, in.Rd, m.compare(in.Op, a, b))
+		}
+
+	case info.DstKind == isa.KindFlag:
+		// Flag logic.
+		for pe := 0; pe < p; pe++ {
+			if !active(pe) {
+				continue
+			}
+			// Read operands lazily: FNOT/FMOV/FSET/FCLR have no B (or A)
+			// operand, and their unused register fields may hold any value.
+			var v bool
+			switch in.Op {
+			case isa.FAND:
+				v = m.Flag(t, pe, in.Ra) && m.Flag(t, pe, in.Rb)
+			case isa.FOR:
+				v = m.Flag(t, pe, in.Ra) || m.Flag(t, pe, in.Rb)
+			case isa.FXOR:
+				v = m.Flag(t, pe, in.Ra) != m.Flag(t, pe, in.Rb)
+			case isa.FANDN:
+				v = m.Flag(t, pe, in.Ra) && !m.Flag(t, pe, in.Rb)
+			case isa.FNOT:
+				v = !m.Flag(t, pe, in.Ra)
+			case isa.FMOV:
+				v = m.Flag(t, pe, in.Ra)
+			case isa.FSET:
+				v = true
+			case isa.FCLR:
+				v = false
+			default:
+				return m.trap(t, in, "unimplemented flag op")
+			}
+			m.SetFlag(t, pe, in.Rd, v)
+		}
+
+	default:
+		// Parallel ALU, register/broadcast/immediate forms.
+		op := parallelALUOp(in.Op)
+		for pe := 0; pe < p; pe++ {
+			if !active(pe) {
+				continue
+			}
+			a := m.Parallel(t, pe, in.Ra)
+			var b int64
+			switch {
+			case info.Format == isa.FormatPI:
+				b = m.mask(int64(in.Imm))
+			case in.SB:
+				b = m.Scalar(t, in.Rb)
+			default:
+				b = m.Parallel(t, pe, in.Rb)
+			}
+			v, err := m.alu(op, a, b)
+			if err != nil {
+				return m.trap(t, in, "%v", err)
+			}
+			m.SetParallel(t, pe, in.Rd, v)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) compare(op isa.Op, a, b int64) bool {
+	sa, sb := m.signed(a), m.signed(b)
+	switch op {
+	case isa.PCEQ:
+		return a == b
+	case isa.PCNE:
+		return a != b
+	case isa.PCLT:
+		return sa < sb
+	case isa.PCLE:
+		return sa <= sb
+	case isa.PCGT:
+		return sa > sb
+	case isa.PCGE:
+		return sa >= sb
+	case isa.PCLTU:
+		return a < b
+	case isa.PCLEU:
+		return a <= b
+	case isa.PCGTU:
+		return a > b
+	case isa.PCGEU:
+		return a >= b
+	}
+	panic(fmt.Sprintf("machine: %v is not a comparison", op))
+}
+
+// execReduction applies a reduction instruction using the functional network
+// semantics (internal/network). The mask flag selects the responders.
+func (m *Machine) execReduction(t int, in isa.Inst) {
+	p := m.cfg.PEs
+	maskVec := m.scratchMask
+	for pe := 0; pe < p; pe++ {
+		maskVec[pe] = m.Flag(t, pe, in.Mask)
+	}
+
+	switch in.Op {
+	case isa.RCOUNT, isa.RANY, isa.RFIRST:
+		flagVec := m.scratchFlags
+		for pe := 0; pe < p; pe++ {
+			flagVec[pe] = m.Flag(t, pe, in.Ra)
+		}
+		switch in.Op {
+		case isa.RCOUNT:
+			m.SetScalar(t, in.Rd, m.mask(network.CountResponders(flagVec, maskVec)))
+		case isa.RANY:
+			v := int64(0)
+			if network.AnyResponder(flagVec, maskVec) {
+				v = 1
+			}
+			m.SetScalar(t, in.Rd, v)
+		case isa.RFIRST:
+			// The resolver output is a parallel value written back into
+			// every PE's flag register, regardless of mask: non-responders
+			// receive zero, exactly one responder receives one.
+			first := network.FirstResponder(flagVec, maskVec)
+			for pe := 0; pe < p; pe++ {
+				m.SetFlag(t, pe, in.Rd, first[pe])
+			}
+		}
+		return
+	}
+
+	// Value reductions over parallel register ra.
+	raw := m.scratchRaw
+	signedVals := m.scratchSigned
+	for pe := 0; pe < p; pe++ {
+		raw[pe] = m.Parallel(t, pe, in.Ra)
+		signedVals[pe] = m.signed(raw[pe])
+	}
+	w := m.cfg.Width
+	var v int64
+	switch in.Op {
+	case isa.RAND:
+		v = network.ReduceAnd(raw, maskVec, w)
+	case isa.ROR:
+		v = network.ReduceOr(raw, maskVec)
+	case isa.RMAX:
+		v = network.ReduceMax(signedVals, maskVec, w)
+	case isa.RMIN:
+		v = network.ReduceMin(signedVals, maskVec, w)
+	case isa.RMAXU:
+		v = network.ReduceMaxU(raw, maskVec)
+	case isa.RMINU:
+		v = network.ReduceMinU(raw, maskVec, w)
+	case isa.RSUM:
+		v = network.ReduceSum(signedVals, maskVec, w)
+	default:
+		panic(fmt.Sprintf("machine: %v is not a reduction", in.Op))
+	}
+	m.SetScalar(t, in.Rd, m.mask(v))
+}

@@ -1,0 +1,212 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Snapshot serializes the complete architectural state — thread contexts
+// (state, PC, scalar registers, mailboxes), PE register and flag files,
+// local memories, control-unit data memory, and the halt flag — into a
+// portable byte image. Restore loads it back into a machine built with the
+// same configuration and program (both are fingerprinted in the header).
+//
+// Snapshots capture architectural state only: they are taken between
+// instructions, which is always a consistent point because Exec applies
+// each instruction atomically. Microarchitectural state (pipeline
+// occupancy, scoreboard) is derived and rebuilds naturally when simulation
+// resumes from a quiescent point.
+
+const (
+	snapMagic   = 0x4d544153 // "MTAS"
+	snapVersion = 1
+)
+
+// fingerprint hashes the configuration and program so a snapshot cannot be
+// restored into an incompatible machine.
+func (m *Machine) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(m.cfg.PEs))
+	put(uint64(m.cfg.Threads))
+	put(uint64(m.cfg.Width))
+	put(uint64(m.cfg.LocalMemWords))
+	put(uint64(m.cfg.ScalarMemWords))
+	put(uint64(m.cfg.MailboxCap))
+	put(uint64(len(m.prog)))
+	for _, in := range m.prog {
+		w, err := in.Encode()
+		if err != nil {
+			// Unencodable instructions cannot come from the assembler;
+			// hash a placeholder so fingerprinting still works.
+			w = 0xffffffff
+		}
+		put(uint64(w))
+	}
+	return h.Sum64()
+}
+
+// Snapshot returns the serialized architectural state.
+func (m *Machine) Snapshot() []byte {
+	var b bytes.Buffer
+	w := func(v int64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		b.Write(buf[:])
+	}
+	w(snapMagic)
+	w(snapVersion)
+	w(int64(m.fingerprint()))
+
+	if m.halted {
+		w(1)
+	} else {
+		w(0)
+	}
+	for t := range m.threads {
+		th := &m.threads[t]
+		w(int64(th.state))
+		w(int64(th.pc))
+		for _, r := range th.sregs {
+			w(r)
+		}
+		w(int64(len(th.mailbox)))
+		for _, v := range th.mailbox {
+			w(v)
+		}
+	}
+	for t := 0; t < m.cfg.Threads; t++ {
+		for pe := 0; pe < m.cfg.PEs; pe++ {
+			for _, v := range m.pregs[t][pe] {
+				w(v)
+			}
+			for _, f := range m.flags[t][pe] {
+				if f {
+					w(1)
+				} else {
+					w(0)
+				}
+			}
+		}
+	}
+	for pe := 0; pe < m.cfg.PEs; pe++ {
+		for _, v := range m.localMem[pe] {
+			w(v)
+		}
+	}
+	for _, v := range m.scalarMem {
+		w(v)
+	}
+	return b.Bytes()
+}
+
+// Restore loads a snapshot into this machine. The machine must have been
+// built with the same configuration and program as the one that produced
+// the snapshot.
+func (m *Machine) Restore(data []byte) error {
+	rd := bytes.NewReader(data)
+	r := func() (int64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(rd, buf[:]); err != nil {
+			return 0, fmt.Errorf("machine: truncated snapshot")
+		}
+		return int64(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	need := func(what string, want int64) error {
+		v, err := r()
+		if err != nil {
+			return err
+		}
+		if v != want {
+			return fmt.Errorf("machine: snapshot %s mismatch: %d != %d", what, v, want)
+		}
+		return nil
+	}
+	if err := need("magic", snapMagic); err != nil {
+		return err
+	}
+	if err := need("version", snapVersion); err != nil {
+		return err
+	}
+	if err := need("machine fingerprint", int64(m.fingerprint())); err != nil {
+		return err
+	}
+
+	halted, err := r()
+	if err != nil {
+		return err
+	}
+	m.halted = halted != 0
+	for t := range m.threads {
+		th := &m.threads[t]
+		st, err := r()
+		if err != nil {
+			return err
+		}
+		th.state = ThreadState(st)
+		pc, err := r()
+		if err != nil {
+			return err
+		}
+		th.pc = int(pc)
+		for i := range th.sregs {
+			if th.sregs[i], err = r(); err != nil {
+				return err
+			}
+		}
+		n, err := r()
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > int64(m.cfg.MailboxCap) {
+			return fmt.Errorf("machine: snapshot mailbox length %d out of range", n)
+		}
+		th.mailbox = th.mailbox[:0]
+		for i := int64(0); i < n; i++ {
+			v, err := r()
+			if err != nil {
+				return err
+			}
+			th.mailbox = append(th.mailbox, v)
+		}
+	}
+	for t := 0; t < m.cfg.Threads; t++ {
+		for pe := 0; pe < m.cfg.PEs; pe++ {
+			for i := range m.pregs[t][pe] {
+				if m.pregs[t][pe][i], err = r(); err != nil {
+					return err
+				}
+			}
+			for i := range m.flags[t][pe] {
+				v, err := r()
+				if err != nil {
+					return err
+				}
+				m.flags[t][pe][i] = v != 0
+			}
+		}
+	}
+	for pe := 0; pe < m.cfg.PEs; pe++ {
+		for i := range m.localMem[pe] {
+			if m.localMem[pe][i], err = r(); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range m.scalarMem {
+		if m.scalarMem[i], err = r(); err != nil {
+			return err
+		}
+	}
+	if rd.Len() != 0 {
+		return fmt.Errorf("machine: snapshot has %d trailing bytes", rd.Len())
+	}
+	return nil
+}

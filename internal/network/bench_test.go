@@ -1,0 +1,87 @@
+package network
+
+import "testing"
+
+// Micro-benchmarks for the structural network primitives: these bound the
+// host-side cost of structural co-simulation (ns per simulated network
+// cycle) at several machine sizes.
+
+func BenchmarkReduceTreeStep(b *testing.B) {
+	for _, p := range []int{16, 256, 4096} {
+		b.Run(sizeName(p), func(b *testing.B) {
+			tr := NewReduceTree(p, func(a, c int64) int64 { return a + c })
+			in := make([]int64, p)
+			for i := range in {
+				in[i] = int64(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Step(in)
+			}
+		})
+	}
+}
+
+func BenchmarkResolverStep(b *testing.B) {
+	for _, p := range []int{16, 256, 4096} {
+		b.Run(sizeName(p), func(b *testing.B) {
+			r := NewResolver(p)
+			in := make([]bool, p)
+			for i := range in {
+				in[i] = i%3 == 0
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Step(in)
+			}
+		})
+	}
+}
+
+func BenchmarkBankStep(b *testing.B) {
+	for _, p := range []int{16, 256} {
+		b.Run(sizeName(p), func(b *testing.B) {
+			bk := NewBank(p, 4, 16)
+			vals := make([]int64, p)
+			mask := make([]bool, p)
+			for i := range vals {
+				vals[i] = int64(i)
+				mask[i] = true
+			}
+			ops := []ReduceOp{ROpMax, ROpSum, ROpOr, ROpMin}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bk.PushValues(ops[i%len(ops)], int64(i), vals, mask)
+				bk.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkFalkoffMax(b *testing.B) {
+	for _, p := range []int{16, 256, 4096} {
+		b.Run(sizeName(p), func(b *testing.B) {
+			vals := make([]int64, p)
+			mask := make([]bool, p)
+			for i := range vals {
+				vals[i] = int64(i * 37 % 251)
+				mask[i] = true
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FalkoffMax(vals, mask, 8)
+			}
+		})
+	}
+}
+
+func sizeName(p int) string {
+	switch p {
+	case 16:
+		return "p=16"
+	case 256:
+		return "p=256"
+	default:
+		return "p=4096"
+	}
+}

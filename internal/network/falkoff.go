@@ -1,0 +1,143 @@
+package network
+
+// Falkoff's bit-serial maximum/minimum algorithm, used by the pre-pipelined
+// ASC processors (section 6.4: "The previous ASC Processors performed
+// maximum/minimum reductions using the Falkoff algorithm, which processes
+// one bit of the data word each cycle"). The multithreaded prototype
+// replaced it with the pipelined compare-select tree; the non-pipelined
+// baseline machine (internal/baseline) charges one cycle per data bit,
+// matching this algorithm's latency.
+//
+// The algorithm maintains a candidate set, initially the responders. For
+// each bit position from most significant to least: if any candidate has a
+// one in that position, candidates with a zero are eliminated (they cannot
+// be the maximum). After all bits, every remaining candidate holds the
+// maximum value. A single some/none test per bit is the only global
+// communication — which is why STARAN-era machines could implement it with
+// just a responder OR line.
+
+// FalkoffState is the stepwise state of one bit-serial reduction, exposed
+// so tests (and curious users) can watch the candidate set narrow one bit
+// per cycle, exactly as the hardware did.
+type FalkoffState struct {
+	vals       []int64
+	candidates []bool
+	bit        int // next bit to process (width-1 down to -1)
+	width      uint
+}
+
+// NewFalkoffMax starts a bit-serial maximum over the responders in mask.
+// vals must hold width-bit patterns; for a signed maximum, pre-bias the
+// values with SignBias (see FalkoffMax).
+func NewFalkoffMax(vals []int64, mask []bool, width uint) *FalkoffState {
+	f := &FalkoffState{
+		vals:       append([]int64(nil), vals...),
+		candidates: append([]bool(nil), mask...),
+		bit:        int(width) - 1,
+		width:      width,
+	}
+	return f
+}
+
+// Done reports whether all bit positions have been processed.
+func (f *FalkoffState) Done() bool { return f.bit < 0 }
+
+// Step processes one bit position (one hardware cycle). It reports whether
+// any candidate had a one in this position (the some/none responder test).
+func (f *FalkoffState) Step() bool {
+	if f.Done() {
+		return false
+	}
+	bitMask := int64(1) << uint(f.bit)
+	any := false
+	for i, c := range f.candidates {
+		if c && f.vals[i]&bitMask != 0 {
+			any = true
+			break
+		}
+	}
+	if any {
+		for i, c := range f.candidates {
+			if c && f.vals[i]&bitMask == 0 {
+				f.candidates[i] = false
+			}
+		}
+	}
+	f.bit--
+	return any
+}
+
+// Candidates returns the current candidate set (aliased; do not modify).
+func (f *FalkoffState) Candidates() []bool { return f.candidates }
+
+// Result returns the maximum value and the set of PEs that hold it. It is
+// only meaningful once Done. With no responders it returns (0, all-false).
+func (f *FalkoffState) Result() (int64, []bool) {
+	for i, c := range f.candidates {
+		if c {
+			return f.vals[i], f.candidates
+		}
+	}
+	return 0, f.candidates
+}
+
+// SignBias converts a width-bit two's-complement pattern into an unsigned
+// pattern with the same ordering, by flipping the sign bit. Applying it to
+// every input lets the unsigned Falkoff algorithm compute signed maxima.
+func SignBias(v int64, width uint) int64 {
+	return v ^ int64(1)<<(width-1)
+}
+
+// FalkoffMax runs the bit-serial algorithm to completion and returns the
+// unsigned maximum over responders together with the PEs holding it, plus
+// the cycle count consumed (always exactly width). With zero responders the
+// value is 0 and the candidate set is empty.
+func FalkoffMax(vals []int64, mask []bool, width uint) (max int64, holders []bool, cycles int) {
+	f := NewFalkoffMax(vals, mask, width)
+	for !f.Done() {
+		f.Step()
+		cycles++
+	}
+	max, holders = f.Result()
+	return max, holders, cycles
+}
+
+// FalkoffMaxSigned computes the signed maximum via sign biasing.
+func FalkoffMaxSigned(vals []int64, mask []bool, width uint) (max int64, holders []bool, cycles int) {
+	biased := make([]int64, len(vals))
+	for i, v := range vals {
+		biased[i] = SignBias(v&(int64(1)<<width-1), width)
+	}
+	bmax, holders, cycles := FalkoffMax(biased, mask, width)
+	any := false
+	for _, h := range holders {
+		any = any || h
+	}
+	if !any {
+		return 0, holders, cycles
+	}
+	// Un-bias and sign-extend.
+	pat := SignBias(bmax, width)
+	return pat << (64 - width) >> (64 - width), holders, cycles
+}
+
+// FalkoffMinSigned computes the signed minimum by negating the ordering:
+// min(x) = -biasing trick on complemented values.
+func FalkoffMinSigned(vals []int64, mask []bool, width uint) (min int64, holders []bool, cycles int) {
+	ones := int64(1)<<width - 1
+	inverted := make([]int64, len(vals))
+	for i, v := range vals {
+		inverted[i] = ^v & ones
+	}
+	negMax, holders, cycles := FalkoffMaxSigned(inverted, mask, width)
+	any := false
+	for _, h := range holders {
+		any = any || h
+	}
+	if !any {
+		return 0, holders, cycles
+	}
+	// x minimizing v maximizes ^v; recover v = ^(biased result pattern).
+	pat := ^negMax & ones
+	return pat << (64 - width) >> (64 - width), holders, cycles
+}

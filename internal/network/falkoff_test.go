@@ -1,0 +1,166 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allMask(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+func TestFalkoffMaxSimple(t *testing.T) {
+	vals := []int64{3, 200, 17, 200, 9}
+	max, holders, cycles := FalkoffMax(vals, allMask(5), 8)
+	if max != 200 {
+		t.Errorf("max = %d, want 200", max)
+	}
+	if cycles != 8 {
+		t.Errorf("cycles = %d, want 8 (one per bit)", cycles)
+	}
+	// Both PEs holding 200 remain candidates — the algorithm finds the
+	// maximum AND its responders in one pass.
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if holders[i] != want[i] {
+			t.Errorf("holders[%d] = %v, want %v", i, holders[i], want[i])
+		}
+	}
+}
+
+func TestFalkoffNoResponders(t *testing.T) {
+	max, holders, _ := FalkoffMax([]int64{5, 6}, make([]bool, 2), 8)
+	if max != 0 {
+		t.Errorf("max = %d with no responders", max)
+	}
+	for i, h := range holders {
+		if h {
+			t.Errorf("holder %d set with no responders", i)
+		}
+	}
+}
+
+func TestFalkoffStepwise(t *testing.T) {
+	// Watch the candidate set narrow. Values (4-bit): 0b1010, 0b1100,
+	// 0b0111. Bit 3: candidates {0,1}; bit 2: {1}; done early in effect.
+	f := NewFalkoffMax([]int64{0b1010, 0b1100, 0b0111}, allMask(3), 4)
+	if !f.Step() { // bit 3: some
+		t.Fatal("bit 3 should report responders")
+	}
+	c := f.Candidates()
+	if !c[0] || !c[1] || c[2] {
+		t.Fatalf("after bit 3: candidates %v", c)
+	}
+	if !f.Step() { // bit 2: 0b1100 survives
+		t.Fatal("bit 2 should report responders")
+	}
+	c = f.Candidates()
+	if c[0] || !c[1] || c[2] {
+		t.Fatalf("after bit 2: candidates %v", c)
+	}
+	f.Step()
+	f.Step()
+	if !f.Done() {
+		t.Fatal("not done after width steps")
+	}
+	max, _ := f.Result()
+	if max != 0b1100 {
+		t.Errorf("max = %#b, want 0b1100", max)
+	}
+}
+
+// Property: the bit-serial algorithm agrees with the pipelined tree's
+// functional model for unsigned, signed-max, and signed-min, on random
+// inputs, masks, and widths — two completely different hardware algorithms,
+// one answer.
+func TestFalkoffMatchesTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		width := []uint{8, 16}[rnd.Intn(2)]
+		p := 1 + rnd.Intn(64)
+		wmask := int64(1)<<width - 1
+		raw := make([]int64, p)
+		signedVals := make([]int64, p)
+		mask := make([]bool, p)
+		anyResp := false
+		for i := range raw {
+			raw[i] = rnd.Int63() & wmask
+			signedVals[i] = raw[i] << (64 - width) >> (64 - width)
+			mask[i] = rnd.Intn(2) == 0
+			anyResp = anyResp || mask[i]
+		}
+		if !anyResp {
+			return true // identity conventions differ; covered elsewhere
+		}
+
+		// Unsigned max.
+		fm, _, _ := FalkoffMax(raw, mask, width)
+		if tm := ReduceMaxU(raw, mask); fm != tm {
+			t.Logf("unsigned: falkoff %d tree %d", fm, tm)
+			return false
+		}
+		// Signed max.
+		fs, _, _ := FalkoffMaxSigned(raw, mask, width)
+		if ts := ReduceMax(signedVals, mask, width); fs != ts {
+			t.Logf("signed max: falkoff %d tree %d", fs, ts)
+			return false
+		}
+		// Signed min.
+		fn, _, _ := FalkoffMinSigned(raw, mask, width)
+		if tn := ReduceMin(signedVals, mask, width); fn != tn {
+			t.Logf("signed min: falkoff %d tree %d", fn, tn)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the holders set is exactly the argmax set.
+func TestFalkoffHoldersAreArgmax(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		p := 1 + rnd.Intn(40)
+		vals := make([]int64, p)
+		mask := make([]bool, p)
+		anyResp := false
+		for i := range vals {
+			vals[i] = int64(rnd.Intn(16)) // narrow range forces ties
+			mask[i] = rnd.Intn(2) == 0
+			anyResp = anyResp || mask[i]
+		}
+		max, holders, _ := FalkoffMax(vals, mask, 8)
+		for i := range vals {
+			isMax := anyResp && mask[i] && vals[i] == max
+			if holders[i] != isMax {
+				t.Logf("i=%d vals=%v mask=%v max=%d holders=%v", i, vals, mask, max, holders)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignBias(t *testing.T) {
+	// Ordering of signed 8-bit values must match unsigned ordering of
+	// biased patterns.
+	vals := []int64{-128, -1, 0, 1, 127}
+	prev := int64(-1)
+	for _, v := range vals {
+		b := SignBias(v&0xff, 8)
+		if b <= prev {
+			t.Errorf("bias not monotone at %d: %d <= %d", v, b, prev)
+		}
+		prev = b
+	}
+}

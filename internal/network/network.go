@@ -1,0 +1,273 @@
+// Package network models the pipelined broadcast/reduction network of the
+// MTASC processor (Schaffer & Walker 2007, sections 4 and 6.4).
+//
+// The broadcast network is a k-ary tree with a register at each node: it
+// accepts a new operation every clock cycle and delivers it to the PE array
+// after ceil(log_k p) cycles. The reduction network is a set of pipelined
+// binary trees, one per reduction function, each with an initiation rate of
+// one operation per cycle and a latency of ceil(log2 p) cycles:
+//
+//   - logic unit: bitwise OR tree with bypassable inverters before and after
+//     the tree (AND is computed via De Morgan's law),
+//   - maximum/minimum unit: signed/unsigned compare-select tree,
+//   - sum unit: saturating adder tree,
+//   - response counter: adder tree over responder bits (exact count),
+//   - multiple response resolver: parallel prefix network that isolates the
+//     first responder; uniquely, its output is a parallel value.
+//
+// Two model granularities are provided. The structural types (Broadcast,
+// ReduceTree, Resolver) hold a register file per tree level and are stepped
+// one cycle at a time; they are the ground truth for latency and initiation
+// rate and are exercised directly by the unit tests. The functional helpers
+// (ReduceOr, ReduceMax, ...) compute the same results combinationally and
+// are what the instruction-level simulator calls, with latencies taken from
+// BroadcastLatency and ReductionLatency.
+package network
+
+import "fmt"
+
+// BroadcastLatency returns b, the pipeline depth of a k-ary broadcast tree
+// over p PEs: ceil(log_k p), and at least 1 (there is always at least the
+// network output register between the control unit and the PE array).
+func BroadcastLatency(p, k int) int {
+	if p < 1 || k < 2 {
+		panic(fmt.Sprintf("network: invalid broadcast tree p=%d k=%d", p, k))
+	}
+	d := 0
+	for n := 1; n < p; n *= k {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ReductionLatency returns r, the pipeline depth of a binary reduction tree
+// over p PEs: ceil(log2 p), and at least 1.
+func ReductionLatency(p int) int {
+	if p < 1 {
+		panic(fmt.Sprintf("network: invalid reduction tree p=%d", p))
+	}
+	d := 0
+	for n := 1; n < p; n *= 2 {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// BroadcastNodes returns the number of internal nodes (registers) in a k-ary
+// broadcast tree over p leaves, used by the FPGA resource model.
+func BroadcastNodes(p, k int) int {
+	if p <= 1 {
+		return 1
+	}
+	nodes := 0
+	// Count the registers level by level from the PE side up to the root.
+	for width := p; width > 1; width = (width + k - 1) / k {
+		nodes += (width + k - 1) / k
+	}
+	return nodes
+}
+
+// ReduceNodes returns the number of combine nodes in a binary reduction tree
+// over p leaves.
+func ReduceNodes(p int) int {
+	if p <= 1 {
+		return 1
+	}
+	return p - 1
+}
+
+// Broadcast is a structural model of the pipelined k-ary broadcast tree.
+// One value enters per cycle; after Latency cycles it appears at every leaf.
+type Broadcast struct {
+	p, k  int
+	depth int
+	// pipe[0] is the register nearest the control unit; pipe[depth-1] feeds
+	// the PE array. valid tracks bubble propagation.
+	pipe  []int64
+	valid []bool
+}
+
+// NewBroadcast builds a broadcast tree for p PEs with arity k.
+func NewBroadcast(p, k int) *Broadcast {
+	d := BroadcastLatency(p, k)
+	return &Broadcast{p: p, k: k, depth: d, pipe: make([]int64, d), valid: make([]bool, d)}
+}
+
+// Latency is the number of cycles between Step input and leaf output.
+func (b *Broadcast) Latency() int { return b.depth }
+
+// Step advances one clock cycle. If in is non-nil, *in enters the tree this
+// cycle. The return values are the value arriving at the PE array this cycle
+// and whether one arrived.
+func (b *Broadcast) Step(in *int64) (out int64, ok bool) {
+	out, ok = b.pipe[b.depth-1], b.valid[b.depth-1]
+	copy(b.pipe[1:], b.pipe[:b.depth-1])
+	copy(b.valid[1:], b.valid[:b.depth-1])
+	if in != nil {
+		b.pipe[0], b.valid[0] = *in, true
+	} else {
+		b.pipe[0], b.valid[0] = 0, false
+	}
+	return out, ok
+}
+
+// CombineFunc combines two values at a reduction tree node.
+type CombineFunc func(a, b int64) int64
+
+// ReduceTree is a structural model of one pipelined binary reduction tree.
+// A full vector of p leaf values enters per cycle; the reduced scalar
+// emerges from the root Latency cycles later.
+type ReduceTree struct {
+	p       int
+	combine CombineFunc
+	// levels[0] has ceil(p/2) registers (after the first combine row),
+	// and so on up to levels[depth-1] which has 1 register (the root).
+	levels [][]int64
+	valid  []bool
+	depth  int
+}
+
+// NewReduceTree builds a reduction tree over p leaves with the given
+// combine function. The tree has ReductionLatency(p) register levels; for
+// non-power-of-two p, odd nodes pass through unchanged.
+func NewReduceTree(p int, combine CombineFunc) *ReduceTree {
+	depth := ReductionLatency(p)
+	t := &ReduceTree{p: p, combine: combine, depth: depth, valid: make([]bool, depth)}
+	width := p
+	for l := 0; l < depth; l++ {
+		width = (width + 1) / 2
+		t.levels = append(t.levels, make([]int64, width))
+	}
+	return t
+}
+
+// Latency is the number of cycles between Step input and root output.
+func (t *ReduceTree) Latency() int { return t.depth }
+
+// Step advances one clock cycle. If in is non-nil it must have length p and
+// enters the first combine row this cycle. The return values are the scalar
+// emerging from the root this cycle and whether one emerged.
+func (t *ReduceTree) Step(in []int64) (out int64, ok bool) {
+	out, ok = t.levels[t.depth-1][0], t.valid[t.depth-1]
+	// Advance upper levels from the bottom of the pipeline upward.
+	for l := t.depth - 1; l >= 1; l-- {
+		combineRow(t.levels[l], t.levels[l-1], t.combine)
+		t.valid[l] = t.valid[l-1]
+	}
+	if in != nil {
+		if len(in) != t.p {
+			panic(fmt.Sprintf("network: ReduceTree.Step input length %d, want %d", len(in), t.p))
+		}
+		combineRow(t.levels[0], in, t.combine)
+		t.valid[0] = true
+	} else {
+		t.valid[0] = false
+	}
+	return out, ok
+}
+
+// combineRow fills dst[i] = combine(src[2i], src[2i+1]), passing odd tails
+// through unchanged.
+func combineRow(dst, src []int64, combine CombineFunc) {
+	n := len(src)
+	for i := 0; i < n/2; i++ {
+		dst[i] = combine(src[2*i], src[2*i+1])
+	}
+	if n%2 == 1 {
+		dst[n/2] = src[n-1]
+	}
+}
+
+// Resolver is a structural model of the multiple response resolver: a
+// pipelined parallel prefix (scan) network that outputs, for each PE, whether
+// it is the first responder. Unlike the other reduction units its output is
+// a parallel value (section 6.4).
+type Resolver struct {
+	p     int
+	depth int
+	// Each stage register holds the responder vector and its running
+	// exclusive prefix OR.
+	stages []resolverStage
+	valid  []bool
+}
+
+type resolverStage struct {
+	resp   []bool // original responder bits, carried along
+	prefix []bool // inclusive prefix OR computed so far
+}
+
+// NewResolver builds a resolver over p PEs.
+func NewResolver(p int) *Resolver {
+	if p < 1 {
+		panic("network: resolver needs p >= 1")
+	}
+	depth := ReductionLatency(p)
+	r := &Resolver{p: p, depth: depth, valid: make([]bool, depth)}
+	r.stages = make([]resolverStage, depth)
+	for i := range r.stages {
+		r.stages[i] = resolverStage{resp: make([]bool, p), prefix: make([]bool, p)}
+	}
+	return r
+}
+
+// Latency is the number of cycles between Step input and parallel output.
+func (r *Resolver) Latency() int { return r.depth }
+
+// Step advances one clock cycle. If in is non-nil it must have length p.
+// The return values are the first-responder vector emerging this cycle
+// (valid only until the next Step) and whether one emerged.
+func (r *Resolver) Step(in []bool) (out []bool, ok bool) {
+	last := r.stages[r.depth-1]
+	ok = r.valid[r.depth-1]
+	if ok {
+		// out[i] = resp[i] AND NOT (inclusive prefix up to i-1).
+		out = make([]bool, r.p)
+		for i := 0; i < r.p; i++ {
+			first := last.resp[i]
+			if i > 0 && last.prefix[i-1] {
+				first = false
+			}
+			out[i] = first
+		}
+	}
+	// Kogge-Stone doubling step s combines with offset 2^s.
+	for l := r.depth - 1; l >= 1; l-- {
+		prev := r.stages[l-1]
+		cur := &r.stages[l]
+		copy(cur.resp, prev.resp)
+		offset := 1 << uint(l)
+		for i := 0; i < r.p; i++ {
+			v := prev.prefix[i]
+			if i >= offset && prev.prefix[i-offset] {
+				v = true
+			}
+			cur.prefix[i] = v
+		}
+		r.valid[l] = r.valid[l-1]
+	}
+	if in != nil {
+		if len(in) != r.p {
+			panic(fmt.Sprintf("network: Resolver.Step input length %d, want %d", len(in), r.p))
+		}
+		st := &r.stages[0]
+		copy(st.resp, in)
+		// Stage 0 applies offset 1.
+		for i := 0; i < r.p; i++ {
+			v := in[i]
+			if i >= 1 && in[i-1] {
+				v = true
+			}
+			st.prefix[i] = v
+		}
+		r.valid[0] = true
+	} else {
+		r.valid[0] = false
+	}
+	return out, ok
+}

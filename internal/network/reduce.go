@@ -1,0 +1,184 @@
+package network
+
+// Functional (combinational) reduction semantics. The instruction-level
+// simulator uses these for architectural results, with timing supplied by
+// BroadcastLatency/ReductionLatency. Each function is defined to match the
+// corresponding structural tree exactly, including the handling of PEs that
+// are not responders: a non-responder's leaf injects the operation's
+// identity element, which is what the masking gates in front of the tree
+// produce in hardware.
+//
+// Values are carried as int64. The machine layer is responsible for
+// presenting operands in comparable form (sign- or zero-extended from the
+// configured data width) and for masking results back to the width.
+
+// Identity elements injected at masked-off leaves.
+func orIdentity() int64            { return 0 }
+func andIdentity(width uint) int64 { return int64(1)<<width - 1 }
+func maxIdentitySigned(width uint) int64 {
+	return -(int64(1) << (width - 1)) // most negative representable
+}
+func minIdentitySigned(width uint) int64 {
+	return int64(1)<<(width-1) - 1 // most positive representable
+}
+func maxIdentityUnsigned() int64           { return 0 }
+func minIdentityUnsigned(width uint) int64 { return int64(1)<<width - 1 }
+
+// SatLimits returns the saturating bounds of the sum unit for a data width.
+func SatLimits(width uint) (lo, hi int64) {
+	return -(int64(1) << (width - 1)), int64(1)<<(width-1) - 1
+}
+
+// SatAdd is the saturating addition performed at each node of the sum unit.
+func SatAdd(width uint) CombineFunc {
+	lo, hi := SatLimits(width)
+	return func(a, b int64) int64 {
+		s := a + b
+		if s < lo {
+			return lo
+		}
+		if s > hi {
+			return hi
+		}
+		return s
+	}
+}
+
+// treeFold reduces vals with combine using the same binary-tree topology as
+// ReduceTree, so that functional and structural results agree even for
+// non-associative-under-saturation operations like SatAdd.
+func treeFold(vals []int64, combine CombineFunc) int64 {
+	if len(vals) == 0 {
+		panic("network: treeFold of empty slice")
+	}
+	// Fold in place over one scratch copy: combineRow writes dst[i] from
+	// src[2i], src[2i+1], and i <= 2i, so the prefix overwrite is safe.
+	cur := append([]int64(nil), vals...)
+	for n := len(cur); n > 1; n = (n + 1) / 2 {
+		combineRow(cur[:(n+1)/2], cur[:n], combine)
+	}
+	return cur[0]
+}
+
+// leaves materializes the masked leaf vector: vals[i] where mask[i], else
+// the identity element.
+func leaves(vals []int64, mask []bool, identity int64) []int64 {
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		if mask[i] {
+			out[i] = v
+		} else {
+			out[i] = identity
+		}
+	}
+	return out
+}
+
+// ReduceOr returns the bitwise OR of vals over responders in mask.
+// With zero responders the result is 0 (the OR identity).
+func ReduceOr(vals []int64, mask []bool) int64 {
+	return treeFold(leaves(vals, mask, orIdentity()), func(a, b int64) int64 { return a | b })
+}
+
+// ReduceAnd returns the bitwise AND of vals over responders, computed the
+// way the logic unit does: inverters, OR tree, inverters (De Morgan). With
+// zero responders the result is the all-ones word for the width.
+func ReduceAnd(vals []int64, mask []bool, width uint) int64 {
+	ones := andIdentity(width)
+	inverted := make([]int64, len(vals))
+	for i, v := range vals {
+		if mask[i] {
+			inverted[i] = ^v & ones
+		} else {
+			inverted[i] = 0 // identity of the OR tree
+		}
+	}
+	or := treeFold(inverted, func(a, b int64) int64 { return a | b })
+	return ^or & ones
+}
+
+// ReduceMax returns the signed maximum over responders. With zero
+// responders it returns the most negative representable value.
+func ReduceMax(vals []int64, mask []bool, width uint) int64 {
+	return treeFold(leaves(vals, mask, maxIdentitySigned(width)), func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceMin returns the signed minimum over responders. With zero
+// responders it returns the most positive representable value.
+func ReduceMin(vals []int64, mask []bool, width uint) int64 {
+	return treeFold(leaves(vals, mask, minIdentitySigned(width)), func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceMaxU returns the unsigned maximum over responders (vals must be
+// zero-extended). With zero responders it returns 0.
+func ReduceMaxU(vals []int64, mask []bool) int64 {
+	return treeFold(leaves(vals, mask, maxIdentityUnsigned()), func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceMinU returns the unsigned minimum over responders. With zero
+// responders it returns the all-ones word.
+func ReduceMinU(vals []int64, mask []bool, width uint) int64 {
+	return treeFold(leaves(vals, mask, minIdentityUnsigned(width)), func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceSum returns the saturating sum over responders, folding with the
+// exact tree topology of the sum unit (node-level saturation).
+func ReduceSum(vals []int64, mask []bool, width uint) int64 {
+	return treeFold(leaves(vals, mask, 0), SatAdd(width))
+}
+
+// CountResponders returns the exact number of responders: flags[i] AND
+// mask[i] (the response counter of section 6.4).
+func CountResponders(flags, mask []bool) int64 {
+	n := int64(0)
+	for i, f := range flags {
+		if f && mask[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyResponder reports whether any responder exists (the some/none test
+// required by the ASC model).
+func AnyResponder(flags, mask []bool) bool {
+	for i, f := range flags {
+		if f && mask[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstResponder returns the resolver output: a vector with exactly one bit
+// set, at the lowest-indexed responder, or all zeros if there are none.
+func FirstResponder(flags, mask []bool) []bool {
+	out := make([]bool, len(flags))
+	for i, f := range flags {
+		if f && mask[i] {
+			out[i] = true
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// pending describes an in-flight register write.
+type pending struct {
+	readyAbs  int64 // start-of-cycle at which the value is forwardable
+	loc       Location
+	prodClass isa.Class
+	valid     bool
+}
+
+// Scoreboard is the instruction status table of the control unit (section
+// 6.3): it tracks all in-flight register writes per hardware thread, and the
+// decode units consult it to detect hazards. Registers s0/p0/f0 are
+// hardwired and never tracked.
+type Scoreboard struct {
+	params Params
+	scalar [][]pending // [thread][reg]
+	par    [][]pending
+	flag   [][]pending
+}
+
+// NewScoreboard builds a scoreboard for the given thread count.
+func NewScoreboard(params Params, threads int) *Scoreboard {
+	sb := &Scoreboard{params: params}
+	sb.scalar = make([][]pending, threads)
+	sb.par = make([][]pending, threads)
+	sb.flag = make([][]pending, threads)
+	for t := 0; t < threads; t++ {
+		sb.scalar[t] = make([]pending, isa.NumScalarRegs)
+		sb.par[t] = make([]pending, isa.NumParallelRegs)
+		sb.flag[t] = make([]pending, isa.NumFlagRegs)
+	}
+	return sb
+}
+
+func (sb *Scoreboard) table(tid int, kind isa.RegKind) []pending {
+	switch kind {
+	case isa.KindScalar:
+		return sb.scalar[tid]
+	case isa.KindParallel:
+		return sb.par[tid]
+	case isa.KindFlag:
+		return sb.flag[tid]
+	}
+	return nil
+}
+
+// MinIssue returns the earliest cycle at which thread tid's instruction in
+// may issue given its register dependences, and the hazard class of the
+// binding constraint. A result of (0, HazardNone) means no pending
+// dependence constrains the instruction.
+func (sb *Scoreboard) MinIssue(tid int, in isa.Inst) (int64, HazardKind) {
+	consClass := in.Info().Class
+	minIssue := int64(0)
+	kind := HazardNone
+
+	consider := func(ref isa.RegRef) {
+		if ref.Idx == 0 {
+			return // hardwired register: no dependence
+		}
+		tab := sb.table(tid, ref.Kind)
+		if tab == nil {
+			return
+		}
+		p := tab[ref.Idx]
+		if !p.valid {
+			return
+		}
+		mi := sb.params.MinIssueForOperand(consClass, p.loc, p.readyAbs)
+		if mi > minIssue {
+			minIssue = mi
+			kind = ClassifyDependence(p.prodClass, consClass)
+		}
+	}
+
+	var buf [4]isa.RegRef
+	for _, ref := range in.Reads(buf[:0]) {
+		consider(ref)
+	}
+	// WAW: a write to a register with an in-flight write must not complete
+	// first; the decode unit conservatively holds it like a reader.
+	if w, ok := in.Writes(); ok {
+		consider(w)
+	}
+	return minIssue, kind
+}
+
+// Record notes the register write of an instruction issued at cycle t, and
+// retires entries the new write supersedes.
+func (sb *Scoreboard) Record(tid int, in isa.Inst, t int64) {
+	w, ok := in.Writes()
+	if !ok || w.Idx == 0 {
+		return
+	}
+	loc, ready, ok := sb.params.ResultReady(in, t)
+	if !ok {
+		return
+	}
+	tab := sb.table(tid, w.Kind)
+	tab[w.Idx] = pending{readyAbs: ready, loc: loc, prodClass: in.Info().Class, valid: true}
+}
+
+// Retire clears entries whose results are architecturally visible at cycle
+// now; keeping the table small is not required for correctness (stale valid
+// entries with past readyAbs impose no constraint), but Retire keeps
+// introspection output readable.
+func (sb *Scoreboard) Retire(tid int, now int64) {
+	for _, tab := range [][]pending{sb.scalar[tid], sb.par[tid], sb.flag[tid]} {
+		for i := range tab {
+			if tab[i].valid && tab[i].readyAbs <= now {
+				tab[i] = pending{}
+			}
+		}
+	}
+}
+
+// ClearThread wipes a thread's entries; used when a context is recycled by
+// TSPAWN.
+func (sb *Scoreboard) ClearThread(tid int) {
+	for _, tab := range [][]pending{sb.scalar[tid], sb.par[tid], sb.flag[tid]} {
+		for i := range tab {
+			tab[i] = pending{}
+		}
+	}
+}
+
+// InFlight reports how many register writes are pending for thread tid at
+// cycle now (for the F3 control-unit introspection tooling).
+func (sb *Scoreboard) InFlight(tid int, now int64) int {
+	n := 0
+	for _, tab := range [][]pending{sb.scalar[tid], sb.par[tid], sb.flag[tid]} {
+		for i := range tab {
+			if tab[i].valid && tab[i].readyAbs > now {
+				n++
+			}
+		}
+	}
+	return n
+}

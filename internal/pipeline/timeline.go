@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// StageAt places one pipeline stage at one clock cycle, for rendering
+// Figure-2-style pipeline diagrams.
+type StageAt struct {
+	Name  string
+	Cycle int64
+}
+
+// Timeline returns the full stage-by-cycle occupancy of an instruction that
+// was fetched at cycle fetch and issued (entered SR) at cycle issue. Stall
+// cycles between decode and issue repeat the ID stage, exactly as drawn in
+// Figure 2 of the paper.
+func (p Params) Timeline(in isa.Inst, fetch, issue int64) []StageAt {
+	if issue < fetch+2 {
+		panic(fmt.Sprintf("pipeline: issue %d before front end completes (fetch %d)", issue, fetch))
+	}
+	var out []StageAt
+	out = append(out, StageAt{"IF", fetch})
+	for c := fetch + 1; c < issue; c++ {
+		out = append(out, StageAt{"ID", c}) // repeated ID = stall
+	}
+	out = append(out, StageAt{"SR", issue})
+
+	info := in.Info()
+	switch info.Class {
+	case isa.ClassScalar:
+		out = append(out,
+			StageAt{"EX", issue + 1},
+			StageAt{"MA", issue + 2},
+			StageAt{"WB", issue + 3})
+	case isa.ClassParallel:
+		c := issue + 1
+		for i := 1; i <= p.B; i++ {
+			out = append(out, StageAt{fmt.Sprintf("B%d", i), c})
+			c++
+		}
+		out = append(out,
+			StageAt{"PR", c},
+			StageAt{"EX", c + 1},
+			StageAt{"MA", c + 2},
+			StageAt{"WB", c + 3})
+	case isa.ClassReduction:
+		c := issue + 1
+		for i := 1; i <= p.B; i++ {
+			out = append(out, StageAt{fmt.Sprintf("B%d", i), c})
+			c++
+		}
+		out = append(out, StageAt{"PR", c})
+		c++
+		for i := 1; i <= p.R; i++ {
+			out = append(out, StageAt{fmt.Sprintf("R%d", i), c})
+			c++
+		}
+		out = append(out, StageAt{"WB", c})
+	}
+	return out
+}
+
+// StageGraph describes the pipeline organization (Figure 1): the common
+// front end, the split after SR, and the second split after PR.
+func (p Params) StageGraph() string {
+	s := "IF -> ID -> SR -+-> EX -> MA -> WB                     (scalar path)\n"
+	s += "                |\n"
+	s += "                +-> B1"
+	for i := 2; i <= p.B; i++ {
+		s += fmt.Sprintf(" -> B%d", i)
+	}
+	s += " -> PR -+-> EX -> MA -> WB   (parallel path)\n"
+	pad := "                       "
+	for i := 2; i <= p.B; i++ {
+		pad += "      "
+	}
+	s += pad + "|\n"
+	s += pad + "+-> R1"
+	for i := 2; i <= p.R; i++ {
+		s += fmt.Sprintf(" -> R%d", i)
+	}
+	s += " -> WB       (reduction path)\n"
+	return s
+}

@@ -1,0 +1,40 @@
+package progs
+
+import "testing"
+
+func TestPriorityQueue(t *testing.T) {
+	for _, tc := range []struct{ p, ops int }{
+		{4, 10}, {16, 60}, {32, 200},
+	} {
+		ins := PriorityQueue(tc.p, tc.ops, int64(tc.p*tc.ops))
+		if _, err := ins.RunCore(tc.p, 1, 4); err != nil {
+			t.Errorf("p=%d ops=%d: %v", tc.p, tc.ops, err)
+		}
+	}
+}
+
+func TestPriorityQueueOnBaselines(t *testing.T) {
+	ins := PriorityQueue(8, 40, 5)
+	if _, err := ins.RunNonPipelined(8); err != nil {
+		t.Error(err)
+	}
+	if _, err := ins.RunCoarseGrain(8, 4, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityQueueStructural(t *testing.T) {
+	ins := PriorityQueue(16, 80, 9)
+	if _, err := ins.RunCoreStructural(16, 1, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityQueueRandomSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ins := PriorityQueue(8, 50, seed)
+		if _, err := ins.RunCore(8, 1, 2); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

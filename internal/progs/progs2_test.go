@@ -1,0 +1,73 @@
+package progs
+
+import (
+	"testing"
+)
+
+func TestTrackCorrelation(t *testing.T) {
+	for _, tc := range []struct{ p, reports int }{
+		{8, 2}, {16, 8}, {64, 16}, {32, 32},
+	} {
+		ins := TrackCorrelation(tc.p, tc.reports, int64(tc.p+tc.reports))
+		if _, err := ins.RunCore(tc.p, 1, 4); err != nil {
+			t.Errorf("p=%d reports=%d: %v", tc.p, tc.reports, err)
+		}
+	}
+}
+
+func TestTrackCorrelationClampsReports(t *testing.T) {
+	// More reports than tracks: clamped, all tracks matched.
+	ins := TrackCorrelation(4, 10, 1)
+	if _, err := ins.RunCore(4, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssociativeSort(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 16, 50} {
+		ins := AssociativeSort(p, int64(p))
+		if _, err := ins.RunCore(p, 1, 4); err != nil {
+			t.Errorf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAssociativeSortWithDuplicates(t *testing.T) {
+	// The seed workload draws from [0,1000); with 200 PEs duplicates are
+	// overwhelmingly likely, and each must be extracted separately.
+	ins := AssociativeSort(200, 5)
+	if _, err := ins.RunCore(200, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDbSelect(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		ins := DbSelect(32, seed)
+		if _, err := ins.RunCore(32, 1, 4); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDbSelectOnBaselines(t *testing.T) {
+	ins := DbSelect(16, 3)
+	if _, err := ins.RunNonPipelined(16); err != nil {
+		t.Error(err)
+	}
+	if _, err := ins.RunCoarseGrain(16, 4, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewKernelsInSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, ins := range Suite(16, 1) {
+		names[ins.Name] = true
+	}
+	for _, want := range []string{"track-correlation", "associative-sort", "db-select"} {
+		if !names[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package progs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+)
+
+// Histogram counts value occurrences across the PE array: for each bin the
+// bin index is broadcast, compared in all PEs simultaneously, and the
+// response counter delivers the bucket count — the image-processing
+// histogram in O(bins) instructions regardless of how many samples the
+// array holds (section 6.4 motivates the counting hardware with exactly
+// this kind of workload).
+func Histogram(p, bins int, seed int64) Instance {
+	const width = 16
+	r := rand.New(rand.NewSource(seed))
+	local := make([][]int64, p)
+	want := make([]int64, bins)
+	for i := 0; i < p; i++ {
+		v := r.Int63n(int64(bins))
+		local[i] = []int64{v}
+		want[v]++
+	}
+	src := fmt.Sprintf(`
+		plw p1, 0(p0)     ; samples
+		li s1, 0          ; bin index
+		li s2, %d         ; bins
+	loop:
+		pceq f1, p1, s1   ; all PEs holding this bin value respond
+		rcount s3, f1     ; exact responder count
+		sw s3, 0(s1)      ; histogram[bin] = count
+		inc s1
+		blt s1, s2, loop
+		halt
+	`, bins)
+	return Instance{
+		Name:     "histogram",
+		Width:    width,
+		Source:   src,
+		LocalMem: local,
+		Check: func(m *machine.Machine) error {
+			for b := 0; b < bins; b++ {
+				if got := m.ScalarMem(b); got != want[b] {
+					return fmt.Errorf("histogram: bin %d = %d, want %d", b, got, want[b])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,21 @@
+package progs
+
+import "testing"
+
+func TestHistogram(t *testing.T) {
+	for _, tc := range []struct{ p, bins int }{
+		{4, 2}, {16, 8}, {100, 10},
+	} {
+		ins := Histogram(tc.p, tc.bins, int64(tc.p))
+		if _, err := ins.RunCore(tc.p, 1, 4); err != nil {
+			t.Errorf("p=%d bins=%d: %v", tc.p, tc.bins, err)
+		}
+	}
+}
+
+func TestHistogramStructural(t *testing.T) {
+	ins := Histogram(32, 8, 2)
+	if _, err := ins.RunCoreStructural(32, 1, 4); err != nil {
+		t.Error(err)
+	}
+}

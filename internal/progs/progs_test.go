@@ -1,0 +1,158 @@
+package progs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSuiteOnCore runs every kernel on the fine-grain multithreaded core
+// across several PE counts and verifies the results against the Go
+// reference oracles.
+func TestSuiteOnCore(t *testing.T) {
+	for _, pes := range []int{2, 8, 16, 61, 128} {
+		for _, ins := range Suite(pes, 42) {
+			if _, err := ins.RunCore(pes, 1, 4); err != nil {
+				t.Errorf("pes=%d: %v", pes, err)
+			}
+		}
+	}
+}
+
+// TestSuiteOnNonPipelined verifies the same kernels compute the same
+// answers on the unpipelined baseline.
+func TestSuiteOnNonPipelined(t *testing.T) {
+	for _, ins := range Suite(16, 7) {
+		if _, err := ins.RunNonPipelined(16); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestSuiteOnCoarseGrain verifies the coarse-grain baseline too.
+func TestSuiteOnCoarseGrain(t *testing.T) {
+	for _, ins := range Suite(16, 7) {
+		if _, err := ins.RunCoarseGrain(16, 4, 4); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Property: kernels remain correct for random seeds and PE counts.
+func TestKernelsRandomized(t *testing.T) {
+	f := func(seed int64) bool {
+		pes := 2 + int(uint64(seed)%62)
+		for _, ins := range Suite(pes, seed) {
+			if _, err := ins.RunCore(pes, 1, 2); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTReductionCorrectAcrossThreadCounts(t *testing.T) {
+	for _, threads := range []int{1, 2, 8, 16} {
+		ins := MTReduction(16, threads, 10)
+		if _, err := ins.RunCore(16, threads, 4); err != nil {
+			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+// TestMTReductionIPCScales is the headline behaviour: IPC rises toward 1 as
+// thread contexts are added, because fine-grain multithreading fills the
+// b+r reduction-stall slots with other threads' instructions.
+func TestMTReductionIPCScales(t *testing.T) {
+	const pes = 256 // b=4 (k=4), r=8: big stalls
+	ipc := map[int]float64{}
+	for _, threads := range []int{1, 4, 16} {
+		ins := MTReduction(pes, threads, 50)
+		stats, err := ins.RunCore(pes, threads, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[threads] = stats.IPC()
+	}
+	if !(ipc[1] < ipc[4] && ipc[4] < ipc[16]) {
+		t.Errorf("IPC not increasing with threads: %v", ipc)
+	}
+	if ipc[16] < 0.8 {
+		t.Errorf("16-thread IPC = %.3f, want > 0.8", ipc[16])
+	}
+}
+
+func TestStringSearchFindsPlantedPattern(t *testing.T) {
+	// Seed chosen arbitrarily; the oracle CountMatches is trusted from the
+	// workload package's own tests, here we only check agreement across
+	// several seeds including planted and unplanted patterns.
+	for seed := int64(0); seed < 8; seed++ {
+		ins := StringSearch(32, 4, seed)
+		if _, err := ins.RunCore(32, 1, 4); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMSTAcrossSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16, 33} {
+		ins := MST(n, int64(n))
+		if _, err := ins.RunCore(n, 1, 4); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestImageSumSaturates(t *testing.T) {
+	// Large images must saturate the 16-bit sum unit, and still verify
+	// because the oracle uses the same tree-fold saturation semantics.
+	ins := ImageSum(64, 64, 3)
+	if _, err := ins.RunCore(64, 1, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionDensity(t *testing.T) {
+	// MST should be reduction-dense (the paper's motivating workload).
+	ins := MST(32, 1)
+	stats, err := ins.RunCore(32, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(stats.Reduction) / float64(stats.Instructions)
+	if frac < 0.10 {
+		t.Errorf("MST reduction fraction = %.2f, want >= 0.10", frac)
+	}
+	if stats.IdleCycles == 0 {
+		t.Error("single-threaded MST should suffer reduction-hazard idle cycles")
+	}
+}
+
+func TestInstanceConfigDerivation(t *testing.T) {
+	ins := MST(64, 1)
+	cfg := ins.MachineConfig(64, 1)
+	if cfg.LocalMemWords < 64 {
+		t.Errorf("MST local memory = %d words, need >= 64", cfg.LocalMemWords)
+	}
+	if cfg.Width != 16 {
+		t.Errorf("width = %d, want 16", cfg.Width)
+	}
+	mt := MTReduction(16, 8, 5)
+	if got := mt.MachineConfig(16, 1).Threads; got != 8 {
+		t.Errorf("MTReduction threads = %d, want 8 (instance minimum)", got)
+	}
+}
+
+func TestNonPipelinedRejectsMTKernels(t *testing.T) {
+	ins := MTReduction(16, 4, 5)
+	if _, err := ins.RunNonPipelined(16); err == nil {
+		t.Error("non-pipelined baseline accepted a multithreaded kernel")
+	}
+}

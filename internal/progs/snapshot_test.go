@@ -1,0 +1,60 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// TestSnapshotResumeMidKernel: snapshot an MST kernel partway through,
+// resume it on a fresh processor (with structural co-simulation enabled on
+// the resumed one), and verify the kernel's oracle still passes.
+func TestSnapshotResumeMidKernel(t *testing.T) {
+	const pes = 16
+	ins := MST(pes, 3)
+	prog, err := asm.Assemble(ins.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(structural bool) *core.Processor {
+		p, err := core.New(core.Config{
+			Machine:            ins.MachineConfig(pes, 1),
+			Arity:              4,
+			StructuralNetworks: structural,
+		}, prog.Insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Machine().LoadLocalMem(ins.LocalMem); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := mk(false)
+	for i := 0; i < 300; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.Snapshot()
+
+	b := mk(true)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Check(b.Machine()); err != nil {
+		t.Fatalf("resumed kernel failed its oracle: %v", err)
+	}
+
+	// The original also finishes correctly.
+	if _, err := a.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Check(a.Machine()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package progs
+
+import "testing"
+
+// TestSuiteStructural runs the whole kernel suite with the structural
+// network co-simulation enabled: every reduction in every kernel is pushed
+// through the pipelined tree models and must match the functional result at
+// the modeled latency.
+func TestSuiteStructural(t *testing.T) {
+	for _, pes := range []int{8, 32} {
+		for _, ins := range Suite(pes, 99) {
+			if _, err := ins.RunCoreStructural(pes, 1, 4); err != nil {
+				t.Errorf("pes=%d: %v", pes, err)
+			}
+		}
+	}
+}
+
+func TestMTReductionStructural(t *testing.T) {
+	ins := MTReduction(64, 8, 20)
+	if _, err := ins.RunCoreStructural(64, 8, 4); err != nil {
+		t.Error(err)
+	}
+}

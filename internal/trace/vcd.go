@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// VCD renders an instruction trace as a Value Change Dump file (IEEE 1364)
+// viewable in GTKWave and friends: one timestep per clock cycle, with the
+// issuing thread and PC, and the occupancy of each pipeline region (front
+// end, scalar EX, broadcast stages, PE execute, reduction stages,
+// write-back) reconstructed from each instruction's stage timeline.
+// `ascsim -vcd out.vcd prog.s` writes one for any program.
+func VCD(params pipeline.Params, recs []core.InstRecord) string {
+	var b strings.Builder
+	b.WriteString("$date MTASC simulation $end\n")
+	b.WriteString("$version repro MTASC simulator $end\n")
+	b.WriteString("$timescale 1ns $end\n")
+	b.WriteString("$scope module mtasc $end\n")
+
+	type signal struct {
+		id    string
+		name  string
+		width int
+	}
+	signals := []signal{
+		{"!", "issue_valid", 1},
+		{"\"", "issue_thread", 8},
+		{"#", "issue_pc", 16},
+		{"$", "frontend_count", 8},
+		{"%", "scalar_ex", 8},
+		{"&", "broadcast_count", 8},
+		{"'", "pe_exec_count", 8},
+		{"(", "reduce_count", 8},
+		{")", "writeback_count", 8},
+	}
+	for _, s := range signals {
+		fmt.Fprintf(&b, "$var wire %d %s %s $end\n", s.width, s.id, s.name)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	if len(recs) == 0 {
+		b.WriteString("#0\n")
+		return b.String()
+	}
+
+	// Reconstruct per-cycle state from the stage timelines.
+	minCycle, maxCycle := recs[0].FetchCycle, int64(0)
+	type cycleState struct {
+		issueValid         bool
+		issueThread        int
+		issuePC            int
+		front, ex, bcast   int
+		peexec, reduce, wb int
+	}
+	for _, r := range recs {
+		if r.FetchCycle < minCycle {
+			minCycle = r.FetchCycle
+		}
+		tl := params.Timeline(r.Inst, r.FetchCycle, r.Issue)
+		if last := tl[len(tl)-1].Cycle; last > maxCycle {
+			maxCycle = last
+		}
+	}
+	states := make([]cycleState, maxCycle-minCycle+1)
+	for _, r := range recs {
+		st := &states[r.Issue-minCycle]
+		st.issueValid = true
+		st.issueThread = r.Thread
+		st.issuePC = r.PC
+		scalarClass := r.Inst.Info().Class == isa.ClassScalar
+		for _, sa := range params.Timeline(r.Inst, r.FetchCycle, r.Issue) {
+			cs := &states[sa.Cycle-minCycle]
+			switch {
+			case sa.Name == "IF" || sa.Name == "ID" || sa.Name == "SR":
+				cs.front++
+			case sa.Name == "WB":
+				cs.wb++
+			case scalarClass: // EX, MA in the control unit
+				cs.ex++
+			case strings.HasPrefix(sa.Name, "B"):
+				cs.bcast++
+			case strings.HasPrefix(sa.Name, "R") && sa.Name != "PR": // R1..Rr
+				cs.reduce++
+			default: // PR, EX, MA in the PEs
+				cs.peexec++
+			}
+		}
+	}
+
+	bin := func(v, width int) string {
+		s := ""
+		for i := width - 1; i >= 0; i-- {
+			if v>>uint(i)&1 == 1 {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+
+	prev := cycleState{issueThread: -1, issuePC: -1, front: -1, ex: -1, bcast: -1, peexec: -1, reduce: -1, wb: -1}
+	for i, st := range states {
+		var changes []string
+		if st.issueValid != prev.issueValid || i == 0 {
+			v := "0"
+			if st.issueValid {
+				v = "1"
+			}
+			changes = append(changes, v+"!")
+		}
+		if st.issueValid && (st.issueThread != prev.issueThread || !prev.issueValid) {
+			changes = append(changes, "b"+bin(st.issueThread, 8)+" \"")
+		}
+		if st.issueValid && (st.issuePC != prev.issuePC || !prev.issueValid) {
+			changes = append(changes, "b"+bin(st.issuePC, 16)+" #")
+		}
+		if st.front != prev.front {
+			changes = append(changes, "b"+bin(st.front, 8)+" $")
+		}
+		if st.ex != prev.ex {
+			changes = append(changes, "b"+bin(st.ex, 8)+" %")
+		}
+		if st.bcast != prev.bcast {
+			changes = append(changes, "b"+bin(st.bcast, 8)+" &")
+		}
+		if st.peexec != prev.peexec {
+			changes = append(changes, "b"+bin(st.peexec, 8)+" '")
+		}
+		if st.reduce != prev.reduce {
+			changes = append(changes, "b"+bin(st.reduce, 8)+" (")
+		}
+		if st.wb != prev.wb {
+			changes = append(changes, "b"+bin(st.wb, 8)+" )")
+		}
+		if len(changes) > 0 {
+			fmt.Fprintf(&b, "#%d\n", int64(i)+minCycle)
+			for _, c := range changes {
+				b.WriteString(c + "\n")
+			}
+		}
+		prev = st
+		prev.issueValid = st.issueValid
+	}
+	fmt.Fprintf(&b, "#%d\n", maxCycle+1)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestVCDStructure(t *testing.T) {
+	p, recs := runTrace(t, `
+		rmax s1, p1
+		sub s2, s1, s3
+		padd p1, p2, p3
+		halt
+	`)
+	vcd := VCD(p.Params(), recs)
+
+	// Header requirements.
+	for _, frag := range []string{"$timescale", "$enddefinitions", "issue_thread", "reduce_count", "$var wire"} {
+		if !strings.Contains(vcd, frag) {
+			t.Errorf("VCD missing %q", frag)
+		}
+	}
+	// Timesteps are monotonically increasing.
+	last := int64(-1)
+	count := 0
+	for _, line := range strings.Split(vcd, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmtSscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestep %q", line)
+			}
+			if ts <= last {
+				t.Fatalf("timestep %d not increasing after %d", ts, last)
+			}
+			last = ts
+			count++
+		}
+	}
+	if count < 5 {
+		t.Errorf("only %d timesteps", count)
+	}
+	// The reduction occupies the reduce region at some point: a nonzero
+	// reduce_count change for signal '('.
+	if !strings.Contains(vcd, " (") {
+		t.Error("no reduce_count changes recorded")
+	}
+}
+
+func fmtSscan(s string, v *int64) (int, error) {
+	n := int64(0)
+	if len(s) == 0 {
+		return 0, errBad
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBad
+		}
+		n = n*10 + int64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errBad = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "bad number" }
+
+func TestVCDEmpty(t *testing.T) {
+	vcd := VCD(pipeline.DefaultParams(16, 4, 8), nil)
+	if !strings.Contains(vcd, "#0") {
+		t.Error("empty VCD missing initial timestep")
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload generates deterministic synthetic inputs for the
+// associative kernels and benchmarks: random data vectors, weighted graphs
+// for the MST kernel, text corpora for associative string search, and
+// images for the saturating-sum kernel. Everything is seeded so benchmark
+// runs are reproducible.
+package workload
+
+import "math/rand"
+
+// Vector returns p values uniform in [lo, hi].
+func Vector(p int, lo, hi int64, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, p)
+	span := hi - lo + 1
+	for i := range out {
+		out[i] = lo + r.Int63n(span)
+	}
+	return out
+}
+
+// Graph returns a complete symmetric weighted graph over n nodes as an
+// adjacency matrix. Weights are in [1, maxW]; the diagonal is inf (no
+// self edges).
+func Graph(n int, maxW int64, inf int64, seed int64) [][]int64 {
+	r := rand.New(rand.NewSource(seed))
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		adj[i][i] = inf
+		for j := i + 1; j < n; j++ {
+			w := 1 + r.Int63n(maxW)
+			adj[i][j] = w
+			adj[j][i] = w
+		}
+	}
+	return adj
+}
+
+// MSTWeight computes the minimum-spanning-tree weight of an adjacency
+// matrix with Prim's algorithm (the reference the kernel is checked
+// against).
+func MSTWeight(adj [][]int64) int64 {
+	n := len(adj)
+	if n == 0 {
+		return 0
+	}
+	const unseen = int64(1) << 62
+	dist := make([]int64, n)
+	inTree := make([]bool, n)
+	for i := range dist {
+		dist[i] = unseen
+	}
+	dist[0] = 0
+	total := int64(0)
+	for it := 0; it < n; it++ {
+		best := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (best < 0 || dist[j] < dist[best]) {
+				best = j
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for j := 0; j < n; j++ {
+			if !inTree[j] && adj[best][j] < dist[j] {
+				dist[j] = adj[best][j]
+			}
+		}
+	}
+	return total
+}
+
+// Text returns a random text over a small alphabet and a pattern of length
+// m. With probability ~1/2 the pattern is planted at several positions so
+// searches find real matches.
+func Text(n, m int, seed int64) (text, pattern []byte) {
+	r := rand.New(rand.NewSource(seed))
+	const alphabet = "abcd"
+	text = make([]byte, n)
+	for i := range text {
+		text[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	pattern = make([]byte, m)
+	for i := range pattern {
+		pattern[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	if r.Intn(2) == 0 && n >= m {
+		plants := 1 + r.Intn(3)
+		for i := 0; i < plants; i++ {
+			pos := r.Intn(n - m + 1)
+			copy(text[pos:], pattern)
+		}
+	}
+	return text, pattern
+}
+
+// CountMatches counts occurrences of pattern at positions [0, limit).
+func CountMatches(text, pattern []byte, limit int) int64 {
+	count := int64(0)
+	for i := 0; i < limit && i+len(pattern) <= len(text); i++ {
+		ok := true
+		for j := range pattern {
+			if text[i+j] != pattern[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// Image returns p blocks of blockSize pixel values in [0, 255].
+func Image(p, blockSize int, seed int64) [][]int64 {
+	r := rand.New(rand.NewSource(seed))
+	img := make([][]int64, p)
+	for i := range img {
+		img[i] = make([]int64, blockSize)
+		for j := range img[i] {
+			img[i][j] = r.Int63n(256)
+		}
+	}
+	return img
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDeterministicAndBounded(t *testing.T) {
+	a := Vector(100, -50, 50, 7)
+	b := Vector(100, -50, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different vectors")
+		}
+		if a[i] < -50 || a[i] > 50 {
+			t.Fatalf("value %d out of range", a[i])
+		}
+	}
+	c := Vector(100, -50, 50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical vectors")
+	}
+}
+
+func TestGraphSymmetricWithInfDiagonal(t *testing.T) {
+	g := Graph(10, 100, 9999, 3)
+	for i := range g {
+		if g[i][i] != 9999 {
+			t.Errorf("diagonal [%d][%d] = %d", i, i, g[i][i])
+		}
+		for j := range g {
+			if g[i][j] != g[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if i != j && (g[i][j] < 1 || g[i][j] > 100) {
+				t.Errorf("weight %d out of range", g[i][j])
+			}
+		}
+	}
+}
+
+func TestMSTWeightKnownGraph(t *testing.T) {
+	// Triangle with weights 1, 2, 3: MST = 1 + 2.
+	adj := [][]int64{
+		{999, 1, 3},
+		{1, 999, 2},
+		{3, 2, 999},
+	}
+	if got := MSTWeight(adj); got != 3 {
+		t.Errorf("MST = %d, want 3", got)
+	}
+	if got := MSTWeight(nil); got != 0 {
+		t.Errorf("empty MST = %d", got)
+	}
+	if got := MSTWeight([][]int64{{0}}); got != 0 {
+		t.Errorf("single-node MST = %d", got)
+	}
+}
+
+// Property: the MST weight is no larger than any spanning path's weight.
+func TestMSTWeightUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%20)
+		g := Graph(n, 50, 10000, seed)
+		mst := MSTWeight(g)
+		path := int64(0)
+		for i := 0; i+1 < n; i++ {
+			path += g[i][i+1]
+		}
+		return mst <= path && mst >= int64(n-1) // each edge weight >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextAndCountMatches(t *testing.T) {
+	text, pattern := Text(100, 4, 5)
+	if len(text) != 100 || len(pattern) != 4 {
+		t.Fatalf("sizes: %d, %d", len(text), len(pattern))
+	}
+	// Counting is consistent with a naive scan.
+	got := CountMatches(text, pattern, 97)
+	naive := int64(0)
+	for i := 0; i+4 <= 100 && i < 97; i++ {
+		if string(text[i:i+4]) == string(pattern) {
+			naive++
+		}
+	}
+	if got != naive {
+		t.Errorf("CountMatches = %d, naive = %d", got, naive)
+	}
+	// Limit respected.
+	if CountMatches([]byte("aaaa"), []byte("aa"), 1) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestTextPlantsPatterns(t *testing.T) {
+	planted := false
+	for seed := int64(0); seed < 20; seed++ {
+		text, pattern := Text(64, 4, seed)
+		if CountMatches(text, pattern, 61) > 0 {
+			planted = true
+			break
+		}
+	}
+	if !planted {
+		t.Error("no seed in 0..19 produced a match; planting seems broken")
+	}
+}
+
+func TestImageShapeAndRange(t *testing.T) {
+	img := Image(8, 16, 1)
+	if len(img) != 8 {
+		t.Fatalf("blocks = %d", len(img))
+	}
+	for _, blk := range img {
+		if len(blk) != 16 {
+			t.Fatalf("block size = %d", len(blk))
+		}
+		for _, px := range blk {
+			if px < 0 || px > 255 {
+				t.Errorf("pixel %d out of range", px)
+			}
+		}
+	}
+}

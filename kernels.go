@@ -1,0 +1,66 @@
+package asc
+
+import (
+	"fmt"
+
+	"repro/internal/progs"
+)
+
+// KernelResult reports one reference-kernel run: the kernel is executed on
+// the simulator and its outputs verified against a pure Go oracle.
+type KernelResult struct {
+	Name         string
+	Cycles       int64
+	Instructions int64
+	Reductions   int64
+	IPC          float64
+}
+
+// KernelNames lists the built-in associative reference kernels: the classic
+// ASC-model workloads (searches, responder iteration, MST, track
+// correlation, associative sort, priority queue, ...) each packaged with
+// deterministic data and a correctness oracle.
+func KernelNames() []string {
+	var names []string
+	for _, ins := range progs.Suite(16, 0) {
+		names = append(names, ins.Name)
+	}
+	return names
+}
+
+// RunKernel executes one named reference kernel at the given PE count on
+// the fine-grain multithreaded core and verifies its result against the
+// Go oracle; seed selects the workload instance.
+func RunKernel(name string, pes int, seed int64) (KernelResult, error) {
+	for _, ins := range progs.Suite(pes, seed) {
+		if ins.Name != name {
+			continue
+		}
+		stats, err := ins.RunCore(pes, 1, 4)
+		if err != nil {
+			return KernelResult{}, err
+		}
+		return KernelResult{
+			Name:         ins.Name,
+			Cycles:       stats.Cycles,
+			Instructions: stats.Instructions,
+			Reductions:   stats.Reduction,
+			IPC:          stats.IPC(),
+		}, nil
+	}
+	return KernelResult{}, fmt.Errorf("asc: unknown kernel %q (see KernelNames)", name)
+}
+
+// RunKernelSuite runs every reference kernel and returns the results; any
+// oracle failure aborts with an error.
+func RunKernelSuite(pes int, seed int64) ([]KernelResult, error) {
+	var out []KernelResult
+	for _, name := range KernelNames() {
+		r, err := RunKernel(name, pes, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package asc
+
+import "testing"
+
+func TestKernelNames(t *testing.T) {
+	names := KernelNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d kernels", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate kernel %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"max-search", "mst-prim", "priority-queue"} {
+		if !seen[want] {
+			t.Errorf("missing kernel %q", want)
+		}
+	}
+}
+
+func TestRunKernel(t *testing.T) {
+	r, err := RunKernel("max-search", 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Reductions == 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if _, err := RunKernel("nope", 16, 3); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestRunKernelSuite(t *testing.T) {
+	results, err := RunKernelSuite(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(KernelNames()) {
+		t.Errorf("got %d results", len(results))
+	}
+}

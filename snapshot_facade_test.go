@@ -1,0 +1,42 @@
+package asc
+
+import "testing"
+
+func TestSnapshotFacade(t *testing.T) {
+	mk := func() *Processor {
+		p, err := New(Config{PEs: 4, Width: 16}, MustAssemble(`
+			pidx p1
+			rsum s1, p1
+			sw s1, 0(s0)
+			halt
+		`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := mk()
+	// Run two cycles, snapshot, and resume on a fresh processor.
+	for i := 0; i < 6; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.Snapshot()
+	b := mk()
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.ScalarMem(0) != b.ScalarMem(0) || a.ScalarMem(0) != 6 {
+		t.Errorf("results diverge: %d vs %d (want 6)", a.ScalarMem(0), b.ScalarMem(0))
+	}
+	if err := b.Restore(snap[:10]); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
