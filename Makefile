@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: build test race bench bench-engines check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The execution-engine packages must stay clean under the race detector:
+# the sharded parallel engine is exercised with Engine forced to parallel
+# even on single-core hosts (see internal/machine/engine_test.go).
+race:
+	$(GO) test -race ./internal/machine/... ./internal/core/...
+
+bench:
+	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
+
+# Serial-vs-parallel host engine comparison plus BENCH_results.json.
+bench-engines:
+	$(GO) test -bench 'BenchmarkLargeArray|BenchmarkExecEngines' -benchtime 10x -run '^$$' . ./internal/machine/
+	$(GO) run ./cmd/ascbench -exp T1 >/dev/null
+
+check: build test race

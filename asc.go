@@ -23,6 +23,19 @@
 // hazards, the b+r-cycle reduction and broadcast-reduction hazards, and
 // fine-grain multithreading with a rotating-priority scheduler that hides
 // those hazards when enough threads are runnable.
+//
+// # Host execution engines
+//
+// Config.Engine selects how the simulator executes the PE array on the
+// host: EngineSerial runs every PE on one goroutine; EngineParallel shards
+// the PE range across a persistent worker pool, barrier-synced per
+// parallel/reduction instruction, with per-shard reduction partials merged
+// along the exact binary-tree topology of the hardware units. The default,
+// EngineAuto, uses the sharded engine only when the host has more than one
+// CPU and the array is large (>= 256 PEs), so paper-scale 16-PE runs never
+// pay barrier overhead. The choice is architecturally invisible: engines
+// are bit-identical (snapshots and cycle counts match exactly), so it is
+// purely a host-performance knob for wide-array sweeps.
 package asc
 
 import (
@@ -67,7 +80,26 @@ type Config struct {
 	// TraceDepth keeps the most recent N instruction records for pipeline
 	// diagrams (0 = off, -1 = keep all).
 	TraceDepth int
+	// Engine picks the host execution engine for the PE array: EngineAuto
+	// (default; sharded when the host is multi-core and PEs >= 256),
+	// EngineSerial, or EngineParallel. Architecturally invisible — results
+	// and cycle counts are bit-identical across engines.
+	Engine Engine
 }
+
+// Engine selects the host-side execution strategy for parallel and
+// reduction instructions; see the package comment.
+type Engine = machine.Engine
+
+// Host execution engines for Config.Engine.
+const (
+	// EngineAuto shards large arrays on multi-core hosts, else serial.
+	EngineAuto = machine.EngineAuto
+	// EngineSerial always executes the PE array on a single goroutine.
+	EngineSerial = machine.EngineSerial
+	// EngineParallel always shards the PE array over a worker pool.
+	EngineParallel = machine.EngineParallel
+)
 
 func (c Config) coreConfig() core.Config {
 	cc := core.Config{
@@ -76,6 +108,7 @@ func (c Config) coreConfig() core.Config {
 			Threads:       c.Threads,
 			Width:         c.Width,
 			LocalMemWords: c.LocalMemWords,
+			Engine:        c.Engine,
 		},
 		Arity:      c.Arity,
 		SeqMul:     c.SeqMul,
@@ -322,6 +355,7 @@ type NonPipelined struct {
 func NewNonPipelined(cfg Config, prog *Program) (*NonPipelined, error) {
 	b, err := baseline.NewNonPipelined(machine.Config{
 		PEs: cfg.PEs, Threads: 1, Width: cfg.Width, LocalMemWords: cfg.LocalMemWords,
+		Engine: cfg.Engine,
 	}, prog.prog.Insts)
 	if err != nil {
 		return nil, err
@@ -355,6 +389,7 @@ func NewCoarseGrain(cfg Config, prog *Program) (*CoarseGrain, error) {
 	arity := cfg.Arity
 	b, err := baseline.NewCoarseGrain(machine.Config{
 		PEs: cfg.PEs, Threads: cfg.Threads, Width: cfg.Width, LocalMemWords: cfg.LocalMemWords,
+		Engine: cfg.Engine,
 	}, arity, prog.prog.Insts)
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ import (
 
 // BenchmarkTable1 regenerates Table 1 (FPGA resource usage).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	var r fpga.Report
 	for i := 0; i < b.N; i++ {
 		r = fpga.Estimate(fpga.PaperArch())
@@ -29,6 +30,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig1PipelineOrganization regenerates Figure 1.
 func BenchmarkFig1PipelineOrganization(b *testing.B) {
+	b.ReportAllocs()
 	var s string
 	for i := 0; i < b.N; i++ {
 		s = experiments.Fig1()
@@ -39,6 +41,7 @@ func BenchmarkFig1PipelineOrganization(b *testing.B) {
 // BenchmarkFig2Hazards regenerates the three hazard diagrams of Figure 2
 // and reports the observed stall of each class.
 func BenchmarkFig2Hazards(b *testing.B) {
+	b.ReportAllocs()
 	var bc, rd, br int64
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -54,6 +57,7 @@ func BenchmarkFig2Hazards(b *testing.B) {
 
 // BenchmarkFig3ControlUnit regenerates the Figure 3 issue trace.
 func BenchmarkFig3ControlUnit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig3(); err != nil {
 			b.Fatal(err)
@@ -64,8 +68,10 @@ func BenchmarkFig3ControlUnit(b *testing.B) {
 // BenchmarkStallScaling is experiment D1: the reduction-hazard stall grows
 // as log(p).
 func BenchmarkStallScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, pes := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) {
+			b.ReportAllocs()
 			var rows []experiments.D1Row
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -84,9 +90,11 @@ func BenchmarkStallScaling(b *testing.B) {
 // BenchmarkIPCvsThreads is experiment D2: fine-grain multithreading
 // recovers IPC toward 1.
 func BenchmarkIPCvsThreads(b *testing.B) {
+	b.ReportAllocs()
 	for _, pes := range []int{16, 256} {
 		for _, threads := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("pes=%d/threads=%d", pes, threads), func(b *testing.B) {
+				b.ReportAllocs()
 				var rows []experiments.D2Row
 				var err error
 				for i := 0; i < b.N; i++ {
@@ -105,8 +113,10 @@ func BenchmarkIPCvsThreads(b *testing.B) {
 // BenchmarkWallClock is experiment D3: wall-clock comparison of the three
 // machine designs with the calibrated clock model.
 func BenchmarkWallClock(b *testing.B) {
+	b.ReportAllocs()
 	for _, pes := range []int{16, 1024} {
 		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) {
+			b.ReportAllocs()
 			var rows []experiments.D3Row
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -129,6 +139,7 @@ func BenchmarkWallClock(b *testing.B) {
 
 // BenchmarkMaxPEs is experiment D4: RAM blocks limit the PE count.
 func BenchmarkMaxPEs(b *testing.B) {
+	b.ReportAllocs()
 	var n int
 	for i := 0; i < b.N; i++ {
 		n, _ = fpga.MaxPEs(fpga.PaperArch(), fpga.EP2C35())
@@ -139,10 +150,12 @@ func BenchmarkMaxPEs(b *testing.B) {
 // BenchmarkKernels is experiment D5: every associative kernel on every
 // machine model, verified against the Go oracles each iteration.
 func BenchmarkKernels(b *testing.B) {
+	b.ReportAllocs()
 	const pes = 64
 	for _, ins := range progs.Suite(pes, 2026) {
 		ins := ins
 		b.Run(ins.Name+"/fine-grain", func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				stats, err := ins.RunCore(pes, 1, 4)
@@ -154,6 +167,7 @@ func BenchmarkKernels(b *testing.B) {
 			b.ReportMetric(float64(cycles), "model-cycles")
 		})
 		b.Run(ins.Name+"/non-pipelined", func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				res, err := ins.RunNonPipelined(pes)
@@ -169,8 +183,10 @@ func BenchmarkKernels(b *testing.B) {
 
 // BenchmarkAritySweep is experiment D6: broadcast tree arity ablation.
 func BenchmarkAritySweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, k := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			const pes = 1024
 			ins := progs.MTReduction(pes, 1, 40)
 			var ipc float64
@@ -192,6 +208,7 @@ func BenchmarkAritySweep(b *testing.B) {
 
 // BenchmarkMultiplier is experiment D7: pipelined vs sequential multiplier.
 func BenchmarkMultiplier(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.D7Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -206,6 +223,7 @@ func BenchmarkMultiplier(b *testing.B) {
 
 // BenchmarkScheduler is experiment D8: rotating vs fixed priority.
 func BenchmarkScheduler(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.D8Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -227,6 +245,7 @@ func BenchmarkScheduler(b *testing.B) {
 
 // BenchmarkCoarseVsFine is experiment D9: multithreading granularity.
 func BenchmarkCoarseVsFine(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.D9Row
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -244,8 +263,10 @@ func BenchmarkCoarseVsFine(b *testing.B) {
 // simulated cycles per second (not a paper figure; useful for sizing
 // larger sweeps).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for _, pes := range []int{16, 256} {
 		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) {
+			b.ReportAllocs()
 			ins := progs.MTReduction(pes, 16, 50)
 			total := int64(0)
 			b.ResetTimer()
@@ -266,6 +287,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // BenchmarkSMT is experiment D10: the two-way SMT extension.
 func BenchmarkSMT(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.D10Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -281,6 +303,7 @@ func BenchmarkSMT(b *testing.B) {
 // BenchmarkPEOrganizations is experiment D11: block-RAM vs LUT register
 // files (the section-9 future-work organization).
 func BenchmarkPEOrganizations(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.D11Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.D11Organizations(fpga.EP2C35())
@@ -299,6 +322,7 @@ func BenchmarkPEOrganizations(b *testing.B) {
 // BenchmarkASCLCompiler is experiment D12: ASCL-compiled kernels vs
 // hand-written assembly, both validated against the same oracles.
 func BenchmarkASCLCompiler(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.D12Row
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -316,9 +340,47 @@ func BenchmarkASCLCompiler(b *testing.B) {
 	b.ReportMetric(worst, "worst-cycle-ratio")
 }
 
+// BenchmarkLargeArray compares the host execution engines on wide PE
+// arrays: a multithreaded reduction kernel at 256 and 1024 PEs on the
+// serial loop vs. the sharded worker pool. The engines are bit-identical
+// (the model-cycles metric must match between the two variants of each
+// size); ns/op is the host-side payoff of sharding on multi-core machines.
+func BenchmarkLargeArray(b *testing.B) {
+	for _, pes := range []int{256, 1024} {
+		ins := progs.MTReduction(pes, 8, 20)
+		prog, err := Assemble(ins.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, engine := range []Engine{EngineSerial, EngineParallel} {
+			b.Run(fmt.Sprintf("pes=%d/%v", pes, engine), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					p, err := New(Config{PEs: pes, Threads: 8, Width: ins.Width, Engine: engine}, prog)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := p.LoadLocalMem(ins.LocalMem); err != nil {
+						b.Fatal(err)
+					}
+					stats, err := p.Run(0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = stats.Cycles
+					p.core.Machine().Close()
+				}
+				b.ReportMetric(float64(cycles), "model-cycles")
+			})
+		}
+	}
+}
+
 // BenchmarkStructuralValidation is experiment D13: the kernel suite under
 // structural network co-simulation (value + latency checked per reduction).
 func BenchmarkStructuralValidation(b *testing.B) {
+	b.ReportAllocs()
 	var total int64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.D13Validation(32, 2026)

@@ -3,10 +3,15 @@
 // calibrated FPGA model. See DESIGN.md section 5 for the experiment index
 // and EXPERIMENTS.md for recorded paper-vs-measured results.
 //
+// Besides the formatted tables, every run writes a machine-readable
+// BENCH_results.json (name, ns/op, allocs/op, and model metrics for the
+// host-engine comparison) so performance can be tracked across commits;
+// -benchout changes the path, -benchout "" disables it.
+//
 // Usage:
 //
 //	ascbench            # run everything
-//	ascbench -exp T1    # one experiment: T1, F1, F2, F3, D1 ... D9
+//	ascbench -exp T1    # one experiment: T1, F1, F2, F3, D1 ... D13
 //	ascbench -list      # list experiment ids
 package main
 
@@ -15,15 +20,106 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/asm"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/progs"
 )
 
+// benchResult is one row of BENCH_results.json.
+type benchResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+// measure times f and reports per-op wall time and heap allocation deltas
+// (whole-process Mallocs/TotalAlloc, the same counters testing.B uses).
+func measure(ops int, f func() error) (r benchResult) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var err error
+	for i := 0; i < ops && err == nil; i++ {
+		err = f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(ops)
+	r.NsPerOp = float64(elapsed.Nanoseconds()) / n
+	r.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / n
+	r.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / n
+	if err != nil {
+		r.Error = err.Error()
+	}
+	return r
+}
+
+// engineBenches compares the serial and sharded host engines on the
+// multithreaded reduction kernel at wide PE counts, recording model metrics
+// (cycles, IPC) alongside host-side cost. Engines must agree on the model
+// metrics exactly; ns/op is the host speedup trajectory.
+func engineBenches() []benchResult {
+	var out []benchResult
+	for _, pes := range []int{256, 1024} {
+		ins := progs.MTReduction(pes, 8, 20)
+		prog, err := asm.Assemble(ins.Source)
+		if err != nil {
+			out = append(out, benchResult{Name: "engine/assemble", Error: err.Error()})
+			continue
+		}
+		for _, engine := range []machine.Engine{machine.EngineSerial, machine.EngineParallel} {
+			var cycles, ipc float64
+			r := measure(3, func() error {
+				mcfg := ins.MachineConfig(pes, 8)
+				mcfg.Engine = engine
+				p, err := core.New(core.Config{Machine: mcfg}, prog.Insts)
+				if err != nil {
+					return err
+				}
+				defer p.Machine().Close()
+				if err := p.Machine().LoadLocalMem(ins.LocalMem); err != nil {
+					return err
+				}
+				if err := p.Machine().LoadScalarMem(ins.ScalarMem); err != nil {
+					return err
+				}
+				stats, err := p.Run(0)
+				if err != nil {
+					return err
+				}
+				if err := ins.Check(p.Machine()); err != nil {
+					return err
+				}
+				cycles = float64(stats.Cycles)
+				ipc = stats.IPC()
+				return nil
+			})
+			r.Name = fmt.Sprintf("engine/mt-reduction/pes=%d/%v", pes, engine)
+			r.Metrics = map[string]float64{
+				"model-cycles": cycles,
+				"model-IPC":    ipc,
+				"gomaxprocs":   float64(runtime.GOMAXPROCS(0)),
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1, F1, F2, F3, D1..D12) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (T1, F1, F2, F3, D1..D13) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
+	benchOut := flag.String("benchout", "BENCH_results.json", "write machine-readable timings here (empty = off)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -41,33 +137,54 @@ func main() {
 		Error  string `json:"error,omitempty"`
 	}
 	var results []result
+	var bench []benchResult
 	failed := false
 	for _, e := range all {
 		if *exp != "all" && !strings.EqualFold(*exp, e.ID) {
 			continue
 		}
-		out, err := e.Run()
+		var out string
+		br := measure(1, func() (err error) {
+			out, err = e.Run()
+			return err
+		})
+		br.Name = "experiment/" + e.ID
+		bench = append(bench, br)
 		r := result{ID: e.ID, Title: e.Title, Output: out}
-		if err != nil {
-			r.Error = err.Error()
+		if br.Error != "" {
+			r.Error = br.Error
 			failed = true
 		}
 		results = append(results, r)
 		if !*jsonOut {
 			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			if r.Error != "" {
+				fmt.Fprintf(os.Stderr, "%s failed: %s\n", e.ID, r.Error)
 				continue
 			}
 			fmt.Println(out)
 		}
 	}
+	bench = append(bench, engineBenches()...)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote %s (%d benchmark rows)\n", *benchOut, len(bench))
 		}
 	}
 	if failed {

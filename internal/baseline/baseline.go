@@ -17,7 +17,10 @@
 //     stalls.
 //
 // Both reuse the functional machine, so all three machine models compute
-// identical architectural results.
+// identical architectural results — including the choice of host execution
+// engine (machine.Config.Engine), which plumbs straight through: wide-array
+// baseline sweeps can run on the sharded engine with bit-identical cycle
+// counts.
 package baseline
 
 import (

@@ -15,10 +15,18 @@
 // sign-extend explicitly. Register s0 and parallel register p0 read as zero
 // and ignore writes; flag f0 reads as one (the "all PEs active" mask) and
 // ignores writes.
+//
+// Host execution engines: parallel-class and reduction instructions can run
+// either on a single-goroutine serial loop or on a sharded worker pool that
+// splits the PE range across host cores (Config.Engine; see engine.go).
+// The two engines are bit-identical — reductions fold with the exact binary
+// tree topology in both (network.FoldInPlace and its sharding contract),
+// and PE state layout is flat so shards stream contiguous memory.
 package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/isa"
 	"repro/internal/network"
@@ -26,12 +34,13 @@ import (
 
 // Config holds the architectural parameters of a machine instance.
 type Config struct {
-	PEs            int  // number of processing elements (p)
-	Threads        int  // hardware thread contexts (T)
-	Width          uint // data width in bits: 8 (paper prototype), 16, or 32
-	LocalMemWords  int  // PE local memory size in words
-	ScalarMemWords int  // control-unit data memory size in words
-	MailboxCap     int  // per-thread mailbox depth for TSEND/TRECV
+	PEs            int    // number of processing elements (p)
+	Threads        int    // hardware thread contexts (T)
+	Width          uint   // data width in bits: 8 (paper prototype), 16, or 32
+	LocalMemWords  int    // PE local memory size in words
+	ScalarMemWords int    // control-unit data memory size in words
+	MailboxCap     int    // per-thread mailbox depth for TSEND/TRECV
+	Engine         Engine // host execution engine (architecturally invisible)
 }
 
 // Validate checks the configuration and fills defaults for zero fields.
@@ -71,6 +80,9 @@ func (c *Config) Validate() error {
 	if c.MailboxCap < 1 {
 		return fmt.Errorf("machine: MailboxCap must be >= 1")
 	}
+	if c.Engine > EngineParallel {
+		return fmt.Errorf("machine: unknown engine %d", c.Engine)
+	}
 	return nil
 }
 
@@ -99,26 +111,35 @@ type Machine struct {
 
 	threads []thread
 
-	// PE state, indexed [thread][pe][reg]. The register files are split
-	// between threads at the hardware level (section 6.2).
-	pregs [][][]int64
-	flags [][][]bool
+	// PE state, stored flat so host-side shards stream contiguous memory.
+	// The register files are split between threads at the hardware level
+	// (section 6.2); the flat index keeps that [thread][pe][reg] order:
+	//   pregs[(t*PEs+pe)*isa.NumParallelRegs + r]
+	//   flags[(t*PEs+pe)*isa.NumFlagRegs + r]
+	pregs []int64
+	flags []bool
 
-	// localMem is indexed [pe][word]; it is shared between threads at the
-	// hardware level (section 6.2).
-	localMem [][]int64
+	// localMem is shared between threads at the hardware level (section
+	// 6.2), indexed localMem[pe*LocalMemWords + w].
+	localMem []int64
 
 	// scalarMem is the control unit's data memory, shared by all threads.
 	scalarMem []int64
 
 	halted bool
 
-	// Reduction scratch buffers, reused across Exec calls (the machine is
-	// not safe for concurrent use; neither is the simulator around it).
-	scratchMask   []bool
-	scratchFlags  []bool
-	scratchRaw    []int64
-	scratchSigned []int64
+	// leafBuf is the reduction tree's leaf vector, reused across Exec calls
+	// (the machine is not safe for concurrent use; neither is the simulator
+	// around it). Under the sharded engine each shard fills and folds its
+	// own disjoint sub-slice.
+	leafBuf []int64
+
+	// satAdd is the saturating node adder for the configured width, built
+	// once so reduction dispatch allocates no closures.
+	satAdd network.CombineFunc
+
+	// eng is the sharded worker pool, or nil for the serial engine.
+	eng *engine
 }
 
 // New builds a machine with the given configuration and program.
@@ -128,29 +149,47 @@ func New(cfg Config, prog []isa.Inst) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, prog: prog}
 	m.threads = make([]thread, cfg.Threads)
-	m.pregs = make([][][]int64, cfg.Threads)
-	m.flags = make([][][]bool, cfg.Threads)
-	for t := range m.threads {
-		m.pregs[t] = make([][]int64, cfg.PEs)
-		m.flags[t] = make([][]bool, cfg.PEs)
-		for pe := 0; pe < cfg.PEs; pe++ {
-			m.pregs[t][pe] = make([]int64, isa.NumParallelRegs)
-			m.flags[t][pe] = make([]bool, isa.NumFlagRegs)
+	m.pregs = make([]int64, cfg.Threads*cfg.PEs*isa.NumParallelRegs)
+	m.flags = make([]bool, cfg.Threads*cfg.PEs*isa.NumFlagRegs)
+	m.localMem = make([]int64, cfg.PEs*cfg.LocalMemWords)
+	m.scalarMem = make([]int64, cfg.ScalarMemWords)
+	m.leafBuf = make([]int64, cfg.PEs)
+	m.satAdd = network.SatAdd(cfg.Width)
+
+	useParallel := false
+	switch cfg.Engine {
+	case EngineParallel:
+		useParallel = cfg.PEs > 1
+	case EngineAuto:
+		useParallel = cfg.PEs >= AutoParallelThreshold && runtime.GOMAXPROCS(0) > 1
+	}
+	if useParallel {
+		if m.eng = newEngine(cfg.PEs); m.eng != nil {
+			// The pool never retains the machine between instructions, so
+			// an abandoned machine stays collectable and the finalizer
+			// releases its worker goroutines.
+			runtime.SetFinalizer(m, (*Machine).Close)
 		}
 	}
-	m.localMem = make([][]int64, cfg.PEs)
-	for pe := range m.localMem {
-		m.localMem[pe] = make([]int64, cfg.LocalMemWords)
-	}
-	m.scalarMem = make([]int64, cfg.ScalarMemWords)
-	m.scratchMask = make([]bool, cfg.PEs)
-	m.scratchFlags = make([]bool, cfg.PEs)
-	m.scratchRaw = make([]int64, cfg.PEs)
-	m.scratchSigned = make([]int64, cfg.PEs)
+
 	// Thread 0 starts active at PC 0.
 	m.threads[0].state = ThreadActive
 	return m, nil
 }
+
+// Close stops the sharded engine's worker pool; it is a no-op for serial
+// machines and safe to call more than once. New installs Close as a
+// finalizer, so calling it explicitly is optional — but a closed machine
+// must not execute further parallel or reduction instructions.
+func (m *Machine) Close() {
+	if m.eng != nil {
+		m.eng.stop()
+	}
+}
+
+// EngineParallelActive reports whether the sharded engine is actually in
+// use (EngineParallel requested, or EngineAuto resolved to it).
+func (m *Machine) EngineParallelActive() bool { return m.eng != nil }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -212,7 +251,7 @@ func (m *Machine) Parallel(t, pe int, r uint8) int64 {
 	if r == 0 {
 		return 0
 	}
-	return m.pregs[t][pe][r]
+	return m.pregs[(t*m.cfg.PEs+pe)*isa.NumParallelRegs+int(r)]
 }
 
 // SetParallel writes parallel register r of PE pe in thread t.
@@ -220,7 +259,7 @@ func (m *Machine) SetParallel(t, pe int, r uint8, v int64) {
 	if r == 0 {
 		return
 	}
-	m.pregs[t][pe][r] = m.mask(v)
+	m.pregs[(t*m.cfg.PEs+pe)*isa.NumParallelRegs+int(r)] = m.mask(v)
 }
 
 // Flag returns flag register r of PE pe in thread t. f0 reads as one.
@@ -228,7 +267,7 @@ func (m *Machine) Flag(t, pe int, r uint8) bool {
 	if r == 0 {
 		return true
 	}
-	return m.flags[t][pe][r]
+	return m.flags[(t*m.cfg.PEs+pe)*isa.NumFlagRegs+int(r)]
 }
 
 // SetFlag writes flag register r of PE pe in thread t (f0 writes dropped).
@@ -236,7 +275,16 @@ func (m *Machine) SetFlag(t, pe int, r uint8, v bool) {
 	if r == 0 {
 		return
 	}
-	m.flags[t][pe][r] = v
+	m.flags[(t*m.cfg.PEs+pe)*isa.NumFlagRegs+int(r)] = v
+}
+
+// flagAt reads flag r at flag-file base fb (f0 hardwired to one). Hot-loop
+// twin of Flag for callers that precompute (t*PEs+pe)*NumFlagRegs.
+func (m *Machine) flagAt(fb, r int) bool {
+	if r == 0 {
+		return true
+	}
+	return m.flags[fb+r]
 }
 
 // LoadLocalMem initializes PE local memory: data[pe][w] -> word w of PE pe.
@@ -250,14 +298,14 @@ func (m *Machine) LoadLocalMem(data [][]int64) error {
 			return fmt.Errorf("machine: local mem row %d has %d words, capacity %d", pe, len(row), m.cfg.LocalMemWords)
 		}
 		for w, v := range row {
-			m.localMem[pe][w] = m.mask(v)
+			m.localMem[pe*m.cfg.LocalMemWords+w] = m.mask(v)
 		}
 	}
 	return nil
 }
 
 // LocalMem returns word w of PE pe's local memory.
-func (m *Machine) LocalMem(pe, w int) int64 { return m.localMem[pe][w] }
+func (m *Machine) LocalMem(pe, w int) int64 { return m.localMem[pe*m.cfg.LocalMemWords+w] }
 
 // LoadScalarMem initializes the control unit data memory from addr 0.
 func (m *Machine) LoadScalarMem(data []int64) error {
@@ -470,14 +518,10 @@ func (m *Machine) execThreadOp(t int, in isa.Inst, out *Outcome) error {
 		nt.pc = target
 		nt.sregs = [isa.NumScalarRegs]int64{}
 		nt.mailbox = nil
-		for pe := 0; pe < m.cfg.PEs; pe++ {
-			for r := range m.pregs[spawned][pe] {
-				m.pregs[spawned][pe][r] = 0
-			}
-			for r := range m.flags[spawned][pe] {
-				m.flags[spawned][pe][r] = false
-			}
-		}
+		pb := spawned * m.cfg.PEs * isa.NumParallelRegs
+		clear(m.pregs[pb : pb+m.cfg.PEs*isa.NumParallelRegs])
+		fb := spawned * m.cfg.PEs * isa.NumFlagRegs
+		clear(m.flags[fb : fb+m.cfg.PEs*isa.NumFlagRegs])
 		m.SetScalar(t, in.Rd, int64(spawned))
 		out.Spawned = spawned
 
@@ -656,126 +700,217 @@ func (m *Machine) alu(op aluOp, a, b int64) (int64, error) {
 	return 0, fmt.Errorf("unknown alu op %d", op)
 }
 
-// execParallel applies a parallel-class instruction on every responder PE.
+// execParallel applies a parallel-class instruction on every responder PE,
+// on whichever host engine is active.
+//
+// Trap semantics for PLW/PSW are deterministic under sharding: every
+// non-trapping responder executes its access, and the trap reports the
+// lowest-numbered faulting PE — the same result whether PEs run serially or
+// split across shards. (In hardware all PEs operate in lockstep, so "the
+// PEs before the fault ran, the ones after did not" has no meaning anyway.)
 func (m *Machine) execParallel(t int, in isa.Inst) error {
 	info := in.Info()
-	p := m.cfg.PEs
+	if info.DstKind == isa.KindFlag && info.SrcAKind != isa.KindParallel {
+		switch in.Op {
+		case isa.FAND, isa.FOR, isa.FXOR, isa.FANDN, isa.FNOT, isa.FMOV, isa.FSET, isa.FCLR:
+		default:
+			return m.trap(t, in, "unimplemented flag op")
+		}
+	}
+	var trapPE, trapAddr int
+	if m.eng != nil {
+		trapPE, trapAddr = m.eng.parallel(m, t, in)
+	} else {
+		trapPE, trapAddr = m.execParallelRange(t, in, 0, m.cfg.PEs)
+	}
+	if trapPE >= 0 {
+		verb := "load"
+		if in.Op == isa.PSW {
+			verb = "store"
+		}
+		return m.trap(t, in, "PE %d local %s address %d out of [0, %d)", trapPE, verb, trapAddr, m.cfg.LocalMemWords)
+	}
+	return nil
+}
 
-	// active reports whether PE pe participates (its mask flag is set).
-	active := func(pe int) bool { return m.Flag(t, pe, in.Mask) }
+// execParallelRange applies a parallel-class instruction on responder PEs in
+// [lo, hi). It returns the lowest faulting PE in the range and the faulting
+// address, or (-1, 0). The caller has already validated the opcode, so the
+// body is a tight loop over flat state with no error paths except memory
+// bounds. Ranges touch only their own PEs' registers, flags, and local
+// memory rows (plus read-only scalar state), so disjoint ranges are safe to
+// run concurrently.
+func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, trapAddr int) {
+	trapPE, trapAddr = -1, 0
+	info := in.Info()
+	base := t * m.cfg.PEs
+	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
+	mk := int(in.Mask)
+	rd, ra, rb := int(in.Rd), int(in.Ra), int(in.Rb)
 
 	switch {
 	case in.Op == isa.PIDX:
-		for pe := 0; pe < p; pe++ {
-			if active(pe) {
-				m.SetParallel(t, pe, in.Rd, int64(pe))
+		if rd == 0 {
+			return
+		}
+		for pe := lo; pe < hi; pe++ {
+			if mk == 0 || m.flags[(base+pe)*nF+mk] {
+				m.pregs[(base+pe)*nP+rd] = m.mask(int64(pe))
 			}
 		}
 
 	case in.Op == isa.PLI:
-		for pe := 0; pe < p; pe++ {
-			if active(pe) {
-				m.SetParallel(t, pe, in.Rd, m.mask(int64(in.Imm)))
+		if rd == 0 {
+			return
+		}
+		v := m.mask(int64(in.Imm))
+		for pe := lo; pe < hi; pe++ {
+			if mk == 0 || m.flags[(base+pe)*nF+mk] {
+				m.pregs[(base+pe)*nP+rd] = v
 			}
 		}
 
 	case in.Op == isa.PLW:
-		for pe := 0; pe < p; pe++ {
-			if !active(pe) {
+		lmw := m.cfg.LocalMemWords
+		imm := int(in.Imm)
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
 				continue
 			}
-			addr := int(m.signed(m.Parallel(t, pe, in.Ra))) + int(in.Imm)
-			if addr < 0 || addr >= m.cfg.LocalMemWords {
-				return m.trap(t, in, "PE %d local load address %d out of [0, %d)", pe, addr, m.cfg.LocalMemWords)
+			var av int64
+			if ra != 0 {
+				av = m.pregs[(base+pe)*nP+ra]
 			}
-			m.SetParallel(t, pe, in.Rd, m.localMem[pe][addr])
+			addr := int(m.signed(av)) + imm
+			if addr < 0 || addr >= lmw {
+				if trapPE < 0 {
+					trapPE, trapAddr = pe, addr
+				}
+				continue
+			}
+			if rd != 0 {
+				m.pregs[(base+pe)*nP+rd] = m.localMem[pe*lmw+addr]
+			}
 		}
 
 	case in.Op == isa.PSW:
-		for pe := 0; pe < p; pe++ {
-			if !active(pe) {
+		lmw := m.cfg.LocalMemWords
+		imm := int(in.Imm)
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
 				continue
 			}
-			addr := int(m.signed(m.Parallel(t, pe, in.Ra))) + int(in.Imm)
-			if addr < 0 || addr >= m.cfg.LocalMemWords {
-				return m.trap(t, in, "PE %d local store address %d out of [0, %d)", pe, addr, m.cfg.LocalMemWords)
+			var av int64
+			if ra != 0 {
+				av = m.pregs[(base+pe)*nP+ra]
 			}
-			m.localMem[pe][addr] = m.Parallel(t, pe, in.Rd)
+			addr := int(m.signed(av)) + imm
+			if addr < 0 || addr >= lmw {
+				if trapPE < 0 {
+					trapPE, trapAddr = pe, addr
+				}
+				continue
+			}
+			var dv int64
+			if rd != 0 {
+				dv = m.pregs[(base+pe)*nP+rd]
+			}
+			m.localMem[pe*lmw+addr] = dv
 		}
 
 	case info.DstKind == isa.KindFlag && info.SrcAKind == isa.KindParallel:
 		// Parallel comparison producing a flag.
-		for pe := 0; pe < p; pe++ {
-			if !active(pe) {
+		if rd == 0 {
+			return
+		}
+		var sb int64
+		if in.SB {
+			sb = m.Scalar(t, in.Rb)
+		}
+		for pe := lo; pe < hi; pe++ {
+			fb := (base + pe) * nF
+			if !(mk == 0 || m.flags[fb+mk]) {
 				continue
 			}
-			a := m.Parallel(t, pe, in.Ra)
-			var b int64
-			if in.SB {
-				b = m.Scalar(t, in.Rb)
-			} else {
-				b = m.Parallel(t, pe, in.Rb)
+			var a, b int64
+			if ra != 0 {
+				a = m.pregs[(base+pe)*nP+ra]
 			}
-			m.SetFlag(t, pe, in.Rd, m.compare(in.Op, a, b))
+			if in.SB {
+				b = sb
+			} else if rb != 0 {
+				b = m.pregs[(base+pe)*nP+rb]
+			}
+			m.flags[fb+rd] = m.compare(in.Op, a, b)
 		}
 
 	case info.DstKind == isa.KindFlag:
-		// Flag logic.
-		for pe := 0; pe < p; pe++ {
-			if !active(pe) {
+		// Flag logic. Operands are read lazily per op: FNOT/FMOV/FSET/FCLR
+		// have no B (or A) operand, and their unused register fields may
+		// hold any value.
+		if rd == 0 {
+			return
+		}
+		for pe := lo; pe < hi; pe++ {
+			fb := (base + pe) * nF
+			if !(mk == 0 || m.flags[fb+mk]) {
 				continue
 			}
-			// Read operands lazily: FNOT/FMOV/FSET/FCLR have no B (or A)
-			// operand, and their unused register fields may hold any value.
 			var v bool
 			switch in.Op {
 			case isa.FAND:
-				v = m.Flag(t, pe, in.Ra) && m.Flag(t, pe, in.Rb)
+				v = m.flagAt(fb, ra) && m.flagAt(fb, rb)
 			case isa.FOR:
-				v = m.Flag(t, pe, in.Ra) || m.Flag(t, pe, in.Rb)
+				v = m.flagAt(fb, ra) || m.flagAt(fb, rb)
 			case isa.FXOR:
-				v = m.Flag(t, pe, in.Ra) != m.Flag(t, pe, in.Rb)
+				v = m.flagAt(fb, ra) != m.flagAt(fb, rb)
 			case isa.FANDN:
-				v = m.Flag(t, pe, in.Ra) && !m.Flag(t, pe, in.Rb)
+				v = m.flagAt(fb, ra) && !m.flagAt(fb, rb)
 			case isa.FNOT:
-				v = !m.Flag(t, pe, in.Ra)
+				v = !m.flagAt(fb, ra)
 			case isa.FMOV:
-				v = m.Flag(t, pe, in.Ra)
+				v = m.flagAt(fb, ra)
 			case isa.FSET:
 				v = true
 			case isa.FCLR:
 				v = false
-			default:
-				return m.trap(t, in, "unimplemented flag op")
 			}
-			m.SetFlag(t, pe, in.Rd, v)
+			m.flags[fb+rd] = v
 		}
 
 	default:
-		// Parallel ALU, register/broadcast/immediate forms.
+		// Parallel ALU, register/broadcast/immediate forms. alu cannot fail
+		// for any op parallelALUOp produces (division by zero is defined).
+		if rd == 0 {
+			return
+		}
 		op := parallelALUOp(in.Op)
-		for pe := 0; pe < p; pe++ {
-			if !active(pe) {
+		immForm := info.Format == isa.FormatPI
+		var bc int64
+		if immForm {
+			bc = m.mask(int64(in.Imm))
+		} else if in.SB {
+			bc = m.Scalar(t, in.Rb)
+		}
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
 				continue
 			}
-			a := m.Parallel(t, pe, in.Ra)
-			var b int64
-			switch {
-			case info.Format == isa.FormatPI:
-				b = m.mask(int64(in.Imm))
-			case in.SB:
-				b = m.Scalar(t, in.Rb)
-			default:
-				b = m.Parallel(t, pe, in.Rb)
+			pb := (base + pe) * nP
+			var a, b int64
+			if ra != 0 {
+				a = m.pregs[pb+ra]
 			}
-			v, err := m.alu(op, a, b)
-			if err != nil {
-				return m.trap(t, in, "%v", err)
+			if immForm || in.SB {
+				b = bc
+			} else if rb != 0 {
+				b = m.pregs[pb+rb]
 			}
-			m.SetParallel(t, pe, in.Rd, v)
+			v, _ := m.alu(op, a, b)
+			m.pregs[pb+rd] = v
 		}
 	}
-	return nil
+	return
 }
 
 func (m *Machine) compare(op isa.Op, a, b int64) bool {
@@ -805,68 +940,178 @@ func (m *Machine) compare(op isa.Op, a, b int64) bool {
 	panic(fmt.Sprintf("machine: %v is not a comparison", op))
 }
 
-// execReduction applies a reduction instruction using the functional network
-// semantics (internal/network). The mask flag selects the responders.
+// execReduction applies a reduction instruction. The mask flag selects the
+// responders. Both engines fold the leaf vector with the exact binary-tree
+// topology of the hardware units (network.FoldInPlace); the sharded engine
+// folds aligned power-of-two shards to subtree roots and merges them, which
+// the FoldInPlace sharding contract guarantees is bit-identical — including
+// for the node-saturating sum.
 func (m *Machine) execReduction(t int, in isa.Inst) {
 	p := m.cfg.PEs
-	maskVec := m.scratchMask
-	for pe := 0; pe < p; pe++ {
-		maskVec[pe] = m.Flag(t, pe, in.Mask)
-	}
-
 	switch in.Op {
-	case isa.RCOUNT, isa.RANY, isa.RFIRST:
-		flagVec := m.scratchFlags
-		for pe := 0; pe < p; pe++ {
-			flagVec[pe] = m.Flag(t, pe, in.Ra)
+	case isa.RCOUNT, isa.RANY:
+		var n int64
+		if m.eng != nil {
+			n = m.eng.count(m, t, in)
+		} else {
+			n = m.respCountRange(t, in, 0, p)
 		}
-		switch in.Op {
-		case isa.RCOUNT:
-			m.SetScalar(t, in.Rd, m.mask(network.CountResponders(flagVec, maskVec)))
-		case isa.RANY:
+		if in.Op == isa.RCOUNT {
+			m.SetScalar(t, in.Rd, m.mask(n))
+		} else {
 			v := int64(0)
-			if network.AnyResponder(flagVec, maskVec) {
+			if n > 0 {
 				v = 1
 			}
 			m.SetScalar(t, in.Rd, v)
-		case isa.RFIRST:
-			// The resolver output is a parallel value written back into
-			// every PE's flag register, regardless of mask: non-responders
-			// receive zero, exactly one responder receives one.
-			first := network.FirstResponder(flagVec, maskVec)
-			for pe := 0; pe < p; pe++ {
-				m.SetFlag(t, pe, in.Rd, first[pe])
-			}
 		}
-		return
-	}
 
-	// Value reductions over parallel register ra.
-	raw := m.scratchRaw
-	signedVals := m.scratchSigned
-	for pe := 0; pe < p; pe++ {
-		raw[pe] = m.Parallel(t, pe, in.Ra)
-		signedVals[pe] = m.signed(raw[pe])
+	case isa.RFIRST:
+		// The resolver output is a parallel value written back into every
+		// PE's flag register, regardless of mask: non-responders receive
+		// zero, exactly one responder receives one.
+		if m.eng != nil {
+			winner := m.eng.first(m, t, in)
+			m.eng.firstWrite(m, t, in, winner)
+		} else {
+			winner := int(m.respFirstRange(t, in, 0, p))
+			m.rfirstWriteRange(t, in, winner, 0, p)
+		}
+
+	default:
+		// Value reductions over parallel register ra.
+		var root int64
+		if m.eng != nil {
+			root = m.eng.reduce(m, t, in)
+		} else {
+			m.reduceLeavesRange(t, in, 0, p)
+			root = network.FoldInPlace(m.leafBuf[:p], m.combineFor(in.Op))
+		}
+		if in.Op == isa.RAND {
+			// De Morgan: the logic unit inverts at the leaves, ORs up the
+			// tree, and inverts the root.
+			root = ^root & (int64(1)<<m.cfg.Width - 1)
+		}
+		m.SetScalar(t, in.Rd, m.mask(root))
 	}
+}
+
+// respCountRange counts responders (flag Ra AND mask) among PEs in [lo, hi)
+// — the response counter of section 6.4, as a range so shards can count
+// privately and sum.
+func (m *Machine) respCountRange(t int, in isa.Inst, lo, hi int) int64 {
+	base := t * m.cfg.PEs
+	const nF = isa.NumFlagRegs
+	ra, mk := int(in.Ra), int(in.Mask)
+	var n int64
+	for pe := lo; pe < hi; pe++ {
+		fb := (base + pe) * nF
+		if (ra == 0 || m.flags[fb+ra]) && (mk == 0 || m.flags[fb+mk]) {
+			n++
+		}
+	}
+	return n
+}
+
+// respFirstRange returns the lowest responder index in [lo, hi), or the PE
+// count as a "no responder" sentinel so a min-merge across shards yields the
+// global resolver output.
+func (m *Machine) respFirstRange(t int, in isa.Inst, lo, hi int) int64 {
+	base := t * m.cfg.PEs
+	const nF = isa.NumFlagRegs
+	ra, mk := int(in.Ra), int(in.Mask)
+	for pe := lo; pe < hi; pe++ {
+		fb := (base + pe) * nF
+		if (ra == 0 || m.flags[fb+ra]) && (mk == 0 || m.flags[fb+mk]) {
+			return int64(pe)
+		}
+	}
+	return int64(m.cfg.PEs)
+}
+
+// rfirstWriteRange writes the resolver output for PEs in [lo, hi): flag Rd
+// becomes one only at the winning PE (mask-independent, like the hardware
+// resolver bus). A winner outside [0, PEs) clears the whole range.
+func (m *Machine) rfirstWriteRange(t int, in isa.Inst, winner, lo, hi int) {
+	rd := int(in.Rd)
+	if rd == 0 {
+		return // f0 writes are dropped
+	}
+	base := t * m.cfg.PEs
+	const nF = isa.NumFlagRegs
+	for pe := lo; pe < hi; pe++ {
+		m.flags[(base+pe)*nF+rd] = pe == winner
+	}
+}
+
+// reduceLeavesRange materializes the reduction tree's leaf vector for PEs in
+// [lo, hi) into m.leafBuf: responders contribute their (transformed)
+// register value, non-responders the unit's identity element — exactly what
+// the masking gates in front of the hardware tree inject.
+func (m *Machine) reduceLeavesRange(t int, in isa.Inst, lo, hi int) {
+	base := t * m.cfg.PEs
+	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
+	ra, mk := int(in.Ra), int(in.Mask)
 	w := m.cfg.Width
-	var v int64
+	ones := int64(1)<<w - 1
+
+	const (
+		leafRaw = iota
+		leafSigned
+		leafInverted
+	)
+	var kind int
+	var ident int64
 	switch in.Op {
-	case isa.RAND:
-		v = network.ReduceAnd(raw, maskVec, w)
 	case isa.ROR:
-		v = network.ReduceOr(raw, maskVec)
+		kind, ident = leafRaw, network.OrIdentity()
+	case isa.RAND:
+		kind, ident = leafInverted, network.OrIdentity()
 	case isa.RMAX:
-		v = network.ReduceMax(signedVals, maskVec, w)
+		kind, ident = leafSigned, network.MaxIdentitySigned(w)
 	case isa.RMIN:
-		v = network.ReduceMin(signedVals, maskVec, w)
+		kind, ident = leafSigned, network.MinIdentitySigned(w)
 	case isa.RMAXU:
-		v = network.ReduceMaxU(raw, maskVec)
+		kind, ident = leafRaw, network.MaxIdentityUnsigned()
 	case isa.RMINU:
-		v = network.ReduceMinU(raw, maskVec, w)
+		kind, ident = leafRaw, network.MinIdentityUnsigned(w)
 	case isa.RSUM:
-		v = network.ReduceSum(signedVals, maskVec, w)
+		kind, ident = leafSigned, 0
 	default:
 		panic(fmt.Sprintf("machine: %v is not a reduction", in.Op))
 	}
-	m.SetScalar(t, in.Rd, m.mask(v))
+
+	for pe := lo; pe < hi; pe++ {
+		if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
+			m.leafBuf[pe] = ident
+			continue
+		}
+		var v int64
+		if ra != 0 {
+			v = m.pregs[(base+pe)*nP+ra]
+		}
+		switch kind {
+		case leafSigned:
+			v = m.signed(v)
+		case leafInverted:
+			v = ^v & ones
+		}
+		m.leafBuf[pe] = v
+	}
+}
+
+// combineFor returns the tree-node function of a value reduction without
+// allocating: package-level funcs, plus the machine's one SatAdd closure.
+func (m *Machine) combineFor(op isa.Op) network.CombineFunc {
+	switch op {
+	case isa.RAND, isa.ROR:
+		return network.CombineOr
+	case isa.RMAX, isa.RMAXU:
+		return network.CombineMax
+	case isa.RMIN, isa.RMINU:
+		return network.CombineMin
+	case isa.RSUM:
+		return m.satAdd
+	}
+	panic(fmt.Sprintf("machine: %v is not a value reduction", op))
 }

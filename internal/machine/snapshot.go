@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+
+	"repro/internal/isa"
 )
 
 // Snapshot serializes the complete architectural state — thread contexts
@@ -26,7 +28,10 @@ const (
 )
 
 // fingerprint hashes the configuration and program so a snapshot cannot be
-// restored into an incompatible machine.
+// restored into an incompatible machine. Config.Engine is deliberately
+// excluded: the host engine is architecturally invisible, so snapshots move
+// freely between serial and sharded machines (the differential tests rely
+// on byte-identical images across engines).
 func (m *Machine) fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -82,12 +87,16 @@ func (m *Machine) Snapshot() []byte {
 			w(v)
 		}
 	}
+	// Flat state is serialized in the original [thread][pe][reg] nesting so
+	// the byte image is unchanged across the flattening of the files.
 	for t := 0; t < m.cfg.Threads; t++ {
 		for pe := 0; pe < m.cfg.PEs; pe++ {
-			for _, v := range m.pregs[t][pe] {
+			pb := (t*m.cfg.PEs + pe) * isa.NumParallelRegs
+			for _, v := range m.pregs[pb : pb+isa.NumParallelRegs] {
 				w(v)
 			}
-			for _, f := range m.flags[t][pe] {
+			fb := (t*m.cfg.PEs + pe) * isa.NumFlagRegs
+			for _, f := range m.flags[fb : fb+isa.NumFlagRegs] {
 				if f {
 					w(1)
 				} else {
@@ -97,7 +106,7 @@ func (m *Machine) Snapshot() []byte {
 		}
 	}
 	for pe := 0; pe < m.cfg.PEs; pe++ {
-		for _, v := range m.localMem[pe] {
+		for _, v := range m.localMem[pe*m.cfg.LocalMemWords : (pe+1)*m.cfg.LocalMemWords] {
 			w(v)
 		}
 	}
@@ -179,23 +188,26 @@ func (m *Machine) Restore(data []byte) error {
 	}
 	for t := 0; t < m.cfg.Threads; t++ {
 		for pe := 0; pe < m.cfg.PEs; pe++ {
-			for i := range m.pregs[t][pe] {
-				if m.pregs[t][pe][i], err = r(); err != nil {
+			pb := (t*m.cfg.PEs + pe) * isa.NumParallelRegs
+			for i := 0; i < isa.NumParallelRegs; i++ {
+				if m.pregs[pb+i], err = r(); err != nil {
 					return err
 				}
 			}
-			for i := range m.flags[t][pe] {
+			fb := (t*m.cfg.PEs + pe) * isa.NumFlagRegs
+			for i := 0; i < isa.NumFlagRegs; i++ {
 				v, err := r()
 				if err != nil {
 					return err
 				}
-				m.flags[t][pe][i] = v != 0
+				m.flags[fb+i] = v != 0
 			}
 		}
 	}
 	for pe := 0; pe < m.cfg.PEs; pe++ {
-		for i := range m.localMem[pe] {
-			if m.localMem[pe][i], err = r(); err != nil {
+		lb := pe * m.cfg.LocalMemWords
+		for i := 0; i < m.cfg.LocalMemWords; i++ {
+			if m.localMem[lb+i], err = r(); err != nil {
 				return err
 			}
 		}

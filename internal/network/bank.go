@@ -187,17 +187,17 @@ func (bk *Bank) PushValues(op ReduceOp, tag int64, vals []int64, mask []bool) {
 	var identity int64
 	switch op {
 	case ROpOr:
-		identity = orIdentity()
+		identity = OrIdentity()
 	case ROpAnd:
 		identity = 0 // inverted domain: OR identity
 	case ROpMax:
-		identity = maxIdentitySigned(bk.width) & (int64(1)<<bk.width - 1)
+		identity = MaxIdentitySigned(bk.width) & (int64(1)<<bk.width - 1)
 	case ROpMin:
-		identity = minIdentitySigned(bk.width)
+		identity = MinIdentitySigned(bk.width)
 	case ROpMaxU:
-		identity = maxIdentityUnsigned()
+		identity = MaxIdentityUnsigned()
 	case ROpMinU:
-		identity = minIdentityUnsigned(bk.width)
+		identity = MinIdentityUnsigned(bk.width)
 	case ROpSum:
 		identity = 0
 	default:

@@ -7,8 +7,10 @@ import "testing"
 // cycle) at several machine sizes.
 
 func BenchmarkReduceTreeStep(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{16, 256, 4096} {
 		b.Run(sizeName(p), func(b *testing.B) {
+			b.ReportAllocs()
 			tr := NewReduceTree(p, func(a, c int64) int64 { return a + c })
 			in := make([]int64, p)
 			for i := range in {
@@ -23,8 +25,10 @@ func BenchmarkReduceTreeStep(b *testing.B) {
 }
 
 func BenchmarkResolverStep(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{16, 256, 4096} {
 		b.Run(sizeName(p), func(b *testing.B) {
+			b.ReportAllocs()
 			r := NewResolver(p)
 			in := make([]bool, p)
 			for i := range in {
@@ -39,8 +43,10 @@ func BenchmarkResolverStep(b *testing.B) {
 }
 
 func BenchmarkBankStep(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{16, 256} {
 		b.Run(sizeName(p), func(b *testing.B) {
+			b.ReportAllocs()
 			bk := NewBank(p, 4, 16)
 			vals := make([]int64, p)
 			mask := make([]bool, p)
@@ -59,8 +65,10 @@ func BenchmarkBankStep(b *testing.B) {
 }
 
 func BenchmarkFalkoffMax(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{16, 256, 4096} {
 		b.Run(sizeName(p), func(b *testing.B) {
+			b.ReportAllocs()
 			vals := make([]int64, p)
 			mask := make([]bool, p)
 			for i := range vals {

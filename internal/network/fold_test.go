@@ -1,0 +1,91 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFoldInPlaceSharding pins the contract the sharded parallel execution
+// engine relies on: folding aligned power-of-two blocks independently and
+// then folding the block roots gives bit-identical results to the global
+// fold — even for the node-saturating sum, which is not associative.
+func TestFoldInPlaceSharding(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	combines := map[string]CombineFunc{
+		"or":     CombineOr,
+		"max":    CombineMax,
+		"min":    CombineMin,
+		"satadd": SatAdd(8),
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(130)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Small signed values so SatAdd saturates often.
+			vals[i] = int64(r.Intn(256)) - 128
+		}
+		for name, combine := range combines {
+			want := FoldInPlace(append([]int64(nil), vals...), combine)
+			for shift := uint(0); 1<<shift <= n; shift++ {
+				s := 1 << shift
+				var roots []int64
+				for lo := 0; lo < n; lo += s {
+					hi := lo + s
+					if hi > n {
+						hi = n
+					}
+					roots = append(roots, FoldInPlace(append([]int64(nil), vals[lo:hi]...), combine))
+				}
+				if got := FoldInPlace(roots, combine); got != want {
+					t.Fatalf("%s: n=%d block=%d sharded fold %d != global %d (vals %v)",
+						name, n, s, got, want, vals)
+				}
+			}
+		}
+	}
+}
+
+// TestFoldInPlaceMatchesTree: FoldInPlace agrees with the structural
+// ReduceTree for random vectors (treeFold already does via the Reduce*
+// tests; this covers the exported primitive directly).
+func TestFoldInPlaceMatchesTree(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(70)
+		combine := SatAdd(8)
+		tr := NewReduceTree(n, combine)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(200)) - 100
+		}
+		var out int64
+		var ok bool
+		tr.Step(vals)
+		for i := 0; i < tr.Latency(); i++ {
+			out, ok = tr.Step(nil)
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			t.Fatal("no tree output")
+		}
+		if got := FoldInPlace(append([]int64(nil), vals...), combine); got != out {
+			t.Fatalf("n=%d FoldInPlace %d != structural tree %d", n, got, out)
+		}
+	}
+}
+
+func TestFoldInPlaceZeroAlloc(t *testing.T) {
+	buf := make([]int64, 1024)
+	work := make([]int64, 1024)
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		copy(work, buf)
+		FoldInPlace(work, CombineMax)
+	}); allocs != 0 {
+		t.Fatalf("FoldInPlace allocates %v times per run", allocs)
+	}
+}

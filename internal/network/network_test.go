@@ -259,14 +259,14 @@ func TestStructuralMatchesFunctional(t *testing.T) {
 				return a
 			}
 			return b
-		}, maxIdentitySigned(width),
+		}, MaxIdentitySigned(width),
 			func(v []int64, m []bool) int64 { return ReduceMax(v, m, width) }},
 		{"min", func(a, b int64) int64 {
 			if a < b {
 				return a
 			}
 			return b
-		}, minIdentitySigned(width),
+		}, MinIdentitySigned(width),
 			func(v []int64, m []bool) int64 { return ReduceMin(v, m, width) }},
 		{"sum", SatAdd(width), 0,
 			func(v []int64, m []bool) int64 { return ReduceSum(v, m, width) }},
@@ -323,8 +323,8 @@ func TestFunctionalMatchesSequentialFold(t *testing.T) {
 		var or, and, max, min int64
 		or = 0
 		and = int64(1)<<width - 1
-		max = maxIdentitySigned(width)
-		min = minIdentitySigned(width)
+		max = MaxIdentitySigned(width)
+		min = MinIdentitySigned(width)
 		for i, v := range vals {
 			if !mask[i] {
 				continue

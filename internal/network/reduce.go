@@ -12,17 +12,31 @@ package network
 // presenting operands in comparable form (sign- or zero-extended from the
 // configured data width) and for masking results back to the width.
 
-// Identity elements injected at masked-off leaves.
-func orIdentity() int64            { return 0 }
-func andIdentity(width uint) int64 { return int64(1)<<width - 1 }
-func maxIdentitySigned(width uint) int64 {
+// Identity elements injected at masked-off leaves, exported so the machine's
+// allocation-free reduction paths materialize the same leaf vectors the
+// masking gates produce in hardware.
+
+// OrIdentity is the masked-off leaf of the OR tree.
+func OrIdentity() int64 { return 0 }
+
+// AndIdentity is the masked-off leaf of the AND reduction (all ones).
+func AndIdentity(width uint) int64 { return int64(1)<<width - 1 }
+
+// MaxIdentitySigned is the masked-off leaf of the signed maximum unit.
+func MaxIdentitySigned(width uint) int64 {
 	return -(int64(1) << (width - 1)) // most negative representable
 }
-func minIdentitySigned(width uint) int64 {
+
+// MinIdentitySigned is the masked-off leaf of the signed minimum unit.
+func MinIdentitySigned(width uint) int64 {
 	return int64(1)<<(width-1) - 1 // most positive representable
 }
-func maxIdentityUnsigned() int64           { return 0 }
-func minIdentityUnsigned(width uint) int64 { return int64(1)<<width - 1 }
+
+// MaxIdentityUnsigned is the masked-off leaf of the unsigned maximum unit.
+func MaxIdentityUnsigned() int64 { return 0 }
+
+// MinIdentityUnsigned is the masked-off leaf of the unsigned minimum unit.
+func MinIdentityUnsigned(width uint) int64 { return int64(1)<<width - 1 }
 
 // SatLimits returns the saturating bounds of the sum unit for a data width.
 func SatLimits(width uint) (lo, hi int64) {
@@ -48,16 +62,59 @@ func SatAdd(width uint) CombineFunc {
 // ReduceTree, so that functional and structural results agree even for
 // non-associative-under-saturation operations like SatAdd.
 func treeFold(vals []int64, combine CombineFunc) int64 {
-	if len(vals) == 0 {
-		panic("network: treeFold of empty slice")
-	}
 	// Fold in place over one scratch copy: combineRow writes dst[i] from
 	// src[2i], src[2i+1], and i <= 2i, so the prefix overwrite is safe.
-	cur := append([]int64(nil), vals...)
-	for n := len(cur); n > 1; n = (n + 1) / 2 {
-		combineRow(cur[:(n+1)/2], cur[:n], combine)
+	return FoldInPlace(append([]int64(nil), vals...), combine)
+}
+
+// FoldInPlace reduces buf with combine using the exact binary-tree topology
+// of ReduceTree (pairs (2i, 2i+1) at every level, odd tails passed through),
+// clobbering buf's prefix as scratch. It never allocates, which makes it the
+// hot-path primitive behind the machine's reduction instructions.
+//
+// Sharding contract: the fold of a leaf vector can be computed piecewise.
+// Split the vector into contiguous blocks of S = 2^k leaves, aligned at
+// multiples of S (the final block may be short); FoldInPlace of each block
+// yields exactly the level-k internal nodes of the global tree, and
+// FoldInPlace over those block roots (in order) equals FoldInPlace over the
+// whole vector. This holds for any CombineFunc, including node-saturating
+// SatAdd, because aligned power-of-two blocks coincide with whole subtrees.
+// The sharded parallel execution engine in internal/machine relies on this
+// to merge per-shard partial accumulators bit-identically to the serial
+// fold; TestFoldInPlaceSharding pins the property.
+func FoldInPlace(buf []int64, combine CombineFunc) int64 {
+	if len(buf) == 0 {
+		panic("network: FoldInPlace of empty slice")
 	}
-	return cur[0]
+	for n := len(buf); n > 1; n = (n + 1) / 2 {
+		combineRow(buf[:(n+1)/2], buf[:n], combine)
+	}
+	return buf[0]
+}
+
+// Combine functions of the reduction units, exported so callers (the
+// machine's execution engines) can drive FoldInPlace without allocating
+// closures per instruction. CombineMax/CombineMin use plain int64 compares:
+// they serve both the signed trees (operands sign-extended) and the unsigned
+// trees (operands zero-extended, hence non-negative and order-preserving).
+
+// CombineOr is the OR-tree node function (logic unit).
+func CombineOr(a, b int64) int64 { return a | b }
+
+// CombineMax is the compare-select node of the maximum unit.
+func CombineMax(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CombineMin is the compare-select node of the minimum unit.
+func CombineMin(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // leaves materializes the masked leaf vector: vals[i] where mask[i], else
@@ -77,14 +134,14 @@ func leaves(vals []int64, mask []bool, identity int64) []int64 {
 // ReduceOr returns the bitwise OR of vals over responders in mask.
 // With zero responders the result is 0 (the OR identity).
 func ReduceOr(vals []int64, mask []bool) int64 {
-	return treeFold(leaves(vals, mask, orIdentity()), func(a, b int64) int64 { return a | b })
+	return treeFold(leaves(vals, mask, OrIdentity()), func(a, b int64) int64 { return a | b })
 }
 
 // ReduceAnd returns the bitwise AND of vals over responders, computed the
 // way the logic unit does: inverters, OR tree, inverters (De Morgan). With
 // zero responders the result is the all-ones word for the width.
 func ReduceAnd(vals []int64, mask []bool, width uint) int64 {
-	ones := andIdentity(width)
+	ones := AndIdentity(width)
 	inverted := make([]int64, len(vals))
 	for i, v := range vals {
 		if mask[i] {
@@ -100,7 +157,7 @@ func ReduceAnd(vals []int64, mask []bool, width uint) int64 {
 // ReduceMax returns the signed maximum over responders. With zero
 // responders it returns the most negative representable value.
 func ReduceMax(vals []int64, mask []bool, width uint) int64 {
-	return treeFold(leaves(vals, mask, maxIdentitySigned(width)), func(a, b int64) int64 {
+	return treeFold(leaves(vals, mask, MaxIdentitySigned(width)), func(a, b int64) int64 {
 		if a > b {
 			return a
 		}
@@ -111,7 +168,7 @@ func ReduceMax(vals []int64, mask []bool, width uint) int64 {
 // ReduceMin returns the signed minimum over responders. With zero
 // responders it returns the most positive representable value.
 func ReduceMin(vals []int64, mask []bool, width uint) int64 {
-	return treeFold(leaves(vals, mask, minIdentitySigned(width)), func(a, b int64) int64 {
+	return treeFold(leaves(vals, mask, MinIdentitySigned(width)), func(a, b int64) int64 {
 		if a < b {
 			return a
 		}
@@ -122,7 +179,7 @@ func ReduceMin(vals []int64, mask []bool, width uint) int64 {
 // ReduceMaxU returns the unsigned maximum over responders (vals must be
 // zero-extended). With zero responders it returns 0.
 func ReduceMaxU(vals []int64, mask []bool) int64 {
-	return treeFold(leaves(vals, mask, maxIdentityUnsigned()), func(a, b int64) int64 {
+	return treeFold(leaves(vals, mask, MaxIdentityUnsigned()), func(a, b int64) int64 {
 		if a > b {
 			return a
 		}
@@ -133,7 +190,7 @@ func ReduceMaxU(vals []int64, mask []bool) int64 {
 // ReduceMinU returns the unsigned minimum over responders. With zero
 // responders it returns the all-ones word.
 func ReduceMinU(vals []int64, mask []bool, width uint) int64 {
-	return treeFold(leaves(vals, mask, minIdentityUnsigned(width)), func(a, b int64) int64 {
+	return treeFold(leaves(vals, mask, MinIdentityUnsigned(width)), func(a, b int64) int64 {
 		if a < b {
 			return a
 		}

@@ -1,0 +1,57 @@
+package progs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestEngineSuiteDifferential runs every program in the suite on the serial
+// and the sharded parallel host engine and asserts bit-identical results:
+// equal Snapshot() bytes and deeply equal core Stats. This is the
+// whole-program counterpart of the per-instruction differential test in
+// internal/machine.
+func TestEngineSuiteDifferential(t *testing.T) {
+	for _, pes := range []int{48, 96} { // non-power-of-two: short final shard
+		for _, ins := range Suite(pes, 12345) {
+			prog, err := asm.Assemble(ins.Source)
+			if err != nil {
+				t.Fatalf("%s: %v", ins.Name, err)
+			}
+			var snaps [][]byte
+			var stats []core.Stats
+			for _, engine := range []machine.Engine{machine.EngineSerial, machine.EngineParallel} {
+				mcfg := ins.MachineConfig(pes, 4)
+				mcfg.Engine = engine
+				p, err := core.New(core.Config{Machine: mcfg}, prog.Insts)
+				if err != nil {
+					t.Fatalf("%s: %v", ins.Name, err)
+				}
+				if err := ins.load(p.Machine()); err != nil {
+					t.Fatalf("%s: %v", ins.Name, err)
+				}
+				st, err := p.Run(runLimit)
+				if err != nil {
+					t.Fatalf("%s (%v engine): %v", ins.Name, engine, err)
+				}
+				if err := ins.Check(p.Machine()); err != nil {
+					t.Fatalf("%s (%v engine): %v", ins.Name, engine, err)
+				}
+				snaps = append(snaps, p.Machine().Snapshot())
+				stats = append(stats, st)
+				p.Machine().Close()
+			}
+			if !bytes.Equal(snaps[0], snaps[1]) {
+				t.Errorf("%s at %d PEs: snapshots differ between engines", ins.Name, pes)
+			}
+			if !reflect.DeepEqual(stats[0], stats[1]) {
+				t.Errorf("%s at %d PEs: stats differ between engines:\nserial:   %+v\nparallel: %+v",
+					ins.Name, pes, stats[0], stats[1])
+			}
+		}
+	}
+}
