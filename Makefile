@@ -2,19 +2,23 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-engines check
+.PHONY: build vet test race bench bench-engines check
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
-# The execution-engine packages must stay clean under the race detector:
+# Concurrency-heavy packages must stay clean under the race detector:
 # the sharded parallel engine is exercised with Engine forced to parallel
-# even on single-core hosts (see internal/machine/engine_test.go).
+# even on single-core hosts (see internal/machine/engine_test.go), and the
+# serving stack runs concurrent compile->simulate round trips.
 race:
-	$(GO) test -race ./internal/machine/... ./internal/core/...
+	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/...
 
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
@@ -24,4 +28,4 @@ bench-engines:
 	$(GO) test -bench 'BenchmarkLargeArray|BenchmarkExecEngines' -benchtime 10x -run '^$$' . ./internal/machine/
 	$(GO) run ./cmd/ascbench -exp T1 >/dev/null
 
-check: build test race
+check: build vet test race

@@ -39,6 +39,7 @@
 package asc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -100,6 +101,40 @@ const (
 	// EngineParallel always shards the PE array over a worker pool.
 	EngineParallel = machine.EngineParallel
 )
+
+// normalized resolves the zero-value defaults (the paper's prototype) so
+// two configurations that build identical processors compare equal.
+func (c Config) normalized() Config {
+	if c.PEs == 0 {
+		c.PEs = 16
+	}
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.LocalMemWords == 0 {
+		c.LocalMemWords = 1024
+	}
+	if c.Arity == 0 {
+		c.Arity = 4
+	}
+	return c
+}
+
+// Key returns a canonical fingerprint of the configuration after default
+// resolution: two Configs with equal Keys build architecturally identical
+// processors. The serving pool (internal/pool) keys warm-machine reuse on
+// it. Engine is included even though it is architecturally invisible, so a
+// request that pins a host engine never receives a machine built with
+// another.
+func (c Config) Key() string {
+	n := c.normalized()
+	return fmt.Sprintf("pes=%d threads=%d width=%d lmem=%d arity=%d seqmul=%t fixed=%t smt=%t trace=%d engine=%s",
+		n.PEs, n.Threads, n.Width, n.LocalMemWords, n.Arity,
+		n.SeqMul, n.FixedPriority, n.SMT, n.TraceDepth, n.Engine)
+}
 
 func (c Config) coreConfig() core.Config {
 	cc := core.Config{
@@ -210,9 +245,15 @@ func convertStats(cs core.Stats) Stats {
 	return s
 }
 
+// ErrCycleLimit reports that Run or RunContext stopped at its cycle budget
+// before the program halted; test with errors.Is to distinguish resource
+// exhaustion from architectural traps.
+var ErrCycleLimit = core.ErrCycleLimit
+
 // Processor is a simulated Multithreaded ASC Processor instance.
 type Processor struct {
 	cfg  Config
+	prog *Program
 	core *core.Processor
 }
 
@@ -222,17 +263,47 @@ func New(cfg Config, prog *Program) (*Processor, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Processor{cfg: cfg, core: c}
-	if len(prog.prog.Data) > 0 {
-		img := make([]int64, len(prog.prog.Data))
-		for i, w := range prog.prog.Data {
-			img[i] = int64(w)
-		}
-		if err := p.LoadScalarMem(img); err != nil {
-			return nil, err
-		}
+	p := &Processor{cfg: cfg, prog: prog, core: c}
+	if err := p.loadDataSegment(); err != nil {
+		return nil, err
 	}
 	return p, nil
+}
+
+// loadDataSegment initializes scalar memory from the program's .data image.
+func (p *Processor) loadDataSegment() error {
+	if len(p.prog.prog.Data) == 0 {
+		return nil
+	}
+	img := make([]int64, len(p.prog.prog.Data))
+	for i, w := range p.prog.prog.Data {
+		img[i] = int64(w)
+	}
+	return p.LoadScalarMem(img)
+}
+
+// Config returns the configuration the processor was built with.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Reset returns the processor to power-on state — all registers, flags,
+// memories, thread contexts, pipeline state, and statistics — without
+// reallocating the flat state files or restarting the host engine's worker
+// pool, then reloads the program's data segment. A reset processor produces
+// snapshots and results identical to a freshly built one; the serving pool
+// uses it to recycle warm machines between requests.
+func (p *Processor) Reset() error {
+	p.core.Reset()
+	return p.loadDataSegment()
+}
+
+// SetProgram swaps in a new program and Resets the processor. The machine
+// configuration — and therefore every allocation — is unchanged, so a
+// pooled processor serves a stream of different programs at zero
+// construction cost.
+func (p *Processor) SetProgram(prog *Program) error {
+	p.core.SetProgram(prog.prog.Insts)
+	p.prog = prog
+	return p.loadDataSegment()
 }
 
 // LoadLocalMem initializes PE local memories: data[pe][word].
@@ -248,6 +319,15 @@ func (p *Processor) LoadScalarMem(data []int64) error {
 // Run simulates to completion, or for at most maxCycles (0 = unlimited).
 func (p *Processor) Run(maxCycles int64) (Stats, error) {
 	cs, err := p.core.Run(maxCycles)
+	return convertStats(cs), err
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls ctx
+// every few thousand cycles and stops with ctx's error once it is done,
+// returning the statistics accumulated so far. This is how the serving
+// daemon enforces per-request wall-clock limits.
+func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, error) {
+	cs, err := p.core.RunContext(ctx, maxCycles)
 	return convertStats(cs), err
 }
 

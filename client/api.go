@@ -1,0 +1,114 @@
+// Package client is the wire API and Go client for ascd, the MTASC
+// simulation-as-a-service daemon (internal/server, cmd/ascd). The request
+// and response types here are the canonical JSON schema; the server imports
+// them so the two cannot drift.
+package client
+
+import (
+	"fmt"
+
+	asc "repro"
+)
+
+// MachineConfig selects the simulated architecture for a job. Zero fields
+// take the paper-prototype defaults (16 PEs, 16 threads, 8-bit width, 1024
+// local memory words, 4-ary broadcast tree).
+type MachineConfig struct {
+	PEs           int  `json:"pes,omitempty"`
+	Threads       int  `json:"threads,omitempty"`
+	Width         uint `json:"width,omitempty"`
+	LocalMemWords int  `json:"localMemWords,omitempty"`
+	Arity         int  `json:"arity,omitempty"`
+	SeqMul        bool `json:"seqMul,omitempty"`
+	FixedPriority bool `json:"fixedPriority,omitempty"`
+	SMT           bool `json:"smt,omitempty"`
+}
+
+// ASC converts the wire config into the simulator facade configuration.
+// The host execution engine is left at EngineAuto: it is architecturally
+// invisible, so the server picks it per machine size.
+func (c MachineConfig) ASC() asc.Config {
+	return asc.Config{
+		PEs: c.PEs, Threads: c.Threads, Width: c.Width,
+		LocalMemWords: c.LocalMemWords, Arity: c.Arity,
+		SeqMul: c.SeqMul, FixedPriority: c.FixedPriority, SMT: c.SMT,
+	}
+}
+
+// RunRequest is a simulation job: exactly one of ASCL (source for the
+// associative language compiler) or Asm (MTASC assembly) must be set.
+type RunRequest struct {
+	ASCL string `json:"ascl,omitempty"`
+	Asm  string `json:"asm,omitempty"`
+
+	Config MachineConfig `json:"config"`
+
+	// LocalMem is the PE local-memory image, one row per PE; ScalarMem is
+	// the control-unit data memory image (loaded after the program's own
+	// .data segment, so it can override it).
+	LocalMem  [][]int64 `json:"localMem,omitempty"`
+	ScalarMem []int64   `json:"scalarMem,omitempty"`
+
+	// MaxCycles bounds the simulation (0 = server default); requests above
+	// the server cap are clamped. TimeoutMs bounds wall-clock time.
+	MaxCycles int64 `json:"maxCycles,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+
+	// DumpScalar returns the first N scalar-memory words in the result;
+	// DumpLocal returns the first N local-memory words of every PE.
+	DumpScalar int `json:"dumpScalar,omitempty"`
+	DumpLocal  int `json:"dumpLocal,omitempty"`
+}
+
+// RunResult is a completed simulation.
+type RunResult struct {
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	ScalarOps    int64   `json:"scalarOps"`
+	ParallelOps  int64   `json:"parallelOps"`
+	ReductionOps int64   `json:"reductionOps"`
+	IdleCycles   int64   `json:"idleCycles"`
+
+	ScalarMem []int64   `json:"scalarMem,omitempty"`
+	LocalMem  [][]int64 `json:"localMem,omitempty"`
+
+	// Asm is the generated MTASC assembly for ASCL jobs.
+	Asm string `json:"asm,omitempty"`
+	// PoolHit reports whether the job ran on a recycled warm machine.
+	PoolHit bool `json:"poolHit"`
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Requests        int64   `json:"requests"`
+	Completed       int64   `json:"completed"`
+	Failed          int64   `json:"failed"`
+	Rejected        int64   `json:"rejected"`
+	Canceled        int64   `json:"canceled"`
+	Running         int64   `json:"running"`
+	QueueDepth      int64   `json:"queueDepth"`
+	QueueCap        int64   `json:"queueCap"`
+	Workers         int64   `json:"workers"`
+	PoolHits        int64   `json:"poolHits"`
+	PoolMisses      int64   `json:"poolMisses"`
+	PoolIdle        int64   `json:"poolIdle"`
+	CyclesSimulated int64   `json:"cyclesSimulated"`
+	LatencyMsP50    float64 `json:"latencyMsP50"`
+	LatencyMsP99    float64 `json:"latencyMsP99"`
+}
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided error text
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ascd: %d: %s", e.Status, e.Message)
+}

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin HTTP client for an ascd daemon.
+type Client struct {
+	// BaseURL is the daemon address, e.g. "http://localhost:8642".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Cancellation and deadlines
+	// come from the per-call context, so the zero value is usable as-is.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out, converting
+// non-2xx statuses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: eb.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("ascd: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Run submits a simulation job and blocks until it completes (or ctx ends).
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	var res RunResult
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the serving counters.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,93 @@
+// ascd is the MTASC simulation-as-a-service daemon: it serves
+// compile-and-simulate jobs over HTTP/JSON from a bounded work queue,
+// executing them on a pool of warm, recyclable simulator machines.
+//
+// Usage:
+//
+//	ascd [flags]
+//
+//	-addr HOST:PORT   listen address (default :8642)
+//	-workers N        concurrent simulations (default: host CPUs)
+//	-queue N          bounded queue depth; beyond it submissions get 429
+//	-pool-idle N      warm machines kept between requests (default 2*workers)
+//	-max-cycles N     hard per-request cycle cap
+//	-timeout D        default per-request wall-clock limit
+//	-max-timeout D    cap on requested wall-clock limits
+//	-drain-timeout D  how long shutdown waits for in-flight jobs
+//	-max-body N       request body size cap in bytes
+//
+// Endpoints: POST /v1/run, GET /metrics, GET /healthz. See docs/SERVER.md
+// for the API schema and examples. SIGINT/SIGTERM trigger a graceful
+// shutdown that stops admission (503) and drains queued and in-flight jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = host CPUs)")
+	queue := flag.Int("queue", 64, "job queue depth")
+	poolIdle := flag.Int("pool-idle", 0, "warm machines kept idle (0 = 2*workers)")
+	maxCycles := flag.Int64("max-cycles", 100_000_000, "per-request cycle cap")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request wall-clock limit")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on requested wall-clock limits")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ascd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	core := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PoolIdle:       *poolIdle,
+		MaxCycles:      *maxCycles,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ascd: listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ascd: %v", err)
+	case s := <-sig:
+		log.Printf("ascd: %v: draining (budget %v)", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job queue first so handlers waiting on results complete,
+	// then close the HTTP side; new submissions get 503 throughout.
+	if err := core.Shutdown(ctx); err != nil {
+		log.Printf("ascd: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ascd: http shutdown: %v", err)
+	}
+	log.Print("ascd: drained, bye")
+}

@@ -30,7 +30,9 @@ import (
 )
 
 // loadDataFile parses a PE local-memory image: line i holds PE i's words.
-func loadDataFile(path string) ([][]int64, error) {
+// A file with more lines than the machine has PEs is an error — silently
+// dropping rows would hide a data/config mismatch.
+func loadDataFile(path string, pes int) ([][]int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -52,7 +54,13 @@ func loadDataFile(path string) ([][]int64, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, sc.Err()
+	if sc.Err() != nil {
+		return nil, sc.Err()
+	}
+	if len(rows) > pes {
+		return nil, fmt.Errorf("%s: %d data lines but the machine has %d PEs", path, len(rows), pes)
+	}
+	return rows, nil
 }
 
 func main() {
@@ -100,7 +108,7 @@ func main() {
 		fatal(err)
 	}
 	if *dataFile != "" {
-		rows, err := loadDataFile(*dataFile)
+		rows, err := loadDataFile(*dataFile, *pes)
 		if err != nil {
 			fatal(err)
 		}

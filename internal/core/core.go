@@ -17,6 +17,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/cu"
@@ -557,12 +559,41 @@ func (p *Processor) issue(tid int) error {
 	return nil
 }
 
+// ErrCycleLimit reports that a run stopped at its cycle budget before the
+// machine halted. Callers distinguishing resource exhaustion from
+// architectural traps test with errors.Is.
+var ErrCycleLimit = errors.New("cycle limit reached before halt")
+
+// cancelCheckWindow is how many cycles RunContext simulates between context
+// polls: coarse enough that the poll is invisible in the hot loop, fine
+// enough that cancellation lands within microseconds of real time.
+const cancelCheckWindow = 4096
+
 // Run simulates until the machine halts and the pipeline drains, or until
 // maxCycles elapse (0 = no limit). It returns the final statistics.
 func (p *Processor) Run(maxCycles int64) (Stats, error) {
+	return p.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: every cancelCheckWindow
+// cycles it polls ctx and, when the context is done, stops and returns the
+// statistics so far together with the context's error. The processor is
+// left at a quiescent point (between Step calls), so it can be Reset and
+// reused afterwards.
+func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, error) {
+	done := ctx.Done()
+	nextCheck := p.cycle + cancelCheckWindow
 	for {
 		if maxCycles > 0 && p.cycle >= maxCycles {
-			return p.finish(), fmt.Errorf("core: cycle limit %d reached before halt", maxCycles)
+			return p.finish(), fmt.Errorf("core: %w (limit %d)", ErrCycleLimit, maxCycles)
+		}
+		if done != nil && p.cycle >= nextCheck {
+			select {
+			case <-done:
+				return p.finish(), fmt.Errorf("core: run stopped at cycle %d: %w", p.cycle, ctx.Err())
+			default:
+			}
+			nextCheck = p.cycle + cancelCheckWindow
 		}
 		more, err := p.Step()
 		if err != nil {
@@ -586,6 +617,40 @@ func (p *Processor) finish() Stats {
 	s.Fetches = p.front.Fetches
 	s.Flushes = p.front.Flushes
 	return s
+}
+
+// Reset returns the processor to power-on state — architectural machine
+// state, front end, scoreboard, sequential-unit reservations, statistics,
+// and trace — without reallocating the flat register/flag/memory files or
+// restarting the host engine's worker pool. A reset processor behaves
+// identically to a freshly constructed one; the serving pool relies on this
+// to reuse warm machines across requests.
+func (p *Processor) Reset() {
+	p.mach.Reset()
+	p.front.Reset(p.mach.Program())
+	for tid := 0; tid < p.cfg.Machine.Threads; tid++ {
+		p.sb.ClearThread(tid)
+	}
+	p.cycle, p.lastIssue, p.maxCompletion = 0, 0, 0
+	p.halted = false
+	p.cuMulFree, p.cuDivFree, p.peMulFree, p.peDivFree = 0, 0, 0, 0
+	p.stats = Stats{
+		PerThread:   make([]int64, p.cfg.Machine.Threads),
+		IdleByKind:  make(map[pipeline.HazardKind]int64),
+		StallByKind: make(map[pipeline.HazardKind]int64),
+	}
+	p.trace = nil
+	if p.structural != nil {
+		p.structural = newStructState(p.cfg.Machine.PEs, p.cfg.Arity, p.cfg.Machine.Width)
+	}
+}
+
+// SetProgram retargets the processor at a new program and Resets it. The
+// configuration (and thus all allocated state) is unchanged, which is what
+// lets a pooled machine serve a stream of different programs.
+func (p *Processor) SetProgram(prog []isa.Inst) {
+	p.mach.SetProgram(prog)
+	p.Reset()
 }
 
 // Restore loads an architectural snapshot (machine.Snapshot) taken from an

@@ -89,6 +89,20 @@ func New(cfg Config, prog []isa.Inst) (*CU, error) {
 // Config returns the front-end configuration.
 func (c *CU) Config() Config { return c.cfg }
 
+// Reset returns the front end to power-on state on a (possibly new)
+// program: every context stopped and its buffer emptied, the round-robin
+// pointers rewound, the fetch/flush counters cleared, and thread 0 fetching
+// from PC 0 — exactly the state New produces.
+func (c *CU) Reset(prog []isa.Inst) {
+	c.prog = prog
+	for tid := range c.threads {
+		c.StopThread(tid)
+	}
+	c.fetchRR, c.schedRR = 0, 0
+	c.Fetches, c.Flushes = 0, 0
+	c.StartThread(0, 0, 0)
+}
+
 // StartThread activates a context fetching from pc; its first fetch happens
 // no earlier than cycle firstFetch.
 func (c *CU) StartThread(tid, pc int, firstFetch int64) {

@@ -177,6 +177,33 @@ func New(cfg Config, prog []isa.Inst) (*Machine, error) {
 	return m, nil
 }
 
+// Reset restores power-on state without reallocating the flat files: all
+// registers, flags, and memories are zeroed, mailboxes emptied, the halt
+// flag cleared, and thread 0 left active at PC 0 — exactly the state New
+// produces. The host engine (worker pool) is retained, so a pooled machine
+// resumes at full speed; Snapshot of a reset machine is byte-identical to
+// that of a freshly constructed one.
+func (m *Machine) Reset() {
+	for t := range m.threads {
+		th := &m.threads[t]
+		th.state = ThreadFree
+		th.pc = 0
+		th.sregs = [isa.NumScalarRegs]int64{}
+		th.mailbox = th.mailbox[:0]
+	}
+	clear(m.pregs)
+	clear(m.flags)
+	clear(m.localMem)
+	clear(m.scalarMem)
+	m.halted = false
+	m.threads[0].state = ThreadActive
+}
+
+// SetProgram retargets the machine at a new program without reallocating
+// any state. Thread PCs from the old program are meaningless afterwards, so
+// callers must Reset (or Restore a matching snapshot) before executing.
+func (m *Machine) SetProgram(prog []isa.Inst) { m.prog = prog }
+
 // Close stops the sharded engine's worker pool; it is a no-op for serial
 // machines and safe to call more than once. New installs Close as a
 // finalizer, so calling it explicitly is optional — but a closed machine

@@ -1,0 +1,100 @@
+// Package pool maintains a fleet of warm asc.Processor instances keyed by
+// machine configuration, so a stream of simulation requests that repeat
+// configurations never pays processor construction cost (flat state file
+// allocation, worker-pool spin-up) more than once per distinct config.
+//
+// The contract with the simulator that makes this safe is
+// asc.Processor.Reset/SetProgram: a recycled machine is retargeted at the
+// request's program and restored to power-on state, which is proven
+// snapshot-identical to a fresh build (internal/machine reset tests). The
+// pool therefore never leaks one request's state into the next — even when
+// the previous run ended in a trap, a cycle-limit abort, or a cancellation.
+//
+// Pool is safe for concurrent use; the processors it hands out are not
+// (each belongs to exactly one request at a time, mirroring the paper's
+// single-front-end prototype).
+package pool
+
+import (
+	"sync"
+
+	asc "repro"
+)
+
+// Stats is a point-in-time snapshot of pool effectiveness counters.
+type Stats struct {
+	Hits      int64 // Get satisfied by recycling a warm machine
+	Misses    int64 // Get that had to construct a processor
+	Evictions int64 // Put dropped because the idle cap was reached
+	Idle      int   // machines currently parked in the pool
+}
+
+// Pool is the warm-machine fleet.
+type Pool struct {
+	mu      sync.Mutex
+	maxIdle int
+	idle    map[string][]*asc.Processor
+	nIdle   int
+	stats   Stats
+}
+
+// New builds a pool that parks at most maxIdle machines across all
+// configurations (maxIdle <= 0 disables pooling: every Get constructs and
+// every Put drops).
+func New(maxIdle int) *Pool {
+	return &Pool{maxIdle: maxIdle, idle: make(map[string][]*asc.Processor)}
+}
+
+// Get returns a processor for cfg loaded with prog, and whether it was a
+// pool hit. On a hit the warm machine is reset and retargeted; on a miss a
+// processor is constructed. Either way the caller owns the processor until
+// it calls Put.
+func (p *Pool) Get(cfg asc.Config, prog *asc.Program) (*asc.Processor, bool, error) {
+	key := cfg.Key()
+	p.mu.Lock()
+	if procs := p.idle[key]; len(procs) > 0 {
+		proc := procs[len(procs)-1]
+		procs[len(procs)-1] = nil
+		p.idle[key] = procs[:len(procs)-1]
+		p.nIdle--
+		p.stats.Hits++
+		p.mu.Unlock()
+		if err := proc.SetProgram(prog); err != nil {
+			return nil, true, err
+		}
+		return proc, true, nil
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	proc, err := asc.New(cfg, prog)
+	if err != nil {
+		return nil, false, err
+	}
+	return proc, false, nil
+}
+
+// Put parks a processor for reuse under the configuration it was built
+// with. When the idle cap is reached the machine is dropped instead (its
+// engine worker pool, if any, is released by the machine finalizer). The
+// machine's state may be arbitrarily dirty; Get cleans it on the way out.
+func (p *Pool) Put(proc *asc.Processor) {
+	key := proc.Config().Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nIdle >= p.maxIdle {
+		p.stats.Evictions++
+		return
+	}
+	p.idle[key] = append(p.idle[key], proc)
+	p.nIdle++
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = p.nIdle
+	return s
+}

@@ -1,0 +1,163 @@
+package pool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	asc "repro"
+)
+
+var sumProg = asc.MustAssemble(`
+	plw p1, 0(p0)
+	rsum s1, p1
+	sw s1, 0(s0)
+	halt
+`)
+
+func runSum(t *testing.T, proc *asc.Processor, vals []int64) int64 {
+	t.Helper()
+	rows := make([][]int64, len(vals))
+	for i, v := range vals {
+		rows[i] = []int64{v}
+	}
+	if err := proc.LoadLocalMem(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return proc.ScalarMem(0)
+}
+
+func TestHitMissCounting(t *testing.T) {
+	p := New(4)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	a, hit, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Get reported a hit on an empty pool")
+	}
+	p.Put(a)
+	b, hit, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second Get should recycle the parked machine")
+	}
+	if b != a {
+		t.Error("hit returned a different processor than was parked")
+	}
+	// A different configuration misses even with machines parked.
+	p.Put(b)
+	_, hit, err = p.Get(asc.Config{PEs: 8, Width: 32}, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("config with a different key must not hit")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", s)
+	}
+}
+
+// TestRecycledMachineIsClean runs a machine dirty (including a trap), parks
+// it, and checks the recycled machine computes results identical to a fresh
+// one — snapshot and all.
+func TestRecycledMachineIsClean(t *testing.T) {
+	p := New(2)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	proc, _, err := p.Get(cfg, asc.MustAssemble(`
+		pli p1, 3
+		li s1, 5
+		sw s1, 4500(s0)   ; traps out of range
+		halt
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(0); err == nil {
+		t.Fatal("expected a trap")
+	}
+	p.Put(proc)
+
+	got, hit, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("expected to recycle the trapped machine")
+	}
+	fresh, err := asc.New(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Snapshot(), fresh.Snapshot()) {
+		t.Error("recycled machine snapshot differs from fresh machine")
+	}
+	vals := []int64{10, 20, 30, 40}
+	if sum := runSum(t, got, vals); sum != 100 {
+		t.Errorf("recycled machine sum = %d, want 100", sum)
+	}
+}
+
+func TestIdleCapEvicts(t *testing.T) {
+	p := New(1)
+	cfg := asc.Config{PEs: 4}
+	a, _, _ := p.Get(cfg, sumProg)
+	b, _, _ := p.Get(cfg, sumProg)
+	p.Put(a)
+	p.Put(b) // over cap: dropped
+	s := p.Stats()
+	if s.Idle != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 idle / 1 eviction", s)
+	}
+	// Zero-capacity pool never parks.
+	p0 := New(0)
+	c, _, _ := p0.Get(cfg, sumProg)
+	p0.Put(c)
+	if s := p0.Stats(); s.Idle != 0 || s.Evictions != 1 {
+		t.Errorf("zero-cap stats = %+v, want 0 idle / 1 eviction", s)
+	}
+}
+
+// TestConcurrentGetPut hammers the pool from many goroutines (run under
+// -race) and checks every computed sum is correct.
+func TestConcurrentGetPut(t *testing.T) {
+	p := New(4)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				proc, _, err := p.Get(cfg, sumProg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				base := int64(g*100 + i)
+				vals := []int64{base, base + 1, base + 2, base + 3}
+				want := 4*base + 6
+				if sum := runSum(t, proc, vals); sum != want {
+					t.Errorf("goroutine %d iter %d: sum = %d, want %d", g, i, sum, want)
+				}
+				p.Put(proc)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Hits == 0 {
+		t.Error("concurrent workload with one config should see pool hits")
+	}
+	if s.Idle > 4 {
+		t.Errorf("idle %d exceeds cap 4", s.Idle)
+	}
+}

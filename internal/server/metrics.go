@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// metrics holds the serving counters behind /metrics. Counters are atomics
+// so the hot path never contends; the latency histogram takes a small lock
+// only once per completed request.
+type metrics struct {
+	requests  atomic.Int64 // accepted into the queue
+	completed atomic.Int64 // finished with a 2xx result
+	failed    atomic.Int64 // finished with a simulation/compile error
+	rejected  atomic.Int64 // turned away with 429/503
+	canceled  atomic.Int64 // abandoned because the client went away
+	running   atomic.Int64 // jobs currently executing on a worker
+	cycles    atomic.Int64 // total simulated cycles across all jobs
+
+	lat latencyHistogram
+}
+
+// latencyHistogram is a small fixed-bucket histogram of request latencies
+// in milliseconds, good enough for p50/p99 at serving-dashboard fidelity.
+// Buckets are exponential from sub-millisecond to ~half a minute.
+type latencyHistogram struct {
+	mu     sync.Mutex
+	counts [len(latencyBoundsMs) + 1]int64
+	total  int64
+}
+
+// latencyBoundsMs are the bucket upper bounds; the final implicit bucket is
+// +Inf.
+var latencyBoundsMs = [...]float64{
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000,
+}
+
+func (h *latencyHistogram) observe(ms float64) {
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// quantile returns the upper bound of the bucket containing quantile q
+// (0 < q <= 1), or 0 when the histogram is empty. The +Inf bucket reports
+// the largest finite bound.
+func (h *latencyHistogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBoundsMs) {
+				return latencyBoundsMs[i]
+			}
+			return latencyBoundsMs[len(latencyBoundsMs)-1]
+		}
+	}
+	return latencyBoundsMs[len(latencyBoundsMs)-1]
+}

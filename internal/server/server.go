@@ -1,0 +1,425 @@
+// Package server implements ascd's serving core: an HTTP/JSON API that
+// runs MTASC simulation jobs (ASCL source or assembly plus a machine
+// configuration and memory images) on a bounded worker pool over a fleet
+// of warm, recyclable machines (internal/pool).
+//
+// The design transplants the paper's central idea to the serving layer:
+// the prototype hides per-thread broadcast/reduction latency by keeping
+// many hardware threads in flight; ascd hides per-request construction and
+// simulation latency by keeping many jobs in flight over pre-built
+// machines. Admission is a bounded queue — when it is full the server says
+// so immediately (HTTP 429) instead of letting latency grow without bound,
+// and during shutdown it drains in-flight and queued jobs but admits
+// nothing new (HTTP 503).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	asc "repro"
+	"repro/client"
+	"repro/internal/pool"
+)
+
+// Config sizes the serving core. Zero fields take defaults.
+type Config struct {
+	// Workers is the number of concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting beyond the ones executing (default 64).
+	QueueDepth int
+	// PoolIdle caps warm machines kept between requests (default 2*Workers).
+	PoolIdle int
+
+	// MaxCycles caps any job's cycle budget (default 100,000,000); requests
+	// asking for more (or for 0 = unlimited) are clamped to it.
+	MaxCycles int64
+	// DefaultTimeout bounds a job's wall-clock time when the request does
+	// not set one (default 30s); MaxTimeout caps requested timeouts
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxFootprintWords bounds the simulated machine's memory footprint in
+	// words — local memories plus register files plus scalar memory —
+	// (default 1<<27, about 1 GiB of host memory), so one request cannot
+	// OOM the daemon.
+	MaxFootprintWords int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PoolIdle <= 0 {
+		c.PoolIdle = 2 * c.Workers
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 100_000_000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxFootprintWords <= 0 {
+		c.MaxFootprintWords = 1 << 27
+	}
+}
+
+// job is one queued simulation request. done is buffered so a worker can
+// always deliver the outcome even if the submitting handler has gone away.
+type job struct {
+	ctx      context.Context
+	req      *client.RunRequest
+	enqueued time.Time
+	done     chan jobOutcome
+}
+
+// jobOutcome is what a worker hands back to the HTTP handler.
+type jobOutcome struct {
+	result *client.RunResult
+	status int    // HTTP status for err (ignored when result != nil)
+	errMsg string // error text for the JSON error body
+}
+
+// Server is the serving core. Create it with New, mount Handler, and stop
+// it with Shutdown.
+type Server struct {
+	cfg  Config
+	pool *pool.Pool
+	m    metrics
+
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu       sync.RWMutex // guards draining against concurrent enqueues
+	draining bool
+}
+
+// New builds a serving core and starts its workers.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:  cfg,
+		pool: pool.New(cfg.PoolIdle),
+		jobs: make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API: POST /v1/run, GET /metrics, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Shutdown stops admission (new submissions get 503), drains every queued
+// and in-flight job, and waits for the workers to finish, up to ctx's
+// deadline. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleRun admits a job into the bounded queue and waits for its outcome.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req client.RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := s.validate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	j := &job{
+		ctx:      r.Context(),
+		req:      &req,
+		enqueued: time.Now(),
+		done:     make(chan jobOutcome, 1),
+	}
+
+	// Admission: non-blocking enqueue under the drain guard. A full queue
+	// is backpressure (429, retryable), a draining server is going away
+	// (503).
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.m.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d waiting)", s.cfg.QueueDepth)
+		return
+	}
+	s.m.requests.Add(1)
+
+	// The worker always delivers on the buffered channel; waiting on the
+	// request context too lets a disconnected client release this handler
+	// while the worker abandons the job via the same context.
+	select {
+	case out := <-j.done:
+		s.m.lat.observe(float64(time.Since(j.enqueued)) / float64(time.Millisecond))
+		if out.result != nil {
+			writeJSON(w, http.StatusOK, out.result)
+		} else {
+			writeError(w, out.status, "%s", out.errMsg)
+		}
+	case <-r.Context().Done():
+		// Client gone; the worker observes the same context and skips or
+		// aborts the job. Nothing useful can be written.
+	}
+}
+
+// validate enforces the request invariants that do not need a machine.
+func (s *Server) validate(req *client.RunRequest) error {
+	if (req.ASCL == "") == (req.Asm == "") {
+		return errors.New("exactly one of \"ascl\" or \"asm\" must be set")
+	}
+	if req.MaxCycles < 0 || req.TimeoutMs < 0 || req.DumpScalar < 0 || req.DumpLocal < 0 {
+		return errors.New("maxCycles, timeoutMs, dumpScalar, and dumpLocal must be non-negative")
+	}
+	// Footprint guard: flat files scale with PEs*(localMem + threads*regs).
+	c := req.Config
+	pes, threads, lmw := int64(c.PEs), int64(c.Threads), int64(c.LocalMemWords)
+	if pes == 0 {
+		pes = 16
+	}
+	if threads == 0 {
+		threads = 16
+	}
+	if lmw == 0 {
+		lmw = 1024
+	}
+	const regsPerPE = 16 + 8 // parallel + flag registers per thread
+	footprint := pes*lmw + pes*threads*regsPerPE + 4096
+	if pes < 0 || threads < 0 || lmw < 0 || footprint > s.cfg.MaxFootprintWords {
+		return fmt.Errorf("machine footprint %d words exceeds server cap %d", footprint, s.cfg.MaxFootprintWords)
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	writeJSON(w, http.StatusOK, client.Metrics{
+		Requests:        s.m.requests.Load(),
+		Completed:       s.m.completed.Load(),
+		Failed:          s.m.failed.Load(),
+		Rejected:        s.m.rejected.Load(),
+		Canceled:        s.m.canceled.Load(),
+		Running:         s.m.running.Load(),
+		QueueDepth:      int64(len(s.jobs)),
+		QueueCap:        int64(s.cfg.QueueDepth),
+		Workers:         int64(s.cfg.Workers),
+		PoolHits:        ps.Hits,
+		PoolMisses:      ps.Misses,
+		PoolIdle:        int64(ps.Idle),
+		CyclesSimulated: s.m.cycles.Load(),
+		LatencyMsP50:    s.m.lat.quantile(0.50),
+		LatencyMsP99:    s.m.lat.quantile(0.99),
+	})
+}
+
+// worker drains the job queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if j.ctx.Err() != nil {
+			// Client went away while the job was queued.
+			s.m.canceled.Add(1)
+			j.done <- jobOutcome{status: http.StatusRequestTimeout, errMsg: "client went away"}
+			continue
+		}
+		s.m.running.Add(1)
+		out := s.execute(j)
+		s.m.running.Add(-1)
+		switch {
+		case out.result != nil:
+			s.m.completed.Add(1)
+		case out.status == http.StatusRequestTimeout:
+			s.m.canceled.Add(1)
+		default:
+			s.m.failed.Add(1)
+		}
+		j.done <- out
+	}
+}
+
+// execute runs one job end to end: compile, check out a machine, load
+// memory images, simulate under the request's limits, read back results,
+// and return the machine to the fleet.
+func (s *Server) execute(j *job) jobOutcome {
+	req := j.req
+
+	var prog *asc.Program
+	var asmText string
+	var err error
+	if req.ASCL != "" {
+		prog, asmText, err = asc.CompileASCL(req.ASCL)
+		if err != nil {
+			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compiling ASCL: %v", err)}
+		}
+	} else {
+		prog, err = asc.Assemble(req.Asm)
+		if err != nil {
+			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("assembling: %v", err)}
+		}
+	}
+
+	cfg := req.Config.ASC()
+	proc, hit, err := s.pool.Get(cfg, prog)
+	if err != nil {
+		return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("building machine: %v", err)}
+	}
+	defer s.pool.Put(proc)
+
+	if len(req.LocalMem) > 0 {
+		if err := proc.LoadLocalMem(req.LocalMem); err != nil {
+			return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("loading local memory: %v", err)}
+		}
+	}
+	if len(req.ScalarMem) > 0 {
+		if err := proc.LoadScalarMem(req.ScalarMem); err != nil {
+			return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("loading scalar memory: %v", err)}
+		}
+	}
+
+	maxCycles := req.MaxCycles
+	if maxCycles <= 0 || maxCycles > s.cfg.MaxCycles {
+		maxCycles = s.cfg.MaxCycles
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+
+	stats, err := proc.RunContext(ctx, maxCycles)
+	s.m.cycles.Add(stats.Cycles)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return jobOutcome{status: http.StatusGatewayTimeout,
+				errMsg: fmt.Sprintf("simulation exceeded wall-clock limit %v after %d cycles", timeout, stats.Cycles)}
+		case errors.Is(err, context.Canceled):
+			return jobOutcome{status: http.StatusRequestTimeout, errMsg: "client went away"}
+		case errors.Is(err, asc.ErrCycleLimit):
+			return jobOutcome{status: http.StatusGatewayTimeout,
+				errMsg: fmt.Sprintf("simulation exceeded cycle limit %d", maxCycles)}
+		default:
+			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("simulation: %v", err)}
+		}
+	}
+
+	res := &client.RunResult{
+		Cycles:       stats.Cycles,
+		Instructions: stats.Instructions,
+		IPC:          stats.IPC(),
+		ScalarOps:    stats.Scalar,
+		ParallelOps:  stats.Parallel,
+		ReductionOps: stats.Reduction,
+		IdleCycles:   stats.IdleCycles,
+		Asm:          asmText,
+		PoolHit:      hit,
+	}
+	// Dump sizes are clamped to the machine's actual memory geometry.
+	if n := req.DumpScalar; n > 0 {
+		const scalarMemWords = 4096 // facade default; not configurable per request
+		if n > scalarMemWords {
+			n = scalarMemWords
+		}
+		res.ScalarMem = make([]int64, n)
+		for i := 0; i < n; i++ {
+			res.ScalarMem[i] = proc.ScalarMem(i)
+		}
+	}
+	if n := req.DumpLocal; n > 0 {
+		pes, lmw := proc.Config().PEs, proc.Config().LocalMemWords
+		if pes == 0 {
+			pes = 16
+		}
+		if lmw == 0 {
+			lmw = 1024
+		}
+		if n > lmw {
+			n = lmw
+		}
+		res.LocalMem = make([][]int64, pes)
+		for pe := 0; pe < pes; pe++ {
+			row := make([]int64, n)
+			for wd := 0; wd < n; wd++ {
+				row[wd] = proc.LocalMem(pe, wd)
+			}
+			res.LocalMem[pe] = row
+		}
+	}
+	return jobOutcome{result: res}
+}

@@ -1,0 +1,360 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// newTestServer starts a serving core behind httptest and returns a client
+// for it. Shutdown and HTTP teardown run at test cleanup.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	s := server.New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+	})
+	return s, client.New(hs.URL)
+}
+
+// sumRequest builds an ASCL job summing per-PE values, with the expected
+// result computed host-side.
+func sumRequest(vals []int64) (client.RunRequest, int64) {
+	rows := make([][]int64, len(vals))
+	var want int64
+	for i, v := range vals {
+		rows[i] = []int64{v}
+		want += v
+	}
+	return client.RunRequest{
+		ASCL: `
+			parallel v = pread(0);
+			write(0, sumval(v));
+		`,
+		Config:     client.MachineConfig{PEs: len(vals), Width: 32},
+		LocalMem:   rows,
+		DumpScalar: 1,
+	}, want
+}
+
+// spinRequest is an assembly job that never halts; timeoutMs bounds it.
+func spinRequest(timeoutMs int64) client.RunRequest {
+	return client.RunRequest{
+		Asm:       "spin:\n\tj spin\n",
+		Config:    client.MachineConfig{PEs: 16},
+		TimeoutMs: timeoutMs,
+	}
+}
+
+func apiStatus(t *testing.T, err error) int {
+	t.Helper()
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected *client.APIError, got %v", err)
+	}
+	return ae.Status
+}
+
+// TestConcurrentRoundTrips is the acceptance test's core: N concurrent
+// clients submit compile-and-simulate jobs and every result is correct.
+// Repeating one configuration must also produce pool hits.
+func TestConcurrentRoundTrips(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 4, QueueDepth: 64})
+	const clients, perClient = 8, 4
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				vals := make([]int64, 16)
+				for pe := range vals {
+					vals[pe] = int64(g*1000 + i*16 + pe)
+				}
+				req, want := sumRequest(vals)
+				res, err := c.Run(context.Background(), req)
+				if err != nil {
+					t.Errorf("client %d iter %d: %v", g, i, err)
+					return
+				}
+				if len(res.ScalarMem) != 1 || res.ScalarMem[0] != want {
+					t.Errorf("client %d iter %d: sum = %v, want %d", g, i, res.ScalarMem, want)
+				}
+				if res.Cycles <= 0 || res.Instructions <= 0 {
+					t.Errorf("client %d iter %d: implausible stats %+v", g, i, res)
+				}
+				if res.Asm == "" {
+					t.Errorf("client %d iter %d: ASCL job missing generated asm", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != clients*perClient {
+		t.Errorf("completed = %d, want %d", m.Completed, clients*perClient)
+	}
+	if m.PoolHits == 0 {
+		t.Error("repeated configuration produced no pool hits")
+	}
+	if m.CyclesSimulated == 0 {
+		t.Error("metrics report zero cycles simulated")
+	}
+	if m.LatencyMsP50 <= 0 || m.LatencyMsP99 < m.LatencyMsP50 {
+		t.Errorf("implausible latency quantiles p50=%v p99=%v", m.LatencyMsP50, m.LatencyMsP99)
+	}
+}
+
+// TestAssemblyJobAndLocalDump runs a raw-assembly job and reads back PE
+// local memory.
+func TestAssemblyJobAndLocalDump(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	res, err := c.Run(context.Background(), client.RunRequest{
+		Asm: `
+			pidx p1
+			pslli p2, p1, 1
+			psw p2, 0(p0)
+			rmax s1, p1
+			sw s1, 0(s0)
+			halt
+		`,
+		Config:     client.MachineConfig{PEs: 8, Width: 16},
+		DumpScalar: 1,
+		DumpLocal:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScalarMem[0] != 7 {
+		t.Errorf("rmax over pidx = %d, want 7", res.ScalarMem[0])
+	}
+	if len(res.LocalMem) != 8 {
+		t.Fatalf("local dump has %d rows, want 8", len(res.LocalMem))
+	}
+	for pe, row := range res.LocalMem {
+		if row[0] != int64(2*pe) {
+			t.Errorf("PE %d local[0] = %d, want %d", pe, row[0], 2*pe)
+		}
+	}
+}
+
+// TestQueueFullRejects fills the single worker and the one queue slot with
+// spinning jobs, then checks the next job is turned away with 429 instead
+// of blocking — the backpressure contract.
+func TestQueueFullRejects(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1, QueueDepth: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Run(ctx, spinRequest(10_000))
+			errs <- err
+		}()
+	}
+	// Wait until one spinner is running and the other occupies the queue.
+	waitMetrics(t, c, 2*time.Second, func(m *client.Metrics) bool {
+		return m.Running == 1 && m.QueueDepth == 1
+	})
+
+	_, err := c.Run(context.Background(), spinRequest(10_000))
+	if got := apiStatus(t, err); got != 429 {
+		t.Errorf("overflow submission status = %d, want 429", got)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rejected == 0 {
+		t.Error("rejected counter did not move")
+	}
+
+	// Release the spinners: cancelling the client context aborts both the
+	// running simulation (RunContext polls it) and the queued job.
+	cancel()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Error("cancelled spinner returned success")
+		}
+	}
+	waitMetrics(t, c, 2*time.Second, func(m *client.Metrics) bool {
+		return m.Running == 0 && m.QueueDepth == 0
+	})
+}
+
+// TestGracefulShutdownDrains initiates shutdown while jobs are queued
+// behind a slow one, and checks (a) new submissions get 503, (b) every
+// already-admitted job still completes with a correct result.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := server.New(server.Config{Workers: 1, QueueDepth: 8})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+
+	// One slow job occupies the worker; fast jobs stack up behind it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Run(context.Background(), spinRequest(500))
+		if got := apiStatus(t, err); got != 504 {
+			t.Errorf("slow job status = %d, want 504", got)
+		}
+	}()
+	waitMetrics(t, c, 2*time.Second, func(m *client.Metrics) bool { return m.Running == 1 })
+
+	const queued = 4
+	results := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, want := sumRequest([]int64{int64(i), int64(i) + 1, 2, 3})
+			res, err := c.Run(context.Background(), req)
+			if err == nil && res.ScalarMem[0] != want {
+				err = errors.New("wrong sum")
+			}
+			results <- err
+		}(i)
+	}
+	waitMetrics(t, c, 2*time.Second, func(m *client.Metrics) bool { return m.QueueDepth == queued })
+
+	// Initiate drain; admitted jobs must finish, new ones must bounce.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// The drain flag flips before Shutdown returns; give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Run(context.Background(), sumFast())
+		if err != nil && apiStatus(t, err) == 503 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submission during drain was not rejected with 503")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	wg.Wait()
+	for i := 0; i < queued; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("queued job failed during drain: %v", err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown returned %v", err)
+	}
+}
+
+func sumFast() client.RunRequest {
+	req, _ := sumRequest([]int64{1, 2, 3, 4})
+	return req
+}
+
+// TestWallClockTimeout checks a spinning program is cut off with 504.
+func TestWallClockTimeout(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	start := time.Now()
+	_, err := c.Run(context.Background(), spinRequest(150))
+	if got := apiStatus(t, err); got != 504 {
+		t.Errorf("status = %d, want 504", got)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("timeout enforcement took %v", e)
+	}
+}
+
+// TestCycleLimit checks the per-request cycle budget is enforced and
+// clamped to the server cap.
+func TestCycleLimit(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1, MaxCycles: 5000})
+	req := spinRequest(0)
+	req.MaxCycles = 1000
+	_, err := c.Run(context.Background(), req)
+	if got := apiStatus(t, err); got != 504 {
+		t.Errorf("cycle-limited status = %d, want 504", got)
+	}
+	// Asking for more than the cap clamps to it rather than running longer.
+	req.MaxCycles = 1 << 40
+	_, err = c.Run(context.Background(), req)
+	if got := apiStatus(t, err); got != 504 {
+		t.Errorf("clamped status = %d, want 504", got)
+	}
+}
+
+// TestBadRequests covers the admission-time validation errors.
+func TestBadRequests(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  client.RunRequest
+		want int
+	}{
+		{"no source", client.RunRequest{}, 400},
+		{"both sources", client.RunRequest{ASCL: "x", Asm: "y"}, 400},
+		{"negative limits", client.RunRequest{Asm: "halt", MaxCycles: -1}, 400},
+		{"huge machine", client.RunRequest{Asm: "halt",
+			Config: client.MachineConfig{PEs: 1 << 24, LocalMemWords: 1 << 16}}, 400},
+		{"compile error", client.RunRequest{ASCL: "parallel = ;"}, 422},
+		{"assemble error", client.RunRequest{Asm: "bogus s1, s2"}, 422},
+		{"trap", client.RunRequest{Asm: "lw s1, 4100(s0)\nhalt"}, 422},
+	}
+	for _, tc := range cases {
+		_, err := c.Run(context.Background(), tc.req)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if got := apiStatus(t, err); got != tc.want {
+			t.Errorf("%s: status = %d, want %d (%v)", tc.name, got, tc.want, err)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitMetrics polls /metrics until cond holds or the deadline passes.
+func waitMetrics(t *testing.T, c *client.Client, d time.Duration, cond func(*client.Metrics) bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err == nil && cond(m) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v (last metrics: %+v)", d, m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -5,13 +5,27 @@
 // runs are reproducible.
 package workload
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
-// Vector returns p values uniform in [lo, hi].
+// Vector returns p values uniform in [lo, hi]. It panics with a clear
+// message on an empty or overflowing range (hi < lo, or a span that does
+// not fit int64) instead of letting rand.Int63n fail cryptically.
 func Vector(p int, lo, hi int64, seed int64) []int64 {
+	if p < 0 {
+		panic(fmt.Sprintf("workload: Vector length %d is negative", p))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("workload: Vector range [%d, %d] is empty (hi < lo)", lo, hi))
+	}
+	span := hi - lo + 1
+	if span <= 0 {
+		panic(fmt.Sprintf("workload: Vector range [%d, %d] spans more than int64", lo, hi))
+	}
 	r := rand.New(rand.NewSource(seed))
 	out := make([]int64, p)
-	span := hi - lo + 1
 	for i := range out {
 		out[i] = lo + r.Int63n(span)
 	}
@@ -22,6 +36,12 @@ func Vector(p int, lo, hi int64, seed int64) []int64 {
 // adjacency matrix. Weights are in [1, maxW]; the diagonal is inf (no
 // self edges).
 func Graph(n int, maxW int64, inf int64, seed int64) [][]int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("workload: Graph node count %d is negative", n))
+	}
+	if maxW < 1 {
+		panic(fmt.Sprintf("workload: Graph maxW must be >= 1, got %d", maxW))
+	}
 	r := rand.New(rand.NewSource(seed))
 	adj := make([][]int64, n)
 	for i := range adj {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -130,5 +131,44 @@ func TestImageShapeAndRange(t *testing.T) {
 				t.Errorf("pixel %d out of range", px)
 			}
 		}
+	}
+}
+
+// wantPanic runs f and checks it panics with a message containing substr.
+func wantPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic; want panic containing %q", substr)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Errorf("panic %v; want message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestVectorRejectsInvalidRanges(t *testing.T) {
+	wantPanic(t, "hi < lo", func() { Vector(4, 10, 5, 1) })
+	wantPanic(t, "spans more than int64", func() { Vector(4, -1<<62, 1<<62, 1) })
+	wantPanic(t, "negative", func() { Vector(-1, 0, 10, 1) })
+	// Degenerate but valid: a single-point range.
+	for _, v := range Vector(4, 7, 7, 1) {
+		if v != 7 {
+			t.Errorf("single-point range produced %d", v)
+		}
+	}
+}
+
+func TestGraphRejectsInvalidWeights(t *testing.T) {
+	wantPanic(t, "maxW must be >= 1", func() { Graph(4, 0, 99, 1) })
+	wantPanic(t, "maxW must be >= 1", func() { Graph(4, -3, 99, 1) })
+	wantPanic(t, "negative", func() { Graph(-2, 5, 99, 1) })
+	// maxW == 1 is the smallest legal graph weight.
+	adj := Graph(3, 1, 99, 1)
+	if adj[0][1] != 1 || adj[1][2] != 1 {
+		t.Error("maxW=1 graph should have all unit weights")
 	}
 }
