@@ -42,12 +42,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 
 	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/debug"
 	"repro/internal/fpga"
+	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -134,6 +137,76 @@ func (c Config) Key() string {
 	return fmt.Sprintf("pes=%d threads=%d width=%d lmem=%d arity=%d seqmul=%t fixed=%t smt=%t trace=%d engine=%s",
 		n.PEs, n.Threads, n.Width, n.LocalMemWords, n.Arity,
 		n.SeqMul, n.FixedPriority, n.SMT, n.TraceDepth, n.Engine)
+}
+
+// Geometry is the memory geometry of the machine a Config builds, after
+// default resolution: the sizes of the flat state files a Processor
+// allocates. It lets callers admitting untrusted configurations (the
+// serving daemon's footprint guard, dump clamping) reason about machine
+// sizes without re-stating the simulator's defaults.
+type Geometry struct {
+	PEs            int // processing elements
+	Threads        int // hardware thread contexts
+	LocalMemWords  int // local memory words per PE
+	ScalarMemWords int // control-unit data memory words
+	// RegsPerPE is the register count each PE holds per thread: parallel
+	// general-purpose plus flag registers.
+	RegsPerPE int
+	// FootprintWords is the total flat-state allocation in words: local
+	// memories, per-thread register and flag files, scalar registers and
+	// memory, and the reduction-tree leaf buffer.
+	FootprintWords int64
+}
+
+// Geometry resolves the configuration's defaults and sizes its flat state
+// files. The arithmetic is overflow-checked: an invalid configuration or
+// one whose footprint overflows int64 words returns an error, so hostile
+// dimensions can be rejected before any allocation is attempted.
+func (c Config) Geometry() (Geometry, error) {
+	mc := c.coreConfig().Machine
+	if err := mc.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	g := Geometry{
+		PEs:            mc.PEs,
+		Threads:        mc.Threads,
+		LocalMemWords:  mc.LocalMemWords,
+		ScalarMemWords: mc.ScalarMemWords,
+		RegsPerPE:      isa.NumParallelRegs + isa.NumFlagRegs,
+	}
+	ok := true
+	local := mulWords(int64(g.PEs), int64(g.LocalMemWords), &ok)
+	regs := mulWords(mulWords(int64(g.Threads), int64(g.PEs), &ok), int64(g.RegsPerPE), &ok)
+	scalarRegs := mulWords(int64(g.Threads), isa.NumScalarRegs, &ok)
+	total := addWords(local, regs, &ok)
+	total = addWords(total, scalarRegs, &ok)
+	total = addWords(total, int64(g.ScalarMemWords), &ok)
+	total = addWords(total, int64(g.PEs), &ok) // reduction-tree leaf buffer
+	if !ok {
+		return Geometry{}, fmt.Errorf("asc: machine footprint overflows int64 words (PEs=%d Threads=%d LocalMemWords=%d)",
+			g.PEs, g.Threads, g.LocalMemWords)
+	}
+	g.FootprintWords = total
+	return g, nil
+}
+
+// mulWords and addWords are the overflow-checked arithmetic behind
+// Geometry; inputs are non-negative (machine.Config.Validate enforces it).
+func mulWords(a, b int64, ok *bool) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > math.MaxInt64 {
+		*ok = false
+		return 0
+	}
+	return int64(lo)
+}
+
+func addWords(a, b int64, ok *bool) int64 {
+	if a > math.MaxInt64-b {
+		*ok = false
+		return 0
+	}
+	return a + b
 }
 
 func (c Config) coreConfig() core.Config {

@@ -62,7 +62,15 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 	})
-	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: core.Handler(),
+		// Slow-client guards: a stalled peer must not pin a connection
+		// goroutine forever (slowloris). No WriteTimeout — responses
+		// legitimately take up to the simulation wall-clock limit.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -57,11 +57,19 @@ func (p *Pool) Get(cfg asc.Config, prog *asc.Program) (*asc.Processor, bool, err
 		procs[len(procs)-1] = nil
 		p.idle[key] = procs[:len(procs)-1]
 		p.nIdle--
-		p.stats.Hits++
 		p.mu.Unlock()
 		if err := proc.SetProgram(prog); err != nil {
-			return nil, true, err
+			// A program-load failure (e.g. a .data segment larger than
+			// scalar memory) does not invalidate the machine: re-park it
+			// warm instead of dropping it with its engine worker pool
+			// still running. The checkout never produced a usable
+			// processor, so it counts as neither a hit nor a miss.
+			p.Put(proc)
+			return nil, false, err
 		}
+		p.mu.Lock()
+		p.stats.Hits++
+		p.mu.Unlock()
 		return proc, true, nil
 	}
 	p.stats.Misses++

@@ -106,6 +106,47 @@ func TestRecycledMachineIsClean(t *testing.T) {
 	}
 }
 
+// TestSetProgramFailureReparks checks that a warm machine whose program
+// load fails (a .data segment larger than scalar memory) is re-parked for
+// the next request instead of being dropped with its engine worker pool
+// still running, and that the failed checkout counts as neither a hit nor
+// a miss.
+func TestSetProgramFailureReparks(t *testing.T) {
+	p := New(2)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	a, _, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a)
+
+	oversized := asc.MustAssemble("halt\n.data\n.space 5000") // > 4096 scalar words
+	if _, hit, err := p.Get(cfg, oversized); err == nil {
+		t.Fatal("oversized .data segment should fail program load")
+	} else if hit {
+		t.Error("failed checkout reported as a pool hit")
+	}
+	s := p.Stats()
+	if s.Idle != 1 {
+		t.Errorf("idle = %d, want 1 (machine should be re-parked)", s.Idle)
+	}
+	if s.Hits != 0 {
+		t.Errorf("hits = %d, want 0 after a failed checkout", s.Hits)
+	}
+
+	// The re-parked machine still serves the next request, clean.
+	b, hit, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || b != a {
+		t.Errorf("expected the re-parked machine back (hit=%t, same=%t)", hit, b == a)
+	}
+	if sum := runSum(t, b, []int64{1, 2, 3, 4}); sum != 10 {
+		t.Errorf("recycled-after-failure sum = %d, want 10", sum)
+	}
+}
+
 func TestIdleCapEvicts(t *testing.T) {
 	p := New(1)
 	cfg := asc.Config{PEs: 4}

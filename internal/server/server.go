@@ -243,22 +243,16 @@ func (s *Server) validate(req *client.RunRequest) error {
 	if req.MaxCycles < 0 || req.TimeoutMs < 0 || req.DumpScalar < 0 || req.DumpLocal < 0 {
 		return errors.New("maxCycles, timeoutMs, dumpScalar, and dumpLocal must be non-negative")
 	}
-	// Footprint guard: flat files scale with PEs*(localMem + threads*regs).
-	c := req.Config
-	pes, threads, lmw := int64(c.PEs), int64(c.Threads), int64(c.LocalMemWords)
-	if pes == 0 {
-		pes = 16
+	// Footprint guard: the facade sizes the flat state files with
+	// overflow-checked arithmetic and its own default resolution, so a
+	// hostile configuration (negative, absurd, or overflowing dimensions)
+	// is rejected here, before any allocation is attempted.
+	g, err := req.Config.ASC().Geometry()
+	if err != nil {
+		return fmt.Errorf("invalid machine config: %w", err)
 	}
-	if threads == 0 {
-		threads = 16
-	}
-	if lmw == 0 {
-		lmw = 1024
-	}
-	const regsPerPE = 16 + 8 // parallel + flag registers per thread
-	footprint := pes*lmw + pes*threads*regsPerPE + 4096
-	if pes < 0 || threads < 0 || lmw < 0 || footprint > s.cfg.MaxFootprintWords {
-		return fmt.Errorf("machine footprint %d words exceeds server cap %d", footprint, s.cfg.MaxFootprintWords)
+	if g.FootprintWords > s.cfg.MaxFootprintWords {
+		return fmt.Errorf("machine footprint %d words exceeds server cap %d", g.FootprintWords, s.cfg.MaxFootprintWords)
 	}
 	return nil
 }
@@ -390,11 +384,12 @@ func (s *Server) execute(j *job) jobOutcome {
 		Asm:          asmText,
 		PoolHit:      hit,
 	}
-	// Dump sizes are clamped to the machine's actual memory geometry.
+	// Dump sizes are clamped to the machine's actual memory geometry,
+	// resolved by the facade (the config already validated at admission).
+	geom, _ := proc.Config().Geometry()
 	if n := req.DumpScalar; n > 0 {
-		const scalarMemWords = 4096 // facade default; not configurable per request
-		if n > scalarMemWords {
-			n = scalarMemWords
+		if n > geom.ScalarMemWords {
+			n = geom.ScalarMemWords
 		}
 		res.ScalarMem = make([]int64, n)
 		for i := 0; i < n; i++ {
@@ -402,13 +397,7 @@ func (s *Server) execute(j *job) jobOutcome {
 		}
 	}
 	if n := req.DumpLocal; n > 0 {
-		pes, lmw := proc.Config().PEs, proc.Config().LocalMemWords
-		if pes == 0 {
-			pes = 16
-		}
-		if lmw == 0 {
-			lmw = 1024
-		}
+		pes, lmw := geom.PEs, geom.LocalMemWords
 		if n > lmw {
 			n = lmw
 		}

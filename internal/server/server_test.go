@@ -320,6 +320,14 @@ func TestBadRequests(t *testing.T) {
 		{"negative limits", client.RunRequest{Asm: "halt", MaxCycles: -1}, 400},
 		{"huge machine", client.RunRequest{Asm: "halt",
 			Config: client.MachineConfig{PEs: 1 << 24, LocalMemWords: 1 << 16}}, 400},
+		// Regression: dimensions chosen so the naive footprint products wrap
+		// to ~0 must be rejected, not admitted to crash a worker.
+		{"overflowing machine", client.RunRequest{Asm: "halt",
+			Config: client.MachineConfig{PEs: 1 << 62, Threads: 1, LocalMemWords: 4}}, 400},
+		{"negative PEs", client.RunRequest{Asm: "halt",
+			Config: client.MachineConfig{PEs: -16}}, 400},
+		{"bad width", client.RunRequest{Asm: "halt",
+			Config: client.MachineConfig{Width: 7}}, 400},
 		{"compile error", client.RunRequest{ASCL: "parallel = ;"}, 422},
 		{"assemble error", client.RunRequest{Asm: "bogus s1, s2"}, 422},
 		{"trap", client.RunRequest{Asm: "lw s1, 4100(s0)\nhalt"}, 422},
