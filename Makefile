@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-engines check
+.PHONY: build vet test race bench bench-engines obs-demo check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,24 @@ test:
 # even on single-core hosts (see internal/machine/engine_test.go), and the
 # serving stack runs concurrent compile->simulate round trips.
 race:
-	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/...
+	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
+
+# Boot ascd, push three jobs through it, and print the Prometheus scrape:
+# the fastest way to see the simulation-depth metrics move.
+obs-demo:
+	$(GO) build -o /tmp/ascd-demo ./cmd/ascd
+	@/tmp/ascd-demo -addr 127.0.0.1:18642 -log-level warn & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in 1 2 3; do \
+	  until curl -sf http://127.0.0.1:18642/healthz >/dev/null; do sleep 0.1; done; \
+	  curl -s http://127.0.0.1:18642/v1/run -d '{"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[1],[2],[3],[4]], "dumpScalar": 1}' >/dev/null; \
+	done; \
+	echo "--- GET /metrics ---"; \
+	curl -s http://127.0.0.1:18642/metrics
 
 # Serial-vs-parallel host engine comparison plus BENCH_results.json.
 bench-engines:

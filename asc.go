@@ -284,8 +284,28 @@ type Stats struct {
 	IdleByCause map[string]int64
 	// StallByCause sums per-instruction wait cycles by hazard class.
 	StallByCause map[string]int64
+	// Contention counts ready-but-not-selected thread-cycles: more than one
+	// thread was ready for the single issue slot (the multithreading
+	// headroom the paper's scheduler exploits).
+	Contention int64
+	// Fetches and Flushes are front-end counters: instruction-buffer fills
+	// and control-redirect discards.
+	Fetches int64
+	Flushes int64
 	// PerThread[t] is the instruction count issued by hardware thread t.
 	PerThread []int64
+}
+
+// ActiveThreads counts hardware threads that issued at least one
+// instruction during the run.
+func (s Stats) ActiveThreads() int {
+	n := 0
+	for _, c := range s.PerThread {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // IPC is issued instructions per cycle: at most 1.0 for the single-issue
@@ -307,6 +327,9 @@ func convertStats(cs core.Stats) Stats {
 		IdleCycles:   cs.IdleCycles,
 		IdleByCause:  map[string]int64{},
 		StallByCause: map[string]int64{},
+		Contention:   cs.Contention,
+		Fetches:      cs.Fetches,
+		Flushes:      cs.Flushes,
 		PerThread:    append([]int64(nil), cs.PerThread...),
 	}
 	for k, v := range cs.IdleByKind {
@@ -470,12 +493,24 @@ func (p *Processor) Describe() string {
 	return p.core.Describe() + p.core.FrontEnd().Describe()
 }
 
-// FormatStats renders a human-readable run summary.
+// FormatStats renders a human-readable run summary with the idle and
+// stall breakdowns by hazard cause and the front-end counters.
 func FormatStats(s Stats) string {
 	var out string
 	out += fmt.Sprintf("cycles: %d  instructions: %d  IPC: %.3f\n", s.Cycles, s.Instructions, s.IPC())
 	out += fmt.Sprintf("by path: scalar %d, parallel %d, reduction %d\n", s.Scalar, s.Parallel, s.Reduction)
 	out += fmt.Sprintf("idle cycles: %d %v\n", s.IdleCycles, s.IdleByCause)
+	if len(s.StallByCause) > 0 {
+		var stalls int64
+		for _, v := range s.StallByCause {
+			stalls += v
+		}
+		out += fmt.Sprintf("instruction stalls: %d %v\n", stalls, s.StallByCause)
+	}
+	out += fmt.Sprintf("fetches: %d, flushed: %d, ready-contention: %d\n", s.Fetches, s.Flushes, s.Contention)
+	if len(s.PerThread) > 0 {
+		out += fmt.Sprintf("threads used: %d of %d\n", s.ActiveThreads(), len(s.PerThread))
+	}
 	return out
 }
 

@@ -58,6 +58,22 @@ type RunRequest struct {
 	// DumpLocal returns the first N local-memory words of every PE.
 	DumpScalar int `json:"dumpScalar,omitempty"`
 	DumpLocal  int `json:"dumpLocal,omitempty"`
+
+	// Trace opts into per-job pipeline tracing: the result carries a
+	// Figure-2-style pipeline diagram and a stall breakdown of the run.
+	// The server bounds the number of retained instruction records, so the
+	// diagram covers the most recent instructions of a long run.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Trace is the per-job diagnostic rendering returned when
+// RunRequest.Trace is set.
+type Trace struct {
+	// Diagram is the pipeline stage diagram (instructions as rows, cycles
+	// as columns) of the traced tail of the run.
+	Diagram string `json:"diagram"`
+	// Stats is the human-readable stall/idle breakdown by hazard cause.
+	Stats string `json:"stats"`
 }
 
 // RunResult is a completed simulation.
@@ -77,6 +93,9 @@ type RunResult struct {
 	Asm string `json:"asm,omitempty"`
 	// PoolHit reports whether the job ran on a recycled warm machine.
 	PoolHit bool `json:"poolHit"`
+	// Trace carries the pipeline diagram and stall breakdown when the
+	// request set Trace.
+	Trace *Trace `json:"trace,omitempty"`
 }
 
 // Metrics is the /metrics payload.
@@ -96,6 +115,11 @@ type Metrics struct {
 	CyclesSimulated int64   `json:"cyclesSimulated"`
 	LatencyMsP50    float64 `json:"latencyMsP50"`
 	LatencyMsP99    float64 `json:"latencyMsP99"`
+	// LatencyOverflow counts requests slower than the histogram's largest
+	// finite bucket bound. When it is non-zero, a reported quantile equal
+	// to the largest bound means "at least this slow" (the underlying
+	// bucket is +Inf), not an exact estimate.
+	LatencyOverflow int64 `json:"latencyOverflow"`
 }
 
 // errorBody is the JSON body of every non-2xx response.
@@ -107,8 +131,14 @@ type errorBody struct {
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-provided error text
+	// RequestID is the server-assigned X-Request-Id of the failed call;
+	// quote it when correlating with the daemon's logs.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("ascd: %d: %s (request-id %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("ascd: %d: %s", e.Status, e.Message)
 }

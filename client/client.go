@@ -49,6 +49,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// The client always wants the JSON views; /metrics defaults to
+	// Prometheus text exposition without this.
+	req.Header.Set("Accept", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -59,11 +62,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		reqID := resp.Header.Get("X-Request-Id")
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: eb.Error}
+			return &APIError{Status: resp.StatusCode, Message: eb.Error, RequestID: reqID}
 		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RequestID: reqID}
 	}
 	if out == nil {
 		return nil
@@ -88,10 +92,12 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// Metrics fetches the serving counters.
+// Metrics fetches and decodes the JSON view of the serving counters. The
+// daemon's /metrics endpoint defaults to Prometheus text exposition;
+// the client negotiates the JSON shape via Accept plus ?format=json.
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	var m Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics?format=json", nil, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil

@@ -1,0 +1,85 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+func newTestServer(t *testing.T) *client.Client {
+	t.Helper()
+	s := server.New(server.Config{Workers: 1})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+	})
+	return client.New(hs.URL)
+}
+
+// TestMetricsRoundTrip checks Client.Metrics decodes the server's JSON
+// compat view after real work has flowed through.
+func TestMetricsRoundTrip(t *testing.T) {
+	c := newTestServer(t)
+	ctx := context.Background()
+
+	req := client.RunRequest{
+		ASCL: `
+			parallel v = pread(0);
+			write(0, sumval(v));
+		`,
+		Config:     client.MachineConfig{PEs: 4, Width: 32},
+		LocalMem:   [][]int64{{1}, {2}, {3}, {4}},
+		DumpScalar: 1,
+	}
+	res, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScalarMem[0] != 10 {
+		t.Fatalf("sum = %d, want 10", res.ScalarMem[0])
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 1 || m.Completed != 1 {
+		t.Errorf("metrics = %+v, want requests=1 completed=1", m)
+	}
+	if m.LatencyMsP50 <= 0 || m.LatencyMsP99 < m.LatencyMsP50 {
+		t.Errorf("latency quantiles implausible: p50=%v p99=%v", m.LatencyMsP50, m.LatencyMsP99)
+	}
+	if m.LatencyOverflow != 0 {
+		t.Errorf("latencyOverflow = %d, want 0 for sub-30s jobs", m.LatencyOverflow)
+	}
+}
+
+// TestAPIErrorCarriesRequestID checks a failing job's error string names
+// the server-assigned request id, so users can grep the daemon's logs.
+func TestAPIErrorCarriesRequestID(t *testing.T) {
+	c := newTestServer(t)
+	_, err := c.Run(context.Background(), client.RunRequest{ASCL: "parallel = ;"})
+	if err == nil {
+		t.Fatal("expected compile error")
+	}
+	ae, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("expected *client.APIError, got %T: %v", err, err)
+	}
+	if ae.RequestID == "" {
+		t.Error("APIError.RequestID is empty")
+	}
+	if !strings.Contains(err.Error(), ae.RequestID) {
+		t.Errorf("error string %q does not carry request id %q", err.Error(), ae.RequestID)
+	}
+}

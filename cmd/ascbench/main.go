@@ -77,7 +77,7 @@ func engineBenches() []benchResult {
 			continue
 		}
 		for _, engine := range []machine.Engine{machine.EngineSerial, machine.EngineParallel} {
-			var cycles, ipc float64
+			var last core.Stats
 			r := measure(3, func() error {
 				mcfg := ins.MachineConfig(pes, 8)
 				mcfg.Engine = engine
@@ -99,20 +99,38 @@ func engineBenches() []benchResult {
 				if err := ins.Check(p.Machine()); err != nil {
 					return err
 				}
-				cycles = float64(stats.Cycles)
-				ipc = stats.IPC()
+				last = stats
 				return nil
 			})
 			r.Name = fmt.Sprintf("engine/mt-reduction/pes=%d/%v", pes, engine)
 			r.Metrics = map[string]float64{
-				"model-cycles": cycles,
-				"model-IPC":    ipc,
+				"model-cycles": float64(last.Cycles),
+				"model-IPC":    last.IPC(),
 				"gomaxprocs":   float64(runtime.GOMAXPROCS(0)),
 			}
+			addStallMetrics(r.Metrics, last)
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// addStallMetrics folds the paper-relevant hazard counters of a run into
+// a benchmark row: stall and idle cycles by hazard kind (the b+r
+// reduction hazard the multithreading is there to hide), plus the
+// front-end and contention totals. These land in BENCH_results.json so
+// the bench trajectory tracks the model's behavior, not just wall-clock.
+func addStallMetrics(m map[string]float64, s core.Stats) {
+	for k, v := range s.StallByKind {
+		m["stall-cycles/"+k.String()] = float64(v)
+	}
+	for k, v := range s.IdleByKind {
+		m["idle-cycles/"+k.String()] = float64(v)
+	}
+	m["idle-cycles"] = float64(s.IdleCycles)
+	m["contention"] = float64(s.Contention)
+	m["fetches"] = float64(s.Fetches)
+	m["flushes"] = float64(s.Flushes)
 }
 
 func main() {

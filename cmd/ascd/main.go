@@ -15,10 +15,18 @@
 //	-max-timeout D    cap on requested wall-clock limits
 //	-drain-timeout D  how long shutdown waits for in-flight jobs
 //	-max-body N       request body size cap in bytes
+//	-trace-depth N    instruction records retained for "trace": true jobs
+//	-log-level L      debug, info, warn, or error (default info)
+//	-log-format F     text or json (default text)
+//	-debug-addr A     optional diagnostics listener: net/http/pprof plus
+//	                  Go runtime gauges at /metrics (off when empty)
 //
-// Endpoints: POST /v1/run, GET /metrics, GET /healthz. See docs/SERVER.md
-// for the API schema and examples. SIGINT/SIGTERM trigger a graceful
-// shutdown that stops admission (503) and drains queued and in-flight jobs.
+// Endpoints: POST /v1/run, GET /metrics (Prometheus text exposition; JSON
+// via Accept: application/json or ?format=json), GET /healthz. See
+// docs/SERVER.md for the API schema and docs/OBSERVABILITY.md for the
+// metric catalog, log fields, and pprof usage. SIGINT/SIGTERM trigger a
+// graceful shutdown that stops admission (503) and drains queued and
+// in-flight jobs.
 package main
 
 import (
@@ -26,13 +34,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -46,10 +56,20 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on requested wall-clock limits")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
+	traceDepth := flag.Int("trace-depth", 512, "instruction records retained for trace-enabled jobs")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listener (pprof + runtime metrics); empty = off")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: ascd [flags]")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ascd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -61,6 +81,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
+		TraceDepth:     *traceDepth,
+		Logger:         logger,
 	})
 	hs := &http.Server{
 		Addr:    *addr,
@@ -72,9 +94,13 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	if *debugAddr != "" {
+		go runDebugListener(*debugAddr, logger)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ascd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -82,9 +108,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("ascd: %v", err)
+		logger.Error("serve failed", "error", err.Error())
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("ascd: %v: draining (budget %v)", s, *drainTimeout)
+		logger.Info("draining", "signal", s.String(), "budget", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -92,10 +119,48 @@ func main() {
 	// Drain the job queue first so handlers waiting on results complete,
 	// then close the HTTP side; new submissions get 503 throughout.
 	if err := core.Shutdown(ctx); err != nil {
-		log.Printf("ascd: %v", err)
+		logger.Error("drain incomplete", "error", err.Error())
 	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ascd: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err.Error())
 	}
-	log.Print("ascd: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// buildLogger assembles the slog handler from the -log-level/-log-format
+// flags, writing to stderr.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+}
+
+// runDebugListener serves the opt-in diagnostics surface on its own
+// address, kept off the public API listener: net/http/pprof under
+// /debug/pprof/ and Go runtime gauges (goroutines, heap, GC) in
+// Prometheus format at /metrics.
+func runDebugListener(addr string, logger *slog.Logger) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug listener", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "error", err.Error())
+	}
 }

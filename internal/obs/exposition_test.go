@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testRegistry builds a deterministic registry exercising every instrument
+// shape: plain and labeled counters and gauges, a gauge func, label-value
+// escaping, and histograms with and without labels.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	jobs := r.NewCounter("test_jobs_total", "Jobs processed.")
+	jobs.Add(3)
+	out := r.NewCounterVec("test_outcomes_total", "Finished jobs by outcome.", "outcome")
+	out.With("completed").Add(2)
+	out.With("failed").Inc()
+	out.With(`quote"back\slash` + "\nnewline").Inc()
+	depth := r.NewGauge("test_queue_depth", "Jobs waiting now.")
+	depth.Set(7)
+	r.NewGaugeFunc("test_workers", "Worker goroutines.", func() float64 { return 4 })
+	idle := r.NewGaugeVec("test_pool_idle_machines", "Warm machines parked, per configuration.", "config")
+	idle.With("pes=16 threads=16").Set(2)
+	idle.With("pes=64 threads=8").Set(1)
+	h := r.NewHistogram("test_duration_seconds", "Request latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100) // lands in +Inf
+	hv := r.NewHistogramVec("test_stage_seconds", "Stage latency.", []float64{0.5, 2}, "stage")
+	hv.With("compile").Observe(0.25)
+	hv.With("simulate").Observe(1)
+	hv.With("simulate").Observe(3)
+	return r
+}
+
+// TestExposition golden-tests the rendered Prometheus text format and runs
+// the format lint over it. CI smokes this test under -race.
+func TestExposition(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	if err := Lint(got); err != nil {
+		t.Errorf("rendered exposition fails lint: %v", err)
+	}
+
+	// Rendering twice must be deterministic (children sorted, no map
+	// iteration order leaking through).
+	var b2 strings.Builder
+	if err := testRegistry().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	rec := httptest.NewRecorder()
+	testRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "test_jobs_total 3") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestLintCatchesViolations feeds the lint known-bad expositions.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"bad name", "# HELP Bad x\n"},
+		{"sample without type", "orphan_total 1\n"},
+		{"type after sample", "# HELP a_total x\n# TYPE a_total counter\na_total 1\n# TYPE a_total counter\n"},
+		{"unknown type", "# HELP a x\n# TYPE a summary\n"},
+		{"non-cumulative buckets", "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"missing +Inf", "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n"},
+		{"inf != count", "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 9\n"},
+	}
+	for _, tc := range cases {
+		if err := Lint(tc.text); err == nil {
+			t.Errorf("%s: lint accepted bad exposition", tc.name)
+		}
+	}
+	good := "# HELP h x\n# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"
+	if err := Lint(good); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram. Bucket semantics follow
+// Prometheus: an observation v lands in the first bucket whose upper bound
+// is >= v; observations past the last finite bound land in the implicit
+// +Inf overflow bucket and are reported there honestly (see Quantile and
+// Overflow) instead of being folded into the last finite bucket.
+type Histogram struct {
+	bounds []float64 // ascending, finite
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; the final slot is the +Inf bucket
+	total  int64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. The bucket is found by binary search
+// (sort.SearchFloat64s), not a linear scan.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s returns the smallest i with bounds[i] >= v, which is
+	// exactly the `le` bucket; v past every finite bound yields
+	// len(bounds), the +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Quantile returns an upper-bound estimate of quantile q (0 < q <= 1): the
+// upper bound of the bucket containing the q-th ranked observation, or 0
+// when the histogram is empty. A rank that lands in the +Inf overflow
+// bucket is reported as math.Inf(1) — the histogram does not pretend such
+// observations fit under the last finite bound; callers that need a finite
+// number must clamp explicitly and should surface Overflow alongside it.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Overflow returns how many observations exceeded the last finite bucket
+// bound (the +Inf bucket count).
+func (h *Histogram) Overflow() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts[len(h.bounds)]
+}
+
+// MaxBound returns the largest finite bucket bound (0 if there are no
+// buckets); callers clamping an overflowed Quantile use it as the explicit
+// saturation point.
+func (h *Histogram) MaxBound() float64 {
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot copies the counts, total, and sum under the lock.
+func (h *Histogram) snapshot() (counts []int64, total int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.counts...), h.total, h.sum
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lint statically checks a rendered exposition against the format rules
+// this package promises: every metric name matches [a-z_:][a-z0-9_:]*,
+// HELP and TYPE lines precede the family's samples, every sample belongs
+// to a declared family, and histogram _bucket series are cumulative and
+// terminated by an le="+Inf" bucket equal to _count. Tests run it over
+// golden output and over a live server's /metrics.
+func Lint(text string) error {
+	type famState struct {
+		typ string
+		// bucket tracking per label tuple (minus le)
+		lastBucket map[string]int64
+		infSeen    map[string]int64
+		count      map[string]int64
+	}
+	fams := map[string]*famState{}
+	helpSeen := map[string]bool{}
+	sampled := map[string]bool{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := parts[0]
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, name)
+			}
+			if sampled[name] {
+				return fmt.Errorf("line %d: HELP for %q after its samples", lineNo, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, name)
+			}
+			if sampled[name] {
+				return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if !helpSeen[name] {
+				return fmt.Errorf("line %d: TYPE for %q without preceding HELP", lineNo, name)
+			}
+			fams[name] = &famState{
+				typ:        typ,
+				lastBucket: map[string]int64{},
+				infSeen:    map[string]int64{},
+				count:      map[string]int64{},
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		// Sample line: name[{labels}] value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unbalanced braces in %q", lineNo, line)
+			}
+			name, labels = line[:i], line[i+1:j]
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("line %d: sample without value: %q", lineNo, line)
+		}
+		name = fields[0]
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("line %d: invalid sample metric name %q", lineNo, name)
+		}
+		value, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable sample value %q", lineNo, fields[1])
+		}
+
+		// Resolve the owning family: histogram samples use the base name
+		// plus _bucket/_sum/_count.
+		base, suffix := name, ""
+		if f, ok := fams[name]; !ok || f.typ == "histogram" {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) {
+					if hf, ok := fams[strings.TrimSuffix(name, sfx)]; ok && hf.typ == "histogram" {
+						base, suffix = strings.TrimSuffix(name, sfx), sfx
+						break
+					}
+				}
+			}
+		}
+		f, ok := fams[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		sampled[base] = true
+		if f.typ == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+		}
+
+		if f.typ == "histogram" {
+			le, rest := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, name)
+				}
+				n := int64(value)
+				if le == "+Inf" {
+					f.infSeen[rest] = n
+				} else {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return fmt.Errorf("line %d: unparseable le bound %q", lineNo, le)
+					}
+					if _, seenInf := f.infSeen[rest]; seenInf {
+						return fmt.Errorf("line %d: finite bucket after +Inf for %q", lineNo, base)
+					}
+					if n < f.lastBucket[rest] {
+						return fmt.Errorf("line %d: histogram %q buckets not cumulative (%d < %d)",
+							lineNo, base, n, f.lastBucket[rest])
+					}
+					f.lastBucket[rest] = n
+				}
+			case "_count":
+				f.count[rest] = int64(value)
+			}
+		}
+	}
+
+	// Every histogram series must have ended at +Inf, matching _count.
+	for name, f := range fams {
+		if f.typ != "histogram" || !sampled[name] {
+			continue
+		}
+		for tuple, n := range f.count {
+			inf, ok := f.infSeen[tuple]
+			if !ok {
+				return fmt.Errorf("histogram %q{%s} has no le=\"+Inf\" bucket", name, tuple)
+			}
+			if inf != n {
+				return fmt.Errorf("histogram %q{%s}: +Inf bucket %d != count %d", name, tuple, inf, n)
+			}
+			if last := f.lastBucket[tuple]; last > inf {
+				return fmt.Errorf("histogram %q{%s}: finite bucket %d exceeds +Inf %d", name, tuple, last, inf)
+			}
+		}
+		for tuple := range f.infSeen {
+			if _, ok := f.count[tuple]; !ok {
+				return fmt.Errorf("histogram %q{%s} has buckets but no _count", name, tuple)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLE extracts the le label from a rendered label string, returning
+// its value and the remaining labels (the series identity).
+func splitLE(labels string) (le, rest string) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ",")
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime adds Go runtime gauges (goroutines, heap, GC) to the
+// registry, refreshed once per scrape by a single ReadMemStats so a scrape
+// pays at most one stop-the-world pause. ascd mounts a registry with these
+// on its -debug-addr listener next to net/http/pprof.
+func RegisterRuntime(r *Registry) {
+	goroutines := r.NewGauge("go_goroutines", "Number of goroutines that currently exist.")
+	heapAlloc := r.NewGauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := r.NewGauge("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	heapObjects := r.NewGauge("go_memstats_heap_objects", "Number of allocated heap objects.")
+	nextGC := r.NewGauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.")
+	gcCycles := r.NewCounter("go_gc_cycles_total", "Completed GC cycles.")
+	gcPause := r.NewCounter("go_gc_pause_ns_total", "Cumulative GC stop-the-world pause time in nanoseconds.")
+	r.OnCollect(func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(m.HeapAlloc))
+		heapSys.Set(int64(m.HeapSys))
+		heapObjects.Set(int64(m.HeapObjects))
+		nextGC.Set(int64(m.NextGC))
+		gcCycles.Set(int64(m.NumGC))
+		gcPause.Set(int64(m.PauseTotalNs))
+	})
+}

@@ -21,7 +21,8 @@ import (
 	asc "repro"
 )
 
-// Stats is a point-in-time snapshot of pool effectiveness counters.
+// Stats is a point-in-time snapshot of pool effectiveness counters, for
+// the whole fleet or (via StatsByKey) one machine configuration.
 type Stats struct {
 	Hits      int64 // Get satisfied by recycling a warm machine
 	Misses    int64 // Get that had to construct a processor
@@ -36,13 +37,29 @@ type Pool struct {
 	idle    map[string][]*asc.Processor
 	nIdle   int
 	stats   Stats
+	byKey   map[string]*Stats
 }
 
 // New builds a pool that parks at most maxIdle machines across all
 // configurations (maxIdle <= 0 disables pooling: every Get constructs and
 // every Put drops).
 func New(maxIdle int) *Pool {
-	return &Pool{maxIdle: maxIdle, idle: make(map[string][]*asc.Processor)}
+	return &Pool{
+		maxIdle: maxIdle,
+		idle:    make(map[string][]*asc.Processor),
+		byKey:   make(map[string]*Stats),
+	}
+}
+
+// keyStatsLocked returns the per-key counter block, creating it on first
+// use. Callers hold p.mu.
+func (p *Pool) keyStatsLocked(key string) *Stats {
+	s := p.byKey[key]
+	if s == nil {
+		s = &Stats{}
+		p.byKey[key] = s
+	}
+	return s
 }
 
 // Get returns a processor for cfg loaded with prog, and whether it was a
@@ -69,10 +86,12 @@ func (p *Pool) Get(cfg asc.Config, prog *asc.Program) (*asc.Processor, bool, err
 		}
 		p.mu.Lock()
 		p.stats.Hits++
+		p.keyStatsLocked(key).Hits++
 		p.mu.Unlock()
 		return proc, true, nil
 	}
 	p.stats.Misses++
+	p.keyStatsLocked(key).Misses++
 	p.mu.Unlock()
 
 	proc, err := asc.New(cfg, prog)
@@ -92,17 +111,33 @@ func (p *Pool) Put(proc *asc.Processor) {
 	defer p.mu.Unlock()
 	if p.nIdle >= p.maxIdle {
 		p.stats.Evictions++
+		p.keyStatsLocked(key).Evictions++
 		return
 	}
 	p.idle[key] = append(p.idle[key], proc)
 	p.nIdle++
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the fleet-wide pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.stats
 	s.Idle = p.nIdle
 	return s
+}
+
+// StatsByKey returns a snapshot of the counters per machine-configuration
+// key (asc.Config.Key()), with Idle filled from the current parked count.
+// The serving layer exports these as labeled fleet metrics.
+func (p *Pool) StatsByKey() map[string]Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Stats, len(p.byKey))
+	for key, s := range p.byKey {
+		ks := *s
+		ks.Idle = len(p.idle[key])
+		out[key] = ks
+	}
+	return out
 }

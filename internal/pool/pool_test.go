@@ -202,3 +202,73 @@ func TestConcurrentGetPut(t *testing.T) {
 		t.Errorf("idle %d exceeds cap 4", s.Idle)
 	}
 }
+
+// TestStatsByKey checks the per-configuration counter breakdown the
+// serving layer exports as labeled fleet metrics.
+func TestStatsByKey(t *testing.T) {
+	p := New(4)
+	small := asc.Config{PEs: 4, Width: 32}
+	big := asc.Config{PEs: 8, Width: 32}
+
+	a, _, err := p.Get(small, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a)
+	if a2, _, err := p.Get(small, sumProg); err != nil {
+		t.Fatal(err)
+	} else {
+		p.Put(a2)
+	}
+	b, _, err := p.Get(big, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(b)
+
+	by := p.StatsByKey()
+	ks, ok := by[small.Key()]
+	if !ok {
+		t.Fatalf("no stats for key %q (have %d keys)", small.Key(), len(by))
+	}
+	if ks.Hits != 1 || ks.Misses != 1 || ks.Idle != 1 {
+		t.Errorf("small key stats = %+v, want hits=1 misses=1 idle=1", ks)
+	}
+	kb := by[big.Key()]
+	if kb.Hits != 0 || kb.Misses != 1 || kb.Idle != 1 {
+		t.Errorf("big key stats = %+v, want hits=0 misses=1 idle=1", kb)
+	}
+	// Per-key counters must sum to the fleet totals.
+	var hits, misses int64
+	var idle int
+	for _, s := range by {
+		hits += s.Hits
+		misses += s.Misses
+		idle += s.Idle
+	}
+	total := p.Stats()
+	if hits != total.Hits || misses != total.Misses || idle != total.Idle {
+		t.Errorf("per-key sums (hits=%d misses=%d idle=%d) != totals %+v", hits, misses, idle, total)
+	}
+}
+
+// TestStatsByKeyEviction checks evictions are attributed to the evicted
+// machine's configuration.
+func TestStatsByKeyEviction(t *testing.T) {
+	p := New(1)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	a, _, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a)
+	p.Put(b) // cap is 1: dropped
+	ks := p.StatsByKey()[cfg.Key()]
+	if ks.Evictions != 1 || ks.Idle != 1 {
+		t.Errorf("key stats = %+v, want evictions=1 idle=1", ks)
+	}
+}

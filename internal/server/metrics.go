@@ -1,73 +1,118 @@
 package server
 
 import (
-	"sync"
-	"sync/atomic"
+	"math"
+
+	asc "repro"
+	"repro/internal/obs"
 )
 
-// metrics holds the serving counters behind /metrics. Counters are atomics
-// so the hot path never contends; the latency histogram takes a small lock
-// only once per completed request.
+// durationBuckets are the asc_request_duration_seconds bucket bounds:
+// exponential from a quarter millisecond to the default wall-clock limit.
+var durationBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// threadBuckets bound the per-job active-thread histogram; the paper's
+// prototype has 16 hardware threads, sweeps go wider.
+var threadBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// metrics is the serving instrument panel: every counter the server
+// maintains lives in one obs.Registry, which renders both the Prometheus
+// exposition at /metrics and the backing values of the JSON compat view.
 type metrics struct {
-	requests  atomic.Int64 // accepted into the queue
-	completed atomic.Int64 // finished with a 2xx result
-	failed    atomic.Int64 // finished with a simulation/compile error
-	rejected  atomic.Int64 // turned away with 429/503
-	canceled  atomic.Int64 // abandoned because the client went away
-	running   atomic.Int64 // jobs currently executing on a worker
-	cycles    atomic.Int64 // total simulated cycles across all jobs
+	reg *obs.Registry
 
-	lat latencyHistogram
+	// Serving-layer instruments.
+	requests *obs.Counter    // asc_requests_total: admitted into the queue
+	outcomes *obs.CounterVec // asc_jobs_total{outcome}: completed/failed/rejected/canceled
+	running  *obs.Gauge      // asc_running_jobs
+	latency  *obs.Histogram  // asc_request_duration_seconds
+
+	// Simulation-depth instruments, folded from each completed job's
+	// statistics: the paper's b+r reduction-hazard behavior, live.
+	simCycles       *obs.Counter    // asc_sim_cycles_total
+	simInstructions *obs.CounterVec // asc_sim_instructions_total{class}
+	simIdle         *obs.CounterVec // asc_sim_idle_cycles_total{kind}
+	simStall        *obs.CounterVec // asc_sim_stall_cycles_total{kind}
+	simFetches      *obs.Counter    // asc_sim_fetches_total
+	simFlushes      *obs.Counter    // asc_sim_flushes_total
+	simContention   *obs.Counter    // asc_sim_contention_cycles_total
+	activeThreads   *obs.Histogram  // asc_sim_active_threads
+
+	// Fleet instruments, mirrored from pool.StatsByKey at scrape time.
+	poolHits      *obs.CounterVec // asc_pool_hits_total{config}
+	poolMisses    *obs.CounterVec // asc_pool_misses_total{config}
+	poolEvictions *obs.CounterVec // asc_pool_evictions_total{config}
+	poolIdle      *obs.GaugeVec   // asc_pool_idle_machines{config}
 }
 
-// latencyHistogram is a small fixed-bucket histogram of request latencies
-// in milliseconds, good enough for p50/p99 at serving-dashboard fidelity.
-// Buckets are exponential from sub-millisecond to ~half a minute.
-type latencyHistogram struct {
-	mu     sync.Mutex
-	counts [len(latencyBoundsMs) + 1]int64
-	total  int64
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:      reg,
+		requests: reg.NewCounter("asc_requests_total", "Jobs admitted into the serving queue."),
+		outcomes: reg.NewCounterVec("asc_jobs_total",
+			"Finished jobs by outcome: completed, failed, rejected (429/503), canceled.", "outcome"),
+		running: reg.NewGauge("asc_running_jobs", "Jobs currently executing on a worker."),
+		latency: reg.NewHistogram("asc_request_duration_seconds",
+			"Wall-clock latency of admitted jobs from enqueue to outcome.", durationBuckets),
+
+		simCycles: reg.NewCounter("asc_sim_cycles_total", "Simulated machine cycles across all jobs."),
+		simInstructions: reg.NewCounterVec("asc_sim_instructions_total",
+			"Issued instructions by pipeline class.", "class"),
+		simIdle: reg.NewCounterVec("asc_sim_idle_cycles_total",
+			"Issue slots no thread could fill, attributed to the hazard of the nearest-ready thread.", "kind"),
+		simStall: reg.NewCounterVec("asc_sim_stall_cycles_total",
+			"Cycles issued instructions waited beyond the front-end minimum, by binding hazard (the paper's b+r reduction hazard appears as kind=\"reduction\").", "kind"),
+		simFetches:    reg.NewCounter("asc_sim_fetches_total", "Instruction-buffer fetches across all jobs."),
+		simFlushes:    reg.NewCounter("asc_sim_flushes_total", "Front-end flushes on control redirects across all jobs."),
+		simContention: reg.NewCounter("asc_sim_contention_cycles_total", "Ready-but-not-selected thread-cycles across all jobs."),
+		activeThreads: reg.NewHistogram("asc_sim_active_threads",
+			"Hardware threads that issued at least one instruction, per job.", threadBuckets),
+
+		poolHits: reg.NewCounterVec("asc_pool_hits_total",
+			"Machine checkouts satisfied by a warm machine, per configuration.", "config"),
+		poolMisses: reg.NewCounterVec("asc_pool_misses_total",
+			"Machine checkouts that had to construct a processor, per configuration.", "config"),
+		poolEvictions: reg.NewCounterVec("asc_pool_evictions_total",
+			"Machines dropped at check-in because the idle cap was reached, per configuration.", "config"),
+		poolIdle: reg.NewGaugeVec("asc_pool_idle_machines",
+			"Warm machines currently parked, per configuration.", "config"),
+	}
 }
 
-// latencyBoundsMs are the bucket upper bounds; the final implicit bucket is
-// +Inf.
-var latencyBoundsMs = [...]float64{
-	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000,
+// fold accumulates one finished simulation into the cumulative
+// simulation-depth metrics. It runs for failed runs too (a timed-out job
+// still simulated cycles and stalled on hazards).
+func (m *metrics) fold(s asc.Stats) {
+	m.simCycles.Add(s.Cycles)
+	m.simInstructions.With("scalar").Add(s.Scalar)
+	m.simInstructions.With("parallel").Add(s.Parallel)
+	m.simInstructions.With("reduction").Add(s.Reduction)
+	for kind, v := range s.IdleByCause {
+		m.simIdle.With(kind).Add(v)
+	}
+	for kind, v := range s.StallByCause {
+		m.simStall.With(kind).Add(v)
+	}
+	m.simFetches.Add(s.Fetches)
+	m.simFlushes.Add(s.Flushes)
+	m.simContention.Add(s.Contention)
+	if s.Instructions > 0 {
+		m.activeThreads.Observe(float64(s.ActiveThreads()))
+	}
 }
 
-func (h *latencyHistogram) observe(ms float64) {
-	i := 0
-	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
-		i++
+// latencyMs reports quantile q of the request latency histogram in
+// milliseconds for the JSON view. A quantile that lands in the +Inf
+// overflow bucket is clamped to the largest finite bound; Metrics.
+// LatencyOverflow tells the reader the clamp is in effect.
+func (m *metrics) latencyMs(q float64) float64 {
+	v := m.latency.Quantile(q)
+	if math.IsInf(v, 1) {
+		v = m.latency.MaxBound()
 	}
-	h.mu.Lock()
-	h.counts[i]++
-	h.total++
-	h.mu.Unlock()
-}
-
-// quantile returns the upper bound of the bucket containing quantile q
-// (0 < q <= 1), or 0 when the histogram is empty. The +Inf bucket reports
-// the largest finite bound.
-func (h *latencyHistogram) quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.total))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			if i < len(latencyBoundsMs) {
-				return latencyBoundsMs[i]
-			}
-			return latencyBoundsMs[len(latencyBoundsMs)-1]
-		}
-	}
-	return latencyBoundsMs[len(latencyBoundsMs)-1]
+	return v * 1000
 }

@@ -11,20 +11,34 @@
 // so immediately (HTTP 429) instead of letting latency grow without bound,
 // and during shutdown it drains in-flight and queued jobs but admits
 // nothing new (HTTP 503).
+//
+// Observability runs through internal/obs: GET /metrics serves Prometheus
+// text exposition (the JSON compat view stays available via
+// Accept: application/json or ?format=json), every request carries a
+// server-assigned X-Request-Id that threads through the structured job
+// lifecycle logs, and each finished simulation folds its stall/hazard
+// breakdown into cumulative simulation-depth metrics so the paper's b+r
+// reduction-hazard behavior is visible on a live dashboard.
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	asc "repro"
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -53,6 +67,17 @@ type Config struct {
 	// (default 1<<27, about 1 GiB of host memory), so one request cannot
 	// OOM the daemon.
 	MaxFootprintWords int64
+
+	// TraceDepth caps the instruction records retained for a job that opts
+	// into tracing (default 512), so "trace": true on a long run renders
+	// the most recent instructions instead of buffering them all and
+	// OOMing a worker.
+	TraceDepth int
+
+	// Logger receives structured job lifecycle events (admitted, started,
+	// completed, failed, rejected, canceled), each carrying the request id
+	// returned in X-Request-Id. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -80,6 +105,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxFootprintWords <= 0 {
 		c.MaxFootprintWords = 1 << 27
 	}
+	if c.TraceDepth <= 0 {
+		c.TraceDepth = 512
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // job is one queued simulation request. done is buffered so a worker can
@@ -87,6 +118,8 @@ func (c *Config) fillDefaults() {
 type job struct {
 	ctx      context.Context
 	req      *client.RunRequest
+	id       string // request id, returned in X-Request-Id and logged
+	log      *slog.Logger
 	enqueued time.Time
 	done     chan jobOutcome
 }
@@ -96,6 +129,9 @@ type jobOutcome struct {
 	result *client.RunResult
 	status int    // HTTP status for err (ignored when result != nil)
 	errMsg string // error text for the JSON error body
+
+	stats     asc.Stats // simulation statistics, valid when simulated is set
+	simulated bool
 }
 
 // Server is the serving core. Create it with New, mount Handler, and stop
@@ -103,7 +139,8 @@ type jobOutcome struct {
 type Server struct {
 	cfg  Config
 	pool *pool.Pool
-	m    metrics
+	m    *metrics
+	log  *slog.Logger
 
 	jobs chan *job
 	wg   sync.WaitGroup
@@ -118,8 +155,27 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:  cfg,
 		pool: pool.New(cfg.PoolIdle),
+		m:    newMetrics(),
+		log:  cfg.Logger,
 		jobs: make(chan *job, cfg.QueueDepth),
 	}
+	// Point-in-time gauges read live server state at scrape time.
+	s.m.reg.NewGaugeFunc("asc_queue_depth", "Jobs waiting in the admission queue.",
+		func() float64 { return float64(len(s.jobs)) })
+	s.m.reg.NewGaugeFunc("asc_queue_capacity", "Admission queue capacity.",
+		func() float64 { return float64(cfg.QueueDepth) })
+	s.m.reg.NewGaugeFunc("asc_workers", "Concurrent simulation workers.",
+		func() float64 { return float64(cfg.Workers) })
+	// Fleet counters are maintained by the pool; mirror them into labeled
+	// instruments at scrape time.
+	s.m.reg.OnCollect(func() {
+		for key, ks := range s.pool.StatsByKey() {
+			s.m.poolHits.With(key).Set(ks.Hits)
+			s.m.poolMisses.With(key).Set(ks.Misses)
+			s.m.poolEvictions.With(key).Set(ks.Evictions)
+			s.m.poolIdle.With(key).Set(int64(ks.Idle))
+		}
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -138,6 +194,10 @@ func (s *Server) Handler() http.Handler {
 	})
 	return mux
 }
+
+// Registry exposes the server's metrics registry so embedders can mount
+// it elsewhere or add their own instruments.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
 // Shutdown stops admission (new submissions get 503), drains every queued
 // and in-flight job, and waits for the workers to finish, up to ctx's
@@ -172,8 +232,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// newRequestID returns a 16-hex-char random id for X-Request-Id and the
+// job lifecycle logs.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// constant id degrades log correlation, nothing else.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // handleRun admits a job into the bounded queue and waits for its outcome.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := newRequestID()
+	w.Header().Set("X-Request-Id", id)
+	log := s.log.With("request_id", id)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -181,10 +256,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req client.RunRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		log.Warn("job rejected", "reason", "bad request body", "error", err.Error())
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if err := s.validate(&req); err != nil {
+		log.Warn("job rejected", "reason", "validation", "error", err.Error())
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -192,6 +269,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		ctx:      r.Context(),
 		req:      &req,
+		id:       id,
+		log:      log,
 		enqueued: time.Now(),
 		done:     make(chan jobOutcome, 1),
 	}
@@ -202,7 +281,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
-		s.m.rejected.Add(1)
+		s.m.outcomes.With("rejected").Inc()
+		log.Warn("job rejected", "reason", "draining")
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -211,19 +291,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.m.rejected.Add(1)
+		s.m.outcomes.With("rejected").Inc()
+		log.Warn("job rejected", "reason", "queue full", "queue_cap", s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d waiting)", s.cfg.QueueDepth)
 		return
 	}
-	s.m.requests.Add(1)
+	s.m.requests.Inc()
+	log.Debug("job admitted", "source", sourceKind(&req), "trace", req.Trace)
 
 	// The worker always delivers on the buffered channel; waiting on the
 	// request context too lets a disconnected client release this handler
 	// while the worker abandons the job via the same context.
 	select {
 	case out := <-j.done:
-		s.m.lat.observe(float64(time.Since(j.enqueued)) / float64(time.Millisecond))
+		s.m.latency.Observe(time.Since(j.enqueued).Seconds())
 		if out.result != nil {
 			writeJSON(w, http.StatusOK, out.result)
 		} else {
@@ -233,6 +315,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Client gone; the worker observes the same context and skips or
 		// aborts the job. Nothing useful can be written.
 	}
+}
+
+func sourceKind(req *client.RunRequest) string {
+	if req.ASCL != "" {
+		return "ascl"
+	}
+	return "asm"
 }
 
 // validate enforces the request invariants that do not need a machine.
@@ -257,24 +346,47 @@ func (s *Server) validate(req *client.RunRequest) error {
 	return nil
 }
 
+// handleMetrics serves the Prometheus text exposition by default; the
+// pre-obs JSON shape stays available through content negotiation
+// (Accept: application/json or ?format=json) for existing dashboards.
+// The JSON view is a compatibility surface — new signals land only in the
+// exposition, and the JSON path can be retired once nothing scrapes it
+// (see docs/OBSERVABILITY.md for the deprecation note).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsJSON(r) {
+		s.handleMetricsJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WritePrometheus(w)
+}
+
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter) {
 	ps := s.pool.Stats()
 	writeJSON(w, http.StatusOK, client.Metrics{
-		Requests:        s.m.requests.Load(),
-		Completed:       s.m.completed.Load(),
-		Failed:          s.m.failed.Load(),
-		Rejected:        s.m.rejected.Load(),
-		Canceled:        s.m.canceled.Load(),
-		Running:         s.m.running.Load(),
+		Requests:        s.m.requests.Value(),
+		Completed:       s.m.outcomes.With("completed").Value(),
+		Failed:          s.m.outcomes.With("failed").Value(),
+		Rejected:        s.m.outcomes.With("rejected").Value(),
+		Canceled:        s.m.outcomes.With("canceled").Value(),
+		Running:         s.m.running.Value(),
 		QueueDepth:      int64(len(s.jobs)),
 		QueueCap:        int64(s.cfg.QueueDepth),
 		Workers:         int64(s.cfg.Workers),
 		PoolHits:        ps.Hits,
 		PoolMisses:      ps.Misses,
 		PoolIdle:        int64(ps.Idle),
-		CyclesSimulated: s.m.cycles.Load(),
-		LatencyMsP50:    s.m.lat.quantile(0.50),
-		LatencyMsP99:    s.m.lat.quantile(0.99),
+		CyclesSimulated: s.m.simCycles.Value(),
+		LatencyMsP50:    s.m.latencyMs(0.50),
+		LatencyMsP99:    s.m.latencyMs(0.99),
+		LatencyOverflow: s.m.latency.Overflow(),
 	})
 }
 
@@ -284,20 +396,35 @@ func (s *Server) worker() {
 	for j := range s.jobs {
 		if j.ctx.Err() != nil {
 			// Client went away while the job was queued.
-			s.m.canceled.Add(1)
+			s.m.outcomes.With("canceled").Inc()
+			j.log.Info("job canceled", "reason", "client went away while queued")
 			j.done <- jobOutcome{status: http.StatusRequestTimeout, errMsg: "client went away"}
 			continue
 		}
+		j.log.Debug("job started", "queue_wait", time.Since(j.enqueued).String())
 		s.m.running.Add(1)
+		start := time.Now()
 		out := s.execute(j)
+		elapsed := time.Since(start)
 		s.m.running.Add(-1)
+		if out.simulated {
+			s.m.fold(out.stats)
+		}
 		switch {
 		case out.result != nil:
-			s.m.completed.Add(1)
+			s.m.outcomes.With("completed").Inc()
+			j.log.Info("job completed",
+				"cycles", out.stats.Cycles,
+				"instructions", out.stats.Instructions,
+				"ipc", out.stats.IPC(),
+				"pool_hit", out.result.PoolHit,
+				"duration", elapsed.String())
 		case out.status == http.StatusRequestTimeout:
-			s.m.canceled.Add(1)
+			s.m.outcomes.With("canceled").Inc()
+			j.log.Info("job canceled", "reason", out.errMsg, "duration", elapsed.String())
 		default:
-			s.m.failed.Add(1)
+			s.m.outcomes.With("failed").Inc()
+			j.log.Warn("job failed", "status", out.status, "error", out.errMsg, "duration", elapsed.String())
 		}
 		j.done <- out
 	}
@@ -325,6 +452,13 @@ func (s *Server) execute(j *job) jobOutcome {
 	}
 
 	cfg := req.Config.ASC()
+	if req.Trace {
+		// Bounded record retention: the trace covers the most recent
+		// TraceDepth instructions, so tracing a long run cannot OOM the
+		// worker. Traced machines pool separately (TraceDepth is part of
+		// the pool key).
+		cfg.TraceDepth = s.cfg.TraceDepth
+	}
 	proc, hit, err := s.pool.Get(cfg, prog)
 	if err != nil {
 		return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("building machine: %v", err)}
@@ -357,20 +491,21 @@ func (s *Server) execute(j *job) jobOutcome {
 	defer cancel()
 
 	stats, err := proc.RunContext(ctx, maxCycles)
-	s.m.cycles.Add(stats.Cycles)
 	if err != nil {
+		out := jobOutcome{stats: stats, simulated: true}
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			return jobOutcome{status: http.StatusGatewayTimeout,
-				errMsg: fmt.Sprintf("simulation exceeded wall-clock limit %v after %d cycles", timeout, stats.Cycles)}
+			out.status, out.errMsg = http.StatusGatewayTimeout,
+				fmt.Sprintf("simulation exceeded wall-clock limit %v after %d cycles", timeout, stats.Cycles)
 		case errors.Is(err, context.Canceled):
-			return jobOutcome{status: http.StatusRequestTimeout, errMsg: "client went away"}
+			out.status, out.errMsg = http.StatusRequestTimeout, "client went away"
 		case errors.Is(err, asc.ErrCycleLimit):
-			return jobOutcome{status: http.StatusGatewayTimeout,
-				errMsg: fmt.Sprintf("simulation exceeded cycle limit %d", maxCycles)}
+			out.status, out.errMsg = http.StatusGatewayTimeout,
+				fmt.Sprintf("simulation exceeded cycle limit %d", maxCycles)
 		default:
-			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("simulation: %v", err)}
+			out.status, out.errMsg = http.StatusUnprocessableEntity, fmt.Sprintf("simulation: %v", err)
 		}
+		return out
 	}
 
 	res := &client.RunResult{
@@ -383,6 +518,12 @@ func (s *Server) execute(j *job) jobOutcome {
 		IdleCycles:   stats.IdleCycles,
 		Asm:          asmText,
 		PoolHit:      hit,
+	}
+	if req.Trace {
+		res.Trace = &client.Trace{
+			Diagram: proc.PipelineDiagram(),
+			Stats:   asc.FormatStats(stats),
+		}
 	}
 	// Dump sizes are clamped to the machine's actual memory geometry,
 	// resolved by the facade (the config already validated at admission).
@@ -410,5 +551,5 @@ func (s *Server) execute(j *job) jobOutcome {
 			res.LocalMem[pe] = row
 		}
 	}
-	return jobOutcome{result: res}
+	return jobOutcome{result: res, stats: stats, simulated: true}
 }

@@ -1,14 +1,21 @@
 package server_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -364,5 +371,237 @@ func waitMetrics(t *testing.T, c *client.Client, d time.Duration, cond func(*cli
 			t.Fatalf("condition not reached within %v (last metrics: %+v)", d, m)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// httpGet fetches a raw URL and returns status, headers, and body.
+func httpGet(t *testing.T, url string, header map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestPrometheusExposition runs jobs and checks GET /metrics default view:
+// valid Prometheus text format carrying the serving histogram and the
+// simulation-depth stall counters the paper's analysis is built on.
+func TestPrometheusExposition(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		hs.Close()
+	})
+	c := client.New(hs.URL)
+	for i := 0; i < 3; i++ {
+		req, _ := sumRequest([]int64{1, 2, 3, 4})
+		if _, err := c.Run(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, body := httpGet(t, hs.URL+"/metrics", nil)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition v0.0.4", ct)
+	}
+	if err := obs.Lint(body); err != nil {
+		t.Errorf("live /metrics fails exposition lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"asc_requests_total 3",
+		`asc_jobs_total{outcome="completed"} 3`,
+		"asc_request_duration_seconds_bucket{le=",
+		`asc_request_duration_seconds_bucket{le="+Inf"} 3`,
+		"asc_request_duration_seconds_count 3",
+		"asc_sim_cycles_total",
+		`asc_sim_instructions_total{class="reduction"}`,
+		`asc_sim_stall_cycles_total{kind="reduction"}`,
+		"asc_sim_active_threads_bucket",
+		`asc_pool_hits_total{config="`,
+		`asc_pool_misses_total{config="`,
+		"asc_queue_depth",
+		"asc_workers",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMetricsContentNegotiation checks the JSON compat view is reachable
+// via Accept and via ?format=json while the default stays Prometheus.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	req, _ := sumRequest([]int64{1, 2})
+	if _, err := c.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	base := c.BaseURL
+
+	cases := map[string]struct {
+		header map[string]string
+		url    string
+	}{
+		"accept": {map[string]string{"Accept": "application/json"}, base + "/metrics"},
+		"query":  {nil, base + "/metrics?format=json"},
+	}
+	for name, tc := range cases {
+		_, body := httpGet(t, tc.url, tc.header)
+		var m client.Metrics
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("%s: JSON view not decodable: %v\n%s", name, err, body)
+		}
+		if m.Completed != 1 || m.Requests != 1 {
+			t.Errorf("%s: JSON view counters = %+v, want completed=1 requests=1", name, m)
+		}
+		if m.LatencyMsP50 <= 0 {
+			t.Errorf("%s: JSON view p50 = %v, want > 0", name, m.LatencyMsP50)
+		}
+	}
+
+	_, body := httpGet(t, base+"/metrics", nil)
+	if json.Valid([]byte(body)) {
+		t.Error("default /metrics view is JSON, want Prometheus text")
+	}
+}
+
+// TestTraceOptIn checks "trace": true returns a non-empty pipeline diagram
+// and stall breakdown, and that untraced jobs pay nothing.
+func TestTraceOptIn(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1, TraceDepth: 64})
+	req, want := sumRequest([]int64{3, 5, 7, 9})
+	req.Trace = true
+	res, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScalarMem[0] != want {
+		t.Errorf("traced job sum = %d, want %d", res.ScalarMem[0], want)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace requested but result.Trace is nil")
+	}
+	if len(res.Trace.Diagram) == 0 || !strings.Contains(res.Trace.Diagram, "t0 ") {
+		t.Errorf("pipeline diagram empty or malformed:\n%s", res.Trace.Diagram)
+	}
+	if !strings.Contains(res.Trace.Stats, "idle cycles") {
+		t.Errorf("stall breakdown missing:\n%s", res.Trace.Stats)
+	}
+
+	// A second traced run on the same config must recycle the traced
+	// machine and still carry a fresh (non-accumulated) diagram.
+	res2, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.PoolHit {
+		t.Error("second traced job did not hit the traced machine pool")
+	}
+	if res2.Trace == nil || res2.Trace.Diagram != res.Trace.Diagram {
+		t.Error("recycled traced machine produced a different diagram for an identical job")
+	}
+
+	// Untraced jobs on the same wire config must not return a trace.
+	req.Trace = false
+	res3, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trace != nil {
+		t.Error("untraced job returned a trace")
+	}
+}
+
+// TestRequestID checks every /v1/run response carries X-Request-Id and the
+// client surfaces it in error strings.
+func TestRequestID(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+
+	resp, err := http.Post(c.BaseURL+"/v1/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if len(id) != 16 {
+		t.Errorf("X-Request-Id = %q, want 16 hex chars", id)
+	}
+
+	_, err = c.Run(context.Background(), client.RunRequest{ASCL: "parallel = ;"})
+	if err == nil {
+		t.Fatal("expected compile error")
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected APIError, got %v", err)
+	}
+	if len(ae.RequestID) != 16 {
+		t.Errorf("APIError.RequestID = %q, want 16 hex chars", ae.RequestID)
+	}
+	if !strings.Contains(err.Error(), "request-id "+ae.RequestID) {
+		t.Errorf("error string %q does not surface the request id", err.Error())
+	}
+}
+
+// syncWriter serializes handler writes from concurrent goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestLifecycleLogging checks the structured job lifecycle events carry
+// the request id end to end.
+func TestLifecycleLogging(t *testing.T) {
+	var buf syncWriter
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, c := newTestServer(t, server.Config{Workers: 1, Logger: logger})
+
+	req, _ := sumRequest([]int64{1, 2, 3, 4})
+	if _, err := c.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), client.RunRequest{ASCL: "parallel = ;"}); err == nil {
+		t.Fatal("expected compile error")
+	}
+
+	out := buf.String()
+	for _, want := range []string{"job admitted", "job started", "job completed", "job failed", "request_id="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+	// The completed event must carry the simulation outcome fields.
+	for _, want := range []string{"cycles=", "ipc=", "pool_hit="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("completed event missing %q:\n%s", want, out)
+		}
 	}
 }
