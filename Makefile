@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-engines obs-demo check
+.PHONY: build vet test race bench bench-engines obs-demo apicheck apiupdate check
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,23 @@ bench-engines:
 	$(GO) test -bench 'BenchmarkLargeArray|BenchmarkExecEngines' -benchtime 10x -run '^$$' . ./internal/machine/
 	$(GO) run ./cmd/ascbench -exp T1 >/dev/null
 
-check: build vet test race
+# API surface guard: the exported surface of the public packages (repro
+# and repro/client), as rendered by `go doc -all`, must match the golden
+# files under docs/api/. A diff here means the v1 contract moved — see
+# docs/API.md. After an intentional, additive change, refresh the goldens
+# with `make apiupdate` and include them in the same commit.
+apicheck:
+	@$(GO) doc -all . > /tmp/asc-apicheck-repro.txt
+	@$(GO) doc -all ./client > /tmp/asc-apicheck-client.txt
+	@diff -u docs/api/repro.txt /tmp/asc-apicheck-repro.txt || \
+	  { echo "apicheck: package repro surface drifted; run 'make apiupdate' if intentional"; exit 1; }
+	@diff -u docs/api/client.txt /tmp/asc-apicheck-client.txt || \
+	  { echo "apicheck: package repro/client surface drifted; run 'make apiupdate' if intentional"; exit 1; }
+	@echo "apicheck: exported API matches docs/api goldens"
+
+apiupdate:
+	@mkdir -p docs/api
+	$(GO) doc -all . > docs/api/repro.txt
+	$(GO) doc -all ./client > docs/api/client.txt
+
+check: build vet test race apicheck

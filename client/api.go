@@ -2,10 +2,15 @@
 // simulation-as-a-service daemon (internal/server, cmd/ascd). The request
 // and response types here are the canonical JSON schema; the server imports
 // them so the two cannot drift.
+//
+// The v1 wire schema is frozen: fields are never removed or renamed and
+// their meanings never change; new optional fields may be added. See
+// docs/API.md for the stability contract.
 package client
 
 import (
 	"fmt"
+	"time"
 
 	asc "repro"
 )
@@ -93,9 +98,52 @@ type RunResult struct {
 	Asm string `json:"asm,omitempty"`
 	// PoolHit reports whether the job ran on a recycled warm machine.
 	PoolHit bool `json:"poolHit"`
+	// ProgramCacheHit reports whether the job's program came from the
+	// content-addressed compiled-program cache instead of being compiled
+	// or assembled for this request.
+	ProgramCacheHit bool `json:"programCacheHit"`
 	// Trace carries the pipeline diagram and stall breakdown when the
 	// request set Trace.
 	Trace *Trace `json:"trace,omitempty"`
+}
+
+// BatchRequest is a set of simulation jobs submitted as one POST
+// /v1/batch call. Jobs execute with bounded concurrency and fail
+// independently: one bad job yields a per-job error in the BatchResult,
+// never a failed batch.
+type BatchRequest struct {
+	// Jobs are the simulation jobs; the server bounds the count
+	// (-batch-max-jobs, default 64).
+	Jobs []RunRequest `json:"jobs"`
+
+	// TimeoutMs bounds the whole batch's wall-clock time. When it expires,
+	// finished jobs keep their results and unfinished jobs are marked
+	// canceled in the response. 0 means no batch-level limit beyond the
+	// per-job limits.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// BatchJobResult is the outcome of one job within a batch: exactly one of
+// Result or Error is set.
+type BatchJobResult struct {
+	// Result is the completed simulation, nil if the job failed or was
+	// canceled.
+	Result *RunResult `json:"result,omitempty"`
+	// Error is the failure text; Status is its HTTP-equivalent status code
+	// (the code the same job would have received from POST /v1/run:
+	// 400 invalid request, 422 compile/simulation failure, 504 limit
+	// exceeded, 408 canceled).
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// BatchResult is the POST /v1/batch response. Jobs is index-aligned with
+// the request's Jobs slice.
+type BatchResult struct {
+	Jobs      []BatchJobResult `json:"jobs"`
+	Completed int              `json:"completed"`
+	Failed    int              `json:"failed"`
+	Canceled  int              `json:"canceled"`
 }
 
 // Metrics is the /metrics payload.
@@ -134,6 +182,16 @@ type APIError struct {
 	// RequestID is the server-assigned X-Request-Id of the failed call;
 	// quote it when correlating with the daemon's logs.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint on 429/503 responses
+	// (zero when absent). The client's retry policy (WithRetry) waits at
+	// least this long before the next attempt.
+	RetryAfter time.Duration
+}
+
+// Temporary reports whether the error is worth retrying: 429 (queue full)
+// and 503 (draining) are load conditions, not request defects.
+func (e *APIError) Temporary() bool {
+	return e.Status == 429 || e.Status == 503
 }
 
 func (e *APIError) Error() string {

@@ -4,24 +4,91 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
-// Client is a thin HTTP client for an ascd daemon.
+// Client is an HTTP client for an ascd daemon. Build it with New; the
+// exported fields remain for compatibility with pre-options callers.
 type Client struct {
 	// BaseURL is the daemon address, e.g. "http://localhost:8642".
+	//
+	// Deprecated: pass the address to New instead of mutating the field.
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient. Cancellation and deadlines
-	// come from the per-call context, so the zero value is usable as-is.
+	// HTTPClient defaults to http.DefaultClient.
+	//
+	// Deprecated: use WithHTTPClient.
 	HTTPClient *http.Client
+
+	timeout time.Duration
+	retry   RetryPolicy
 }
 
-// New returns a client for the daemon at baseURL.
-func New(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+// Option configures a Client built by New.
+type Option func(*Client)
+
+// WithHTTPClient uses hc for transport instead of http.DefaultClient
+// (custom TLS, proxies, connection pools).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.HTTPClient = hc }
+}
+
+// WithTimeout bounds each HTTP attempt's wall-clock time. It layers under
+// any per-call context deadline (whichever ends first wins) and applies
+// per attempt, so a retried call gets a fresh budget. Zero means no
+// client-side limit beyond the context.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// RetryPolicy shapes automatic retries of temporary failures (HTTP 429
+// and 503 — the daemon's backpressure and drain signals). Attempts beyond
+// the first wait an exponentially growing, jittered delay, never less
+// than the server's Retry-After hint, and always respect the call context.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<= 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt n
+	// waits up to BaseDelay << (n-1), jittered uniformly over the upper
+	// half of that interval.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// WithRetry retries temporary failures (429 queue-full, 503 draining)
+// with exponential backoff and jitter, honoring the server's Retry-After
+// hint. The zero policy disables retries (the default).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// New returns a client for the daemon at baseURL, configured by opts.
+// With no options it behaves exactly like the historical constructor:
+// default transport, no client-side timeout, no retries.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -31,16 +98,60 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the JSON response into out, converting
-// non-2xx statuses into *APIError.
+// backoff returns the wait before retry attempt (1-based count of
+// failures so far), raising it to the server's Retry-After hint when that
+// is longer.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = p.MaxDelay
+	}
+	// Jitter over [d/2, d) so synchronized clients spread out.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// do issues one request with retries and decodes the JSON response into
+// out, converting non-2xx statuses into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	policy := c.retry.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, buf, out)
+		var ae *APIError
+		if err == nil || attempt >= policy.MaxAttempts ||
+			!errors.As(err, &ae) || !ae.Temporary() {
+			return err
+		}
+		t := time.NewTimer(policy.backoff(attempt, ae.RetryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// doOnce is a single HTTP attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -62,12 +173,18 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		reqID := resp.Header.Get("X-Request-Id")
+		ae := &APIError{
+			Status:     resp.StatusCode,
+			RequestID:  resp.Header.Get("X-Request-Id"),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: eb.Error, RequestID: reqID}
+			ae.Message = eb.Error
+		} else {
+			ae.Message = strings.TrimSpace(string(data))
 		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RequestID: reqID}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -78,10 +195,35 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form ascd emits); malformed or HTTP-date values yield zero.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Run submits a simulation job and blocks until it completes (or ctx ends).
 func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	var res RunResult
 	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunBatch submits a set of jobs as one POST /v1/batch call and blocks
+// until the whole batch resolves (or ctx ends). Job failures are per-job:
+// inspect BatchResult.Jobs. A non-nil error means the batch itself was not
+// accepted (bad request, backpressure after retries, transport failure).
+func (c *Client) RunBatch(ctx context.Context, req BatchRequest) (*BatchResult, error) {
+	var res BatchResult
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil

@@ -83,3 +83,49 @@ func TestAPIErrorCarriesRequestID(t *testing.T) {
 		t.Errorf("error string %q does not carry request id %q", err.Error(), ae.RequestID)
 	}
 }
+
+// TestRunBatchRoundTrip checks Client.RunBatch end to end against a real
+// server: per-job results and errors land in order, and repeat programs
+// report cache hits.
+func TestRunBatchRoundTrip(t *testing.T) {
+	c := newTestServer(t)
+	good := client.RunRequest{
+		ASCL: `
+			parallel v = pread(0);
+			write(0, sumval(v));
+		`,
+		Config:     client.MachineConfig{PEs: 4, Width: 32},
+		LocalMem:   [][]int64{{1}, {2}, {3}, {4}},
+		DumpScalar: 1,
+	}
+	bad := client.RunRequest{ASCL: "parallel = ;"}
+	res, err := c.RunBatch(context.Background(), client.BatchRequest{
+		Jobs: []client.RunRequest{good, bad, good},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 3 {
+		t.Fatalf("got %d job results, want 3", len(res.Jobs))
+	}
+	if res.Completed != 2 || res.Failed != 1 || res.Canceled != 0 {
+		t.Errorf("tally = %d/%d/%d, want completed=2 failed=1 canceled=0",
+			res.Completed, res.Failed, res.Canceled)
+	}
+	for _, i := range []int{0, 2} {
+		j := res.Jobs[i]
+		if j.Result == nil {
+			t.Fatalf("job %d: no result (error %q)", i, j.Error)
+		}
+		if j.Result.ScalarMem[0] != 10 {
+			t.Errorf("job %d: sum = %d, want 10", i, j.Result.ScalarMem[0])
+		}
+	}
+	// Jobs 0 and 2 share a program; whichever ran second hit the cache.
+	if !res.Jobs[0].Result.ProgramCacheHit && !res.Jobs[2].Result.ProgramCacheHit {
+		t.Error("jobs 0 and 2 share a program but neither hit the cache")
+	}
+	if res.Jobs[1].Result != nil || res.Jobs[1].Error == "" || res.Jobs[1].Status != 422 {
+		t.Errorf("job 1 = %+v, want a 422 compile error", res.Jobs[1])
+	}
+}

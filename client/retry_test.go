@@ -1,0 +1,185 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// flakyHandler fails the first n requests with status, then succeeds.
+func flakyHandler(n int, status int, retryAfter string) (*atomic.Int64, http.HandlerFunc) {
+	var calls atomic.Int64
+	return &calls, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error": "busy"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"cycles": 7, "instructions": 3}`)
+	}
+}
+
+// TestRetryOn429 checks WithRetry retries queue-full responses with
+// backoff until one succeeds.
+func TestRetryOn429(t *testing.T) {
+	calls, h := flakyHandler(2, http.StatusTooManyRequests, "0")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	res, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 7 {
+		t.Errorf("cycles = %d, want 7", res.Cycles)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two 429s then success)", got)
+	}
+}
+
+// TestRetryOn503 checks a draining server is retried the same way.
+func TestRetryOn503(t *testing.T) {
+	calls, h := flakyHandler(1, http.StatusServiceUnavailable, "")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond,
+	}))
+	if _, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// TestRetryExhaustionAndNonTemporary checks retries stop at MaxAttempts
+// and never fire for non-temporary statuses.
+func TestRetryExhaustionAndNonTemporary(t *testing.T) {
+	calls, h := flakyHandler(100, http.StatusTooManyRequests, "0")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+	}))
+	_, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("want APIError 429 after exhaustion, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+
+	calls422, h422 := flakyHandler(100, http.StatusUnprocessableEntity, "")
+	hs2 := httptest.NewServer(h422)
+	defer hs2.Close()
+	c2 := client.New(hs2.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond,
+	}))
+	if _, err := c2.Run(context.Background(), client.RunRequest{Asm: "halt"}); err == nil {
+		t.Fatal("expected 422 error")
+	}
+	if got := calls422.Load(); got != 1 {
+		t.Errorf("422 attempts = %d, want 1 (no retry on permanent failures)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfterAndContext checks the Retry-After hint floors
+// the backoff, surfaces on APIError, and the wait respects the context.
+func TestRetryHonorsRetryAfterAndContext(t *testing.T) {
+	_, h := flakyHandler(100, http.StatusTooManyRequests, "2")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	// No retry policy: the hint is surfaced, not acted on.
+	c := client.New(hs.URL)
+	_, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if ae.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s", ae.RetryAfter)
+	}
+	if !ae.Temporary() {
+		t.Error("429 should be Temporary")
+	}
+
+	// With retries, the 2s hint floors the backoff; a 100ms context must
+	// cut the wait short instead of sleeping it out.
+	cr := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cr.Run(ctx, client.RunRequest{Asm: "halt"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want context.DeadlineExceeded during backoff, got %v", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("backoff ignored the context: waited %v", e)
+	}
+}
+
+// TestWithTimeout checks the per-attempt timeout cuts off a slow server.
+func TestWithTimeout(t *testing.T) {
+	block := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+	defer close(block) // LIFO: unblock the handler before Close waits on it
+	c := client.New(hs.URL, client.WithTimeout(30*time.Millisecond))
+	start := time.Now()
+	_, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Errorf("timeout took %v", e)
+	}
+}
+
+// TestWithHTTPClient checks a custom transport is actually used.
+func TestWithHTTPClient(t *testing.T) {
+	var rtCalls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer hs.Close()
+	hc := &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		rtCalls.Add(1)
+		return http.DefaultTransport.RoundTrip(r)
+	})}
+	c := client.New(hs.URL, client.WithHTTPClient(hc))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rtCalls.Load() != 1 {
+		t.Errorf("custom transport saw %d calls, want 1", rtCalls.Load())
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -16,19 +16,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/client"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/progs"
+	"repro/internal/server"
 )
 
 // benchResult is one row of BENCH_results.json.
@@ -133,6 +137,86 @@ func addStallMetrics(m map[string]float64, s core.Stats) {
 	m["flushes"] = float64(s.Flushes)
 }
 
+// batchBenches measures the serving stack's batched-throughput win: N
+// identical jobs pushed one at a time through POST /v1/run versus the
+// same N as a single POST /v1/batch. The batch path amortizes HTTP
+// round trips and, after the first job, serves every compile from the
+// content-addressed program cache — the `cache-hits` metric records how
+// many of the N jobs skipped the compiler.
+func batchBenches() []benchResult {
+	const jobs = 32
+	req := client.RunRequest{
+		ASCL:       "parallel v = pread(0); write(0, sumval(v));",
+		Config:     client.MachineConfig{PEs: 16, Width: 32},
+		LocalMem:   make([][]int64, 16),
+		DumpScalar: 1,
+	}
+	for i := range req.LocalMem {
+		req.LocalMem[i] = []int64{int64(i + 1)}
+	}
+
+	// A fresh in-process daemon per scenario keeps the program cache and
+	// machine pool cold at the start of each measurement.
+	bench := func(name string, f func(c *client.Client) (hits int, err error)) benchResult {
+		s := server.New(server.Config{Workers: runtime.GOMAXPROCS(0)})
+		hs := httptest.NewServer(s.Handler())
+		c := client.New(hs.URL)
+		var hits int
+		r := measure(1, func() (err error) {
+			hits, err = f(c)
+			return err
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		s.Shutdown(ctx)
+		cancel()
+		hs.Close()
+		r.Name = name
+		r.Metrics = map[string]float64{
+			"jobs":       jobs,
+			"ns-per-job": r.NsPerOp / jobs,
+			"cache-hits": float64(hits),
+		}
+		return r
+	}
+
+	out := []benchResult{
+		bench(fmt.Sprintf("serving/sequential-runs/jobs=%d", jobs), func(c *client.Client) (int, error) {
+			hits := 0
+			for i := 0; i < jobs; i++ {
+				res, err := c.Run(context.Background(), req)
+				if err != nil {
+					return hits, err
+				}
+				if res.ProgramCacheHit {
+					hits++
+				}
+			}
+			return hits, nil
+		}),
+		bench(fmt.Sprintf("serving/batch-run/jobs=%d", jobs), func(c *client.Client) (int, error) {
+			breq := client.BatchRequest{Jobs: make([]client.RunRequest, jobs)}
+			for i := range breq.Jobs {
+				breq.Jobs[i] = req
+			}
+			res, err := c.RunBatch(context.Background(), breq)
+			if err != nil {
+				return 0, err
+			}
+			hits := 0
+			for _, j := range res.Jobs {
+				if j.Result == nil {
+					return hits, fmt.Errorf("batch job failed: %s", j.Error)
+				}
+				if j.Result.ProgramCacheHit {
+					hits++
+				}
+			}
+			return hits, nil
+		}),
+	}
+	return out
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (T1, F1, F2, F3, D1..D13) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
@@ -184,6 +268,7 @@ func main() {
 		}
 	}
 	bench = append(bench, engineBenches()...)
+	bench = append(bench, batchBenches()...)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -16,17 +16,25 @@
 //	-drain-timeout D  how long shutdown waits for in-flight jobs
 //	-max-body N       request body size cap in bytes
 //	-trace-depth N    instruction records retained for "trace": true jobs
+//	-batch-max-jobs N jobs accepted in one POST /v1/batch
+//	-batch-concurrency N
+//	                  batch sub-jobs executing at once (default: workers)
+//	-program-cache-size N
+//	                  compiled programs kept in the content-addressed
+//	                  cache (repeat submissions skip the compiler;
+//	                  negative disables)
 //	-log-level L      debug, info, warn, or error (default info)
 //	-log-format F     text or json (default text)
 //	-debug-addr A     optional diagnostics listener: net/http/pprof plus
 //	                  Go runtime gauges at /metrics (off when empty)
 //
-// Endpoints: POST /v1/run, GET /metrics (Prometheus text exposition; JSON
-// via Accept: application/json or ?format=json), GET /healthz. See
-// docs/SERVER.md for the API schema and docs/OBSERVABILITY.md for the
-// metric catalog, log fields, and pprof usage. SIGINT/SIGTERM trigger a
+// Endpoints: POST /v1/run, POST /v1/batch, GET /metrics (Prometheus text
+// exposition; JSON via Accept: application/json or ?format=json),
+// GET /healthz. See docs/SERVER.md for the API schema, docs/API.md for
+// the v1 stability contract, and docs/OBSERVABILITY.md for the metric
+// catalog, log fields, and pprof usage. SIGINT/SIGTERM trigger a
 // graceful shutdown that stops admission (503) and drains queued and
-// in-flight jobs.
+// in-flight jobs, batches included.
 package main
 
 import (
@@ -57,6 +65,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
 	traceDepth := flag.Int("trace-depth", 512, "instruction records retained for trace-enabled jobs")
+	batchMaxJobs := flag.Int("batch-max-jobs", 64, "jobs accepted in one POST /v1/batch")
+	batchConcurrency := flag.Int("batch-concurrency", 0, "batch sub-jobs executing at once (0 = workers)")
+	programCacheSize := flag.Int("program-cache-size", 128, "compiled programs kept in the content-addressed cache (negative = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "diagnostics listener (pprof + runtime metrics); empty = off")
@@ -74,15 +85,18 @@ func main() {
 	}
 
 	core := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		PoolIdle:       *poolIdle,
-		MaxCycles:      *maxCycles,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		TraceDepth:     *traceDepth,
-		Logger:         logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		PoolIdle:         *poolIdle,
+		MaxCycles:        *maxCycles,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		TraceDepth:       *traceDepth,
+		BatchMaxJobs:     *batchMaxJobs,
+		BatchConcurrency: *batchConcurrency,
+		ProgramCacheSize: *programCacheSize,
+		Logger:           logger,
 	})
 	hs := &http.Server{
 		Addr:    *addr,

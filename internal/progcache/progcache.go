@@ -1,0 +1,136 @@
+// Package progcache is a content-addressed cache of compiled programs for
+// the serving stack. A simulation job carries its program as source text
+// (ASCL or MTASC assembly); a daemon serving repeated submissions of the
+// same kernel would otherwise re-run the compiler or assembler on every
+// request. The cache keys each compiled artifact by the SHA-256 of the
+// source together with the architectural configuration it was compiled
+// for, so a repeat submission skips the front end entirely and goes
+// straight to a warm machine.
+//
+// This is the paper's amortization argument applied to the compile step:
+// the prototype pays the broadcast/reduction pipeline fill once and hides
+// it across many threads; the daemon pays the compile once and reuses it
+// across many jobs. Together with internal/pool (warm machines) the only
+// per-job work left on a hot path is the simulation itself.
+//
+// Compiled programs are immutable once built — the simulator only ever
+// indexes into the instruction slice and copies instructions into fetch
+// buffers — so one cached *asc.Program is safely shared by any number of
+// concurrently running machines.
+//
+// The cache is LRU-bounded by entry count and safe for concurrent use.
+package progcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	asc "repro"
+)
+
+// Program is one cached compile artifact: the executable program plus the
+// generated assembly listing (non-empty only for ASCL sources, where the
+// listing is part of the API response).
+type Program struct {
+	Prog *asc.Program
+	Asm  string
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64 // Get found the key
+	Misses    int64 // Get did not find the key
+	Evictions int64 // entries dropped by the LRU bound
+	Entries   int   // entries currently cached
+}
+
+// Key fingerprints a compilation input: the source kind ("ascl" or "asm"),
+// the source text, and the architectural configuration key of the machine
+// it targets. The config key is the normalized architectural fingerprint
+// (asc.Config.Key with the host-only Engine and TraceDepth knobs zeroed),
+// so jobs that differ only in host engine or trace opt-in share one entry,
+// while a future configuration-dependent compiler keeps correctness.
+func Key(kind, source string, cfg asc.Config) string {
+	cfg.Engine = asc.EngineAuto
+	cfg.TraceDepth = 0
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.Key()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is the LRU-bounded content-addressed store.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   Stats
+}
+
+// lruEntry is the list payload: the key is duplicated so eviction can
+// delete the map entry from the back of the list.
+type lruEntry struct {
+	key  string
+	prog Program
+}
+
+// New builds a cache bounded to max entries. max <= 0 disables caching:
+// every Get misses and every Put is dropped.
+func New(max int) *Cache {
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached artifact for key, marking it most recently used.
+func (c *Cache) Get(key string) (Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return Program{}, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).prog, true
+}
+
+// Put stores an artifact under key, evicting from the cold end when the
+// bound is reached. Storing an existing key refreshes its recency (the
+// artifact is identical by construction: the key is content-addressed).
+func (c *Cache) Put(key string, prog Program) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		cold := c.order.Back()
+		c.order.Remove(cold)
+		delete(c.entries, cold.Value.(*lruEntry).key)
+		c.stats.Evictions++
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, prog: prog})
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.order.Len()
+	return s
+}

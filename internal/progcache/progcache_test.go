@@ -1,0 +1,112 @@
+package progcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	asc "repro"
+)
+
+func mustProgram(t *testing.T) Program {
+	t.Helper()
+	p, err := asc.Assemble("halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Program{Prog: p}
+}
+
+// TestKeyContentAddressing checks the key separates source kind, source
+// text, and architecture, and ignores host-only configuration knobs.
+func TestKeyContentAddressing(t *testing.T) {
+	base := asc.Config{PEs: 16, Width: 32}
+	k := Key("asm", "halt", base)
+	if k == Key("ascl", "halt", base) {
+		t.Error("kind does not separate keys")
+	}
+	if k == Key("asm", "halt ", base) {
+		t.Error("source text does not separate keys")
+	}
+	if k == Key("asm", "halt", asc.Config{PEs: 32, Width: 32}) {
+		t.Error("architecture does not separate keys")
+	}
+	// Host engine and trace depth are architecturally invisible to the
+	// compiler: the same source on the same architecture shares one entry.
+	traced := base
+	traced.TraceDepth = 64
+	traced.Engine = asc.EngineParallel
+	if k != Key("asm", "halt", traced) {
+		t.Error("host-only knobs (Engine, TraceDepth) changed the key")
+	}
+	// Default resolution: the zero config and the spelled-out prototype
+	// must share an entry.
+	if Key("asm", "halt", asc.Config{}) != Key("asm", "halt", asc.Config{PEs: 16, Threads: 16, Width: 8, LocalMemWords: 1024, Arity: 4}) {
+		t.Error("zero config and explicit prototype defaults produced different keys")
+	}
+}
+
+// TestLRUEviction fills the cache past its bound and checks cold entries
+// leave, counters move, and recency is refreshed by Get.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	prog := mustProgram(t)
+	c.Put("a", prog)
+	c.Put("b", prog)
+	if _, ok := c.Get("a"); !ok { // refresh "a": now "b" is coldest
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", prog) // evicts "b"
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing after insert")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", s)
+	}
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 hits, 1 miss", s)
+	}
+}
+
+// TestDisabled checks max <= 0 turns the cache off rather than panicking.
+func TestDisabled(t *testing.T) {
+	c := New(0)
+	c.Put("a", mustProgram(t))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 0 entries, 1 miss", s)
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines under a
+// small bound; run with -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(4)
+	prog := mustProgram(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%8)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, prog)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries > 4 {
+		t.Errorf("entries = %d, want <= 4", s.Entries)
+	}
+}

@@ -18,6 +18,10 @@ var durationBuckets = []float64{
 // prototype has 16 hardware threads, sweeps go wider.
 var threadBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// batchSizeBuckets bound the jobs-per-batch histogram; the default
+// -batch-max-jobs cap is 64, embedders can raise it.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // metrics is the serving instrument panel: every counter the server
 // maintains lives in one obs.Registry, which renders both the Prometheus
 // exposition at /metrics and the backing values of the JSON compat view.
@@ -29,6 +33,22 @@ type metrics struct {
 	outcomes *obs.CounterVec // asc_jobs_total{outcome}: completed/failed/rejected/canceled
 	running  *obs.Gauge      // asc_running_jobs
 	latency  *obs.Histogram  // asc_request_duration_seconds
+
+	// Batch-lane instruments: POST /v1/batch admissions and the per-job
+	// outcomes inside admitted batches (kept separate from asc_jobs_total
+	// so the single-run series stay comparable across versions).
+	batchRequests *obs.Counter    // asc_batch_requests_total
+	batchRejected *obs.Counter    // asc_batch_rejected_total: whole batches turned away
+	batchJobs     *obs.CounterVec // asc_batch_jobs_total{outcome}
+	batchSize     *obs.Histogram  // asc_batch_size_jobs
+	batchLatency  *obs.Histogram  // asc_batch_duration_seconds
+
+	// Program-cache instruments, mirrored from progcache.Stats at scrape
+	// time: how often the compile/assemble front end was skipped entirely.
+	progHits      *obs.Counter // asc_program_cache_hits_total
+	progMisses    *obs.Counter // asc_program_cache_misses_total
+	progEvictions *obs.Counter // asc_program_cache_evictions_total
+	progEntries   *obs.Gauge   // asc_program_cache_entries
 
 	// Simulation-depth instruments, folded from each completed job's
 	// statistics: the paper's b+r reduction-hazard behavior, live.
@@ -58,6 +78,25 @@ func newMetrics() *metrics {
 		running: reg.NewGauge("asc_running_jobs", "Jobs currently executing on a worker."),
 		latency: reg.NewHistogram("asc_request_duration_seconds",
 			"Wall-clock latency of admitted jobs from enqueue to outcome.", durationBuckets),
+
+		batchRequests: reg.NewCounter("asc_batch_requests_total", "Batches admitted via POST /v1/batch."),
+		batchRejected: reg.NewCounter("asc_batch_rejected_total",
+			"Whole batches turned away at admission (429 backpressure or 503 draining)."),
+		batchJobs: reg.NewCounterVec("asc_batch_jobs_total",
+			"Finished batch sub-jobs by outcome: completed, failed, canceled.", "outcome"),
+		batchSize: reg.NewHistogram("asc_batch_size_jobs",
+			"Jobs per admitted batch.", batchSizeBuckets),
+		batchLatency: reg.NewHistogram("asc_batch_duration_seconds",
+			"Wall-clock latency of admitted batches from admission to response.", durationBuckets),
+
+		progHits: reg.NewCounter("asc_program_cache_hits_total",
+			"Jobs whose compiled program came from the content-addressed cache."),
+		progMisses: reg.NewCounter("asc_program_cache_misses_total",
+			"Jobs that had to run the ASCL compiler or assembler."),
+		progEvictions: reg.NewCounter("asc_program_cache_evictions_total",
+			"Compiled programs dropped by the cache's LRU bound."),
+		progEntries: reg.NewGauge("asc_program_cache_entries",
+			"Compiled programs currently cached."),
 
 		simCycles: reg.NewCounter("asc_sim_cycles_total", "Simulated machine cycles across all jobs."),
 		simInstructions: reg.NewCounterVec("asc_sim_instructions_total",

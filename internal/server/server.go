@@ -32,14 +32,17 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	asc "repro"
 	"repro/client"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/progcache"
 )
 
 // Config sizes the serving core. Zero fields take defaults.
@@ -73,6 +76,19 @@ type Config struct {
 	// the most recent instructions instead of buffering them all and
 	// OOMing a worker.
 	TraceDepth int
+
+	// BatchMaxJobs bounds the jobs accepted in one POST /v1/batch
+	// (default 64).
+	BatchMaxJobs int
+	// BatchConcurrency bounds batch sub-jobs executing at once across all
+	// in-flight batches (default: Workers). The batch lane runs beside the
+	// single-run workers, so total simulation concurrency is at most
+	// Workers + BatchConcurrency.
+	BatchConcurrency int
+	// ProgramCacheSize bounds the content-addressed compiled-program cache
+	// in entries (default 128; negative disables caching). Repeat
+	// submissions of a program skip the ASCL compiler and assembler.
+	ProgramCacheSize int
 
 	// Logger receives structured job lifecycle events (admitted, started,
 	// completed, failed, rejected, canceled), each carrying the request id
@@ -108,6 +124,18 @@ func (c *Config) fillDefaults() {
 	if c.TraceDepth <= 0 {
 		c.TraceDepth = 512
 	}
+	if c.BatchMaxJobs <= 0 {
+		c.BatchMaxJobs = 64
+	}
+	if c.BatchConcurrency <= 0 {
+		c.BatchConcurrency = c.Workers
+	}
+	switch {
+	case c.ProgramCacheSize == 0:
+		c.ProgramCacheSize = 128
+	case c.ProgramCacheSize < 0:
+		c.ProgramCacheSize = 0 // disabled
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -137,13 +165,22 @@ type jobOutcome struct {
 // Server is the serving core. Create it with New, mount Handler, and stop
 // it with Shutdown.
 type Server struct {
-	cfg  Config
-	pool *pool.Pool
-	m    *metrics
-	log  *slog.Logger
+	cfg   Config
+	pool  *pool.Pool
+	progs *progcache.Cache
+	m     *metrics
+	log   *slog.Logger
 
 	jobs chan *job
 	wg   sync.WaitGroup
+
+	// The batch lane: batchSem bounds sub-jobs executing at once across
+	// all in-flight batches, batchInflight counts admitted-but-unfinished
+	// sub-jobs for the admission bound, and batchWg lets Shutdown drain
+	// batches the same way it drains the worker queue.
+	batchSem      chan struct{}
+	batchInflight atomic.Int64
+	batchWg       sync.WaitGroup
 
 	mu       sync.RWMutex // guards draining against concurrent enqueues
 	draining bool
@@ -153,11 +190,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:  cfg,
-		pool: pool.New(cfg.PoolIdle),
-		m:    newMetrics(),
-		log:  cfg.Logger,
-		jobs: make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		pool:     pool.New(cfg.PoolIdle),
+		progs:    progcache.New(cfg.ProgramCacheSize),
+		m:        newMetrics(),
+		log:      cfg.Logger,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		batchSem: make(chan struct{}, cfg.BatchConcurrency),
 	}
 	// Point-in-time gauges read live server state at scrape time.
 	s.m.reg.NewGaugeFunc("asc_queue_depth", "Jobs waiting in the admission queue.",
@@ -166,8 +205,11 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(cfg.QueueDepth) })
 	s.m.reg.NewGaugeFunc("asc_workers", "Concurrent simulation workers.",
 		func() float64 { return float64(cfg.Workers) })
-	// Fleet counters are maintained by the pool; mirror them into labeled
-	// instruments at scrape time.
+	s.m.reg.NewGaugeFunc("asc_batch_running_jobs",
+		"Batch sub-jobs admitted and not yet finished (executing or waiting on the batch concurrency bound).",
+		func() float64 { return float64(s.batchInflight.Load()) })
+	// Fleet and program-cache counters are maintained outside the
+	// registry; mirror them into instruments at scrape time.
 	s.m.reg.OnCollect(func() {
 		for key, ks := range s.pool.StatsByKey() {
 			s.m.poolHits.With(key).Set(ks.Hits)
@@ -175,6 +217,11 @@ func New(cfg Config) *Server {
 			s.m.poolEvictions.With(key).Set(ks.Evictions)
 			s.m.poolIdle.With(key).Set(int64(ks.Idle))
 		}
+		cs := s.progs.Stats()
+		s.m.progHits.Set(cs.Hits)
+		s.m.progMisses.Set(cs.Misses)
+		s.m.progEvictions.Set(cs.Evictions)
+		s.m.progEntries.Set(int64(cs.Entries))
 	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -183,10 +230,12 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP API: POST /v1/run, GET /metrics, GET /healthz.
+// Handler returns the HTTP API: POST /v1/run, POST /v1/batch,
+// GET /metrics, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -200,8 +249,8 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
 // Shutdown stops admission (new submissions get 503), drains every queued
-// and in-flight job, and waits for the workers to finish, up to ctx's
-// deadline. It is idempotent.
+// and in-flight job — batches included — and waits for the workers to
+// finish, up to ctx's deadline. It is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -212,6 +261,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.batchWg.Wait()
 		close(done)
 	}()
 	select {
@@ -230,6 +280,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds derives the Retry-After hint for 429/503 responses
+// from current load: roughly how many worker-rounds of jobs are already
+// waiting, clamped to [1s, 60s]. It is a hint, not a promise — the client
+// backoff treats it as a floor.
+func (s *Server) retryAfterSeconds() int {
+	waiting := len(s.jobs) + int(s.batchInflight.Load())
+	secs := 1 + waiting/s.cfg.Workers
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeUnavailable emits a 429/503 with the queue-depth-derived
+// Retry-After header.
+func (s *Server) writeUnavailable(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, status, format, args...)
 }
 
 // newRequestID returns a 16-hex-char random id for X-Request-Id and the
@@ -283,7 +353,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		s.m.outcomes.With("rejected").Inc()
 		log.Warn("job rejected", "reason", "draining")
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeUnavailable(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	select {
@@ -293,8 +363,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		s.m.outcomes.With("rejected").Inc()
 		log.Warn("job rejected", "reason", "queue full", "queue_cap", s.cfg.QueueDepth)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d waiting)", s.cfg.QueueDepth)
+		s.writeUnavailable(w, http.StatusTooManyRequests, "job queue full (%d waiting)", s.cfg.QueueDepth)
 		return
 	}
 	s.m.requests.Inc()
@@ -404,7 +473,7 @@ func (s *Server) worker() {
 		j.log.Debug("job started", "queue_wait", time.Since(j.enqueued).String())
 		s.m.running.Add(1)
 		start := time.Now()
-		out := s.execute(j)
+		out := s.runJob(j.ctx, j.req)
 		elapsed := time.Since(start)
 		s.m.running.Add(-1)
 		if out.simulated {
@@ -430,25 +499,52 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job end to end: compile, check out a machine, load
-// memory images, simulate under the request's limits, read back results,
-// and return the machine to the fleet.
-func (s *Server) execute(j *job) jobOutcome {
-	req := j.req
-
-	var prog *asc.Program
-	var asmText string
+// compileJob resolves a request's program through the content-addressed
+// cache: a repeat submission of the same source for the same architecture
+// skips the ASCL compiler and assembler entirely. It returns the program,
+// the generated assembly listing (ASCL jobs), and whether the cache
+// served it; a compile failure comes back as a ready-to-send outcome.
+//
+// Cached programs are shared: the simulator treats a program as immutable
+// (instructions are only read and copied into fetch buffers), so any
+// number of concurrently running machines can execute one *asc.Program.
+func (s *Server) compileJob(req *client.RunRequest) (prog *asc.Program, asmText string, cacheHit bool, fail *jobOutcome) {
+	kind, source := "asm", req.Asm
+	if req.ASCL != "" {
+		kind, source = "ascl", req.ASCL
+	}
+	key := progcache.Key(kind, source, req.Config.ASC())
+	if cached, ok := s.progs.Get(key); ok {
+		return cached.Prog, cached.Asm, true, nil
+	}
 	var err error
 	if req.ASCL != "" {
 		prog, asmText, err = asc.CompileASCL(req.ASCL)
 		if err != nil {
-			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compiling ASCL: %v", err)}
+			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compiling ASCL: %v", err)}
 		}
 	} else {
 		prog, err = asc.Assemble(req.Asm)
 		if err != nil {
-			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("assembling: %v", err)}
+			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("assembling: %v", err)}
 		}
+	}
+	// Only successful compiles are cached; two requests racing on the same
+	// key both compile and the second Put refreshes recency, which is
+	// harmless (the artifacts are identical by construction).
+	s.progs.Put(key, progcache.Program{Prog: prog, Asm: asmText})
+	return prog, asmText, false, nil
+}
+
+// runJob runs one job end to end: compile (through the program cache),
+// check out a machine, load memory images, simulate under the request's
+// limits, read back results, and return the machine to the fleet. Both
+// the single-run worker lane and the batch lane execute through it, so a
+// batch of N jobs is bit-identical to N sequential /v1/run calls.
+func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutcome {
+	prog, asmText, cacheHit, fail := s.compileJob(req)
+	if fail != nil {
+		return *fail
 	}
 
 	cfg := req.Config.ASC()
@@ -487,7 +583,7 @@ func (s *Server) execute(j *job) jobOutcome {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	ctx, cancel := context.WithTimeout(jobCtx, timeout)
 	defer cancel()
 
 	stats, err := proc.RunContext(ctx, maxCycles)
@@ -509,15 +605,16 @@ func (s *Server) execute(j *job) jobOutcome {
 	}
 
 	res := &client.RunResult{
-		Cycles:       stats.Cycles,
-		Instructions: stats.Instructions,
-		IPC:          stats.IPC(),
-		ScalarOps:    stats.Scalar,
-		ParallelOps:  stats.Parallel,
-		ReductionOps: stats.Reduction,
-		IdleCycles:   stats.IdleCycles,
-		Asm:          asmText,
-		PoolHit:      hit,
+		Cycles:          stats.Cycles,
+		Instructions:    stats.Instructions,
+		IPC:             stats.IPC(),
+		ScalarOps:       stats.Scalar,
+		ParallelOps:     stats.Parallel,
+		ReductionOps:    stats.Reduction,
+		IdleCycles:      stats.IdleCycles,
+		Asm:             asmText,
+		PoolHit:         hit,
+		ProgramCacheHit: cacheHit,
 	}
 	if req.Trace {
 		res.Trace = &client.Trace{
@@ -552,4 +649,160 @@ func (s *Server) execute(j *job) jobOutcome {
 		}
 	}
 	return jobOutcome{result: res, stats: stats, simulated: true}
+}
+
+// handleBatch admits up to BatchMaxJobs jobs as one unit and fans them
+// out across the warm fleet with bounded concurrency. Jobs fail
+// independently: the batch always resolves to HTTP 200 with a per-job
+// outcome vector, index-aligned with the request. Only admission itself
+// can fail the whole batch (malformed body, size cap, backpressure,
+// draining).
+//
+// This is the serving analogue of the paper's core amortization: one
+// round-trip, one admission decision, and one warm fleet absorb N units
+// of work, the way one broadcast/reduction pipeline fill is hidden
+// across 16 hardware threads.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	id := newRequestID()
+	w.Header().Set("X-Request-Id", id)
+	log := s.log.With("request_id", id)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req client.BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		log.Warn("batch rejected", "reason", "bad request body", "error", err.Error())
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.BatchMaxJobs {
+		log.Warn("batch rejected", "reason", "too many jobs", "jobs", len(req.Jobs), "cap", s.cfg.BatchMaxJobs)
+		writeError(w, http.StatusBadRequest, "batch has %d jobs, cap is %d", len(req.Jobs), s.cfg.BatchMaxJobs)
+		return
+	}
+	if req.TimeoutMs < 0 {
+		writeError(w, http.StatusBadRequest, "timeoutMs must be non-negative")
+		return
+	}
+
+	// Whole-batch admission under the drain guard. The batch lane's
+	// bounded queue is the in-flight sub-job count: concurrency plus a
+	// queue's worth of waiting jobs, mirroring the single-run lane.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.m.batchRejected.Inc()
+		log.Warn("batch rejected", "reason", "draining")
+		s.writeUnavailable(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	n := int64(len(req.Jobs))
+	limit := int64(s.cfg.BatchConcurrency + s.cfg.QueueDepth)
+	for {
+		cur := s.batchInflight.Load()
+		if cur+n > limit {
+			s.mu.RUnlock()
+			s.m.batchRejected.Inc()
+			log.Warn("batch rejected", "reason", "batch lane full", "inflight", cur, "jobs", n)
+			s.writeUnavailable(w, http.StatusTooManyRequests, "batch lane full (%d jobs in flight, cap %d)", cur, limit)
+			return
+		}
+		if s.batchInflight.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	s.batchWg.Add(1) // under the RLock: Shutdown cannot start waiting yet
+	s.mu.RUnlock()
+	defer s.batchWg.Done()
+
+	s.m.batchRequests.Inc()
+	s.m.batchSize.Observe(float64(n))
+	start := time.Now()
+	log.Debug("batch admitted", "jobs", n, "timeout_ms", req.TimeoutMs)
+
+	// The batch context layers the optional batch-level deadline over the
+	// HTTP request context. When it ends, unfinished jobs are canceled and
+	// the response carries the finished jobs' results alongside per-job
+	// canceled markers.
+	batchCtx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		batchCtx, cancel = context.WithTimeout(batchCtx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	outcomes := make([]jobOutcome, len(req.Jobs))
+	var wg sync.WaitGroup
+	for i := range req.Jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.batchInflight.Add(-1)
+			outcomes[i] = s.runBatchJob(batchCtx, &req.Jobs[i])
+		}(i)
+	}
+	// Wait for every sub-job, canceled batches included: sub-jobs hold
+	// warm machines and must re-park them before the batch resolves.
+	wg.Wait()
+
+	res := client.BatchResult{Jobs: make([]client.BatchJobResult, len(req.Jobs))}
+	for i, out := range outcomes {
+		jr := &res.Jobs[i]
+		switch {
+		case out.result != nil:
+			jr.Result = out.result
+			res.Completed++
+			s.m.batchJobs.With("completed").Inc()
+		case out.status == http.StatusRequestTimeout:
+			jr.Status, jr.Error = out.status, out.errMsg
+			res.Canceled++
+			s.m.batchJobs.With("canceled").Inc()
+		default:
+			jr.Status, jr.Error = out.status, out.errMsg
+			res.Failed++
+			s.m.batchJobs.With("failed").Inc()
+		}
+		if out.simulated {
+			s.m.fold(out.stats)
+		}
+	}
+	s.m.batchLatency.Observe(time.Since(start).Seconds())
+	log.Info("batch completed",
+		"jobs", n, "completed", res.Completed, "failed", res.Failed,
+		"canceled", res.Canceled, "duration", time.Since(start).String())
+	writeJSON(w, http.StatusOK, &res)
+}
+
+// runBatchJob validates and executes one batch sub-job under the batch
+// concurrency bound, mapping batch-level cancellation onto a canceled
+// (408) outcome. Validation runs per job — a bad job in a batch yields a
+// per-job error, never a failed batch.
+func (s *Server) runBatchJob(batchCtx context.Context, req *client.RunRequest) jobOutcome {
+	if err := s.validate(req); err != nil {
+		return jobOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
+	}
+	select {
+	case s.batchSem <- struct{}{}:
+		defer func() { <-s.batchSem }()
+	case <-batchCtx.Done():
+		return jobOutcome{status: http.StatusRequestTimeout, errMsg: "batch canceled before the job started"}
+	}
+	out := s.runJob(batchCtx, req)
+	// A job cut off by the batch deadline (or the client going away)
+	// surfaces as a wall-clock 504 or a bare 408 from runJob; rewrite it
+	// as a batch cancellation so the per-job error says what happened.
+	// Jobs that failed on their own terms (400/422, genuine per-job
+	// limits with the batch context still live) keep their status.
+	if batchCtx.Err() != nil && out.result == nil &&
+		(out.status == http.StatusGatewayTimeout || out.status == http.StatusRequestTimeout) {
+		out.status = http.StatusRequestTimeout
+		out.errMsg = "batch canceled mid-run"
+	}
+	return out
 }
