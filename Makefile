@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-engines obs-demo apicheck apiupdate check
+.PHONY: build vet test race bench bench-engines obs-demo apicheck apiupdate hotpath-lint check
 
 build:
 	$(GO) build ./...
@@ -61,4 +61,21 @@ apiupdate:
 	$(GO) doc -all . > docs/api/repro.txt
 	$(GO) doc -all ./client > docs/api/client.txt
 
-check: build vet test race apicheck
+# Decode-plane guard: the per-cycle paths must consume pre-decoded
+# micro-ops only. An `.Info()` table lookup or a scalarALUOp/parallelALUOp
+# translation reappearing in these files means someone reintroduced
+# per-exec decode work that DecodeProgram already paid for once.
+# internal/machine/ref.go (the retained reference interpreter) and the
+# Inst-based Timeline renderer are deliberately outside the lint set.
+HOTPATH_FILES = internal/machine/machine.go internal/machine/engine.go \
+	internal/cu/cu.go internal/pipeline/pipeline.go \
+	internal/pipeline/scoreboard.go internal/core/core.go
+
+hotpath-lint:
+	@if grep -nE '\.Info\(\)|scalarALUOp|parallelALUOp' $(HOTPATH_FILES); then \
+	  echo "hotpath-lint: per-exec decode work found in a per-cycle path (use the decoded micro-op fields)"; exit 1; \
+	else \
+	  echo "hotpath-lint: per-cycle paths are decode-free"; \
+	fi
+
+check: build vet test race apicheck hotpath-lint

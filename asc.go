@@ -229,19 +229,35 @@ func (c Config) coreConfig() core.Config {
 	return cc
 }
 
-// Program is an assembled MTASC program.
+// Program is an assembled MTASC program, carrying both the raw
+// instruction form and the validated decoded micro-op form (the decode
+// plane). Decoding happens once here, at assembly time; every processor
+// built from the Program shares the immutable decoded form.
 type Program struct {
 	prog *asm.Program
+	dec  *isa.DecodedProgram
 }
 
-// Assemble translates MTASC assembly into a program. See internal/asm for
-// the full syntax; errors carry 1-based source line numbers.
+// ErrInvalidProgram is the sentinel wrapped by program-validation
+// failures: undefined opcodes, register indices outside their file, or
+// static branch/jump/spawn targets outside the program. Assemble,
+// CompileASCL, New, and SetProgram reject such programs up front; test
+// with errors.Is.
+var ErrInvalidProgram = isa.ErrInvalidProgram
+
+// Assemble translates MTASC assembly into a program and validates it
+// (decode-plane checks; errors wrap ErrInvalidProgram). See internal/asm
+// for the full syntax; assembly errors carry 1-based source line numbers.
 func Assemble(src string) (*Program, error) {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{prog: p}, nil
+	dec, err := isa.DecodeProgram(p.Insts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p, dec: dec}, nil
 }
 
 // MustAssemble is Assemble that panics on error, for constant sources.
@@ -353,9 +369,10 @@ type Processor struct {
 	core *core.Processor
 }
 
-// New builds a processor running prog.
+// New builds a processor running prog, reusing the program's decoded form
+// (no per-construction decode).
 func New(cfg Config, prog *Program) (*Processor, error) {
-	c, err := core.New(cfg.coreConfig(), prog.prog.Insts)
+	c, err := core.NewDecoded(cfg.coreConfig(), prog.dec)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +414,7 @@ func (p *Processor) Reset() error {
 // pooled processor serves a stream of different programs at zero
 // construction cost.
 func (p *Processor) SetProgram(prog *Program) error {
-	p.core.SetProgram(prog.prog.Insts)
+	p.core.SetDecoded(prog.dec)
 	p.prog = prog
 	return p.loadDataSegment()
 }

@@ -1,6 +1,9 @@
 package asc
 
-import "repro/internal/ascl"
+import (
+	"repro/internal/ascl"
+	"repro/internal/isa"
+)
 
 // CompileASCL compiles an ASCL source program (the associative data-parallel
 // language in the spirit of Potter's ASC language; see internal/ascl for the
@@ -24,5 +27,9 @@ func CompileASCL(src string) (*Program, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	return &Program{prog: res.Program}, res.Asm, nil
+	dec, err := isa.DecodeProgram(res.Program.Insts)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Program{prog: res.Program, dec: dec}, res.Asm, nil
 }

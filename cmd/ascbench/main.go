@@ -137,6 +137,106 @@ func addStallMetrics(m map[string]float64, s core.Stats) {
 	m["flushes"] = float64(s.Flushes)
 }
 
+// coreBenches times the cycle-accurate model's per-cycle loop itself, the
+// hot path the decode plane exists for. Two scenarios bracket it:
+//
+//   - core/cycle-loop: a paper-scale 16-PE machine running the
+//     multithreaded reduction kernel on 16 threads. PE-array work is tiny,
+//     so almost all host time is scheduling: per-thread ready checks,
+//     scoreboard lookups, and instruction dispatch — decode overhead in
+//     its purest form.
+//   - core/large-array: the same kernel on a 4096-PE array, where the
+//     broadcast/reduction loops carry real data weight and decode cost
+//     must stay invisible next to them.
+func coreBenches() []benchResult {
+	var out []benchResult
+	cases := []struct {
+		name    string
+		pes     int
+		threads int
+		iters   int
+		engine  machine.Engine
+		ops     int
+	}{
+		{"core/cycle-loop/pes=16/threads=16", 16, 16, 200, machine.EngineSerial, 5},
+		{"core/large-array/pes=4096/threads=8", 4096, 8, 20, machine.EngineSerial, 3},
+	}
+	for _, tc := range cases {
+		ins := progs.MTReduction(tc.pes, tc.threads, tc.iters)
+		prog, err := asm.Assemble(ins.Source)
+		if err != nil {
+			out = append(out, benchResult{Name: tc.name, Error: err.Error()})
+			continue
+		}
+		var last core.Stats
+		r := measure(tc.ops, func() error {
+			mcfg := ins.MachineConfig(tc.pes, tc.threads)
+			mcfg.Engine = tc.engine
+			p, err := core.New(core.Config{Machine: mcfg}, prog.Insts)
+			if err != nil {
+				return err
+			}
+			defer p.Machine().Close()
+			if err := p.Machine().LoadLocalMem(ins.LocalMem); err != nil {
+				return err
+			}
+			if err := p.Machine().LoadScalarMem(ins.ScalarMem); err != nil {
+				return err
+			}
+			stats, err := p.Run(0)
+			if err != nil {
+				return err
+			}
+			if err := ins.Check(p.Machine()); err != nil {
+				return err
+			}
+			last = stats
+			return nil
+		})
+		r.Name = tc.name
+		r.Metrics = map[string]float64{
+			"model-cycles":  float64(last.Cycles),
+			"model-IPC":     last.IPC(),
+			"ns-per-cycle":  r.NsPerOp / float64(last.Cycles),
+			"instructions":  float64(last.Instructions),
+		}
+		addStallMetrics(r.Metrics, last)
+		out = append(out, r)
+	}
+	return out
+}
+
+// mergeBaseline annotates rows with the matching ns/op from a previous
+// BENCH_results.json (ascbench -baseline old.json), recording the
+// before/after trajectory of a refactor in the new file itself:
+// baseline-ns-per-op is the old cost, speedup is old/new.
+func mergeBaseline(rows []benchResult, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old []benchResult
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]benchResult, len(old))
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	for i := range rows {
+		prev, ok := byName[rows[i].Name]
+		if !ok || prev.NsPerOp <= 0 || rows[i].NsPerOp <= 0 {
+			continue
+		}
+		if rows[i].Metrics == nil {
+			rows[i].Metrics = make(map[string]float64)
+		}
+		rows[i].Metrics["baseline-ns-per-op"] = prev.NsPerOp
+		rows[i].Metrics["speedup"] = prev.NsPerOp / rows[i].NsPerOp
+	}
+	return nil
+}
+
 // batchBenches measures the serving stack's batched-throughput win: N
 // identical jobs pushed one at a time through POST /v1/run versus the
 // same N as a single POST /v1/batch. The batch path amortizes HTTP
@@ -222,6 +322,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
 	benchOut := flag.String("benchout", "BENCH_results.json", "write machine-readable timings here (empty = off)")
+	baseline := flag.String("baseline", "", "previous BENCH_results.json to record baseline-ns-per-op/speedup against")
 	flag.Parse()
 
 	all := experiments.All()
@@ -268,7 +369,14 @@ func main() {
 		}
 	}
 	bench = append(bench, engineBenches()...)
+	bench = append(bench, coreBenches()...)
 	bench = append(bench, batchBenches()...)
+	if *baseline != "" {
+		if err := mergeBaseline(bench, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "merging baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

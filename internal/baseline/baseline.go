@@ -67,13 +67,14 @@ func NewNonPipelined(cfg machine.Config, prog []isa.Inst) (*NonPipelined, error)
 // Machine exposes the architectural state.
 func (n *NonPipelined) Machine() *machine.Machine { return n.mach }
 
-// cpi returns the cycles one instruction occupies the unpipelined machine.
-func (n *NonPipelined) cpi(in isa.Inst) int64 {
-	info := in.Info()
+// cpi returns the cycles one micro-op occupies the unpipelined machine.
+func (n *NonPipelined) cpi(d *isa.Decoded) int64 {
 	switch {
-	case info.IsDiv:
+	case d.Info.IsDiv:
 		return int64(n.cfg.Width) // sequential divider, one bit per cycle
-	case in.Op == isa.RMAX, in.Op == isa.RMIN, in.Op == isa.RMAXU, in.Op == isa.RMINU:
+	case d.Kind == isa.ExecReduction &&
+		(d.Reduce == isa.ReduceMaxS || d.Reduce == isa.ReduceMinS ||
+			d.Reduce == isa.ReduceMaxU || d.Reduce == isa.ReduceMinU):
 		// Falkoff bit-serial max/min (section 6.4): one bit per cycle.
 		return int64(n.cfg.Width)
 	default:
@@ -84,23 +85,23 @@ func (n *NonPipelined) cpi(in isa.Inst) int64 {
 // Run executes to completion (or maxCycles) and returns cycle counts.
 func (n *NonPipelined) Run(maxCycles int64) (Result, error) {
 	var res Result
-	prog := n.mach.Program()
+	prog := n.mach.Decoded()
 	for !n.mach.Halted() {
 		if maxCycles > 0 && res.Cycles >= maxCycles {
 			return res, fmt.Errorf("baseline: cycle limit %d reached", maxCycles)
 		}
 		pc := n.mach.PC(0)
-		if pc < 0 || pc >= len(prog) {
+		if pc < 0 || pc >= prog.Len() {
 			return res, fmt.Errorf("baseline: pc %d out of bounds", pc)
 		}
-		in := prog[pc]
-		if n.mach.Blocked(0, in) {
+		d := prog.At(pc)
+		if n.mach.BlockedDecoded(0, d) {
 			return res, fmt.Errorf("baseline: single-threaded machine blocked forever at pc %d", pc)
 		}
-		if _, err := n.mach.Exec(0, in); err != nil {
+		if _, err := n.mach.ExecDecoded(0, d); err != nil {
 			return res, err
 		}
-		res.Cycles += n.cpi(in)
+		res.Cycles += n.cpi(d)
 		res.Instructions++
 	}
 	return res, nil
@@ -154,7 +155,7 @@ func (c *CoarseGrain) Params() pipeline.Params { return c.params }
 // Run executes to completion (or maxCycles) with coarse-grain switching.
 func (c *CoarseGrain) Run(maxCycles int64) (Result, error) {
 	var res Result
-	prog := c.mach.Program()
+	prog := c.mach.Decoded()
 	cycle := int64(0)
 	cur := 0
 	// nextFree[t] is the earliest cycle thread t may issue again (covers
@@ -181,27 +182,27 @@ func (c *CoarseGrain) Run(maxCycles int64) (Result, error) {
 			continue
 		}
 		pc := c.mach.PC(cur)
-		if pc < 0 || pc >= len(prog) {
+		if pc < 0 || pc >= prog.Len() {
 			res.Cycles = cycle
 			return res, fmt.Errorf("baseline: thread %d pc %d out of bounds", cur, pc)
 		}
-		in := prog[pc]
-		minIssue, _ := c.sb.MinIssue(cur, in)
+		d := prog.At(pc)
+		minIssue, _ := c.sb.MinIssue(cur, d)
 		if nf := nextFree[cur]; nf > minIssue {
 			minIssue = nf
 		}
-		blocked := c.mach.Blocked(cur, in)
+		blocked := c.mach.BlockedDecoded(cur, d)
 		projected := minIssue - cycle
 
 		switch {
 		case !blocked && projected <= 0:
 			// Issue now.
-			out, err := c.mach.Exec(cur, in)
+			out, err := c.mach.ExecDecoded(cur, d)
 			if err != nil {
 				res.Cycles = cycle
 				return res, err
 			}
-			c.sb.Record(cur, in, cycle)
+			c.sb.Record(cur, d, cycle)
 			res.Instructions++
 			if out.Redirect {
 				nextFree[cur] = cycle + 1 + int64(c.params.ExecRedirect)

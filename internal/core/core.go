@@ -189,13 +189,25 @@ type threadState struct {
 	why   blocker
 }
 
-// New builds a processor for a program.
+// New builds a processor for a program, decoding and validating it up
+// front (errors wrap isa.ErrInvalidProgram for bad programs).
 func New(cfg Config, prog []isa.Inst) (*Processor, error) {
+	dp, err := isa.DecodeProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return NewDecoded(cfg, dp)
+}
+
+// NewDecoded builds a processor around an already-decoded program,
+// sharing the immutable decoded form with other consumers (the serving
+// stack's program cache decodes once per distinct program).
+func NewDecoded(cfg Config, dp *isa.DecodedProgram) (*Processor, error) {
 	params, err := cfg.Params()
 	if err != nil {
 		return nil, err
 	}
-	mach, err := machine.New(cfg.Machine, prog)
+	mach, err := machine.NewDecoded(cfg.Machine, dp)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +220,7 @@ func New(cfg Config, prog []isa.Inst) (*Processor, error) {
 		Threads:     cfg.Machine.Threads,
 		BufferDepth: cfg.BufferDepth,
 		FetchWidth:  cfg.FetchWidth,
-	}, prog)
+	}, dp)
 	if err != nil {
 		return nil, err
 	}
@@ -272,28 +284,28 @@ func (p *Processor) threadStatus(tid int) (ready bool, why blocker) {
 	if e := head.EligibleAt(); e > p.cycle {
 		return false, blocker{kind: pipeline.HazardFetch, readyAt: e}
 	}
-	if min, kind := p.sb.MinIssue(tid, head.Inst); min > p.cycle {
+	if min, kind := p.sb.MinIssue(tid, head.D); min > p.cycle {
 		return false, blocker{kind: kind, readyAt: min}
 	}
-	if free := p.unitFreeAt(head.Inst); free > p.cycle {
+	if free := p.unitFreeAt(head.D); free > p.cycle {
 		return false, blocker{kind: pipeline.HazardStructural, readyAt: free}
 	}
-	if p.mach.Blocked(tid, head.Inst) {
+	if p.mach.BlockedDecoded(tid, head.D) {
 		return false, blocker{kind: pipeline.HazardSync, readyAt: -1}
 	}
 	return true, blocker{}
 }
 
-// unitFreeAt returns the cycle at which any sequential unit the instruction
+// unitFreeAt returns the cycle at which any sequential unit the micro-op
 // needs becomes free (or 0 if it needs none / the unit is pipelined).
-func (p *Processor) unitFreeAt(in isa.Inst) int64 {
-	info := in.Info()
+func (p *Processor) unitFreeAt(d *isa.Decoded) int64 {
+	info := d.Info
 	switch {
-	case info.IsDiv && info.Class == isa.ClassScalar:
+	case info.IsDiv && d.Class == isa.ClassScalar:
 		return p.cuDivFree
 	case info.IsDiv:
 		return p.peDivFree
-	case info.IsMul && p.params.SeqMul && info.Class == isa.ClassScalar:
+	case info.IsMul && p.params.SeqMul && d.Class == isa.ClassScalar:
 		return p.cuMulFree
 	case info.IsMul && p.params.SeqMul:
 		return p.peMulFree
@@ -302,14 +314,14 @@ func (p *Processor) unitFreeAt(in isa.Inst) int64 {
 }
 
 // reserveUnit marks a sequential unit busy after an issue at cycle t.
-func (p *Processor) reserveUnit(in isa.Inst, t int64) {
-	info := in.Info()
+func (p *Processor) reserveUnit(d *isa.Decoded, t int64) {
+	info := d.Info
 	switch {
-	case info.IsDiv && info.Class == isa.ClassScalar:
+	case info.IsDiv && d.Class == isa.ClassScalar:
 		p.cuDivFree = t + int64(p.params.DivLatency)
 	case info.IsDiv:
 		p.peDivFree = t + int64(p.params.DivLatency)
-	case info.IsMul && p.params.SeqMul && info.Class == isa.ClassScalar:
+	case info.IsMul && p.params.SeqMul && d.Class == isa.ClassScalar:
 		p.cuMulFree = t + int64(p.params.MulLatency)
 	case info.IsMul && p.params.SeqMul:
 		p.peMulFree = t + int64(p.params.MulLatency)
@@ -413,7 +425,7 @@ func (p *Processor) headClass(tid int) isa.Class {
 	if !ok {
 		return isa.ClassScalar
 	}
-	return head.Inst.Info().Class
+	return head.D.Class
 }
 
 // scalarPath reports whether a class uses the scalar datapath issue port.
@@ -439,11 +451,11 @@ func (p *Processor) pickSecond(first int, firstClass isa.Class) int {
 		if !have {
 			return false
 		}
-		info := head.Inst.Info()
+		info := head.D.Info
 		if info.IsThread || info.IsHalt {
 			return false
 		}
-		return scalarPath(info.Class) != scalarPath(firstClass)
+		return scalarPath(head.D.Class) != scalarPath(firstClass)
 	}
 	switch p.cfg.Scheduler {
 	case SchedFixed:
@@ -470,22 +482,21 @@ func (p *Processor) done() bool {
 	return p.cycle >= p.maxCompletion
 }
 
-// issue pops and executes the head instruction of thread tid.
+// issue pops and executes the head micro-op of thread tid.
 func (p *Processor) issue(tid int) error {
 	head := p.front.PopHead(tid)
-	in := head.Inst
-	info := in.Info()
+	d := head.D
 
 	// Stall accounting: cycles beyond the front-end minimum, attributed to
 	// the binding hazard at decode time.
-	minIssue, kind := p.sb.MinIssue(tid, in)
+	minIssue, kind := p.sb.MinIssue(tid, d)
 	stall := p.cycle - head.EligibleAt()
 	if stall > 0 {
 		k := kind
 		if minIssue <= head.EligibleAt() {
 			// Not a register hazard: structural, sync, or contention.
 			switch {
-			case p.unitFreeAt(in) > head.EligibleAt():
+			case p.unitFreeAt(d) > head.EligibleAt():
 				k = pipeline.HazardStructural
 			default:
 				k = pipeline.HazardNone
@@ -496,25 +507,25 @@ func (p *Processor) issue(tid int) error {
 		}
 	}
 
-	if p.structural != nil && info.Class == isa.ClassReduction {
-		p.pushReduction(tid, in)
+	if p.structural != nil && d.Class == isa.ClassReduction {
+		p.pushReduction(tid, d.Inst)
 	}
 
-	out, err := p.mach.Exec(tid, in)
+	out, err := p.mach.ExecDecoded(tid, d)
 	if err != nil {
 		return err
 	}
-	p.sb.Record(tid, in, p.cycle)
-	p.reserveUnit(in, p.cycle)
+	p.sb.Record(tid, d, p.cycle)
+	p.reserveUnit(d, p.cycle)
 
-	if c := p.params.CompletionTime(in, p.cycle); c > p.maxCompletion {
+	if c := p.params.CompletionTime(d, p.cycle); c > p.maxCompletion {
 		p.maxCompletion = c
 	}
 
 	// Statistics.
 	p.stats.Instructions++
 	p.stats.PerThread[tid]++
-	switch info.Class {
+	switch d.Class {
 	case isa.ClassScalar:
 		p.stats.Scalar++
 	case isa.ClassParallel:
@@ -525,7 +536,7 @@ func (p *Processor) issue(tid int) error {
 	if p.cfg.TraceDepth != 0 {
 		rec := InstRecord{
 			Issue: p.cycle, FetchCycle: head.FetchCycle, Thread: tid,
-			PC: head.PC, Inst: in, Stall: stall, StallKind: kind,
+			PC: head.PC, Inst: d.Inst, Stall: stall, StallKind: kind,
 		}
 		if stall <= 0 {
 			rec.StallKind = pipeline.HazardNone
@@ -547,7 +558,8 @@ func (p *Processor) issue(tid int) error {
 		p.front.StopThread(tid)
 	case out.Redirect:
 		resume := p.cycle + int64(p.params.ExecRedirect) - 1
-		if in.Op == isa.J || in.Op == isa.JAL {
+		if d.Kind == isa.ExecJump && d.Jump != isa.JumpReg {
+			// J/JAL: target known at decode, cheap redirect.
 			resume = p.cycle + int64(p.params.DecodeRedirect) - 1
 		}
 		p.front.Redirect(tid, out.NextPC, resume)
@@ -627,7 +639,7 @@ func (p *Processor) finish() Stats {
 // to reuse warm machines across requests.
 func (p *Processor) Reset() {
 	p.mach.Reset()
-	p.front.Reset(p.mach.Program())
+	p.front.Reset(p.mach.Decoded())
 	for tid := 0; tid < p.cfg.Machine.Threads; tid++ {
 		p.sb.ClearThread(tid)
 	}
@@ -646,10 +658,23 @@ func (p *Processor) Reset() {
 }
 
 // SetProgram retargets the processor at a new program and Resets it. The
-// configuration (and thus all allocated state) is unchanged, which is what
-// lets a pooled machine serve a stream of different programs.
-func (p *Processor) SetProgram(prog []isa.Inst) {
-	p.mach.SetProgram(prog)
+// program is decoded and validated like New; on error the processor is
+// left unchanged, still running the old program. The configuration (and
+// thus all allocated state) is unchanged, which is what lets a pooled
+// machine serve a stream of different programs.
+func (p *Processor) SetProgram(prog []isa.Inst) error {
+	dp, err := isa.DecodeProgram(prog)
+	if err != nil {
+		return err
+	}
+	p.SetDecoded(dp)
+	return nil
+}
+
+// SetDecoded retargets the processor at an already-decoded program and
+// Resets it.
+func (p *Processor) SetDecoded(dp *isa.DecodedProgram) {
+	p.mach.SetDecoded(dp)
 	p.Reset()
 }
 

@@ -177,10 +177,14 @@ func TestForwardingBoundInvariant(t *testing.T) {
 	params := p.Params()
 	sb := pipeline.NewScoreboard(params, 1)
 	for _, rec := range p.Trace() {
-		min, _ := sb.MinIssue(0, rec.Inst)
+		d, err := isa.DecodeInst(rec.Inst)
+		if err != nil {
+			t.Fatalf("decode %v: %v", rec.Inst, err)
+		}
+		min, _ := sb.MinIssue(0, &d)
 		if rec.Issue < min {
 			t.Fatalf("%v issued at %d, but forwarding rules allow %d at the earliest", rec.Inst, rec.Issue, min)
 		}
-		sb.Record(0, rec.Inst, rec.Issue)
+		sb.Record(0, &d, rec.Issue)
 	}
 }

@@ -42,10 +42,12 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Fetched is one instruction-buffer entry.
+// Fetched is one instruction-buffer entry. D points into the decoded
+// program's backing store: the buffers deliver pre-decoded micro-ops, so
+// decode happens once per program, not once per fetch.
 type Fetched struct {
 	PC         int
-	Inst       isa.Inst
+	D          *isa.Decoded
 	FetchCycle int64
 }
 
@@ -65,7 +67,7 @@ type threadCtl struct {
 // CU is the control unit front end.
 type CU struct {
 	cfg     Config
-	prog    []isa.Inst
+	prog    *isa.DecodedProgram
 	threads []threadCtl
 
 	fetchRR int // round-robin pointer for fetch arbitration
@@ -76,8 +78,9 @@ type CU struct {
 	Flushes int64
 }
 
-// New builds the front end for a program. Thread 0 is started at PC 0.
-func New(cfg Config, prog []isa.Inst) (*CU, error) {
+// New builds the front end for a decoded program. Thread 0 is started at
+// PC 0.
+func New(cfg Config, prog *isa.DecodedProgram) (*CU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +96,7 @@ func (c *CU) Config() Config { return c.cfg }
 // program: every context stopped and its buffer emptied, the round-robin
 // pointers rewound, the fetch/flush counters cleared, and thread 0 fetching
 // from PC 0 — exactly the state New produces.
-func (c *CU) Reset(prog []isa.Inst) {
+func (c *CU) Reset(prog *isa.DecodedProgram) {
 	c.prog = prog
 	for tid := range c.threads {
 		c.StopThread(tid)
@@ -135,10 +138,10 @@ func (c *CU) Fetch(cycle int64) {
 		if !t.active || t.fetchHold > cycle || len(t.buffer) >= c.cfg.BufferDepth {
 			continue
 		}
-		if t.fetchPC < 0 || t.fetchPC >= len(c.prog) {
+		if t.fetchPC < 0 || t.fetchPC >= c.prog.Len() {
 			continue // ran past the end; a redirect or halt must intervene
 		}
-		t.buffer = append(t.buffer, Fetched{PC: t.fetchPC, Inst: c.prog[t.fetchPC], FetchCycle: cycle})
+		t.buffer = append(t.buffer, Fetched{PC: t.fetchPC, D: c.prog.At(t.fetchPC), FetchCycle: cycle})
 		t.fetchPC++
 		c.fetchRR = tid
 		c.Fetches++

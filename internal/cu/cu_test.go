@@ -6,12 +6,16 @@ import (
 	"repro/internal/isa"
 )
 
-func prog(n int) []isa.Inst {
+func prog(n int) *isa.DecodedProgram {
 	p := make([]isa.Inst, n)
 	for i := range p {
 		p[i] = isa.Inst{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: int32(i)}
 	}
-	return p
+	dp, err := isa.DecodeProgram(p)
+	if err != nil {
+		panic(err)
+	}
+	return dp
 }
 
 func TestFetchFillsBufferInOrder(t *testing.T) {

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/isa"
-	"repro/internal/network"
 )
 
 // Engine selects the host execution strategy for parallel-class and
@@ -102,7 +101,7 @@ type engine struct {
 	jobM    *Machine
 	jobKind uint8
 	jobT    int
-	jobIn   isa.Inst
+	jobD    *isa.Decoded
 	jobArg  int
 }
 
@@ -163,8 +162,8 @@ func (e *engine) stop() {
 // goroutine works shard 0 while the pool covers the rest, then spins until
 // every worker checks in. On return all per-shard outputs are visible
 // (pending's release/acquire pairing) and the job slot is cleared.
-func (e *engine) run(m *Machine, kind uint8, t int, in isa.Inst, arg int) {
-	e.jobM, e.jobKind, e.jobT, e.jobIn, e.jobArg = m, kind, t, in, arg
+func (e *engine) run(m *Machine, kind uint8, t int, d *isa.Decoded, arg int) {
+	e.jobM, e.jobKind, e.jobT, e.jobD, e.jobArg = m, kind, t, d, arg
 	e.pending.Store(int64(e.nsh - 1))
 	e.epoch.Add(1)
 	for s := 1; s < e.nsh; s++ {
@@ -179,7 +178,7 @@ func (e *engine) run(m *Machine, kind uint8, t int, in isa.Inst, arg int) {
 	for e.pending.Load() != 0 {
 		runtime.Gosched()
 	}
-	e.jobM = nil
+	e.jobM, e.jobD = nil, nil
 }
 
 // worker is the body of pool goroutine s: wait for an unseen epoch, run the
@@ -229,26 +228,26 @@ func (e *engine) runShard(s int) {
 	m := e.jobM
 	switch e.jobKind {
 	case jobParallel:
-		pe, addr := m.execParallelRange(e.jobT, e.jobIn, lo, hi)
+		pe, addr := m.execParallelRange(e.jobT, e.jobD, lo, hi)
 		e.trapPE[s], e.trapAddr[s] = int64(pe), int64(addr)
 	case jobCount:
-		e.acc[s] = m.respCountRange(e.jobT, e.jobIn, lo, hi)
+		e.acc[s] = m.respCountRange(e.jobT, e.jobD, lo, hi)
 	case jobFirst:
-		e.acc[s] = m.respFirstRange(e.jobT, e.jobIn, lo, hi)
+		e.acc[s] = m.respFirstRange(e.jobT, e.jobD, lo, hi)
 	case jobFirstWrite:
-		m.rfirstWriteRange(e.jobT, e.jobIn, e.jobArg, lo, hi)
+		m.rfirstWriteRange(e.jobT, e.jobD, e.jobArg, lo, hi)
 	case jobReduce:
 		// Fold this shard's leaves to its subtree root. Aligned
 		// power-of-two shards make leafBuf[lo:hi] exactly one subtree.
-		m.reduceLeavesRange(e.jobT, e.jobIn, lo, hi)
-		e.acc[s] = network.FoldInPlace(m.leafBuf[lo:hi], m.combineFor(e.jobIn.Op))
+		m.reduceLeavesRange(e.jobT, e.jobD, lo, hi)
+		e.acc[s] = m.foldLeaves(e.jobD, m.leafBuf[lo:hi])
 	}
 }
 
-// parallel runs a parallel-class instruction and merges trap reports to the
+// parallel runs a parallel-class micro-op and merges trap reports to the
 // lowest faulting PE.
-func (e *engine) parallel(m *Machine, t int, in isa.Inst) (trapPE, trapAddr int) {
-	e.run(m, jobParallel, t, in, 0)
+func (e *engine) parallel(m *Machine, t int, d *isa.Decoded) (trapPE, trapAddr int) {
+	e.run(m, jobParallel, t, d, 0)
 	for s := 0; s < e.nsh; s++ {
 		if e.trapPE[s] >= 0 {
 			return int(e.trapPE[s]), int(e.trapAddr[s])
@@ -258,8 +257,8 @@ func (e *engine) parallel(m *Machine, t int, in isa.Inst) (trapPE, trapAddr int)
 }
 
 // count sums per-shard responder counts (RCOUNT/RANY).
-func (e *engine) count(m *Machine, t int, in isa.Inst) int64 {
-	e.run(m, jobCount, t, in, 0)
+func (e *engine) count(m *Machine, t int, d *isa.Decoded) int64 {
+	e.run(m, jobCount, t, d, 0)
 	var n int64
 	for s := 0; s < e.nsh; s++ {
 		n += e.acc[s]
@@ -268,8 +267,8 @@ func (e *engine) count(m *Machine, t int, in isa.Inst) int64 {
 }
 
 // first min-merges per-shard first-responder indexes; e.pes means none.
-func (e *engine) first(m *Machine, t int, in isa.Inst) int {
-	e.run(m, jobFirst, t, in, 0)
+func (e *engine) first(m *Machine, t int, d *isa.Decoded) int {
+	e.run(m, jobFirst, t, d, 0)
 	first := int64(e.pes)
 	for s := 0; s < e.nsh; s++ {
 		if e.acc[s] < first {
@@ -280,16 +279,16 @@ func (e *engine) first(m *Machine, t int, in isa.Inst) int {
 }
 
 // firstWrite distributes the resolver writeback (RFIRST's flag update).
-func (e *engine) firstWrite(m *Machine, t int, in isa.Inst, winner int) {
-	if in.Rd == 0 {
+func (e *engine) firstWrite(m *Machine, t int, d *isa.Decoded, winner int) {
+	if d.Inst.Rd == 0 {
 		return // writes to f0 are dropped; skip the barrier
 	}
-	e.run(m, jobFirstWrite, t, in, winner)
+	e.run(m, jobFirstWrite, t, d, winner)
 }
 
 // reduce runs a value reduction: shards fold to subtree roots, and folding
 // the roots completes the global tree bit-identically.
-func (e *engine) reduce(m *Machine, t int, in isa.Inst) int64 {
-	e.run(m, jobReduce, t, in, 0)
-	return network.FoldInPlace(e.acc[:e.nsh], m.combineFor(in.Op))
+func (e *engine) reduce(m *Machine, t int, d *isa.Decoded) int64 {
+	e.run(m, jobReduce, t, d, 0)
+	return m.foldLeaves(d, e.acc[:e.nsh])
 }

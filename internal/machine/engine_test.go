@@ -278,6 +278,21 @@ func TestExecZeroAlloc(t *testing.T) {
 			if allocs != 0 {
 				t.Errorf("%v/%s: %v allocs per Exec, want 0", engine, tc.name, allocs)
 			}
+			// The decoded fast path — what the scheduler actually drives
+			// per cycle — must also run allocation free.
+			d, err := isa.DecodeInst(in)
+			if err != nil {
+				t.Fatalf("%v/%s: decode: %v", engine, tc.name, err)
+			}
+			allocs = testing.AllocsPerRun(200, func() {
+				m.SetPC(0, 0)
+				if _, err := m.ExecDecoded(0, &d); err != nil {
+					t.Fatalf("%v/%s: %v", engine, tc.name, err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%v/%s: %v allocs per ExecDecoded, want 0", engine, tc.name, allocs)
+			}
 		}
 	}
 }

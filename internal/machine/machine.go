@@ -4,11 +4,19 @@
 // ALU, multiplier, divider — section 6.2 of the paper), and the thread
 // contexts with their mailboxes (section 6.1).
 //
-// The package is purely functional: Exec applies one instruction for one
-// thread and reports the control-flow outcome. All timing (pipelines,
-// hazards, multithreaded issue) lives in internal/pipeline and
+// The package is purely functional: ExecDecoded applies one pre-decoded
+// micro-op for one thread and reports the control-flow outcome. All timing
+// (pipelines, hazards, multithreaded issue) lives in internal/pipeline and
 // internal/core; the baselines in internal/baseline reuse the same
 // functional core, so every machine model computes identical results.
+//
+// Programs are decoded once (isa.DecodeProgram) when loaded — New and
+// SetProgram validate and reject bad programs up front — and the per-cycle
+// paths dispatch on the precomputed selectors in isa.Decoded, never on raw
+// opcodes. Exec and Blocked remain as single-instruction compatibility
+// entry points that decode on the fly into a per-machine scratch slot. The
+// pre-decode-plane interpreter is retained in ref.go (ExecRef) as the
+// reference for differential testing.
 //
 // Value representation: registers and memory words hold the raw bit pattern
 // in the low Width bits of an int64 (0 .. 2^Width-1). Signed operations
@@ -104,18 +112,43 @@ type thread struct {
 	mailbox []int64
 }
 
+// leaf transform kinds for reduceLeavesRange, indexed by isa.ReduceKind.
+const (
+	leafRaw = iota
+	leafSigned
+	leafInverted
+)
+
+// reduceLeafKind maps a value reduction to how responder values enter the
+// tree: raw bit patterns, sign-extended, or inverted (RAND's De Morgan
+// leaves). Count/any/first entries are unused.
+var reduceLeafKind = [isa.NumReduceKinds]uint8{
+	isa.ReduceOr:   leafRaw,
+	isa.ReduceAnd:  leafInverted,
+	isa.ReduceMaxS: leafSigned,
+	isa.ReduceMinS: leafSigned,
+	isa.ReduceMaxU: leafRaw,
+	isa.ReduceMinU: leafRaw,
+	isa.ReduceSum:  leafSigned,
+}
+
 // Machine is the complete architectural state.
 type Machine struct {
 	cfg  Config
-	prog []isa.Inst
+	dec  *isa.DecodedProgram
+	prog []isa.Inst // dec.Insts(), kept for snapshot/describe accessors
 
 	threads []thread
 
 	// PE state, stored flat so host-side shards stream contiguous memory.
 	// The register files are split between threads at the hardware level
 	// (section 6.2); the flat index keeps that [thread][pe][reg] order:
-	//   pregs[(t*PEs+pe)*isa.NumParallelRegs + r]
-	//   flags[(t*PEs+pe)*isa.NumFlagRegs + r]
+	//   pregs[(t*isa.NumParallelRegs+r)*PEs + pe]
+	//   flags[(t*isa.NumFlagRegs+r)*PEs + pe]
+	// Register-major planes: for a fixed register, consecutive PEs are
+	// consecutive in memory, so the PE-array inner loops (parallel ops,
+	// reduction leaf gathering) stream sequentially instead of striding
+	// a cache line per PE.
 	pregs []int64
 	flags []bool
 
@@ -138,16 +171,47 @@ type Machine struct {
 	// once so reduction dispatch allocates no closures.
 	satAdd network.CombineFunc
 
+	// satLo, satHi are the width's saturating-sum bounds, hoisted for the
+	// specialized fold kernels.
+	satLo, satHi int64
+
+	// Per-ReduceKind dispatch tables (identity element and tree-node
+	// function), built once at New so execReduction is a pair of array
+	// loads instead of opcode switches.
+	reduceIdent [isa.NumReduceKinds]int64
+	reduceComb  [isa.NumReduceKinds]network.CombineFunc
+
+	// scratch holds the decoded form of the instruction passed to the
+	// single-instruction compatibility entry points Exec/Blocked. It lives
+	// on the machine (not the stack) because the sharded engine publishes a
+	// pointer to the in-flight micro-op, which would otherwise force a heap
+	// allocation per call.
+	scratch isa.Decoded
+
 	// eng is the sharded worker pool, or nil for the serial engine.
 	eng *engine
 }
 
-// New builds a machine with the given configuration and program.
+// New builds a machine with the given configuration and program. The
+// program is decoded and validated up front; invalid programs (undefined
+// opcodes, out-of-range register indices or static control-flow targets)
+// are rejected with an error wrapping isa.ErrInvalidProgram.
 func New(cfg Config, prog []isa.Inst) (*Machine, error) {
+	dp, err := isa.DecodeProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return NewDecoded(cfg, dp)
+}
+
+// NewDecoded builds a machine around an already-decoded program, sharing
+// the decoded form (it is immutable) with any other consumers — the
+// serving stack's program cache decodes once per distinct program.
+func NewDecoded(cfg Config, dp *isa.DecodedProgram) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, prog: prog}
+	m := &Machine{cfg: cfg, dec: dp, prog: dp.Insts()}
 	m.threads = make([]thread, cfg.Threads)
 	m.pregs = make([]int64, cfg.Threads*cfg.PEs*isa.NumParallelRegs)
 	m.flags = make([]bool, cfg.Threads*cfg.PEs*isa.NumFlagRegs)
@@ -155,6 +219,27 @@ func New(cfg Config, prog []isa.Inst) (*Machine, error) {
 	m.scalarMem = make([]int64, cfg.ScalarMemWords)
 	m.leafBuf = make([]int64, cfg.PEs)
 	m.satAdd = network.SatAdd(cfg.Width)
+	m.satLo, m.satHi = network.SatLimits(cfg.Width)
+
+	w := cfg.Width
+	m.reduceIdent = [isa.NumReduceKinds]int64{
+		isa.ReduceOr:   network.OrIdentity(),
+		isa.ReduceAnd:  network.OrIdentity(), // De Morgan: folds as OR
+		isa.ReduceMaxS: network.MaxIdentitySigned(w),
+		isa.ReduceMinS: network.MinIdentitySigned(w),
+		isa.ReduceMaxU: network.MaxIdentityUnsigned(),
+		isa.ReduceMinU: network.MinIdentityUnsigned(w),
+		isa.ReduceSum:  0,
+	}
+	m.reduceComb = [isa.NumReduceKinds]network.CombineFunc{
+		isa.ReduceOr:   network.CombineOr,
+		isa.ReduceAnd:  network.CombineOr, // De Morgan: folds as OR
+		isa.ReduceMaxS: network.CombineMax,
+		isa.ReduceMinS: network.CombineMin,
+		isa.ReduceMaxU: network.CombineMax,
+		isa.ReduceMinU: network.CombineMin,
+		isa.ReduceSum:  m.satAdd,
+	}
 
 	useParallel := false
 	switch cfg.Engine {
@@ -200,9 +285,26 @@ func (m *Machine) Reset() {
 }
 
 // SetProgram retargets the machine at a new program without reallocating
-// any state. Thread PCs from the old program are meaningless afterwards, so
-// callers must Reset (or Restore a matching snapshot) before executing.
-func (m *Machine) SetProgram(prog []isa.Inst) { m.prog = prog }
+// any state. The program is decoded and validated like New; on success the
+// machine is Reset, so stale thread PCs from the old program can never
+// execute against the new one. On error the machine is left unchanged,
+// still running the old program.
+func (m *Machine) SetProgram(prog []isa.Inst) error {
+	dp, err := isa.DecodeProgram(prog)
+	if err != nil {
+		return err
+	}
+	m.SetDecoded(dp)
+	return nil
+}
+
+// SetDecoded retargets the machine at an already-decoded program and
+// Resets it (see SetProgram).
+func (m *Machine) SetDecoded(dp *isa.DecodedProgram) {
+	m.dec = dp
+	m.prog = dp.Insts()
+	m.Reset()
+}
 
 // Close stops the sharded engine's worker pool; it is a no-op for serial
 // machines and safe to call more than once. New installs Close as a
@@ -221,8 +323,11 @@ func (m *Machine) EngineParallelActive() bool { return m.eng != nil }
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Program returns the loaded program.
+// Program returns the loaded program in raw instruction form.
 func (m *Machine) Program() []isa.Inst { return m.prog }
+
+// Decoded returns the loaded program in decoded micro-op form.
+func (m *Machine) Decoded() *isa.DecodedProgram { return m.dec }
 
 // Halted reports whether HALT has executed or every thread has exited.
 func (m *Machine) Halted() bool {
@@ -278,7 +383,7 @@ func (m *Machine) Parallel(t, pe int, r uint8) int64 {
 	if r == 0 {
 		return 0
 	}
-	return m.pregs[(t*m.cfg.PEs+pe)*isa.NumParallelRegs+int(r)]
+	return m.pregs[(t*isa.NumParallelRegs+int(r))*m.cfg.PEs+pe]
 }
 
 // SetParallel writes parallel register r of PE pe in thread t.
@@ -286,7 +391,7 @@ func (m *Machine) SetParallel(t, pe int, r uint8, v int64) {
 	if r == 0 {
 		return
 	}
-	m.pregs[(t*m.cfg.PEs+pe)*isa.NumParallelRegs+int(r)] = m.mask(v)
+	m.pregs[(t*isa.NumParallelRegs+int(r))*m.cfg.PEs+pe] = m.mask(v)
 }
 
 // Flag returns flag register r of PE pe in thread t. f0 reads as one.
@@ -294,7 +399,7 @@ func (m *Machine) Flag(t, pe int, r uint8) bool {
 	if r == 0 {
 		return true
 	}
-	return m.flags[(t*m.cfg.PEs+pe)*isa.NumFlagRegs+int(r)]
+	return m.flags[(t*isa.NumFlagRegs+int(r))*m.cfg.PEs+pe]
 }
 
 // SetFlag writes flag register r of PE pe in thread t (f0 writes dropped).
@@ -302,16 +407,17 @@ func (m *Machine) SetFlag(t, pe int, r uint8, v bool) {
 	if r == 0 {
 		return
 	}
-	m.flags[(t*m.cfg.PEs+pe)*isa.NumFlagRegs+int(r)] = v
+	m.flags[(t*isa.NumFlagRegs+int(r))*m.cfg.PEs+pe] = v
 }
 
-// flagAt reads flag r at flag-file base fb (f0 hardwired to one). Hot-loop
-// twin of Flag for callers that precompute (t*PEs+pe)*NumFlagRegs.
+// flagAt reads flag r at per-PE flag base fb = t*nF*PEs + pe (f0
+// hardwired to one). Hot-loop
+// twin of Flag for callers that precompute t*NumFlagRegs*PEs + pe.
 func (m *Machine) flagAt(fb, r int) bool {
 	if r == 0 {
 		return true
 	}
-	return m.flags[fb+r]
+	return m.flags[fb+r*m.cfg.PEs]
 }
 
 // LoadLocalMem initializes PE local memory: data[pe][w] -> word w of PE pe.
@@ -360,22 +466,26 @@ type Outcome struct {
 	Spawned  int  // thread id allocated by TSPAWN, or -1
 }
 
-// Blocked reports whether the instruction cannot issue for thread t right
-// now because of interthread synchronization: TRECV with an empty mailbox,
-// TSEND to a full mailbox, or TJOIN on a live thread. Blocked threads are
-// simply not ready to the scheduler (fine-grain multithreading, section 5).
-func (m *Machine) Blocked(t int, in isa.Inst) bool {
-	switch in.Op {
-	case isa.TRECV:
+// BlockedDecoded reports whether the micro-op cannot issue for thread t
+// right now because of interthread synchronization: TRECV with an empty
+// mailbox, TSEND to a full mailbox, or TJOIN on a live thread. Blocked
+// threads are simply not ready to the scheduler (fine-grain
+// multithreading, section 5).
+func (m *Machine) BlockedDecoded(t int, d *isa.Decoded) bool {
+	if !d.Info.Blocking {
+		return false
+	}
+	switch d.Thread {
+	case isa.ThreadOpRecv:
 		return len(m.threads[t].mailbox) == 0
-	case isa.TSEND:
-		target := int(m.signed(m.Scalar(t, in.Ra)))
+	case isa.ThreadOpSend:
+		target := int(m.signed(m.Scalar(t, d.Inst.Ra)))
 		if target < 0 || target >= m.cfg.Threads {
 			return false // executes and traps
 		}
 		return len(m.threads[target].mailbox) >= m.cfg.MailboxCap
-	case isa.TJOIN:
-		target := int(m.signed(m.Scalar(t, in.Ra)))
+	case isa.ThreadOpJoin:
+		target := int(m.signed(m.Scalar(t, d.Inst.Ra)))
 		if target < 0 || target >= m.cfg.Threads {
 			return false
 		}
@@ -401,132 +511,150 @@ func (m *Machine) trap(t int, in isa.Inst, format string, args ...any) error {
 	return &TrapError{Thread: t, PC: m.threads[t].pc, Inst: in, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Exec executes one instruction for thread t and advances that thread's PC.
-// The caller must ensure the thread is active and not Blocked. Exec applies
-// all architectural effects immediately; the timing layers replay program
-// order per thread, so this matches the in-order pipeline with forwarding.
+// Exec decodes one instruction on the fly and executes it — the
+// single-instruction compatibility entry point. The decoded form lands in
+// the machine's scratch slot, so the call allocates nothing. Hot loops
+// (internal/core, the baselines) execute pre-decoded programs through
+// ExecDecoded instead. An instruction that fails decode validation traps.
 func (m *Machine) Exec(t int, in isa.Inst) (Outcome, error) {
+	d, err := isa.DecodeInst(in)
+	if err != nil {
+		return Outcome{NextPC: m.threads[t].pc + 1, Spawned: -1}, m.trap(t, in, "%v", err)
+	}
+	m.scratch = d
+	return m.ExecDecoded(t, &m.scratch)
+}
+
+// ExecDecoded executes one pre-decoded micro-op for thread t and advances
+// that thread's PC. The caller must ensure the thread is active and not
+// blocked. It applies all architectural effects immediately; the timing
+// layers replay program order per thread, so this matches the in-order
+// pipeline with forwarding. Dispatch is entirely on the precomputed
+// selectors — no per-cycle opcode decoding.
+func (m *Machine) ExecDecoded(t int, d *isa.Decoded) (Outcome, error) {
 	th := &m.threads[t]
 	out := Outcome{NextPC: th.pc + 1, Spawned: -1}
-	info := in.Info()
+	in := &d.Inst
 
-	switch {
-	case in.Op == isa.NOP:
-	case in.Op == isa.HALT:
+	switch d.Kind {
+	case isa.ExecNop:
+	case isa.ExecHalt:
 		m.halted = true
 		out.Halt = true
 
-	case info.IsBranch:
-		taken, err := m.branchTaken(t, in)
-		if err != nil {
-			return out, err
-		}
-		if taken {
-			out.NextPC = int(in.Imm)
-			out.Redirect = true
-		}
-
-	case info.IsJump:
-		switch in.Op {
-		case isa.J:
-			out.NextPC = int(in.Imm)
-		case isa.JAL:
-			m.SetScalar(t, isa.LinkReg, int64(th.pc+1))
-			out.NextPC = int(in.Imm)
-		case isa.JR:
-			out.NextPC = int(m.Scalar(t, in.Ra))
-		}
-		out.Redirect = true
-
-	case info.IsThread:
-		if err := m.execThreadOp(t, in, &out); err != nil {
-			return out, err
-		}
-
-	case in.Op == isa.LW:
-		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
-		if addr < 0 || addr >= m.cfg.ScalarMemWords {
-			return out, m.trap(t, in, "scalar load address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
-		}
-		m.SetScalar(t, in.Rd, m.scalarMem[addr])
-
-	case in.Op == isa.SW:
-		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
-		if addr < 0 || addr >= m.cfg.ScalarMemWords {
-			return out, m.trap(t, in, "scalar store address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
-		}
-		m.scalarMem[addr] = m.Scalar(t, in.Rd)
-
-	case in.Op == isa.LUI:
-		m.SetScalar(t, in.Rd, int64(uint16(in.Imm))<<16)
-
-	case info.Class == isa.ClassScalar:
-		// Scalar ALU, register or immediate form.
+	case isa.ExecScalarALU:
 		a := m.Scalar(t, in.Ra)
 		var b int64
-		if info.Format == isa.FormatI {
+		if d.ImmB {
 			b = m.mask(int64(in.Imm))
 		} else {
 			b = m.Scalar(t, in.Rb)
 		}
-		v, err := m.alu(scalarALUOp(in.Op), a, b)
-		if err != nil {
-			return out, m.trap(t, in, "%v", err)
-		}
-		m.SetScalar(t, in.Rd, v)
+		m.SetScalar(t, in.Rd, m.alu(d.ALU, a, b))
 
-	case info.Class == isa.ClassParallel:
-		if err := m.execParallel(t, in); err != nil {
+	case isa.ExecBranch:
+		if m.condTrue(d.Cond, m.Scalar(t, in.Rd), m.Scalar(t, in.Ra)) {
+			out.NextPC = int(in.Imm)
+			out.Redirect = true
+		}
+
+	case isa.ExecJump:
+		switch d.Jump {
+		case isa.JumpAbs:
+			out.NextPC = int(in.Imm)
+		case isa.JumpLink:
+			m.SetScalar(t, isa.LinkReg, int64(th.pc+1))
+			out.NextPC = int(in.Imm)
+		case isa.JumpReg:
+			out.NextPC = int(m.Scalar(t, in.Ra))
+		}
+		out.Redirect = true
+
+	case isa.ExecThread:
+		if err := m.execThreadOp(t, d, &out); err != nil {
 			return out, err
 		}
 
-	case info.Class == isa.ClassReduction:
-		m.execReduction(t, in)
+	case isa.ExecScalarLoad:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, *in, "scalar load address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.SetScalar(t, in.Rd, m.scalarMem[addr])
+
+	case isa.ExecScalarStore:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, *in, "scalar store address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.scalarMem[addr] = m.Scalar(t, in.Rd)
+
+	case isa.ExecLUI:
+		m.SetScalar(t, in.Rd, int64(uint16(in.Imm))<<16)
+
+	case isa.ExecParallel:
+		if err := m.execParallel(t, d); err != nil {
+			return out, err
+		}
+
+	case isa.ExecReduction:
+		m.execReduction(t, d)
 
 	default:
-		return out, m.trap(t, in, "unimplemented opcode")
+		return out, m.trap(t, *in, "unimplemented opcode")
 	}
 
 	th.pc = out.NextPC
 	if !out.Halt && !out.Exited {
-		if out.NextPC < 0 || out.NextPC > len(m.prog) {
-			return out, m.trap(t, in, "next pc %d out of program bounds [0, %d]", out.NextPC, len(m.prog))
+		if out.NextPC < 0 || out.NextPC > m.dec.Len() {
+			return out, m.trap(t, *in, "next pc %d out of program bounds [0, %d]", out.NextPC, m.dec.Len())
 		}
 	}
 	return out, nil
 }
 
-func (m *Machine) branchTaken(t int, in isa.Inst) (bool, error) {
-	a := m.Scalar(t, in.Rd)
-	b := m.Scalar(t, in.Ra)
-	sa, sb := m.signed(a), m.signed(b)
-	switch in.Op {
-	case isa.BEQ:
-		return a == b, nil
-	case isa.BNE:
-		return a != b, nil
-	case isa.BLT:
-		return sa < sb, nil
-	case isa.BGE:
-		return sa >= sb, nil
-	case isa.BLTU:
-		return a < b, nil
-	case isa.BGEU:
-		return a >= b, nil
+// condTrue evaluates a decoded comparison on two width-masked bit
+// patterns — shared by branches and parallel compares.
+func (m *Machine) condTrue(c isa.Cond, a, b int64) bool {
+	switch c {
+	case isa.CondEQ:
+		return a == b
+	case isa.CondNE:
+		return a != b
+	case isa.CondLTU:
+		return a < b
+	case isa.CondLEU:
+		return a <= b
+	case isa.CondGTU:
+		return a > b
+	case isa.CondGEU:
+		return a >= b
 	}
-	return false, m.trap(t, in, "not a branch")
+	sa, sb := m.signed(a), m.signed(b)
+	switch c {
+	case isa.CondLT:
+		return sa < sb
+	case isa.CondLE:
+		return sa <= sb
+	case isa.CondGT:
+		return sa > sb
+	case isa.CondGE:
+		return sa >= sb
+	}
+	panic(fmt.Sprintf("machine: unknown condition %d", c))
 }
 
-func (m *Machine) execThreadOp(t int, in isa.Inst, out *Outcome) error {
+func (m *Machine) execThreadOp(t int, d *isa.Decoded, out *Outcome) error {
 	th := &m.threads[t]
-	switch in.Op {
-	case isa.TID:
+	in := &d.Inst
+	switch d.Thread {
+	case isa.ThreadOpID:
 		m.SetScalar(t, in.Rd, int64(t))
 
-	case isa.TSPAWN:
+	case isa.ThreadOpSpawn:
 		target := int(in.Imm)
-		if target < 0 || target >= len(m.prog) {
-			return m.trap(t, in, "spawn target %d out of program bounds", target)
+		if target < 0 || target >= m.dec.Len() {
+			return m.trap(t, *in, "spawn target %d out of program bounds", target)
 		}
 		spawned := -1
 		for i := range m.threads {
@@ -552,261 +680,174 @@ func (m *Machine) execThreadOp(t int, in isa.Inst, out *Outcome) error {
 		m.SetScalar(t, in.Rd, int64(spawned))
 		out.Spawned = spawned
 
-	case isa.TEXIT:
+	case isa.ThreadOpExit:
 		th.state = ThreadFree
 		out.Exited = true
 
-	case isa.TJOIN:
+	case isa.ThreadOpJoin:
 		target := int(m.signed(m.Scalar(t, in.Ra)))
 		if target < 0 || target >= m.cfg.Threads {
-			return m.trap(t, in, "join on invalid thread id %d", target)
+			return m.trap(t, *in, "join on invalid thread id %d", target)
 		}
 		// Caller guaranteed the target is no longer active.
 
-	case isa.TSEND:
+	case isa.ThreadOpSend:
 		target := int(m.signed(m.Scalar(t, in.Ra)))
 		if target < 0 || target >= m.cfg.Threads {
-			return m.trap(t, in, "send to invalid thread id %d", target)
+			return m.trap(t, *in, "send to invalid thread id %d", target)
 		}
 		tt := &m.threads[target]
 		if len(tt.mailbox) >= m.cfg.MailboxCap {
-			return m.trap(t, in, "send to full mailbox (caller must check Blocked)")
+			return m.trap(t, *in, "send to full mailbox (caller must check Blocked)")
 		}
 		tt.mailbox = append(tt.mailbox, m.Scalar(t, in.Rb))
 
-	case isa.TRECV:
+	case isa.ThreadOpRecv:
 		if len(th.mailbox) == 0 {
-			return m.trap(t, in, "recv on empty mailbox (caller must check Blocked)")
+			return m.trap(t, *in, "recv on empty mailbox (caller must check Blocked)")
 		}
 		v := th.mailbox[0]
 		th.mailbox = th.mailbox[1:]
 		m.SetScalar(t, in.Rd, v)
 
 	default:
-		return m.trap(t, in, "unimplemented thread op")
+		return m.trap(t, *in, "unimplemented thread op")
 	}
 	return nil
 }
 
-// aluOp is the internal ALU operation selector shared by the scalar datapath
-// and the PEs ("the scalar datapath ... has an organization nearly identical
-// to the PEs", section 6.3).
-type aluOp uint8
-
-const (
-	opAdd aluOp = iota
-	opSub
-	opAnd
-	opOr
-	opXor
-	opSll
-	opSrl
-	opSra
-	opSlt
-	opSltu
-	opMul
-	opDiv
-	opMod
-)
-
-func scalarALUOp(op isa.Op) aluOp {
-	switch op {
-	case isa.ADD, isa.ADDI:
-		return opAdd
-	case isa.SUB:
-		return opSub
-	case isa.AND, isa.ANDI:
-		return opAnd
-	case isa.OR, isa.ORI:
-		return opOr
-	case isa.XOR, isa.XORI:
-		return opXor
-	case isa.SLL, isa.SLLI:
-		return opSll
-	case isa.SRL, isa.SRLI:
-		return opSrl
-	case isa.SRA, isa.SRAI:
-		return opSra
-	case isa.SLT, isa.SLTI:
-		return opSlt
-	case isa.SLTU:
-		return opSltu
-	case isa.MUL:
-		return opMul
-	case isa.DIV:
-		return opDiv
-	case isa.MOD:
-		return opMod
-	}
-	panic(fmt.Sprintf("machine: %v is not a scalar ALU op", op))
-}
-
-func parallelALUOp(op isa.Op) aluOp {
-	switch op {
-	case isa.PADD, isa.PADDI:
-		return opAdd
-	case isa.PSUB:
-		return opSub
-	case isa.PAND, isa.PANDI:
-		return opAnd
-	case isa.POR, isa.PORI:
-		return opOr
-	case isa.PXOR, isa.PXORI:
-		return opXor
-	case isa.PSLL, isa.PSLLI:
-		return opSll
-	case isa.PSRL, isa.PSRLI:
-		return opSrl
-	case isa.PSRA, isa.PSRAI:
-		return opSra
-	case isa.PMUL:
-		return opMul
-	case isa.PDIV:
-		return opDiv
-	case isa.PMOD:
-		return opMod
-	}
-	panic(fmt.Sprintf("machine: %v is not a parallel ALU op", op))
-}
-
-// alu computes one ALU operation on width-masked bit patterns.
+// alu computes one ALU operation on width-masked bit patterns. The decode
+// plane guarantees op is a valid selector, so there is no error path.
 // Division by zero follows the RISC-V convention: quotient is all ones,
 // remainder is the dividend. There is no divide trap.
-func (m *Machine) alu(op aluOp, a, b int64) (int64, error) {
+func (m *Machine) alu(op isa.ALUOp, a, b int64) int64 {
 	sa, sb := m.signed(a), m.signed(b)
 	shift := uint(b) % 64
 	switch op {
-	case opAdd:
-		return m.mask(a + b), nil
-	case opSub:
-		return m.mask(a - b), nil
-	case opAnd:
-		return a & b, nil
-	case opOr:
-		return a | b, nil
-	case opXor:
-		return a ^ b, nil
-	case opSll:
+	case isa.ALUAdd:
+		return m.mask(a + b)
+	case isa.ALUSub:
+		return m.mask(a - b)
+	case isa.ALUAnd:
+		return a & b
+	case isa.ALUOr:
+		return a | b
+	case isa.ALUXor:
+		return a ^ b
+	case isa.ALUSll:
 		if shift >= m.cfg.Width {
-			return 0, nil
+			return 0
 		}
-		return m.mask(a << shift), nil
-	case opSrl:
+		return m.mask(a << shift)
+	case isa.ALUSrl:
 		if shift >= m.cfg.Width {
-			return 0, nil
+			return 0
 		}
-		return a >> shift, nil
-	case opSra:
+		return a >> shift
+	case isa.ALUSra:
 		if shift >= m.cfg.Width {
 			shift = m.cfg.Width - 1
 		}
-		return m.mask(sa >> shift), nil
-	case opSlt:
+		return m.mask(sa >> shift)
+	case isa.ALUSlt:
 		if sa < sb {
-			return 1, nil
+			return 1
 		}
-		return 0, nil
-	case opSltu:
+		return 0
+	case isa.ALUSltu:
 		if a < b {
-			return 1, nil
+			return 1
 		}
-		return 0, nil
-	case opMul:
-		return m.mask(sa * sb), nil
-	case opDiv:
+		return 0
+	case isa.ALUMul:
+		return m.mask(sa * sb)
+	case isa.ALUDiv:
 		if sb == 0 {
-			return m.mask(-1), nil
+			return m.mask(-1)
 		}
-		return m.mask(sa / sb), nil
-	case opMod:
+		return m.mask(sa / sb)
+	case isa.ALUMod:
 		if sb == 0 {
-			return m.mask(sa), nil
+			return m.mask(sa)
 		}
-		return m.mask(sa % sb), nil
+		return m.mask(sa % sb)
 	}
-	return 0, fmt.Errorf("unknown alu op %d", op)
+	panic(fmt.Sprintf("machine: unknown alu op %d", op))
 }
 
-// execParallel applies a parallel-class instruction on every responder PE,
-// on whichever host engine is active.
+// execParallel applies a parallel-class micro-op on every responder PE, on
+// whichever host engine is active.
 //
 // Trap semantics for PLW/PSW are deterministic under sharding: every
 // non-trapping responder executes its access, and the trap reports the
 // lowest-numbered faulting PE — the same result whether PEs run serially or
 // split across shards. (In hardware all PEs operate in lockstep, so "the
 // PEs before the fault ran, the ones after did not" has no meaning anyway.)
-func (m *Machine) execParallel(t int, in isa.Inst) error {
-	info := in.Info()
-	if info.DstKind == isa.KindFlag && info.SrcAKind != isa.KindParallel {
-		switch in.Op {
-		case isa.FAND, isa.FOR, isa.FXOR, isa.FANDN, isa.FNOT, isa.FMOV, isa.FSET, isa.FCLR:
-		default:
-			return m.trap(t, in, "unimplemented flag op")
-		}
-	}
+func (m *Machine) execParallel(t int, d *isa.Decoded) error {
 	var trapPE, trapAddr int
 	if m.eng != nil {
-		trapPE, trapAddr = m.eng.parallel(m, t, in)
+		trapPE, trapAddr = m.eng.parallel(m, t, d)
 	} else {
-		trapPE, trapAddr = m.execParallelRange(t, in, 0, m.cfg.PEs)
+		trapPE, trapAddr = m.execParallelRange(t, d, 0, m.cfg.PEs)
 	}
 	if trapPE >= 0 {
 		verb := "load"
-		if in.Op == isa.PSW {
+		if d.Par == isa.ParStore {
 			verb = "store"
 		}
-		return m.trap(t, in, "PE %d local %s address %d out of [0, %d)", trapPE, verb, trapAddr, m.cfg.LocalMemWords)
+		return m.trap(t, d.Inst, "PE %d local %s address %d out of [0, %d)", trapPE, verb, trapAddr, m.cfg.LocalMemWords)
 	}
 	return nil
 }
 
-// execParallelRange applies a parallel-class instruction on responder PEs in
+// execParallelRange applies a parallel-class micro-op on responder PEs in
 // [lo, hi). It returns the lowest faulting PE in the range and the faulting
-// address, or (-1, 0). The caller has already validated the opcode, so the
-// body is a tight loop over flat state with no error paths except memory
-// bounds. Ranges touch only their own PEs' registers, flags, and local
-// memory rows (plus read-only scalar state), so disjoint ranges are safe to
-// run concurrently.
-func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, trapAddr int) {
+// address, or (-1, 0). The decode plane has already validated the op, so
+// the body is a tight loop over flat state with no error paths except
+// memory bounds. Ranges touch only their own PEs' registers, flags, and
+// local memory rows (plus read-only scalar state), so disjoint ranges are
+// safe to run concurrently.
+func (m *Machine) execParallelRange(t int, d *isa.Decoded, lo, hi int) (trapPE, trapAddr int) {
 	trapPE, trapAddr = -1, 0
-	info := in.Info()
-	base := t * m.cfg.PEs
+	in := &d.Inst
+	p := m.cfg.PEs
+	base := t * p
 	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
 	mk := int(in.Mask)
 	rd, ra, rb := int(in.Rd), int(in.Ra), int(in.Rb)
 
-	switch {
-	case in.Op == isa.PIDX:
+	switch d.Par {
+	case isa.ParIdx:
 		if rd == 0 {
 			return
 		}
 		for pe := lo; pe < hi; pe++ {
-			if mk == 0 || m.flags[(base+pe)*nF+mk] {
-				m.pregs[(base+pe)*nP+rd] = m.mask(int64(pe))
+			if mk == 0 || m.flags[base*nF+mk*p+pe] {
+				m.pregs[base*nP+rd*p+pe] = m.mask(int64(pe))
 			}
 		}
 
-	case in.Op == isa.PLI:
+	case isa.ParImm:
 		if rd == 0 {
 			return
 		}
 		v := m.mask(int64(in.Imm))
 		for pe := lo; pe < hi; pe++ {
-			if mk == 0 || m.flags[(base+pe)*nF+mk] {
-				m.pregs[(base+pe)*nP+rd] = v
+			if mk == 0 || m.flags[base*nF+mk*p+pe] {
+				m.pregs[base*nP+rd*p+pe] = v
 			}
 		}
 
-	case in.Op == isa.PLW:
+	case isa.ParLoad:
 		lmw := m.cfg.LocalMemWords
 		imm := int(in.Imm)
 		for pe := lo; pe < hi; pe++ {
-			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
 				continue
 			}
 			var av int64
 			if ra != 0 {
-				av = m.pregs[(base+pe)*nP+ra]
+				av = m.pregs[base*nP+ra*p+pe]
 			}
 			addr := int(m.signed(av)) + imm
 			if addr < 0 || addr >= lmw {
@@ -816,20 +857,20 @@ func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, tra
 				continue
 			}
 			if rd != 0 {
-				m.pregs[(base+pe)*nP+rd] = m.localMem[pe*lmw+addr]
+				m.pregs[base*nP+rd*p+pe] = m.localMem[pe*lmw+addr]
 			}
 		}
 
-	case in.Op == isa.PSW:
+	case isa.ParStore:
 		lmw := m.cfg.LocalMemWords
 		imm := int(in.Imm)
 		for pe := lo; pe < hi; pe++ {
-			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
 				continue
 			}
 			var av int64
 			if ra != 0 {
-				av = m.pregs[(base+pe)*nP+ra]
+				av = m.pregs[base*nP+ra*p+pe]
 			}
 			addr := int(m.signed(av)) + imm
 			if addr < 0 || addr >= lmw {
@@ -840,12 +881,12 @@ func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, tra
 			}
 			var dv int64
 			if rd != 0 {
-				dv = m.pregs[(base+pe)*nP+rd]
+				dv = m.pregs[base*nP+rd*p+pe]
 			}
 			m.localMem[pe*lmw+addr] = dv
 		}
 
-	case info.DstKind == isa.KindFlag && info.SrcAKind == isa.KindParallel:
+	case isa.ParCompare:
 		// Parallel comparison producing a flag.
 		if rd == 0 {
 			return
@@ -855,64 +896,63 @@ func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, tra
 			sb = m.Scalar(t, in.Rb)
 		}
 		for pe := lo; pe < hi; pe++ {
-			fb := (base + pe) * nF
-			if !(mk == 0 || m.flags[fb+mk]) {
+			fb := base*nF + pe
+			if !(mk == 0 || m.flags[fb+mk*p]) {
 				continue
 			}
 			var a, b int64
 			if ra != 0 {
-				a = m.pregs[(base+pe)*nP+ra]
+				a = m.pregs[base*nP+ra*p+pe]
 			}
 			if in.SB {
 				b = sb
 			} else if rb != 0 {
-				b = m.pregs[(base+pe)*nP+rb]
+				b = m.pregs[base*nP+rb*p+pe]
 			}
-			m.flags[fb+rd] = m.compare(in.Op, a, b)
+			m.flags[fb+rd*p] = m.condTrue(d.Cond, a, b)
 		}
 
-	case info.DstKind == isa.KindFlag:
-		// Flag logic. Operands are read lazily per op: FNOT/FMOV/FSET/FCLR
-		// have no B (or A) operand, and their unused register fields may
-		// hold any value.
+	case isa.ParFlag:
+		// Flag logic. Operands are read lazily per function: FNOT/FMOV/
+		// FSET/FCLR have no B (or A) operand, and their unused register
+		// fields may hold any value.
 		if rd == 0 {
 			return
 		}
 		for pe := lo; pe < hi; pe++ {
-			fb := (base + pe) * nF
-			if !(mk == 0 || m.flags[fb+mk]) {
+			fb := base*nF + pe
+			if !(mk == 0 || m.flags[fb+mk*p]) {
 				continue
 			}
 			var v bool
-			switch in.Op {
-			case isa.FAND:
+			switch d.Flag {
+			case isa.FlagAnd:
 				v = m.flagAt(fb, ra) && m.flagAt(fb, rb)
-			case isa.FOR:
+			case isa.FlagOr:
 				v = m.flagAt(fb, ra) || m.flagAt(fb, rb)
-			case isa.FXOR:
+			case isa.FlagXor:
 				v = m.flagAt(fb, ra) != m.flagAt(fb, rb)
-			case isa.FANDN:
+			case isa.FlagAndNot:
 				v = m.flagAt(fb, ra) && !m.flagAt(fb, rb)
-			case isa.FNOT:
+			case isa.FlagNot:
 				v = !m.flagAt(fb, ra)
-			case isa.FMOV:
+			case isa.FlagMov:
 				v = m.flagAt(fb, ra)
-			case isa.FSET:
+			case isa.FlagSet:
 				v = true
-			case isa.FCLR:
+			case isa.FlagClr:
 				v = false
 			}
-			m.flags[fb+rd] = v
+			m.flags[fb+rd*p] = v
 		}
 
 	default:
-		// Parallel ALU, register/broadcast/immediate forms. alu cannot fail
-		// for any op parallelALUOp produces (division by zero is defined).
+		// Parallel ALU, register/broadcast/immediate forms (ParALU).
 		if rd == 0 {
 			return
 		}
-		op := parallelALUOp(in.Op)
-		immForm := info.Format == isa.FormatPI
+		op := d.ALU
+		immForm := d.ImmB
 		var bc int64
 		if immForm {
 			bc = m.mask(int64(in.Imm))
@@ -920,70 +960,43 @@ func (m *Machine) execParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, tra
 			bc = m.Scalar(t, in.Rb)
 		}
 		for pe := lo; pe < hi; pe++ {
-			if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
 				continue
 			}
-			pb := (base + pe) * nP
+			pb := base*nP + pe
 			var a, b int64
 			if ra != 0 {
-				a = m.pregs[pb+ra]
+				a = m.pregs[pb+ra*p]
 			}
 			if immForm || in.SB {
 				b = bc
 			} else if rb != 0 {
-				b = m.pregs[pb+rb]
+				b = m.pregs[pb+rb*p]
 			}
-			v, _ := m.alu(op, a, b)
-			m.pregs[pb+rd] = v
+			m.pregs[pb+rd*p] = m.alu(op, a, b)
 		}
 	}
 	return
 }
 
-func (m *Machine) compare(op isa.Op, a, b int64) bool {
-	sa, sb := m.signed(a), m.signed(b)
-	switch op {
-	case isa.PCEQ:
-		return a == b
-	case isa.PCNE:
-		return a != b
-	case isa.PCLT:
-		return sa < sb
-	case isa.PCLE:
-		return sa <= sb
-	case isa.PCGT:
-		return sa > sb
-	case isa.PCGE:
-		return sa >= sb
-	case isa.PCLTU:
-		return a < b
-	case isa.PCLEU:
-		return a <= b
-	case isa.PCGTU:
-		return a > b
-	case isa.PCGEU:
-		return a >= b
-	}
-	panic(fmt.Sprintf("machine: %v is not a comparison", op))
-}
-
-// execReduction applies a reduction instruction. The mask flag selects the
+// execReduction applies a reduction micro-op. The mask flag selects the
 // responders. Both engines fold the leaf vector with the exact binary-tree
 // topology of the hardware units (network.FoldInPlace); the sharded engine
 // folds aligned power-of-two shards to subtree roots and merges them, which
 // the FoldInPlace sharding contract guarantees is bit-identical — including
 // for the node-saturating sum.
-func (m *Machine) execReduction(t int, in isa.Inst) {
+func (m *Machine) execReduction(t int, d *isa.Decoded) {
 	p := m.cfg.PEs
-	switch in.Op {
-	case isa.RCOUNT, isa.RANY:
+	in := &d.Inst
+	switch d.Reduce {
+	case isa.ReduceCount, isa.ReduceAny:
 		var n int64
 		if m.eng != nil {
-			n = m.eng.count(m, t, in)
+			n = m.eng.count(m, t, d)
 		} else {
-			n = m.respCountRange(t, in, 0, p)
+			n = m.respCountRange(t, d, 0, p)
 		}
-		if in.Op == isa.RCOUNT {
+		if d.Reduce == isa.ReduceCount {
 			m.SetScalar(t, in.Rd, m.mask(n))
 		} else {
 			v := int64(0)
@@ -993,28 +1006,28 @@ func (m *Machine) execReduction(t int, in isa.Inst) {
 			m.SetScalar(t, in.Rd, v)
 		}
 
-	case isa.RFIRST:
+	case isa.ReduceFirst:
 		// The resolver output is a parallel value written back into every
 		// PE's flag register, regardless of mask: non-responders receive
 		// zero, exactly one responder receives one.
 		if m.eng != nil {
-			winner := m.eng.first(m, t, in)
-			m.eng.firstWrite(m, t, in, winner)
+			winner := m.eng.first(m, t, d)
+			m.eng.firstWrite(m, t, d, winner)
 		} else {
-			winner := int(m.respFirstRange(t, in, 0, p))
-			m.rfirstWriteRange(t, in, winner, 0, p)
+			winner := int(m.respFirstRange(t, d, 0, p))
+			m.rfirstWriteRange(t, d, winner, 0, p)
 		}
 
 	default:
 		// Value reductions over parallel register ra.
 		var root int64
 		if m.eng != nil {
-			root = m.eng.reduce(m, t, in)
+			root = m.eng.reduce(m, t, d)
 		} else {
-			m.reduceLeavesRange(t, in, 0, p)
-			root = network.FoldInPlace(m.leafBuf[:p], m.combineFor(in.Op))
+			m.reduceLeavesRange(t, d, 0, p)
+			root = m.foldLeaves(d, m.leafBuf[:p])
 		}
-		if in.Op == isa.RAND {
+		if d.Reduce == isa.ReduceAnd {
 			// De Morgan: the logic unit inverts at the leaves, ORs up the
 			// tree, and inverts the root.
 			root = ^root & (int64(1)<<m.cfg.Width - 1)
@@ -1026,14 +1039,15 @@ func (m *Machine) execReduction(t int, in isa.Inst) {
 // respCountRange counts responders (flag Ra AND mask) among PEs in [lo, hi)
 // — the response counter of section 6.4, as a range so shards can count
 // privately and sum.
-func (m *Machine) respCountRange(t int, in isa.Inst, lo, hi int) int64 {
-	base := t * m.cfg.PEs
+func (m *Machine) respCountRange(t int, d *isa.Decoded, lo, hi int) int64 {
+	p := m.cfg.PEs
+	base := t * p
 	const nF = isa.NumFlagRegs
-	ra, mk := int(in.Ra), int(in.Mask)
+	ra, mk := int(d.Inst.Ra), int(d.Inst.Mask)
 	var n int64
 	for pe := lo; pe < hi; pe++ {
-		fb := (base + pe) * nF
-		if (ra == 0 || m.flags[fb+ra]) && (mk == 0 || m.flags[fb+mk]) {
+		fb := base*nF + pe
+		if (ra == 0 || m.flags[fb+ra*p]) && (mk == 0 || m.flags[fb+mk*p]) {
 			n++
 		}
 	}
@@ -1043,13 +1057,14 @@ func (m *Machine) respCountRange(t int, in isa.Inst, lo, hi int) int64 {
 // respFirstRange returns the lowest responder index in [lo, hi), or the PE
 // count as a "no responder" sentinel so a min-merge across shards yields the
 // global resolver output.
-func (m *Machine) respFirstRange(t int, in isa.Inst, lo, hi int) int64 {
-	base := t * m.cfg.PEs
+func (m *Machine) respFirstRange(t int, d *isa.Decoded, lo, hi int) int64 {
+	p := m.cfg.PEs
+	base := t * p
 	const nF = isa.NumFlagRegs
-	ra, mk := int(in.Ra), int(in.Mask)
+	ra, mk := int(d.Inst.Ra), int(d.Inst.Mask)
 	for pe := lo; pe < hi; pe++ {
-		fb := (base + pe) * nF
-		if (ra == 0 || m.flags[fb+ra]) && (mk == 0 || m.flags[fb+mk]) {
+		fb := base*nF + pe
+		if (ra == 0 || m.flags[fb+ra*p]) && (mk == 0 || m.flags[fb+mk*p]) {
 			return int64(pe)
 		}
 	}
@@ -1059,15 +1074,16 @@ func (m *Machine) respFirstRange(t int, in isa.Inst, lo, hi int) int64 {
 // rfirstWriteRange writes the resolver output for PEs in [lo, hi): flag Rd
 // becomes one only at the winning PE (mask-independent, like the hardware
 // resolver bus). A winner outside [0, PEs) clears the whole range.
-func (m *Machine) rfirstWriteRange(t int, in isa.Inst, winner, lo, hi int) {
-	rd := int(in.Rd)
+func (m *Machine) rfirstWriteRange(t int, d *isa.Decoded, winner, lo, hi int) {
+	rd := int(d.Inst.Rd)
 	if rd == 0 {
 		return // f0 writes are dropped
 	}
-	base := t * m.cfg.PEs
+	p := m.cfg.PEs
+	base := t * p
 	const nF = isa.NumFlagRegs
 	for pe := lo; pe < hi; pe++ {
-		m.flags[(base+pe)*nF+rd] = pe == winner
+		m.flags[base*nF+rd*p+pe] = pe == winner
 	}
 }
 
@@ -1075,70 +1091,63 @@ func (m *Machine) rfirstWriteRange(t int, in isa.Inst, winner, lo, hi int) {
 // [lo, hi) into m.leafBuf: responders contribute their (transformed)
 // register value, non-responders the unit's identity element — exactly what
 // the masking gates in front of the hardware tree inject.
-func (m *Machine) reduceLeavesRange(t int, in isa.Inst, lo, hi int) {
-	base := t * m.cfg.PEs
+func (m *Machine) reduceLeavesRange(t int, d *isa.Decoded, lo, hi int) {
+	p := m.cfg.PEs
+	base := t * p
 	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
-	ra, mk := int(in.Ra), int(in.Mask)
-	w := m.cfg.Width
-	ones := int64(1)<<w - 1
+	ra, mk := int(d.Inst.Ra), int(d.Inst.Mask)
+	ones := int64(1)<<m.cfg.Width - 1
 
-	const (
-		leafRaw = iota
-		leafSigned
-		leafInverted
-	)
-	var kind int
-	var ident int64
-	switch in.Op {
-	case isa.ROR:
-		kind, ident = leafRaw, network.OrIdentity()
-	case isa.RAND:
-		kind, ident = leafInverted, network.OrIdentity()
-	case isa.RMAX:
-		kind, ident = leafSigned, network.MaxIdentitySigned(w)
-	case isa.RMIN:
-		kind, ident = leafSigned, network.MinIdentitySigned(w)
-	case isa.RMAXU:
-		kind, ident = leafRaw, network.MaxIdentityUnsigned()
-	case isa.RMINU:
-		kind, ident = leafRaw, network.MinIdentityUnsigned(w)
-	case isa.RSUM:
-		kind, ident = leafSigned, 0
-	default:
-		panic(fmt.Sprintf("machine: %v is not a reduction", in.Op))
+	kind := reduceLeafKind[d.Reduce]
+	ident := m.reduceIdent[d.Reduce]
+
+	// Register-major layout: the source register and mask flag planes are
+	// contiguous over [lo, hi), so these loops are sequential streams. The
+	// transform switch is loop-invariant and hoisted; p0 reads as zero and
+	// f0 (mask 0) as all-responders, so those legs drop the indexing.
+	out := m.leafBuf[lo:hi]
+	var vals []int64
+	if ra != 0 {
+		vals = m.pregs[base*nP+ra*p+lo : base*nP+ra*p+hi]
 	}
-
-	for pe := lo; pe < hi; pe++ {
-		if !(mk == 0 || m.flags[(base+pe)*nF+mk]) {
-			m.leafBuf[pe] = ident
-			continue
-		}
+	var resp []bool
+	if mk != 0 {
+		resp = m.flags[base*nF+mk*p+lo : base*nF+mk*p+hi]
+	}
+	sh := 64 - m.cfg.Width
+	for i := range out {
 		var v int64
-		if ra != 0 {
-			v = m.pregs[(base+pe)*nP+ra]
+		if vals != nil {
+			v = vals[i]
 		}
 		switch kind {
 		case leafSigned:
-			v = m.signed(v)
+			v = v << sh >> sh
 		case leafInverted:
 			v = ^v & ones
 		}
-		m.leafBuf[pe] = v
+		if resp != nil && !resp[i] {
+			v = ident
+		}
+		out[i] = v
 	}
 }
 
-// combineFor returns the tree-node function of a value reduction without
-// allocating: package-level funcs, plus the machine's one SatAdd closure.
-func (m *Machine) combineFor(op isa.Op) network.CombineFunc {
-	switch op {
-	case isa.RAND, isa.ROR:
-		return network.CombineOr
-	case isa.RMAX, isa.RMAXU:
-		return network.CombineMax
-	case isa.RMIN, isa.RMINU:
-		return network.CombineMin
-	case isa.RSUM:
-		return m.satAdd
+// foldLeaves reduces a leaf vector through the tree for d's reduction
+// kind, dispatching once per instruction to a fold kernel with the node
+// function inlined (bit-identical to the generic network.FoldInPlace —
+// same pairwise topology — without an indirect call per tree node).
+func (m *Machine) foldLeaves(d *isa.Decoded, buf []int64) int64 {
+	switch d.Reduce {
+	case isa.ReduceOr, isa.ReduceAnd: // RAND folds as OR (De Morgan)
+		return network.FoldInPlaceOr(buf)
+	case isa.ReduceMaxS, isa.ReduceMaxU:
+		return network.FoldInPlaceMax(buf)
+	case isa.ReduceMinS, isa.ReduceMinU:
+		return network.FoldInPlaceMin(buf)
+	case isa.ReduceSum:
+		return network.FoldInPlaceSatAdd(buf, m.satLo, m.satHi)
+	default:
+		return network.FoldInPlace(buf, m.reduceComb[d.Reduce])
 	}
-	panic(fmt.Sprintf("machine: %v is not a value reduction", op))
 }

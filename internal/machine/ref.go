@@ -1,0 +1,609 @@
+package machine
+
+// This file retains the pre-decode-plane interpreter as a reference
+// implementation: it re-derives everything from the raw isa.Inst on every
+// call — Info lookups, per-opcode switches, the scalarALUOp/parallelALUOp
+// translations — exactly like the original Exec did. It exists so the
+// differential tests can check that decoded execution (machine.go) is
+// bit-identical to first-principles instruction semantics on randomized
+// programs. It always runs the PE array serially, regardless of the
+// configured host engine, and is not a hot path: nothing in the simulator
+// proper calls it.
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/network"
+)
+
+// Blocked is the single-instruction compatibility twin of BlockedDecoded,
+// re-deriving the thread-op kind from the opcode.
+func (m *Machine) Blocked(t int, in isa.Inst) bool {
+	switch in.Op {
+	case isa.TRECV:
+		return len(m.threads[t].mailbox) == 0
+	case isa.TSEND:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return false // executes and traps
+		}
+		return len(m.threads[target].mailbox) >= m.cfg.MailboxCap
+	case isa.TJOIN:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return false
+		}
+		return m.threads[target].state == ThreadActive
+	}
+	return false
+}
+
+// scalarALUOp maps a scalar ALU opcode to its ALU function — the reference
+// path's per-exec translation that the decode plane precomputes.
+func scalarALUOp(op isa.Op) isa.ALUOp {
+	switch op {
+	case isa.ADD, isa.ADDI:
+		return isa.ALUAdd
+	case isa.SUB:
+		return isa.ALUSub
+	case isa.AND, isa.ANDI:
+		return isa.ALUAnd
+	case isa.OR, isa.ORI:
+		return isa.ALUOr
+	case isa.XOR, isa.XORI:
+		return isa.ALUXor
+	case isa.SLL, isa.SLLI:
+		return isa.ALUSll
+	case isa.SRL, isa.SRLI:
+		return isa.ALUSrl
+	case isa.SRA, isa.SRAI:
+		return isa.ALUSra
+	case isa.SLT, isa.SLTI:
+		return isa.ALUSlt
+	case isa.SLTU:
+		return isa.ALUSltu
+	case isa.MUL:
+		return isa.ALUMul
+	case isa.DIV:
+		return isa.ALUDiv
+	case isa.MOD:
+		return isa.ALUMod
+	}
+	panic(fmt.Sprintf("machine: %v is not a scalar ALU op", op))
+}
+
+// parallelALUOp is scalarALUOp's parallel-class twin.
+func parallelALUOp(op isa.Op) isa.ALUOp {
+	switch op {
+	case isa.PADD, isa.PADDI:
+		return isa.ALUAdd
+	case isa.PSUB:
+		return isa.ALUSub
+	case isa.PAND, isa.PANDI:
+		return isa.ALUAnd
+	case isa.POR, isa.PORI:
+		return isa.ALUOr
+	case isa.PXOR, isa.PXORI:
+		return isa.ALUXor
+	case isa.PSLL, isa.PSLLI:
+		return isa.ALUSll
+	case isa.PSRL, isa.PSRLI:
+		return isa.ALUSrl
+	case isa.PSRA, isa.PSRAI:
+		return isa.ALUSra
+	case isa.PMUL:
+		return isa.ALUMul
+	case isa.PDIV:
+		return isa.ALUDiv
+	case isa.PMOD:
+		return isa.ALUMod
+	}
+	panic(fmt.Sprintf("machine: %v is not a parallel ALU op", op))
+}
+
+// ExecRef executes one instruction for thread t exactly like the
+// pre-decode-plane Exec: metadata re-derived per call, dispatch by opcode,
+// serial PE loops. Architectural effects and Outcome are required to be
+// bit-identical to ExecDecoded.
+func (m *Machine) ExecRef(t int, in isa.Inst) (Outcome, error) {
+	th := &m.threads[t]
+	out := Outcome{NextPC: th.pc + 1, Spawned: -1}
+	info := in.Info()
+
+	switch {
+	case in.Op == isa.NOP:
+	case in.Op == isa.HALT:
+		m.halted = true
+		out.Halt = true
+
+	case info.IsBranch:
+		taken, err := m.refBranchTaken(t, in)
+		if err != nil {
+			return out, err
+		}
+		if taken {
+			out.NextPC = int(in.Imm)
+			out.Redirect = true
+		}
+
+	case info.IsJump:
+		switch in.Op {
+		case isa.J:
+			out.NextPC = int(in.Imm)
+		case isa.JAL:
+			m.SetScalar(t, isa.LinkReg, int64(th.pc+1))
+			out.NextPC = int(in.Imm)
+		case isa.JR:
+			out.NextPC = int(m.Scalar(t, in.Ra))
+		}
+		out.Redirect = true
+
+	case info.IsThread:
+		if err := m.refExecThreadOp(t, in, &out); err != nil {
+			return out, err
+		}
+
+	case in.Op == isa.LW:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, in, "scalar load address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.SetScalar(t, in.Rd, m.scalarMem[addr])
+
+	case in.Op == isa.SW:
+		addr := int(m.signed(m.Scalar(t, in.Ra))) + int(in.Imm)
+		if addr < 0 || addr >= m.cfg.ScalarMemWords {
+			return out, m.trap(t, in, "scalar store address %d out of [0, %d)", addr, m.cfg.ScalarMemWords)
+		}
+		m.scalarMem[addr] = m.Scalar(t, in.Rd)
+
+	case in.Op == isa.LUI:
+		m.SetScalar(t, in.Rd, int64(uint16(in.Imm))<<16)
+
+	case info.Class == isa.ClassScalar:
+		a := m.Scalar(t, in.Ra)
+		var b int64
+		if info.Format == isa.FormatI {
+			b = m.mask(int64(in.Imm))
+		} else {
+			b = m.Scalar(t, in.Rb)
+		}
+		m.SetScalar(t, in.Rd, m.alu(scalarALUOp(in.Op), a, b))
+
+	case info.Class == isa.ClassParallel:
+		if err := m.refExecParallel(t, in); err != nil {
+			return out, err
+		}
+
+	case info.Class == isa.ClassReduction:
+		m.refExecReduction(t, in)
+
+	default:
+		return out, m.trap(t, in, "unimplemented opcode")
+	}
+
+	th.pc = out.NextPC
+	if !out.Halt && !out.Exited {
+		if out.NextPC < 0 || out.NextPC > len(m.prog) {
+			return out, m.trap(t, in, "next pc %d out of program bounds [0, %d]", out.NextPC, len(m.prog))
+		}
+	}
+	return out, nil
+}
+
+func (m *Machine) refBranchTaken(t int, in isa.Inst) (bool, error) {
+	a := m.Scalar(t, in.Rd)
+	b := m.Scalar(t, in.Ra)
+	sa, sb := m.signed(a), m.signed(b)
+	switch in.Op {
+	case isa.BEQ:
+		return a == b, nil
+	case isa.BNE:
+		return a != b, nil
+	case isa.BLT:
+		return sa < sb, nil
+	case isa.BGE:
+		return sa >= sb, nil
+	case isa.BLTU:
+		return a < b, nil
+	case isa.BGEU:
+		return a >= b, nil
+	}
+	return false, m.trap(t, in, "not a branch")
+}
+
+func (m *Machine) refExecThreadOp(t int, in isa.Inst, out *Outcome) error {
+	th := &m.threads[t]
+	switch in.Op {
+	case isa.TID:
+		m.SetScalar(t, in.Rd, int64(t))
+
+	case isa.TSPAWN:
+		target := int(in.Imm)
+		if target < 0 || target >= len(m.prog) {
+			return m.trap(t, in, "spawn target %d out of program bounds", target)
+		}
+		spawned := -1
+		for i := range m.threads {
+			if m.threads[i].state == ThreadFree {
+				spawned = i
+				break
+			}
+		}
+		if spawned < 0 {
+			m.SetScalar(t, in.Rd, m.mask(-1))
+			return nil
+		}
+		nt := &m.threads[spawned]
+		nt.state = ThreadActive
+		nt.pc = target
+		nt.sregs = [isa.NumScalarRegs]int64{}
+		nt.mailbox = nil
+		pb := spawned * m.cfg.PEs * isa.NumParallelRegs
+		clear(m.pregs[pb : pb+m.cfg.PEs*isa.NumParallelRegs])
+		fb := spawned * m.cfg.PEs * isa.NumFlagRegs
+		clear(m.flags[fb : fb+m.cfg.PEs*isa.NumFlagRegs])
+		m.SetScalar(t, in.Rd, int64(spawned))
+		out.Spawned = spawned
+
+	case isa.TEXIT:
+		th.state = ThreadFree
+		out.Exited = true
+
+	case isa.TJOIN:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return m.trap(t, in, "join on invalid thread id %d", target)
+		}
+
+	case isa.TSEND:
+		target := int(m.signed(m.Scalar(t, in.Ra)))
+		if target < 0 || target >= m.cfg.Threads {
+			return m.trap(t, in, "send to invalid thread id %d", target)
+		}
+		tt := &m.threads[target]
+		if len(tt.mailbox) >= m.cfg.MailboxCap {
+			return m.trap(t, in, "send to full mailbox (caller must check Blocked)")
+		}
+		tt.mailbox = append(tt.mailbox, m.Scalar(t, in.Rb))
+
+	case isa.TRECV:
+		if len(th.mailbox) == 0 {
+			return m.trap(t, in, "recv on empty mailbox (caller must check Blocked)")
+		}
+		v := th.mailbox[0]
+		th.mailbox = th.mailbox[1:]
+		m.SetScalar(t, in.Rd, v)
+
+	default:
+		return m.trap(t, in, "unimplemented thread op")
+	}
+	return nil
+}
+
+func (m *Machine) refExecParallel(t int, in isa.Inst) error {
+	info := in.Info()
+	if info.DstKind == isa.KindFlag && info.SrcAKind != isa.KindParallel {
+		switch in.Op {
+		case isa.FAND, isa.FOR, isa.FXOR, isa.FANDN, isa.FNOT, isa.FMOV, isa.FSET, isa.FCLR:
+		default:
+			return m.trap(t, in, "unimplemented flag op")
+		}
+	}
+	trapPE, trapAddr := m.refExecParallelRange(t, in, 0, m.cfg.PEs)
+	if trapPE >= 0 {
+		verb := "load"
+		if in.Op == isa.PSW {
+			verb = "store"
+		}
+		return m.trap(t, in, "PE %d local %s address %d out of [0, %d)", trapPE, verb, trapAddr, m.cfg.LocalMemWords)
+	}
+	return nil
+}
+
+func (m *Machine) refExecParallelRange(t int, in isa.Inst, lo, hi int) (trapPE, trapAddr int) {
+	trapPE, trapAddr = -1, 0
+	info := in.Info()
+	p := m.cfg.PEs
+	base := t * p
+	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
+	mk := int(in.Mask)
+	rd, ra, rb := int(in.Rd), int(in.Ra), int(in.Rb)
+
+	switch {
+	case in.Op == isa.PIDX:
+		if rd == 0 {
+			return
+		}
+		for pe := lo; pe < hi; pe++ {
+			if mk == 0 || m.flags[base*nF+mk*p+pe] {
+				m.pregs[base*nP+rd*p+pe] = m.mask(int64(pe))
+			}
+		}
+
+	case in.Op == isa.PLI:
+		if rd == 0 {
+			return
+		}
+		v := m.mask(int64(in.Imm))
+		for pe := lo; pe < hi; pe++ {
+			if mk == 0 || m.flags[base*nF+mk*p+pe] {
+				m.pregs[base*nP+rd*p+pe] = v
+			}
+		}
+
+	case in.Op == isa.PLW:
+		lmw := m.cfg.LocalMemWords
+		imm := int(in.Imm)
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
+				continue
+			}
+			var av int64
+			if ra != 0 {
+				av = m.pregs[base*nP+ra*p+pe]
+			}
+			addr := int(m.signed(av)) + imm
+			if addr < 0 || addr >= lmw {
+				if trapPE < 0 {
+					trapPE, trapAddr = pe, addr
+				}
+				continue
+			}
+			if rd != 0 {
+				m.pregs[base*nP+rd*p+pe] = m.localMem[pe*lmw+addr]
+			}
+		}
+
+	case in.Op == isa.PSW:
+		lmw := m.cfg.LocalMemWords
+		imm := int(in.Imm)
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
+				continue
+			}
+			var av int64
+			if ra != 0 {
+				av = m.pregs[base*nP+ra*p+pe]
+			}
+			addr := int(m.signed(av)) + imm
+			if addr < 0 || addr >= lmw {
+				if trapPE < 0 {
+					trapPE, trapAddr = pe, addr
+				}
+				continue
+			}
+			var dv int64
+			if rd != 0 {
+				dv = m.pregs[base*nP+rd*p+pe]
+			}
+			m.localMem[pe*lmw+addr] = dv
+		}
+
+	case info.DstKind == isa.KindFlag && info.SrcAKind == isa.KindParallel:
+		if rd == 0 {
+			return
+		}
+		var sb int64
+		if in.SB {
+			sb = m.Scalar(t, in.Rb)
+		}
+		for pe := lo; pe < hi; pe++ {
+			fb := base*nF + pe
+			if !(mk == 0 || m.flags[fb+mk*p]) {
+				continue
+			}
+			var a, b int64
+			if ra != 0 {
+				a = m.pregs[base*nP+ra*p+pe]
+			}
+			if in.SB {
+				b = sb
+			} else if rb != 0 {
+				b = m.pregs[base*nP+rb*p+pe]
+			}
+			m.flags[fb+rd*p] = m.refCompare(in.Op, a, b)
+		}
+
+	case info.DstKind == isa.KindFlag:
+		if rd == 0 {
+			return
+		}
+		for pe := lo; pe < hi; pe++ {
+			fb := base*nF + pe
+			if !(mk == 0 || m.flags[fb+mk*p]) {
+				continue
+			}
+			var v bool
+			switch in.Op {
+			case isa.FAND:
+				v = m.flagAt(fb, ra) && m.flagAt(fb, rb)
+			case isa.FOR:
+				v = m.flagAt(fb, ra) || m.flagAt(fb, rb)
+			case isa.FXOR:
+				v = m.flagAt(fb, ra) != m.flagAt(fb, rb)
+			case isa.FANDN:
+				v = m.flagAt(fb, ra) && !m.flagAt(fb, rb)
+			case isa.FNOT:
+				v = !m.flagAt(fb, ra)
+			case isa.FMOV:
+				v = m.flagAt(fb, ra)
+			case isa.FSET:
+				v = true
+			case isa.FCLR:
+				v = false
+			}
+			m.flags[fb+rd*p] = v
+		}
+
+	default:
+		if rd == 0 {
+			return
+		}
+		op := parallelALUOp(in.Op)
+		immForm := info.Format == isa.FormatPI
+		var bc int64
+		if immForm {
+			bc = m.mask(int64(in.Imm))
+		} else if in.SB {
+			bc = m.Scalar(t, in.Rb)
+		}
+		for pe := lo; pe < hi; pe++ {
+			if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
+				continue
+			}
+			pb := base*nP + pe
+			var a, b int64
+			if ra != 0 {
+				a = m.pregs[pb+ra*p]
+			}
+			if immForm || in.SB {
+				b = bc
+			} else if rb != 0 {
+				b = m.pregs[pb+rb*p]
+			}
+			m.pregs[pb+rd*p] = m.alu(op, a, b)
+		}
+	}
+	return
+}
+
+func (m *Machine) refCompare(op isa.Op, a, b int64) bool {
+	sa, sb := m.signed(a), m.signed(b)
+	switch op {
+	case isa.PCEQ:
+		return a == b
+	case isa.PCNE:
+		return a != b
+	case isa.PCLT:
+		return sa < sb
+	case isa.PCLE:
+		return sa <= sb
+	case isa.PCGT:
+		return sa > sb
+	case isa.PCGE:
+		return sa >= sb
+	case isa.PCLTU:
+		return a < b
+	case isa.PCLEU:
+		return a <= b
+	case isa.PCGTU:
+		return a > b
+	case isa.PCGEU:
+		return a >= b
+	}
+	panic(fmt.Sprintf("machine: %v is not a comparison", op))
+}
+
+func (m *Machine) refExecReduction(t int, in isa.Inst) {
+	p := m.cfg.PEs
+	base := t * p
+	const nF = isa.NumFlagRegs
+	ra, mk := int(in.Ra), int(in.Mask)
+
+	switch in.Op {
+	case isa.RCOUNT, isa.RANY:
+		var n int64
+		for pe := 0; pe < p; pe++ {
+			fb := base*nF + pe
+			if (ra == 0 || m.flags[fb+ra*p]) && (mk == 0 || m.flags[fb+mk*p]) {
+				n++
+			}
+		}
+		if in.Op == isa.RCOUNT {
+			m.SetScalar(t, in.Rd, m.mask(n))
+		} else {
+			v := int64(0)
+			if n > 0 {
+				v = 1
+			}
+			m.SetScalar(t, in.Rd, v)
+		}
+
+	case isa.RFIRST:
+		winner := p
+		for pe := 0; pe < p; pe++ {
+			fb := base*nF + pe
+			if (ra == 0 || m.flags[fb+ra*p]) && (mk == 0 || m.flags[fb+mk*p]) {
+				winner = pe
+				break
+			}
+		}
+		if rd := int(in.Rd); rd != 0 {
+			for pe := 0; pe < p; pe++ {
+				m.flags[base*nF+rd*p+pe] = pe == winner
+			}
+		}
+
+	default:
+		m.refReduceLeaves(t, in)
+		root := network.FoldInPlace(m.leafBuf[:p], m.refCombineFor(in.Op))
+		if in.Op == isa.RAND {
+			root = ^root & (int64(1)<<m.cfg.Width - 1)
+		}
+		m.SetScalar(t, in.Rd, m.mask(root))
+	}
+}
+
+func (m *Machine) refReduceLeaves(t int, in isa.Inst) {
+	p := m.cfg.PEs
+	base := t * p
+	const nP, nF = isa.NumParallelRegs, isa.NumFlagRegs
+	ra, mk := int(in.Ra), int(in.Mask)
+	w := m.cfg.Width
+	ones := int64(1)<<w - 1
+
+	var kind int
+	var ident int64
+	switch in.Op {
+	case isa.ROR:
+		kind, ident = leafRaw, network.OrIdentity()
+	case isa.RAND:
+		kind, ident = leafInverted, network.OrIdentity()
+	case isa.RMAX:
+		kind, ident = leafSigned, network.MaxIdentitySigned(w)
+	case isa.RMIN:
+		kind, ident = leafSigned, network.MinIdentitySigned(w)
+	case isa.RMAXU:
+		kind, ident = leafRaw, network.MaxIdentityUnsigned()
+	case isa.RMINU:
+		kind, ident = leafRaw, network.MinIdentityUnsigned(w)
+	case isa.RSUM:
+		kind, ident = leafSigned, 0
+	default:
+		panic(fmt.Sprintf("machine: %v is not a reduction", in.Op))
+	}
+
+	for pe := 0; pe < m.cfg.PEs; pe++ {
+		if !(mk == 0 || m.flags[base*nF+mk*p+pe]) {
+			m.leafBuf[pe] = ident
+			continue
+		}
+		var v int64
+		if ra != 0 {
+			v = m.pregs[base*nP+ra*p+pe]
+		}
+		switch kind {
+		case leafSigned:
+			v = m.signed(v)
+		case leafInverted:
+			v = ^v & ones
+		}
+		m.leafBuf[pe] = v
+	}
+}
+
+func (m *Machine) refCombineFor(op isa.Op) network.CombineFunc {
+	switch op {
+	case isa.RAND, isa.ROR:
+		return network.CombineOr
+	case isa.RMAX, isa.RMAXU:
+		return network.CombineMax
+	case isa.RMIN, isa.RMINU:
+		return network.CombineMin
+	case isa.RSUM:
+		return m.satAdd
+	}
+	panic(fmt.Sprintf("machine: %v is not a value reduction", op))
+}

@@ -91,13 +91,13 @@ func (m *Machine) Snapshot() []byte {
 	// the byte image is unchanged across the flattening of the files.
 	for t := 0; t < m.cfg.Threads; t++ {
 		for pe := 0; pe < m.cfg.PEs; pe++ {
-			pb := (t*m.cfg.PEs + pe) * isa.NumParallelRegs
-			for _, v := range m.pregs[pb : pb+isa.NumParallelRegs] {
-				w(v)
+			pb := t*isa.NumParallelRegs*m.cfg.PEs + pe
+			for r := 0; r < isa.NumParallelRegs; r++ {
+				w(m.pregs[pb+r*m.cfg.PEs])
 			}
-			fb := (t*m.cfg.PEs + pe) * isa.NumFlagRegs
-			for _, f := range m.flags[fb : fb+isa.NumFlagRegs] {
-				if f {
+			fb := t*isa.NumFlagRegs*m.cfg.PEs + pe
+			for r := 0; r < isa.NumFlagRegs; r++ {
+				if m.flags[fb+r*m.cfg.PEs] {
 					w(1)
 				} else {
 					w(0)
@@ -188,19 +188,19 @@ func (m *Machine) Restore(data []byte) error {
 	}
 	for t := 0; t < m.cfg.Threads; t++ {
 		for pe := 0; pe < m.cfg.PEs; pe++ {
-			pb := (t*m.cfg.PEs + pe) * isa.NumParallelRegs
+			pb := t*isa.NumParallelRegs*m.cfg.PEs + pe
 			for i := 0; i < isa.NumParallelRegs; i++ {
-				if m.pregs[pb+i], err = r(); err != nil {
+				if m.pregs[pb+i*m.cfg.PEs], err = r(); err != nil {
 					return err
 				}
 			}
-			fb := (t*m.cfg.PEs + pe) * isa.NumFlagRegs
+			fb := t*isa.NumFlagRegs*m.cfg.PEs + pe
 			for i := 0; i < isa.NumFlagRegs; i++ {
 				v, err := r()
 				if err != nil {
 					return err
 				}
-				m.flags[fb+i] = v != 0
+				m.flags[fb+i*m.cfg.PEs] = v != 0
 			}
 		}
 	}

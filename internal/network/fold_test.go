@@ -89,3 +89,37 @@ func TestFoldInPlaceZeroAlloc(t *testing.T) {
 		t.Fatalf("FoldInPlace allocates %v times per run", allocs)
 	}
 }
+
+// TestSpecializedFoldsMatchGeneric pins the specialized fold kernels
+// (combine inlined into the row loop) bit-identical to the generic
+// FoldInPlace with the corresponding CombineFunc, across random vectors
+// including odd lengths and values that saturate the sum unit's nodes.
+func TestSpecializedFoldsMatchGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	lo, hi := SatLimits(8)
+	cases := []struct {
+		name    string
+		combine CombineFunc
+		fold    func([]int64) int64
+	}{
+		{"or", CombineOr, FoldInPlaceOr},
+		{"max", CombineMax, FoldInPlaceMax},
+		{"min", CombineMin, FoldInPlaceMin},
+		{"satadd", SatAdd(8), func(buf []int64) int64 { return FoldInPlaceSatAdd(buf, lo, hi) }},
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(300)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Small signed values so SatAdd saturates often.
+			vals[i] = int64(r.Intn(256)) - 128
+		}
+		for _, tc := range cases {
+			want := FoldInPlace(append([]int64(nil), vals...), tc.combine)
+			got := tc.fold(append([]int64(nil), vals...))
+			if got != want {
+				t.Fatalf("trial %d n=%d %s: specialized fold %d != generic %d", trial, n, tc.name, got, want)
+			}
+		}
+	}
+}

@@ -92,6 +92,96 @@ func FoldInPlace(buf []int64, combine CombineFunc) int64 {
 	return buf[0]
 }
 
+// Specialized in-place folds for the fixed node functions of the hardware
+// reduction units. Each is FoldInPlace with the combine inlined into the
+// row loop: the pairwise topology (pairs (2i, 2i+1) per level, odd tails
+// passed through) is identical, so results are bit-identical to the
+// generic fold — including node-level saturation — while the hot path
+// pays no indirect call per tree node. The machine's reduction
+// instructions dispatch here once per instruction; the generic
+// CombineFunc form remains for structural models and uncommon folds.
+
+// FoldInPlaceOr reduces buf through the OR tree (logic unit).
+func FoldInPlaceOr(buf []int64) int64 {
+	if len(buf) == 0 {
+		panic("network: FoldInPlaceOr of empty slice")
+	}
+	for n := len(buf); n > 1; n = (n + 1) / 2 {
+		for i := 0; i < n/2; i++ {
+			buf[i] = buf[2*i] | buf[2*i+1]
+		}
+		if n%2 == 1 {
+			buf[n/2] = buf[n-1]
+		}
+	}
+	return buf[0]
+}
+
+// FoldInPlaceMax reduces buf through the compare-select maximum tree. Plain
+// int64 compares serve both the signed tree (operands sign-extended) and
+// the unsigned tree (operands zero-extended, hence non-negative).
+func FoldInPlaceMax(buf []int64) int64 {
+	if len(buf) == 0 {
+		panic("network: FoldInPlaceMax of empty slice")
+	}
+	for n := len(buf); n > 1; n = (n + 1) / 2 {
+		for i := 0; i < n/2; i++ {
+			a, b := buf[2*i], buf[2*i+1]
+			if b > a {
+				a = b
+			}
+			buf[i] = a
+		}
+		if n%2 == 1 {
+			buf[n/2] = buf[n-1]
+		}
+	}
+	return buf[0]
+}
+
+// FoldInPlaceMin reduces buf through the compare-select minimum tree.
+func FoldInPlaceMin(buf []int64) int64 {
+	if len(buf) == 0 {
+		panic("network: FoldInPlaceMin of empty slice")
+	}
+	for n := len(buf); n > 1; n = (n + 1) / 2 {
+		for i := 0; i < n/2; i++ {
+			a, b := buf[2*i], buf[2*i+1]
+			if b < a {
+				a = b
+			}
+			buf[i] = a
+		}
+		if n%2 == 1 {
+			buf[n/2] = buf[n-1]
+		}
+	}
+	return buf[0]
+}
+
+// FoldInPlaceSatAdd reduces buf through the sum unit's saturating adder
+// tree; lo and hi are the SatLimits of the data width.
+func FoldInPlaceSatAdd(buf []int64, lo, hi int64) int64 {
+	if len(buf) == 0 {
+		panic("network: FoldInPlaceSatAdd of empty slice")
+	}
+	for n := len(buf); n > 1; n = (n + 1) / 2 {
+		for i := 0; i < n/2; i++ {
+			s := buf[2*i] + buf[2*i+1]
+			if s < lo {
+				s = lo
+			} else if s > hi {
+				s = hi
+			}
+			buf[i] = s
+		}
+		if n%2 == 1 {
+			buf[n/2] = buf[n-1]
+		}
+	}
+	return buf[0]
+}
+
 // Combine functions of the reduction units, exported so callers (the
 // machine's execution engines) can drive FoldInPlace without allocating
 // closures per instruction. CombineMax/CombineMin use plain int64 compares:

@@ -109,19 +109,22 @@ const (
 //	parallel MUL/DIV       -> PE at t+B+2+unit latency
 //	reduction (scalar rd)  -> CU at t+B+R+2 (end of last R stage / WB)
 //	RFIRST (parallel rd)   -> PE at t+B+R+2 (resolver output written back)
-func (p Params) ResultReady(in isa.Inst, t int64) (Location, int64, bool) {
-	info := in.Info()
-	if _, writes := in.Writes(); !writes {
+//
+// The dispatch runs entirely on the micro-op's precomputed fields; nothing
+// is re-derived from the opcode.
+func (p Params) ResultReady(d *isa.Decoded, t int64) (Location, int64, bool) {
+	if !d.HasWrite {
 		return LocCU, 0, false
 	}
-	switch info.Class {
+	info := d.Info
+	switch d.Class {
 	case isa.ClassScalar:
 		switch {
 		case info.IsMul:
 			return LocCU, t + 1 + int64(p.MulLatency), true
 		case info.IsDiv:
 			return LocCU, t + 1 + int64(p.DivLatency), true
-		case info.IsLoad || in.Op == isa.TRECV || in.Op == isa.TSPAWN:
+		case info.IsLoad || d.Thread == isa.ThreadOpRecv || d.Thread == isa.ThreadOpSpawn:
 			return LocCU, t + 3, true
 		default:
 			return LocCU, t + 2, true
@@ -140,7 +143,7 @@ func (p Params) ResultReady(in isa.Inst, t int64) (Location, int64, bool) {
 		}
 	case isa.ClassReduction:
 		ready := t + int64(p.B) + int64(p.R) + 2
-		if info.DstKind == isa.KindFlag {
+		if d.Write.Kind == isa.KindFlag {
 			return LocPE, ready, true // resolver: parallel result
 		}
 		return LocCU, ready, true
@@ -170,9 +173,9 @@ func (p Params) MinIssueForOperand(consClass isa.Class, loc Location, readyAbs i
 
 // CompletionTime returns the cycle at which the instruction leaves the
 // pipeline (its WB stage), used to compute total run time including drain.
-func (p Params) CompletionTime(in isa.Inst, t int64) int64 {
-	info := in.Info()
-	switch info.Class {
+func (p Params) CompletionTime(d *isa.Decoded, t int64) int64 {
+	info := d.Info
+	switch d.Class {
 	case isa.ClassScalar:
 		c := t + 3 // SR, EX, MA, WB
 		if info.IsMul {

@@ -7,6 +7,17 @@ import (
 	"repro/internal/isa"
 )
 
+// dec decodes a single instruction for scoreboard/timing calls, which now
+// take pre-decoded micro-ops.
+func dec(t *testing.T, in isa.Inst) *isa.Decoded {
+	t.Helper()
+	d, err := isa.DecodeInst(in)
+	if err != nil {
+		t.Fatalf("decode %v: %v", in, err)
+	}
+	return &d
+}
+
 // paperParams is the Figure-1/Figure-2 configuration: two broadcast stages
 // (B1-B2) and four reduction stages (R1-R4), i.e. 16 PEs with a 4-ary
 // broadcast tree.
@@ -31,8 +42,8 @@ func TestBroadcastHazardForwarded(t *testing.T) {
 	sub := isa.Inst{Op: isa.SUB, Rd: 1, Ra: 2, Rb: 3}
 	padd := isa.Inst{Op: isa.PADD, Rd: 1, Ra: 2, Rb: 1, SB: true} // broadcast s1
 
-	sb.Record(0, sub, 10)
-	minIssue, kind := sb.MinIssue(0, padd)
+	sb.Record(0, dec(t, sub), 10)
+	minIssue, kind := sb.MinIssue(0, dec(t, padd))
 	if minIssue != 11 {
 		t.Errorf("PADD min issue = %d, want 11 (back to back, zero stall)", minIssue)
 	}
@@ -49,8 +60,8 @@ func TestReductionHazardStall(t *testing.T) {
 	rmax := isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}
 	sub := isa.Inst{Op: isa.SUB, Rd: 3, Ra: 1, Rb: 4}
 
-	sb.Record(0, rmax, 10)
-	minIssue, kind := sb.MinIssue(0, sub)
+	sb.Record(0, dec(t, rmax), 10)
+	minIssue, kind := sb.MinIssue(0, dec(t, sub))
 	want := int64(10) + int64(p.B) + int64(p.R) + 1 // t + b + r + 1
 	if minIssue != want {
 		t.Errorf("SUB min issue = %d, want %d (stall of b+r=%d cycles)", minIssue, want, p.B+p.R)
@@ -68,8 +79,8 @@ func TestBroadcastReductionHazardStall(t *testing.T) {
 	rmax := isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}
 	padd := isa.Inst{Op: isa.PADD, Rd: 3, Ra: 2, Rb: 1, SB: true}
 
-	sb.Record(0, rmax, 10)
-	minIssue, kind := sb.MinIssue(0, padd)
+	sb.Record(0, dec(t, rmax), 10)
+	minIssue, kind := sb.MinIssue(0, dec(t, padd))
 	want := int64(10) + int64(p.B) + int64(p.R) + 1
 	if minIssue != want {
 		t.Errorf("PADD min issue = %d, want %d", minIssue, want)
@@ -84,8 +95,8 @@ func TestStallGrowsWithPEs(t *testing.T) {
 	for _, pes := range []int{4, 16, 64, 256, 1024, 4096} {
 		p := DefaultParams(pes, 4, 8)
 		sb := NewScoreboard(p, 1)
-		sb.Record(0, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}, 0)
-		minIssue, _ := sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 1})
+		sb.Record(0, dec(t, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}), 0)
+		minIssue, _ := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 1}))
 		stall := minIssue - 1
 		if stall != int64(p.B+p.R) {
 			t.Errorf("p=%d: stall %d, want b+r=%d", pes, stall, p.B+p.R)
@@ -100,8 +111,8 @@ func TestStallGrowsWithPEs(t *testing.T) {
 func TestParallelToParallelForwarded(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 1)
-	sb.Record(0, isa.Inst{Op: isa.PADD, Rd: 1, Ra: 2, Rb: 3}, 5)
-	minIssue, kind := sb.MinIssue(0, isa.Inst{Op: isa.PSUB, Rd: 4, Ra: 1, Rb: 2})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.PADD, Rd: 1, Ra: 2, Rb: 3}), 5)
+	minIssue, kind := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.PSUB, Rd: 4, Ra: 1, Rb: 2}))
 	if minIssue != 6 {
 		t.Errorf("dependent parallel op min issue = %d, want 6 (PE-local forwarding)", minIssue)
 	}
@@ -114,14 +125,14 @@ func TestLoadUseBubbles(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 1)
 	// Scalar load-use: one bubble.
-	sb.Record(0, isa.Inst{Op: isa.LW, Rd: 1, Ra: 0}, 5)
-	minIssue, _ := sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 2, Ra: 1})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.LW, Rd: 1, Ra: 0}), 5)
+	minIssue, _ := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 2, Ra: 1}))
 	if minIssue != 7 {
 		t.Errorf("scalar load-use min issue = %d, want 7", minIssue)
 	}
 	// Parallel load-use: one bubble.
-	sb.Record(0, isa.Inst{Op: isa.PLW, Rd: 1, Ra: 0}, 5)
-	minIssue, _ = sb.MinIssue(0, isa.Inst{Op: isa.PADD, Rd: 2, Ra: 1, Rb: 0})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.PLW, Rd: 1, Ra: 0}), 5)
+	minIssue, _ = sb.MinIssue(0, dec(t, isa.Inst{Op: isa.PADD, Rd: 2, Ra: 1, Rb: 0}))
 	if minIssue != 7 {
 		t.Errorf("parallel load-use min issue = %d, want 7", minIssue)
 	}
@@ -130,8 +141,8 @@ func TestLoadUseBubbles(t *testing.T) {
 func TestScalarLoadToParallelConsumer(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 1)
-	sb.Record(0, isa.Inst{Op: isa.LW, Rd: 1, Ra: 0}, 5)
-	minIssue, kind := sb.MinIssue(0, isa.Inst{Op: isa.PADD, Rd: 2, Ra: 3, Rb: 1, SB: true})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.LW, Rd: 1, Ra: 0}), 5)
+	minIssue, kind := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.PADD, Rd: 2, Ra: 3, Rb: 1, SB: true}))
 	if minIssue != 7 {
 		t.Errorf("load->broadcast min issue = %d, want 7", minIssue)
 	}
@@ -144,13 +155,13 @@ func TestFlagDependences(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 1)
 	// Compare produces a flag; a masked parallel op consumes it PE-locally.
-	sb.Record(0, isa.Inst{Op: isa.PCLT, Rd: 1, Ra: 2, Rb: 3}, 5)
-	minIssue, _ := sb.MinIssue(0, isa.Inst{Op: isa.PADD, Rd: 4, Ra: 2, Rb: 3, Mask: 1})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.PCLT, Rd: 1, Ra: 2, Rb: 3}), 5)
+	minIssue, _ := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.PADD, Rd: 4, Ra: 2, Rb: 3, Mask: 1}))
 	if minIssue != 6 {
 		t.Errorf("compare->masked op min issue = %d, want 6", minIssue)
 	}
 	// A reduction consuming the same flag as its responder set.
-	minIssue, _ = sb.MinIssue(0, isa.Inst{Op: isa.RCOUNT, Rd: 5, Ra: 1})
+	minIssue, _ = sb.MinIssue(0, dec(t, isa.Inst{Op: isa.RCOUNT, Rd: 5, Ra: 1}))
 	if minIssue != 6 {
 		t.Errorf("compare->rcount min issue = %d, want 6", minIssue)
 	}
@@ -161,8 +172,8 @@ func TestResolverResultTiming(t *testing.T) {
 	sb := NewScoreboard(p, 1)
 	// RFIRST produces a parallel flag value written back into the PEs at
 	// t+b+r+2; a PE-side consumer needs it at t_c+b+2, so t_c >= t+r.
-	sb.Record(0, isa.Inst{Op: isa.RFIRST, Rd: 2, Ra: 1}, 10)
-	minIssue, kind := sb.MinIssue(0, isa.Inst{Op: isa.POR, Rd: 3, Ra: 0, Rb: 0, Mask: 2})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.RFIRST, Rd: 2, Ra: 1}), 10)
+	minIssue, kind := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.POR, Rd: 3, Ra: 0, Rb: 0, Mask: 2}))
 	want := int64(10 + p.R)
 	if minIssue != want {
 		t.Errorf("rfirst->masked op min issue = %d, want %d", minIssue, want)
@@ -177,8 +188,8 @@ func TestWAWHeld(t *testing.T) {
 	sb := NewScoreboard(p, 1)
 	// RMAX writes s1 late; a following ADD writing s1 must not complete
 	// first.
-	sb.Record(0, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}, 10)
-	minIssue, _ := sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 1, Ra: 3, Rb: 4})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}), 10)
+	minIssue, _ := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 1, Ra: 3, Rb: 4}))
 	if minIssue <= 11 {
 		t.Errorf("WAW: ADD min issue = %d, want > 11", minIssue)
 	}
@@ -187,14 +198,14 @@ func TestWAWHeld(t *testing.T) {
 func TestHardwiredRegistersCreateNoHazards(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 1)
-	sb.Record(0, isa.Inst{Op: isa.RMAX, Rd: 0, Ra: 2}, 10) // writes s0: dropped
-	minIssue, kind := sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 0, Rb: 0})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.RMAX, Rd: 0, Ra: 2}), 10) // writes s0: dropped
+	minIssue, kind := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 0, Rb: 0}))
 	if minIssue != 0 || kind != HazardNone {
 		t.Errorf("s0 dependence tracked: minIssue=%d kind=%v", minIssue, kind)
 	}
 	// Mask f0 is hardwired one: no dependence even with pending flag writes.
-	sb.Record(0, isa.Inst{Op: isa.PCLT, Rd: 1, Ra: 2, Rb: 3}, 10)
-	minIssue, _ = sb.MinIssue(0, isa.Inst{Op: isa.PADD, Rd: 4, Ra: 5, Rb: 6, Mask: 0})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.PCLT, Rd: 1, Ra: 2, Rb: 3}), 10)
+	minIssue, _ = sb.MinIssue(0, dec(t, isa.Inst{Op: isa.PADD, Rd: 4, Ra: 5, Rb: 6, Mask: 0}))
 	if minIssue != 0 {
 		t.Errorf("f0 mask created a dependence: %d", minIssue)
 	}
@@ -203,14 +214,14 @@ func TestHardwiredRegistersCreateNoHazards(t *testing.T) {
 func TestMultiplierLatencies(t *testing.T) {
 	p := paperParams() // pipelined multiplier, latency 2
 	sb := NewScoreboard(p, 1)
-	sb.Record(0, isa.Inst{Op: isa.MUL, Rd: 1, Ra: 2, Rb: 3}, 10)
-	minIssue, _ := sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 4, Ra: 1})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.MUL, Rd: 1, Ra: 2, Rb: 3}), 10)
+	minIssue, _ := sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 4, Ra: 1}))
 	if minIssue != 12 { // ready t+1+2=13 -> issue 12
 		t.Errorf("mul consumer min issue = %d, want 12", minIssue)
 	}
 	// Divider: sequential, width-cycle latency.
-	sb.Record(0, isa.Inst{Op: isa.DIV, Rd: 1, Ra: 2, Rb: 3}, 10)
-	minIssue, _ = sb.MinIssue(0, isa.Inst{Op: isa.ADD, Rd: 4, Ra: 1})
+	sb.Record(0, dec(t, isa.Inst{Op: isa.DIV, Rd: 1, Ra: 2, Rb: 3}), 10)
+	minIssue, _ = sb.MinIssue(0, dec(t, isa.Inst{Op: isa.ADD, Rd: 4, Ra: 1}))
 	if want := int64(10 + p.DivLatency); minIssue != want {
 		t.Errorf("div consumer min issue = %d, want %d", minIssue, want)
 	}
@@ -219,7 +230,7 @@ func TestMultiplierLatencies(t *testing.T) {
 func TestScoreboardRetireAndClear(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 2)
-	sb.Record(0, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}, 10)
+	sb.Record(0, dec(t, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}), 10)
 	if got := sb.InFlight(0, 11); got != 1 {
 		t.Errorf("in flight = %d, want 1", got)
 	}
@@ -227,9 +238,9 @@ func TestScoreboardRetireAndClear(t *testing.T) {
 	if got := sb.InFlight(0, 100); got != 0 {
 		t.Errorf("after retire: in flight = %d", got)
 	}
-	sb.Record(1, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}, 10)
+	sb.Record(1, dec(t, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}), 10)
 	sb.ClearThread(1)
-	if mi, _ := sb.MinIssue(1, isa.Inst{Op: isa.ADD, Rd: 2, Ra: 1}); mi != 0 {
+	if mi, _ := sb.MinIssue(1, dec(t, isa.Inst{Op: isa.ADD, Rd: 2, Ra: 1})); mi != 0 {
 		t.Errorf("after clear: min issue = %d", mi)
 	}
 }
@@ -237,9 +248,9 @@ func TestScoreboardRetireAndClear(t *testing.T) {
 func TestThreadsAreIndependent(t *testing.T) {
 	p := paperParams()
 	sb := NewScoreboard(p, 2)
-	sb.Record(0, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}, 10)
+	sb.Record(0, dec(t, isa.Inst{Op: isa.RMAX, Rd: 1, Ra: 2}), 10)
 	// Thread 1 reading its own s1 is unaffected by thread 0's pending write.
-	minIssue, kind := sb.MinIssue(1, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 1})
+	minIssue, kind := sb.MinIssue(1, dec(t, isa.Inst{Op: isa.ADD, Rd: 3, Ra: 1}))
 	if minIssue != 0 || kind != HazardNone {
 		t.Errorf("cross-thread false dependence: minIssue=%d kind=%v", minIssue, kind)
 	}
@@ -293,7 +304,7 @@ func TestTimelineParallelShape(t *testing.T) {
 		t.Errorf("parallel timeline = %q, want %q", got, want)
 	}
 	// Completion matches the last stage.
-	if c := p.CompletionTime(isa.Inst{Op: isa.PADD}, 2); c != tl[len(tl)-1].Cycle {
+	if c := p.CompletionTime(dec(t, isa.Inst{Op: isa.PADD}), 2); c != tl[len(tl)-1].Cycle {
 		t.Errorf("completion %d != last stage cycle %d", c, tl[len(tl)-1].Cycle)
 	}
 }
@@ -309,7 +320,7 @@ func TestCompletionTimes(t *testing.T) {
 		{isa.Inst{Op: isa.RMAX}, int64(p.B+p.R) + 2},
 	}
 	for _, c := range cases {
-		if got := p.CompletionTime(c.in, 0); got != c.want {
+		if got := p.CompletionTime(dec(t, c.in), 0); got != c.want {
 			t.Errorf("completion(%v) = %d, want %d", c.in.Op, got, c.want)
 		}
 	}

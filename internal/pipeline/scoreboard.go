@@ -47,12 +47,13 @@ func (sb *Scoreboard) table(tid int, kind isa.RegKind) []pending {
 	return nil
 }
 
-// MinIssue returns the earliest cycle at which thread tid's instruction in
-// may issue given its register dependences, and the hazard class of the
+// MinIssue returns the earliest cycle at which thread tid's micro-op may
+// issue given its register dependences, and the hazard class of the
 // binding constraint. A result of (0, HazardNone) means no pending
-// dependence constrains the instruction.
-func (sb *Scoreboard) MinIssue(tid int, in isa.Inst) (int64, HazardKind) {
-	consClass := in.Info().Class
+// dependence constrains the instruction. The operand set comes from the
+// micro-op's precomputed read/write register lists.
+func (sb *Scoreboard) MinIssue(tid int, d *isa.Decoded) (int64, HazardKind) {
+	consClass := d.Class
 	minIssue := int64(0)
 	kind := HazardNone
 
@@ -75,31 +76,29 @@ func (sb *Scoreboard) MinIssue(tid int, in isa.Inst) (int64, HazardKind) {
 		}
 	}
 
-	var buf [4]isa.RegRef
-	for _, ref := range in.Reads(buf[:0]) {
-		consider(ref)
+	for i := uint8(0); i < d.NumReads; i++ {
+		consider(d.Reads[i])
 	}
 	// WAW: a write to a register with an in-flight write must not complete
 	// first; the decode unit conservatively holds it like a reader.
-	if w, ok := in.Writes(); ok {
-		consider(w)
+	if d.HasWrite {
+		consider(d.Write)
 	}
 	return minIssue, kind
 }
 
-// Record notes the register write of an instruction issued at cycle t, and
+// Record notes the register write of a micro-op issued at cycle t, and
 // retires entries the new write supersedes.
-func (sb *Scoreboard) Record(tid int, in isa.Inst, t int64) {
-	w, ok := in.Writes()
-	if !ok || w.Idx == 0 {
+func (sb *Scoreboard) Record(tid int, d *isa.Decoded, t int64) {
+	if !d.HasWrite || d.Write.Idx == 0 {
 		return
 	}
-	loc, ready, ok := sb.params.ResultReady(in, t)
+	loc, ready, ok := sb.params.ResultReady(d, t)
 	if !ok {
 		return
 	}
-	tab := sb.table(tid, w.Kind)
-	tab[w.Idx] = pending{readyAbs: ready, loc: loc, prodClass: in.Info().Class, valid: true}
+	tab := sb.table(tid, d.Write.Kind)
+	tab[d.Write.Idx] = pending{readyAbs: ready, loc: loc, prodClass: d.Class, valid: true}
 }
 
 // Retire clears entries whose results are architecturally visible at cycle

@@ -52,10 +52,18 @@ type Stats struct {
 // (asc.Config.Key with the host-only Engine and TraceDepth knobs zeroed),
 // so jobs that differ only in host engine or trace opt-in share one entry,
 // while a future configuration-dependent compiler keeps correctness.
+//
+// The "v2" version prefix invalidates keys minted before the decode
+// plane: cached asc.Programs now embed the validated decoded micro-op
+// form (so a hit skips both compile and decode), and artifacts from
+// before that change must not be served. Bump the prefix whenever the
+// shape of the cached artifact changes.
 func Key(kind, source string, cfg asc.Config) string {
 	cfg.Engine = asc.EngineAuto
 	cfg.TraceDepth = 0
 	h := sha256.New()
+	h.Write([]byte("v2"))
+	h.Write([]byte{0})
 	h.Write([]byte(kind))
 	h.Write([]byte{0})
 	h.Write([]byte(source))

@@ -521,12 +521,12 @@ func (s *Server) compileJob(req *client.RunRequest) (prog *asc.Program, asmText 
 	if req.ASCL != "" {
 		prog, asmText, err = asc.CompileASCL(req.ASCL)
 		if err != nil {
-			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compiling ASCL: %v", err)}
+			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("compiling ASCL", err)}
 		}
 	} else {
 		prog, err = asc.Assemble(req.Asm)
 		if err != nil {
-			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("assembling: %v", err)}
+			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("assembling", err)}
 		}
 	}
 	// Only successful compiles are cached; two requests racing on the same
@@ -534,6 +534,17 @@ func (s *Server) compileJob(req *client.RunRequest) (prog *asc.Program, asmText 
 	// harmless (the artifacts are identical by construction).
 	s.progs.Put(key, progcache.Program{Prog: prog, Asm: asmText})
 	return prog, asmText, false, nil
+}
+
+// compileErrMsg prefixes validation failures with the machine-readable
+// "invalid_program" marker so clients can distinguish a statically
+// rejected program (bad register index, out-of-range branch target) from
+// an ordinary syntax error without parsing prose.
+func compileErrMsg(stage string, err error) string {
+	if errors.Is(err, asc.ErrInvalidProgram) {
+		return fmt.Sprintf("invalid_program: %s: %v", stage, err)
+	}
+	return fmt.Sprintf("%s: %v", stage, err)
 }
 
 // runJob runs one job end to end: compile (through the program cache),
@@ -557,6 +568,9 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 	}
 	proc, hit, err := s.pool.Get(cfg, prog)
 	if err != nil {
+		if errors.Is(err, asc.ErrInvalidProgram) {
+			return jobOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("invalid_program: %v", err)}
+		}
 		return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("building machine: %v", err)}
 	}
 	defer s.pool.Put(proc)

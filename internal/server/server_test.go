@@ -351,6 +351,33 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestInvalidProgramRejectedAtLoad: a program that assembles but fails
+// decode-plane validation (here: a branch to PC 999 in a 2-instruction
+// program) is rejected at admission with 422 and the machine-readable
+// invalid_program marker, instead of trapping mid-run inside a worker.
+func TestInvalidProgramRejectedAtLoad(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	cases := []struct {
+		name string
+		asm  string
+	}{
+		{"branch out of bounds", "beq s1, s2, 999\nhalt"},
+		{"spawn out of bounds", "tspawn s1, 77\nhalt"},
+	}
+	for _, tc := range cases {
+		_, err := c.Run(context.Background(), client.RunRequest{Asm: tc.asm})
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if got := apiStatus(t, err); got != 422 {
+			t.Errorf("%s: status = %d, want 422 (%v)", tc.name, got, err)
+		}
+		if !strings.Contains(err.Error(), "invalid_program") {
+			t.Errorf("%s: error %q missing invalid_program marker", tc.name, err)
+		}
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, c := newTestServer(t, server.Config{Workers: 1})
 	if err := c.Healthz(context.Background()); err != nil {
