@@ -69,7 +69,8 @@ apiupdate:
 # Inst-based Timeline renderer are deliberately outside the lint set.
 HOTPATH_FILES = internal/machine/machine.go internal/machine/engine.go \
 	internal/cu/cu.go internal/pipeline/pipeline.go \
-	internal/pipeline/scoreboard.go internal/core/core.go
+	internal/pipeline/scoreboard.go internal/core/core.go \
+	internal/machine/gang.go internal/core/gang.go
 
 hotpath-lint:
 	@if grep -nE '\.Info\(\)|scalarALUOp|parallelALUOp' $(HOTPATH_FILES); then \

@@ -317,6 +317,116 @@ func batchBenches() []benchResult {
 	return out
 }
 
+// gangBenches measures the cross-job lockstep win: one POST /v1/batch of N
+// identical jobs executed as a gang — a single fetch/decode/issue pass over
+// the shared micro-op stream driving all N jobs' state — versus the same
+// batch fanned out job-per-machine (GangMinJobs disabled). Both servers run
+// the same kernel; timings are the min of 5 interleaved reps so scheduler
+// noise hits both sides alike, and every rep cross-checks the two modes'
+// per-job memory dumps bit for bit.
+func gangBenches() []benchResult {
+	const jobs = 32
+	const reps = 5
+	// A looping reduction kernel long enough that simulation, not HTTP or
+	// compilation, dominates each batch.
+	req := client.RunRequest{
+		Asm: `
+	addi s1, s0, 2000
+	paddi p1, p0, 3
+loop:
+	padd p2, p2, p1
+	rsum s2, p2
+	addi s1, s1, -1
+	bnez s1, loop
+	sw s2, 0(s0)
+	halt
+`,
+		Config:     client.MachineConfig{PEs: 16, Width: 32},
+		DumpScalar: 1,
+	}
+	breq := client.BatchRequest{Jobs: make([]client.RunRequest, jobs)}
+	for i := range breq.Jobs {
+		breq.Jobs[i] = req
+	}
+
+	newSrv := func(gangMin int) (*server.Server, *httptest.Server, *client.Client) {
+		s := server.New(server.Config{Workers: runtime.GOMAXPROCS(0), GangMinJobs: gangMin})
+		hs := httptest.NewServer(s.Handler())
+		return s, hs, client.New(hs.URL)
+	}
+	sg, hg, cg := newSrv(0)  // ganging on (default threshold)
+	sf, hf, cf := newSrv(-1) // ganging off: the fan-out baseline
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sg.Shutdown(ctx)
+		sf.Shutdown(ctx)
+		hg.Close()
+		hf.Close()
+	}()
+
+	runBatch := func(c *client.Client) ([]int64, error) {
+		res, err := c.RunBatch(context.Background(), breq)
+		if err != nil {
+			return nil, err
+		}
+		words := make([]int64, len(res.Jobs))
+		for i, j := range res.Jobs {
+			if j.Result == nil {
+				return nil, fmt.Errorf("batch job %d failed: %s", i, j.Error)
+			}
+			words[i] = j.Result.ScalarMem[0]
+		}
+		return words, nil
+	}
+
+	gangRow := benchResult{Name: fmt.Sprintf("serving/gang-batch/jobs=%d", jobs)}
+	fanRow := benchResult{Name: fmt.Sprintf("serving/gang-fanout/jobs=%d", jobs)}
+	// One warm-up batch per server fills the machine pool and program
+	// cache, so the reps measure steady-state serving.
+	want, gerr := runBatch(cg)
+	if _, ferr := runBatch(cf); gerr != nil || ferr != nil {
+		gangRow.Error = fmt.Sprintf("warm-up: gang=%v fanout=%v", gerr, ferr)
+		return []benchResult{gangRow, fanRow}
+	}
+
+	best := func(row *benchResult, r benchResult) {
+		if row.NsPerOp == 0 || r.NsPerOp < row.NsPerOp {
+			row.NsPerOp, row.AllocsPerOp, row.BytesPerOp = r.NsPerOp, r.AllocsPerOp, r.BytesPerOp
+		}
+		if r.Error != "" {
+			row.Error = r.Error
+		}
+	}
+	check := func(words []int64, err error) error {
+		if err != nil {
+			return err
+		}
+		for i, w := range words {
+			if w != want[i] {
+				return fmt.Errorf("job %d: result %d diverges from fan-out baseline %d", i, w, want[i])
+			}
+		}
+		return nil
+	}
+	for rep := 0; rep < reps; rep++ {
+		best(&gangRow, measure(1, func() error { w, err := runBatch(cg); return check(w, err) }))
+		best(&fanRow, measure(1, func() error { w, err := runBatch(cf); return check(w, err) }))
+	}
+
+	gangRow.Metrics = map[string]float64{
+		"jobs": jobs, "reps": reps,
+		"ns-per-job":         gangRow.NsPerOp / jobs,
+		"speedup-vs-fanout":  fanRow.NsPerOp / gangRow.NsPerOp,
+		"bit-identical-runs": float64(reps * 2),
+	}
+	fanRow.Metrics = map[string]float64{
+		"jobs": jobs, "reps": reps,
+		"ns-per-job": fanRow.NsPerOp / jobs,
+	}
+	return []benchResult{gangRow, fanRow}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (T1, F1, F2, F3, D1..D13) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
@@ -371,6 +481,7 @@ func main() {
 	bench = append(bench, engineBenches()...)
 	bench = append(bench, coreBenches()...)
 	bench = append(bench, batchBenches()...)
+	bench = append(bench, gangBenches()...)
 	if *baseline != "" {
 		if err := mergeBaseline(bench, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "merging baseline %s: %v\n", *baseline, err)

@@ -23,6 +23,8 @@
 //	                  compiled programs kept in the content-addressed
 //	                  cache (repeat submissions skip the compiler;
 //	                  negative disables)
+//	-gang-min-jobs N  minimum same-program batch jobs executed as one
+//	                  lockstep gang (negative disables ganging)
 //	-log-level L      debug, info, warn, or error (default info)
 //	-log-format F     text or json (default text)
 //	-debug-addr A     optional diagnostics listener: net/http/pprof plus
@@ -68,6 +70,7 @@ func main() {
 	batchMaxJobs := flag.Int("batch-max-jobs", 64, "jobs accepted in one POST /v1/batch")
 	batchConcurrency := flag.Int("batch-concurrency", 0, "batch sub-jobs executing at once (0 = workers)")
 	programCacheSize := flag.Int("program-cache-size", 128, "compiled programs kept in the content-addressed cache (negative = off)")
+	gangMinJobs := flag.Int("gang-min-jobs", 0, "minimum same-program batch jobs ganged into one lockstep run (0 = default 2, negative = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "diagnostics listener (pprof + runtime metrics); empty = off")
@@ -96,6 +99,7 @@ func main() {
 		BatchMaxJobs:     *batchMaxJobs,
 		BatchConcurrency: *batchConcurrency,
 		ProgramCacheSize: *programCacheSize,
+		GangMinJobs:      *gangMinJobs,
 		Logger:           logger,
 	})
 	hs := &http.Server{

@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestGangLanesIsolated pins the full-capacity sub-slice contract: work in
+// one lane must never be visible in a neighbor, and a gang lane must be
+// architecturally indistinguishable from a standalone machine.
+func TestGangLanesIsolated(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.ADDI, Rd: 1, Ra: 0, Imm: 7},
+		isa.Inst{Op: isa.PADDI, Rd: 1, Ra: 0, Imm: 3}.Canonical(),
+		isa.Inst{Op: isa.PSW, Rd: 1, Ra: 0, Imm: 2}.Canonical(),
+		{Op: isa.SW, Rd: 1, Ra: 0, Imm: 4},
+		{Op: isa.HALT},
+	}
+	dp, err := isa.DecodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PEs: 4, Threads: 2, Width: 16, LocalMemWords: 16}
+	lanes, err := NewGangLanes(cfg, dp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solo, err := NewDecoded(cfg, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m *Machine) {
+		for !m.Halted() {
+			if _, err := m.ExecDecoded(0, dp.At(m.PC(0))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(solo)
+	run(lanes[1]) // middle lane only
+
+	if !bytes.Equal(lanes[1].Snapshot(), solo.Snapshot()) {
+		t.Error("gang lane snapshot differs from standalone machine")
+	}
+	for _, i := range []int{0, 2} {
+		m := lanes[i]
+		if m.Scalar(0, 1) != 0 || m.Parallel(0, 0, 1) != 0 ||
+			m.LocalMem(0, 2) != 0 || m.ScalarMem(4) != 0 || m.Halted() {
+			t.Errorf("lane %d state disturbed by lane 1's run", i)
+		}
+	}
+}
+
+func TestGangLanesRejectsBadCount(t *testing.T) {
+	dp, err := isa.DecodeProgram([]isa.Inst{{Op: isa.HALT}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGangLanes(Config{PEs: 4, Threads: 1, Width: 8}, dp, 0); err == nil {
+		t.Error("NewGangLanes(0) succeeded, want error")
+	}
+}

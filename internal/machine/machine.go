@@ -218,28 +218,7 @@ func NewDecoded(cfg Config, dp *isa.DecodedProgram) (*Machine, error) {
 	m.localMem = make([]int64, cfg.PEs*cfg.LocalMemWords)
 	m.scalarMem = make([]int64, cfg.ScalarMemWords)
 	m.leafBuf = make([]int64, cfg.PEs)
-	m.satAdd = network.SatAdd(cfg.Width)
-	m.satLo, m.satHi = network.SatLimits(cfg.Width)
-
-	w := cfg.Width
-	m.reduceIdent = [isa.NumReduceKinds]int64{
-		isa.ReduceOr:   network.OrIdentity(),
-		isa.ReduceAnd:  network.OrIdentity(), // De Morgan: folds as OR
-		isa.ReduceMaxS: network.MaxIdentitySigned(w),
-		isa.ReduceMinS: network.MinIdentitySigned(w),
-		isa.ReduceMaxU: network.MaxIdentityUnsigned(),
-		isa.ReduceMinU: network.MinIdentityUnsigned(w),
-		isa.ReduceSum:  0,
-	}
-	m.reduceComb = [isa.NumReduceKinds]network.CombineFunc{
-		isa.ReduceOr:   network.CombineOr,
-		isa.ReduceAnd:  network.CombineOr, // De Morgan: folds as OR
-		isa.ReduceMaxS: network.CombineMax,
-		isa.ReduceMinS: network.CombineMin,
-		isa.ReduceMaxU: network.CombineMax,
-		isa.ReduceMinU: network.CombineMin,
-		isa.ReduceSum:  m.satAdd,
-	}
+	m.initReduceTables()
 
 	useParallel := false
 	switch cfg.Engine {
@@ -260,6 +239,33 @@ func NewDecoded(cfg Config, dp *isa.DecodedProgram) (*Machine, error) {
 	// Thread 0 starts active at PC 0.
 	m.threads[0].state = ThreadActive
 	return m, nil
+}
+
+// initReduceTables builds the per-ReduceKind dispatch tables and the
+// saturating-sum bounds for the configured width — once per machine, so
+// execReduction is a pair of array loads instead of opcode switches.
+func (m *Machine) initReduceTables() {
+	m.satAdd = network.SatAdd(m.cfg.Width)
+	m.satLo, m.satHi = network.SatLimits(m.cfg.Width)
+	w := m.cfg.Width
+	m.reduceIdent = [isa.NumReduceKinds]int64{
+		isa.ReduceOr:   network.OrIdentity(),
+		isa.ReduceAnd:  network.OrIdentity(), // De Morgan: folds as OR
+		isa.ReduceMaxS: network.MaxIdentitySigned(w),
+		isa.ReduceMinS: network.MinIdentitySigned(w),
+		isa.ReduceMaxU: network.MaxIdentityUnsigned(),
+		isa.ReduceMinU: network.MinIdentityUnsigned(w),
+		isa.ReduceSum:  0,
+	}
+	m.reduceComb = [isa.NumReduceKinds]network.CombineFunc{
+		isa.ReduceOr:   network.CombineOr,
+		isa.ReduceAnd:  network.CombineOr, // De Morgan: folds as OR
+		isa.ReduceMaxS: network.CombineMax,
+		isa.ReduceMinS: network.CombineMin,
+		isa.ReduceMaxU: network.CombineMax,
+		isa.ReduceMinU: network.CombineMin,
+		isa.ReduceSum:  m.satAdd,
+	}
 }
 
 // Reset restores power-on state without reallocating the flat files: all

@@ -16,6 +16,7 @@
 package pool
 
 import (
+	"fmt"
 	"sync"
 
 	asc "repro"
@@ -35,9 +36,14 @@ type Pool struct {
 	mu      sync.Mutex
 	maxIdle int
 	idle    map[string][]*asc.Processor
-	nIdle   int
-	stats   Stats
-	byKey   map[string]*Stats
+	// idleGangs parks warm gangs separately from solo processors, keyed by
+	// config key plus lane count (a gang's state planes are sized at
+	// construction). A parked gang occupies one idle slot regardless of
+	// lane count: the cap bounds fleet entries, not simulated machines.
+	idleGangs map[string][]*asc.Gang
+	nIdle     int
+	stats     Stats
+	byKey     map[string]*Stats
 }
 
 // New builds a pool that parks at most maxIdle machines across all
@@ -45,9 +51,10 @@ type Pool struct {
 // every Put drops).
 func New(maxIdle int) *Pool {
 	return &Pool{
-		maxIdle: maxIdle,
-		idle:    make(map[string][]*asc.Processor),
-		byKey:   make(map[string]*Stats),
+		maxIdle:   maxIdle,
+		idle:      make(map[string][]*asc.Processor),
+		idleGangs: make(map[string][]*asc.Gang),
+		byKey:     make(map[string]*Stats),
 	}
 }
 
@@ -118,6 +125,64 @@ func (p *Pool) Put(proc *asc.Processor) {
 	p.nIdle++
 }
 
+// gangKey is the park/checkout key for gangs: the architectural key plus
+// the lane count, since a gang's shared state planes are sized when built.
+func gangKey(cfg asc.Config, lanes int) string {
+	return fmt.Sprintf("%s|lanes=%d", cfg.Key(), lanes)
+}
+
+// GetGang returns a gang of the given lane count for cfg loaded with prog,
+// and whether it was a pool hit — the Get analogue for the lockstep batch
+// path. Hits and misses count in the same fleet statistics as solo
+// checkouts, under the gang's composite key.
+func (p *Pool) GetGang(cfg asc.Config, prog *asc.Program, lanes int) (*asc.Gang, bool, error) {
+	key := gangKey(cfg, lanes)
+	p.mu.Lock()
+	if gangs := p.idleGangs[key]; len(gangs) > 0 {
+		g := gangs[len(gangs)-1]
+		gangs[len(gangs)-1] = nil
+		p.idleGangs[key] = gangs[:len(gangs)-1]
+		p.nIdle--
+		p.mu.Unlock()
+		if err := g.SetProgram(prog); err != nil {
+			// Same contract as Get: a program-load failure leaves the gang
+			// intact, so re-park it; the checkout counts as neither hit nor
+			// miss.
+			p.PutGang(g)
+			return nil, false, err
+		}
+		p.mu.Lock()
+		p.stats.Hits++
+		p.keyStatsLocked(key).Hits++
+		p.mu.Unlock()
+		return g, true, nil
+	}
+	p.stats.Misses++
+	p.keyStatsLocked(key).Misses++
+	p.mu.Unlock()
+
+	g, err := asc.NewGang(cfg, prog, lanes)
+	if err != nil {
+		return nil, false, err
+	}
+	return g, false, nil
+}
+
+// PutGang parks a gang for reuse, dropping it when the idle cap is reached,
+// exactly like Put.
+func (p *Pool) PutGang(g *asc.Gang) {
+	key := gangKey(g.Config(), g.Lanes())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nIdle >= p.maxIdle {
+		p.stats.Evictions++
+		p.keyStatsLocked(key).Evictions++
+		return
+	}
+	p.idleGangs[key] = append(p.idleGangs[key], g)
+	p.nIdle++
+}
+
 // Stats returns a snapshot of the fleet-wide pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
@@ -136,7 +201,7 @@ func (p *Pool) StatsByKey() map[string]Stats {
 	out := make(map[string]Stats, len(p.byKey))
 	for key, s := range p.byKey {
 		ks := *s
-		ks.Idle = len(p.idle[key])
+		ks.Idle = len(p.idle[key]) + len(p.idleGangs[key])
 		out[key] = ks
 	}
 	return out

@@ -272,3 +272,73 @@ func TestStatsByKeyEviction(t *testing.T) {
 		t.Errorf("key stats = %+v, want evictions=1 idle=1", ks)
 	}
 }
+
+// TestGangCheckout pins the gang analogue of Get/Put: a parked gang is
+// recycled for its (config, lane-count) key, a different lane count
+// misses, a recycled gang is architecturally clean, and a parked gang
+// costs one idle slot regardless of lanes.
+func TestGangCheckout(t *testing.T) {
+	p := New(2)
+	cfg := asc.Config{PEs: 4, Width: 32}
+
+	g, hit, err := p.GetGang(cfg, sumProg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first GetGang reported a hit on an empty pool")
+	}
+	// Dirty every lane, then park.
+	for lane := 0; lane < g.Lanes(); lane++ {
+		if err := g.LoadScalarMem(lane, []int64{int64(100 + lane)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Run(0)
+	p.PutGang(g)
+	if got := p.Stats().Idle; got != 1 {
+		t.Errorf("idle after parking one 3-lane gang = %d, want 1 slot", got)
+	}
+
+	// A different lane count misses even with a gang parked.
+	g4, hit, err := p.GetGang(cfg, sumProg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("GetGang(4 lanes) hit a 3-lane gang")
+	}
+	p.PutGang(g4)
+
+	// Same key hits and hands back the recycled gang, clean.
+	g2, hit, err := p.GetGang(cfg, sumProg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second GetGang(3 lanes) should recycle the parked gang")
+	}
+	if g2 != g {
+		t.Error("hit returned a different gang than was parked")
+	}
+	for lane := 0; lane < g2.Lanes(); lane++ {
+		if got := g2.ScalarMem(lane, 0); got != 0 {
+			t.Errorf("recycled gang lane %d scalar mem = %d, want 0 (stale state)", lane, got)
+		}
+	}
+	fresh, err := asc.NewGang(cfg, sumProg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 3; lane++ {
+		if !bytes.Equal(g2.Snapshot(lane), fresh.Snapshot(lane)) {
+			t.Errorf("recycled gang lane %d snapshot differs from a fresh gang", lane)
+		}
+	}
+
+	// Gang keys show up in the per-key statistics with the lane suffix.
+	ks, ok := p.StatsByKey()[cfg.Key()+"|lanes=3"]
+	if !ok || ks.Hits != 1 || ks.Misses != 1 {
+		t.Errorf("gang key stats = %+v (present %v), want hits=1 misses=1", ks, ok)
+	}
+}

@@ -30,12 +30,16 @@ import (
 	asc "repro"
 )
 
-// Program is one cached compile artifact: the executable program plus the
+// Program is one cached compile artifact: the executable program, the
 // generated assembly listing (non-empty only for ASCL sources, where the
-// listing is part of the API response).
+// listing is part of the API response), and the content digest it is cached
+// under. The digest makes the artifact gang-ready: batch admission groups
+// jobs whose Digest and architectural key agree into one lockstep gang
+// without re-hashing sources.
 type Program struct {
-	Prog *asc.Program
-	Asm  string
+	Prog   *asc.Program
+	Asm    string
+	Digest string
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -53,16 +57,18 @@ type Stats struct {
 // so jobs that differ only in host engine or trace opt-in share one entry,
 // while a future configuration-dependent compiler keeps correctness.
 //
-// The "v2" version prefix invalidates keys minted before the decode
-// plane: cached asc.Programs now embed the validated decoded micro-op
-// form (so a hit skips both compile and decode), and artifacts from
-// before that change must not be served. Bump the prefix whenever the
-// shape of the cached artifact changes.
+// The "v3" version prefix invalidates keys minted before the gang-ready
+// artifact: cached Programs now carry their own Digest (batch admission
+// groups jobs into lockstep gangs by it), and artifacts from before that
+// change must not be served. The previous bump ("v2") marked the decode
+// plane, when cached asc.Programs began embedding the validated decoded
+// micro-op form. Bump the prefix whenever the shape of the cached artifact
+// changes.
 func Key(kind, source string, cfg asc.Config) string {
 	cfg.Engine = asc.EngineAuto
 	cfg.TraceDepth = 0
 	h := sha256.New()
-	h.Write([]byte("v2"))
+	h.Write([]byte("v3"))
 	h.Write([]byte{0})
 	h.Write([]byte(kind))
 	h.Write([]byte{0})

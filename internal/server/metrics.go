@@ -43,6 +43,12 @@ type metrics struct {
 	batchSize     *obs.Histogram  // asc_batch_size_jobs
 	batchLatency  *obs.Histogram  // asc_batch_duration_seconds
 
+	// Gang instruments: same-program batch jobs executed in lockstep behind
+	// one shared front end, and the divergence peels that fell out of it.
+	gangJobs  *obs.Counter   // asc_gang_jobs_total
+	gangSize  *obs.Histogram // asc_gang_size_jobs
+	gangPeels *obs.Counter   // asc_gang_divergence_peels_total
+
 	// Program-cache instruments, mirrored from progcache.Stats at scrape
 	// time: how often the compile/assemble front end was skipped entirely.
 	progHits      *obs.Counter // asc_program_cache_hits_total
@@ -88,6 +94,13 @@ func newMetrics() *metrics {
 			"Jobs per admitted batch.", batchSizeBuckets),
 		batchLatency: reg.NewHistogram("asc_batch_duration_seconds",
 			"Wall-clock latency of admitted batches from admission to response.", durationBuckets),
+
+		gangJobs: reg.NewCounter("asc_gang_jobs_total",
+			"Batch sub-jobs executed in a lockstep gang instead of on a solo machine."),
+		gangSize: reg.NewHistogram("asc_gang_size_jobs",
+			"Lanes per launched gang.", batchSizeBuckets),
+		gangPeels: reg.NewCounter("asc_gang_divergence_peels_total",
+			"Lanes that diverged from their gang mid-run and finished on a solo machine."),
 
 		progHits: reg.NewCounter("asc_program_cache_hits_total",
 			"Jobs whose compiled program came from the content-addressed cache."),

@@ -89,6 +89,13 @@ type Config struct {
 	// in entries (default 128; negative disables caching). Repeat
 	// submissions of a program skip the ASCL compiler and assembler.
 	ProgramCacheSize int
+	// GangMinJobs is the minimum number of same-program, same-config,
+	// same-limits jobs in one batch that get executed as a lockstep gang —
+	// one shared fetch/decode/issue pass driving all of them (default 2;
+	// negative disables ganging). Ganging is server-internal: the batch
+	// wire semantics and per-job results are unchanged. Jobs that opt into
+	// tracing or SMT always run solo.
+	GangMinJobs int
 
 	// Logger receives structured job lifecycle events (admitted, started,
 	// completed, failed, rejected, canceled), each carrying the request id
@@ -135,6 +142,12 @@ func (c *Config) fillDefaults() {
 		c.ProgramCacheSize = 128
 	case c.ProgramCacheSize < 0:
 		c.ProgramCacheSize = 0 // disabled
+	}
+	switch {
+	case c.GangMinJobs == 0:
+		c.GangMinJobs = 2
+	case c.GangMinJobs < 0:
+		c.GangMinJobs = 0 // disabled
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -499,41 +512,54 @@ func (s *Server) worker() {
 	}
 }
 
-// compileJob resolves a request's program through the content-addressed
-// cache: a repeat submission of the same source for the same architecture
-// skips the ASCL compiler and assembler entirely. It returns the program,
-// the generated assembly listing (ASCL jobs), and whether the cache
-// served it; a compile failure comes back as a ready-to-send outcome.
-//
-// Cached programs are shared: the simulator treats a program as immutable
-// (instructions are only read and copied into fetch buffers), so any
-// number of concurrently running machines can execute one *asc.Program.
-func (s *Server) compileJob(req *client.RunRequest) (prog *asc.Program, asmText string, cacheHit bool, fail *jobOutcome) {
+// progDigest is the content digest of a request's compilation input — the
+// progcache key, which is also how batch admission recognizes same-program
+// jobs for ganging without comparing sources.
+func progDigest(req *client.RunRequest) string {
 	kind, source := "asm", req.Asm
 	if req.ASCL != "" {
 		kind, source = "ascl", req.ASCL
 	}
-	key := progcache.Key(kind, source, req.Config.ASC())
+	return progcache.Key(kind, source, req.Config.ASC())
+}
+
+// compileJob resolves a request's program through the content-addressed
+// cache: a repeat submission of the same source for the same architecture
+// skips the ASCL compiler and assembler entirely. It returns the gang-ready
+// artifact (program, generated assembly listing for ASCL jobs, and content
+// digest) and whether the cache served it; a compile failure comes back as
+// a ready-to-send outcome.
+//
+// Cached programs are shared: the simulator treats a program as immutable
+// (instructions are only read and copied into fetch buffers), so any
+// number of concurrently running machines can execute one *asc.Program.
+func (s *Server) compileJob(req *client.RunRequest) (art progcache.Program, cacheHit bool, fail *jobOutcome) {
+	key := progDigest(req)
 	if cached, ok := s.progs.Get(key); ok {
-		return cached.Prog, cached.Asm, true, nil
+		return cached, true, nil
 	}
-	var err error
+	var (
+		prog    *asc.Program
+		asmText string
+		err     error
+	)
 	if req.ASCL != "" {
 		prog, asmText, err = asc.CompileASCL(req.ASCL)
 		if err != nil {
-			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("compiling ASCL", err)}
+			return progcache.Program{}, false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("compiling ASCL", err)}
 		}
 	} else {
 		prog, err = asc.Assemble(req.Asm)
 		if err != nil {
-			return nil, "", false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("assembling", err)}
+			return progcache.Program{}, false, &jobOutcome{status: http.StatusUnprocessableEntity, errMsg: compileErrMsg("assembling", err)}
 		}
 	}
 	// Only successful compiles are cached; two requests racing on the same
 	// key both compile and the second Put refreshes recency, which is
 	// harmless (the artifacts are identical by construction).
-	s.progs.Put(key, progcache.Program{Prog: prog, Asm: asmText})
-	return prog, asmText, false, nil
+	art = progcache.Program{Prog: prog, Asm: asmText, Digest: key}
+	s.progs.Put(key, art)
+	return art, false, nil
 }
 
 // compileErrMsg prefixes validation failures with the machine-readable
@@ -547,16 +573,102 @@ func compileErrMsg(stage string, err error) string {
 	return fmt.Sprintf("%s: %v", stage, err)
 }
 
+// effMaxCycles resolves a request's cycle budget against the server cap.
+func (s *Server) effMaxCycles(req *client.RunRequest) int64 {
+	maxCycles := req.MaxCycles
+	if maxCycles <= 0 || maxCycles > s.cfg.MaxCycles {
+		maxCycles = s.cfg.MaxCycles
+	}
+	return maxCycles
+}
+
+// effTimeout resolves a request's wall-clock budget against the defaults.
+func (s *Server) effTimeout(req *client.RunRequest) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// runErrOutcome maps a simulation error onto the job outcome shared by the
+// solo and gang paths.
+func runErrOutcome(err error, stats asc.Stats, timeout time.Duration, maxCycles int64) jobOutcome {
+	out := jobOutcome{stats: stats, simulated: true}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		out.status, out.errMsg = http.StatusGatewayTimeout,
+			fmt.Sprintf("simulation exceeded wall-clock limit %v after %d cycles", timeout, stats.Cycles)
+	case errors.Is(err, context.Canceled):
+		out.status, out.errMsg = http.StatusRequestTimeout, "client went away"
+	case errors.Is(err, asc.ErrCycleLimit):
+		out.status, out.errMsg = http.StatusGatewayTimeout,
+			fmt.Sprintf("simulation exceeded cycle limit %d", maxCycles)
+	default:
+		out.status, out.errMsg = http.StatusUnprocessableEntity, fmt.Sprintf("simulation: %v", err)
+	}
+	return out
+}
+
+// dumpMems fills res's memory dumps through the given readers, clamping
+// sizes to the machine's actual geometry (config validated at admission).
+func dumpMems(req *client.RunRequest, geom asc.Geometry, res *client.RunResult,
+	scalarAt func(w int) int64, localAt func(pe, w int) int64) {
+	if n := req.DumpScalar; n > 0 {
+		if n > geom.ScalarMemWords {
+			n = geom.ScalarMemWords
+		}
+		res.ScalarMem = make([]int64, n)
+		for i := 0; i < n; i++ {
+			res.ScalarMem[i] = scalarAt(i)
+		}
+	}
+	if n := req.DumpLocal; n > 0 {
+		pes, lmw := geom.PEs, geom.LocalMemWords
+		if n > lmw {
+			n = lmw
+		}
+		res.LocalMem = make([][]int64, pes)
+		for pe := 0; pe < pes; pe++ {
+			row := make([]int64, n)
+			for wd := 0; wd < n; wd++ {
+				row[wd] = localAt(pe, wd)
+			}
+			res.LocalMem[pe] = row
+		}
+	}
+}
+
+// baseRunResult builds the statistics portion of a run result.
+func baseRunResult(stats asc.Stats, asmText string, poolHit, cacheHit bool) *client.RunResult {
+	return &client.RunResult{
+		Cycles:          stats.Cycles,
+		Instructions:    stats.Instructions,
+		IPC:             stats.IPC(),
+		ScalarOps:       stats.Scalar,
+		ParallelOps:     stats.Parallel,
+		ReductionOps:    stats.Reduction,
+		IdleCycles:      stats.IdleCycles,
+		Asm:             asmText,
+		PoolHit:         poolHit,
+		ProgramCacheHit: cacheHit,
+	}
+}
+
 // runJob runs one job end to end: compile (through the program cache),
 // check out a machine, load memory images, simulate under the request's
 // limits, read back results, and return the machine to the fleet. Both
 // the single-run worker lane and the batch lane execute through it, so a
 // batch of N jobs is bit-identical to N sequential /v1/run calls.
 func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutcome {
-	prog, asmText, cacheHit, fail := s.compileJob(req)
+	art, cacheHit, fail := s.compileJob(req)
 	if fail != nil {
 		return *fail
 	}
+	prog, asmText := art.Prog, art.Asm
 
 	cfg := req.Config.ASC()
 	if req.Trace {
@@ -586,82 +698,25 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 		}
 	}
 
-	maxCycles := req.MaxCycles
-	if maxCycles <= 0 || maxCycles > s.cfg.MaxCycles {
-		maxCycles = s.cfg.MaxCycles
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
+	maxCycles := s.effMaxCycles(req)
+	timeout := s.effTimeout(req)
 	ctx, cancel := context.WithTimeout(jobCtx, timeout)
 	defer cancel()
 
 	stats, err := proc.RunContext(ctx, maxCycles)
 	if err != nil {
-		out := jobOutcome{stats: stats, simulated: true}
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			out.status, out.errMsg = http.StatusGatewayTimeout,
-				fmt.Sprintf("simulation exceeded wall-clock limit %v after %d cycles", timeout, stats.Cycles)
-		case errors.Is(err, context.Canceled):
-			out.status, out.errMsg = http.StatusRequestTimeout, "client went away"
-		case errors.Is(err, asc.ErrCycleLimit):
-			out.status, out.errMsg = http.StatusGatewayTimeout,
-				fmt.Sprintf("simulation exceeded cycle limit %d", maxCycles)
-		default:
-			out.status, out.errMsg = http.StatusUnprocessableEntity, fmt.Sprintf("simulation: %v", err)
-		}
-		return out
+		return runErrOutcome(err, stats, timeout, maxCycles)
 	}
 
-	res := &client.RunResult{
-		Cycles:          stats.Cycles,
-		Instructions:    stats.Instructions,
-		IPC:             stats.IPC(),
-		ScalarOps:       stats.Scalar,
-		ParallelOps:     stats.Parallel,
-		ReductionOps:    stats.Reduction,
-		IdleCycles:      stats.IdleCycles,
-		Asm:             asmText,
-		PoolHit:         hit,
-		ProgramCacheHit: cacheHit,
-	}
+	res := baseRunResult(stats, asmText, hit, cacheHit)
 	if req.Trace {
 		res.Trace = &client.Trace{
 			Diagram: proc.PipelineDiagram(),
 			Stats:   asc.FormatStats(stats),
 		}
 	}
-	// Dump sizes are clamped to the machine's actual memory geometry,
-	// resolved by the facade (the config already validated at admission).
 	geom, _ := proc.Config().Geometry()
-	if n := req.DumpScalar; n > 0 {
-		if n > geom.ScalarMemWords {
-			n = geom.ScalarMemWords
-		}
-		res.ScalarMem = make([]int64, n)
-		for i := 0; i < n; i++ {
-			res.ScalarMem[i] = proc.ScalarMem(i)
-		}
-	}
-	if n := req.DumpLocal; n > 0 {
-		pes, lmw := geom.PEs, geom.LocalMemWords
-		if n > lmw {
-			n = lmw
-		}
-		res.LocalMem = make([][]int64, pes)
-		for pe := 0; pe < pes; pe++ {
-			row := make([]int64, n)
-			for wd := 0; wd < n; wd++ {
-				row[wd] = proc.LocalMem(pe, wd)
-			}
-			res.LocalMem[pe] = row
-		}
-	}
+	dumpMems(req, geom, res, proc.ScalarMem, proc.LocalMem)
 	return jobOutcome{result: res, stats: stats, simulated: true}
 }
 
@@ -751,15 +806,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Grouping: same-program, same-config, same-limits jobs execute as one
+	// lockstep gang — one fetch/decode/issue pass over the shared micro-op
+	// stream drives all of them, the paper's one-broadcast-to-all-PEs
+	// amortization applied across jobs. The wire semantics are unchanged:
+	// per-job results are bit-identical to solo runs.
+	groups, singles := s.planBatch(&req)
 	outcomes := make([]jobOutcome, len(req.Jobs))
 	var wg sync.WaitGroup
-	for i := range req.Jobs {
+	for _, i := range singles {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer s.batchInflight.Add(-1)
 			outcomes[i] = s.runBatchJob(batchCtx, &req.Jobs[i])
 		}(i)
+	}
+	for _, grp := range groups {
+		wg.Add(1)
+		go func(grp []int) {
+			defer wg.Done()
+			defer s.batchInflight.Add(-int64(len(grp)))
+			s.runGangGroup(batchCtx, req.Jobs, grp, outcomes)
+		}(grp)
 	}
 	// Wait for every sub-job, canceled batches included: sub-jobs hold
 	// warm machines and must re-park them before the batch resolves.
@@ -807,16 +876,274 @@ func (s *Server) runBatchJob(batchCtx context.Context, req *client.RunRequest) j
 	case <-batchCtx.Done():
 		return jobOutcome{status: http.StatusRequestTimeout, errMsg: "batch canceled before the job started"}
 	}
-	out := s.runJob(batchCtx, req)
-	// A job cut off by the batch deadline (or the client going away)
-	// surfaces as a wall-clock 504 or a bare 408 from runJob; rewrite it
-	// as a batch cancellation so the per-job error says what happened.
-	// Jobs that failed on their own terms (400/422, genuine per-job
-	// limits with the batch context still live) keep their status.
+	return rewriteBatchCancel(batchCtx, s.runJob(batchCtx, req))
+}
+
+// rewriteBatchCancel maps a job cut off by the batch deadline (or the
+// client going away) onto a batch cancellation: such a job surfaces as a
+// wall-clock 504 or a bare 408 from the run, and the per-job error should
+// say what actually happened. Jobs that failed on their own terms
+// (400/422, genuine per-job limits with the batch context still live)
+// keep their status.
+func rewriteBatchCancel(batchCtx context.Context, out jobOutcome) jobOutcome {
 	if batchCtx.Err() != nil && out.result == nil &&
 		(out.status == http.StatusGatewayTimeout || out.status == http.StatusRequestTimeout) {
 		out.status = http.StatusRequestTimeout
 		out.errMsg = "batch canceled mid-run"
+	}
+	return out
+}
+
+// planBatch partitions a batch into gang groups and solo jobs. Jobs gang
+// when they share a program digest, an architectural configuration, and
+// effective run limits, and at least GangMinJobs of them agree; everything
+// else — including invalid jobs (they re-validate to a per-job 400 on the
+// solo path), traced jobs, and SMT configurations — runs solo.
+func (s *Server) planBatch(req *client.BatchRequest) (groups [][]int, singles []int) {
+	if s.cfg.GangMinJobs < 2 {
+		for i := range req.Jobs {
+			singles = append(singles, i)
+		}
+		return nil, singles
+	}
+	byKey := make(map[string][]int)
+	var order []string
+	for i := range req.Jobs {
+		j := &req.Jobs[i]
+		if s.validate(j) != nil || j.Trace || j.Config.ASC().SMT {
+			singles = append(singles, i)
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|mc=%d|to=%d",
+			progDigest(j), j.Config.ASC().Key(), s.effMaxCycles(j), s.effTimeout(j))
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	for _, key := range order {
+		grp := byKey[key]
+		if len(grp) >= s.cfg.GangMinJobs {
+			groups = append(groups, grp)
+		} else {
+			singles = append(singles, grp...)
+		}
+	}
+	return groups, singles
+}
+
+// memImagesFit mirrors the machine's memory-image validation (rows beyond
+// the PE count are ignored; over-long rows and images are errors) so a bad
+// image is rejected with a per-job 400 before its lane joins a gang — a
+// lane cannot be excluded once its gang is running.
+func memImagesFit(req *client.RunRequest, geom asc.Geometry) error {
+	for pe, row := range req.LocalMem {
+		if pe >= geom.PEs {
+			break
+		}
+		if len(row) > geom.LocalMemWords {
+			return fmt.Errorf("loading local memory: machine: local mem row %d has %d words, capacity %d",
+				pe, len(row), geom.LocalMemWords)
+		}
+	}
+	if len(req.ScalarMem) > geom.ScalarMemWords {
+		return fmt.Errorf("loading scalar memory: machine: scalar mem image %d words, capacity %d",
+			len(req.ScalarMem), geom.ScalarMemWords)
+	}
+	return nil
+}
+
+// runGangGroup executes one gang group under a single batch-concurrency
+// slot — that is the amortization: one front end's worth of host work
+// drives every lane in the group. Results land in outcomes at the group's
+// original batch indices. Lanes that diverge mid-run peel out of the gang
+// and finish on a solo machine; degenerate groups (too few valid jobs, a
+// gang the pool cannot build) degrade to sequential solo runs in-slot.
+func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest, grp []int, outcomes []jobOutcome) {
+	select {
+	case s.batchSem <- struct{}{}:
+		defer func() { <-s.batchSem }()
+	case <-batchCtx.Done():
+		for _, i := range grp {
+			outcomes[i] = jobOutcome{status: http.StatusRequestTimeout, errMsg: "batch canceled before the job started"}
+		}
+		return
+	}
+
+	lead := &jobs[grp[0]]
+	art, cacheHit, fail := s.compileJob(lead)
+	if fail != nil {
+		// The group shares one program; a compile failure is every job's
+		// failure.
+		for _, i := range grp {
+			outcomes[i] = *fail
+		}
+		return
+	}
+	cfg := lead.Config.ASC()
+	geom, err := cfg.Geometry()
+	if err != nil {
+		// planBatch validated the config; unreachable, but fail per-job.
+		for _, i := range grp {
+			outcomes[i] = jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("invalid machine config: %v", err)}
+		}
+		return
+	}
+
+	valid := make([]int, 0, len(grp))
+	for _, i := range grp {
+		if err := memImagesFit(&jobs[i], geom); err != nil {
+			outcomes[i] = jobOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
+			continue
+		}
+		valid = append(valid, i)
+	}
+
+	// Sequential in-slot fallback: the group already holds its one batch
+	// slot, so running its jobs through the solo path here cannot deadlock
+	// against other groups waiting on batchSem.
+	runSolo := func(idxs []int) {
+		for _, i := range idxs {
+			if batchCtx.Err() != nil {
+				outcomes[i] = jobOutcome{status: http.StatusRequestTimeout, errMsg: "batch canceled before the job started"}
+				continue
+			}
+			outcomes[i] = rewriteBatchCancel(batchCtx, s.runJob(batchCtx, &jobs[i]))
+		}
+	}
+	if len(valid) < 2 {
+		runSolo(valid)
+		return
+	}
+
+	g, poolHit, err := s.pool.GetGang(cfg, art.Prog, len(valid))
+	if err != nil {
+		runSolo(valid)
+		return
+	}
+	defer s.pool.PutGang(g)
+
+	for lane, i := range valid {
+		req := &jobs[i]
+		if len(req.LocalMem) > 0 {
+			if err := g.LoadLocalMem(lane, req.LocalMem); err != nil {
+				// memImagesFit mirrors the machine's checks, so this should
+				// not happen; degrade to solo runs rather than running a
+				// partially loaded lane (the gang re-parks dirty and is
+				// reset on its next checkout).
+				runSolo(valid)
+				return
+			}
+		}
+		if len(req.ScalarMem) > 0 {
+			if err := g.LoadScalarMem(lane, req.ScalarMem); err != nil {
+				runSolo(valid)
+				return
+			}
+		}
+	}
+
+	maxCycles := s.effMaxCycles(lead)
+	timeout := s.effTimeout(lead)
+	s.m.gangSize.Observe(float64(len(valid)))
+	runCtx, cancel := context.WithTimeout(batchCtx, timeout)
+	defer cancel()
+	res := g.RunContext(runCtx, maxCycles)
+
+	for lane, i := range valid {
+		s.m.gangJobs.Inc()
+		laneCacheHit := cacheHit
+		if i != grp[0] {
+			// Only the lead lane could have compiled; the others' programs
+			// are served from the artifact it cached. Resolving them through
+			// the cache keeps the hit accounting identical to the fan-out
+			// path (N same-program jobs, at most one compile, N-1 hits).
+			_, laneCacheHit = s.progs.Get(art.Digest)
+		}
+		lr := &res[lane]
+		switch {
+		case lr.Peeled:
+			s.m.gangPeels.Inc()
+			outcomes[i] = s.finishPeeled(runCtx, batchCtx, &jobs[i], art, laneCacheHit, lr, maxCycles, timeout, geom)
+		case lr.Err != nil:
+			outcomes[i] = rewriteBatchCancel(batchCtx, runErrOutcome(lr.Err, lr.Stats, timeout, maxCycles))
+		default:
+			out := baseRunResult(lr.Stats, art.Asm, poolHit, laneCacheHit)
+			dumpMems(&jobs[i], geom, out,
+				func(w int) int64 { return g.ScalarMem(lane, w) },
+				func(pe, w int) int64 { return g.LocalMem(lane, pe, w) })
+			outcomes[i] = jobOutcome{result: out, stats: lr.Stats, simulated: true}
+		}
+	}
+}
+
+// finishPeeled resumes a peeled lane on a solo machine: restore the
+// snapshot the lane carried out of the gang, spend the remaining cycle
+// budget, and merge the gang-phase and solo-phase statistics. The final
+// architectural state is bit-identical to having run the job solo from
+// the start (pinned by the gang differential tests).
+func (s *Server) finishPeeled(runCtx, batchCtx context.Context, req *client.RunRequest,
+	art progcache.Program, cacheHit bool, lr *asc.GangLaneResult,
+	maxCycles int64, timeout time.Duration, geom asc.Geometry) jobOutcome {
+
+	proc, hit, err := s.pool.Get(req.Config.ASC(), art.Prog)
+	if err != nil {
+		return jobOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf("building machine: %v", err)}
+	}
+	defer s.pool.Put(proc)
+	if err := proc.Restore(lr.Snapshot); err != nil {
+		return jobOutcome{status: http.StatusInternalServerError, errMsg: fmt.Sprintf("resuming peeled job: %v", err)}
+	}
+	remaining := maxCycles - lr.PeelCycle
+	if remaining <= 0 {
+		remaining = 1
+	}
+	stats, err := proc.RunContext(runCtx, remaining)
+	merged := mergeStats(lr.Stats, stats)
+	if err != nil {
+		return rewriteBatchCancel(batchCtx, runErrOutcome(err, merged, timeout, maxCycles))
+	}
+	res := baseRunResult(merged, art.Asm, hit, cacheHit)
+	dumpMems(req, geom, res, proc.ScalarMem, proc.LocalMem)
+	return jobOutcome{result: res, stats: merged, simulated: true}
+}
+
+// mergeStats combines a peeled lane's gang-phase statistics with its solo
+// continuation into one whole-job view.
+func mergeStats(a, b asc.Stats) asc.Stats {
+	out := a
+	out.Cycles += b.Cycles
+	out.Instructions += b.Instructions
+	out.Scalar += b.Scalar
+	out.Parallel += b.Parallel
+	out.Reduction += b.Reduction
+	out.IdleCycles += b.IdleCycles
+	out.Contention += b.Contention
+	out.Fetches += b.Fetches
+	out.Flushes += b.Flushes
+	out.IdleByCause = mergeCauses(a.IdleByCause, b.IdleByCause)
+	out.StallByCause = mergeCauses(a.StallByCause, b.StallByCause)
+	out.PerThread = append([]int64(nil), a.PerThread...)
+	for t, v := range b.PerThread {
+		if t < len(out.PerThread) {
+			out.PerThread[t] += v
+		} else {
+			out.PerThread = append(out.PerThread, v)
+		}
+	}
+	return out
+}
+
+func mergeCauses(a, b map[string]int64) map[string]int64 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(a)+len(b))
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
 	}
 	return out
 }
