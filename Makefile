@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-engines obs-demo apicheck apiupdate hotpath-lint check
+.PHONY: build vet test race bench bench-engines obs-demo fleet-smoke apicheck apiupdate hotpath-lint check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # even on single-core hosts (see internal/machine/engine_test.go), and the
 # serving stack runs concurrent compile->simulate round trips.
 race:
-	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/... ./internal/obs/...
+	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/... ./internal/obs/... ./internal/gateway/...
 
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
@@ -36,6 +36,14 @@ obs-demo:
 	done; \
 	echo "--- GET /metrics ---"; \
 	curl -s http://127.0.0.1:18642/metrics
+
+# Distributed-tier smoke: 1 ascgw + 2 ascd on loopback, mixed run/batch
+# traffic through the gateway, one backend killed mid-stream. Asserts no
+# transport errors and no non-shed failures reach the client — only
+# successes or 429/503 with Retry-After — and that the fleet /metrics
+# merge stays well-formed. See scripts/fleet_smoke.sh.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Serial-vs-parallel host engine comparison plus BENCH_results.json.
 bench-engines:

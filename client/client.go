@@ -195,17 +195,41 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	return nil
 }
 
-// parseRetryAfter reads the delay-seconds form of a Retry-After header
-// (the only form ascd emits); malformed or HTTP-date values yield zero.
+// maxRetryAfter caps the honored Retry-After hint. ascd and ascgw derive
+// hints from queue depth and never exceed 60s; a larger value (a
+// misconfigured proxy, a skewed HTTP-date) must not park a retry loop for
+// hours, so anything beyond the cap is clamped rather than trusted.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("3") or HTTP-date ("Fri, 08 Aug 2026 01:02:03 GMT", the
+// form classic proxies emit). Malformed values, negative delays, and
+// dates in the past yield zero; absurd delays clamp to maxRetryAfter.
 func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		// An HTTP-date is an absolute deadline; the delay is whatever is
+		// left of it. A past date means "retry now", not "never".
+		d = time.Until(t)
+		if d < 0 {
+			return 0
+		}
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
 }
 
 // Run submits a simulation job and blocks until it completes (or ctx ends).

@@ -1,0 +1,45 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 Retry-After forms: delay-seconds
+// and HTTP-date, plus the clamping of negative and absurd values. The
+// HTTP-date cases compute the header from time.Now so the expected delay
+// is known to within a tolerance.
+func TestParseRetryAfter(t *testing.T) {
+	date := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	tests := []struct {
+		name string
+		in   string
+		min  time.Duration // inclusive lower bound on the parsed delay
+		max  time.Duration // inclusive upper bound
+	}{
+		{"empty", "", 0, 0},
+		{"seconds", "3", 3 * time.Second, 3 * time.Second},
+		{"seconds zero", "0", 0, 0},
+		{"seconds padded", "  7  ", 7 * time.Second, 7 * time.Second},
+		{"seconds negative", "-5", 0, 0},
+		{"seconds absurd clamps", "999999999", maxRetryAfter, maxRetryAfter},
+		{"malformed", "soon", 0, 0},
+		{"malformed float", "2.5", 0, 0},
+		{"http date future", date(10 * time.Second), 8 * time.Second, 10 * time.Second},
+		{"http date past", date(-time.Minute), 0, 0},
+		{"http date far future clamps", date(48 * time.Hour), maxRetryAfter, maxRetryAfter},
+		{"ansi c date future", time.Now().Add(10 * time.Second).UTC().Format(time.ANSIC), 8 * time.Second, 10 * time.Second},
+		{"garbage date", "Fri, 99 Zed 2020 00:00:00 GMT", 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(tc.in)
+			if got < tc.min || got > tc.max {
+				t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.in, got, tc.min, tc.max)
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"repro/client"
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+// gatewayBenches measures the fleet tier's fan-out: one mixed batch (two
+// programs interleaved) pushed through an ascgw fronting two ascd
+// backends, against the same batch on a single direct ascd. The gateway
+// splits the batch by program digest and routes each group to its ring
+// owner, so the two backends compile once each and gang their own
+// group — the scenario records how much routing overhead the tier adds
+// (or hides, once the groups execute on disjoint nodes).
+func gatewayBenches() []benchResult {
+	const jobs = 32
+	const reps = 5
+	mkJob := func(pes int) client.RunRequest {
+		req := client.RunRequest{
+			ASCL:       "parallel v = pread(0); write(0, sumval(v));",
+			Config:     client.MachineConfig{PEs: pes, Width: 32},
+			LocalMem:   make([][]int64, pes),
+			DumpScalar: 1,
+		}
+		for i := range req.LocalMem {
+			req.LocalMem[i] = []int64{int64(i + 1)}
+		}
+		return req
+	}
+	// Two digest groups interleaved: the splitter has to regroup them.
+	breq := client.BatchRequest{Jobs: make([]client.RunRequest, jobs)}
+	for i := range breq.Jobs {
+		if i%2 == 0 {
+			breq.Jobs[i] = mkJob(16)
+		} else {
+			breq.Jobs[i] = mkJob(32)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 2 {
+		workers /= 2 // two backends share the host
+	}
+	var nodes []*server.Server
+	var nodeHS []*httptest.Server
+	var backends []string
+	for i := 0; i < 2; i++ {
+		s := server.New(server.Config{Workers: workers})
+		hs := httptest.NewServer(s.Handler())
+		nodes, nodeHS, backends = append(nodes, s), append(nodeHS, hs), append(backends, hs.URL)
+	}
+	direct := server.New(server.Config{Workers: runtime.GOMAXPROCS(0)})
+	directHS := httptest.NewServer(direct.Handler())
+
+	row := benchResult{Name: fmt.Sprintf("serving/gateway-fanout/jobs=%d", jobs)}
+	gw, err := gateway.New(gateway.Config{
+		Backends: backends,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		row.Error = err.Error()
+		return []benchResult{row}
+	}
+	gwHS := httptest.NewServer(gw.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx)
+		gwHS.Close()
+		direct.Shutdown(ctx)
+		directHS.Close()
+		for i, s := range nodes {
+			s.Shutdown(ctx)
+			nodeHS[i].Close()
+		}
+	}()
+
+	runBatch := func(c *client.Client) ([]int64, error) {
+		res, err := c.RunBatch(context.Background(), breq)
+		if err != nil {
+			return nil, err
+		}
+		words := make([]int64, len(res.Jobs))
+		for i, j := range res.Jobs {
+			if j.Result == nil {
+				return nil, fmt.Errorf("batch job %d failed: %s", i, j.Error)
+			}
+			words[i] = j.Result.ScalarMem[0]
+		}
+		return words, nil
+	}
+	cg, cd := client.New(gwHS.URL), client.New(directHS.URL)
+
+	// Warm both paths (program caches, warm pools), and take the direct
+	// run as the correctness baseline.
+	want, derr := runBatch(cd)
+	if _, gerr := runBatch(cg); derr != nil || gerr != nil {
+		row.Error = fmt.Sprintf("warm-up: direct=%v gateway=%v", derr, gerr)
+		return []benchResult{row}
+	}
+	check := func(words []int64, err error) error {
+		if err != nil {
+			return err
+		}
+		for i, w := range words {
+			if w != want[i] {
+				return fmt.Errorf("job %d: gateway result %d diverges from direct %d", i, w, want[i])
+			}
+		}
+		return nil
+	}
+
+	var gwNs, directNs float64
+	for rep := 0; rep < reps; rep++ {
+		if r := measure(1, func() error { w, err := runBatch(cg); return check(w, err) }); r.Error != "" {
+			row.Error = r.Error
+		} else if gwNs == 0 || r.NsPerOp < gwNs {
+			gwNs, row.AllocsPerOp, row.BytesPerOp = r.NsPerOp, r.AllocsPerOp, r.BytesPerOp
+		}
+		if r := measure(1, func() error { _, err := runBatch(cd); return err }); r.Error != "" {
+			row.Error = r.Error
+		} else if directNs == 0 || r.NsPerOp < directNs {
+			directNs = r.NsPerOp
+		}
+	}
+	row.NsPerOp = gwNs
+	row.Metrics = map[string]float64{
+		"jobs": jobs, "reps": reps, "backends": 2,
+		"ns-per-job":         gwNs / jobs,
+		"direct-ns-per-job":  directNs / jobs,
+		"overhead-vs-direct": gwNs / directNs,
+		"bit-identical-runs": reps,
+	}
+	return []benchResult{row}
+}

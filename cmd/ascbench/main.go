@@ -482,6 +482,7 @@ func main() {
 	bench = append(bench, coreBenches()...)
 	bench = append(bench, batchBenches()...)
 	bench = append(bench, gangBenches()...)
+	bench = append(bench, gatewayBenches()...)
 	if *baseline != "" {
 		if err := mergeBaseline(bench, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "merging baseline %s: %v\n", *baseline, err)

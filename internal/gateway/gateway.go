@@ -1,0 +1,829 @@
+package gateway
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/obs"
+	"repro/internal/progcache"
+)
+
+// Config sizes the gateway. Backends is required; zero fields take
+// defaults.
+type Config struct {
+	// Backends are the ascd base URLs (e.g. "http://10.0.0.7:8642") the
+	// ring routes over. At least one is required.
+	Backends []string
+
+	// Replicas is the number of virtual ring points per backend
+	// (default 128).
+	Replicas int
+	// LoadFactor is the bounded-load factor c: a backend stops taking new
+	// keys once its in-flight jobs exceed c times the fleet average
+	// (default 1.25). Values <= 1 take the default.
+	LoadFactor float64
+	// MaxAttempts bounds how many distinct ring replicas one request may
+	// try before the gateway sheds it (default 3, clamped to the backend
+	// count).
+	MaxAttempts int
+
+	// MaxInflight bounds requests (run calls plus batch calls) in flight
+	// through the gateway; beyond it submissions shed with 429 (default
+	// 256).
+	MaxInflight int
+	// MaxBodyBytes bounds the request body (default 32 MiB — above the
+	// ascd default because the gateway splits batches before forwarding).
+	MaxBodyBytes int64
+	// BatchMaxJobs bounds the jobs accepted in one gateway batch (default
+	// 256). BackendBatchMaxJobs chunks routed digest groups so no
+	// forwarded sub-batch exceeds what an ascd accepts (default 64,
+	// matching ascd's -batch-max-jobs default).
+	BatchMaxJobs        int
+	BackendBatchMaxJobs int
+
+	// Health checking: probe interval and timeout, consecutive failures
+	// to eject, consecutive successes to re-admit, and the probe backoff
+	// cap for ejected backends.
+	HealthInterval   time.Duration
+	HealthTimeout    time.Duration
+	HealthFailAfter  int
+	HealthRiseAfter  int
+	HealthMaxBackoff time.Duration
+
+	// ScrapeTimeout bounds each backend /metrics fetch during a fleet
+	// scrape (default 2s).
+	ScrapeTimeout time.Duration
+
+	// HTTPClient is the proxy transport (default: a dedicated client with
+	// generous idle-connection reuse and no overall timeout — simulations
+	// legitimately run for minutes; per-request contexts bound them).
+	HTTPClient *http.Client
+
+	// Logger receives routing and health lifecycle events. Nil discards.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 128
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.BatchMaxJobs <= 0 {
+		c.BatchMaxJobs = 256
+	}
+	if c.BackendBatchMaxJobs <= 0 {
+		c.BackendBatchMaxJobs = 64
+	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 2 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// Gateway is the distributed serving tier's front: it speaks the same v1
+// wire contract as a single ascd, so clients (and the client package)
+// point at it unchanged, and it routes by consistent hash of
+// (program digest, Config.Key()) so the fleet's per-backend program
+// caches, warm pools, and gang grouping keep their hit rates through
+// scale-out. Create it with New, mount Handler, stop it with Shutdown.
+type Gateway struct {
+	cfg   Config
+	ring  *Ring
+	check *checker
+	m     *gwMetrics
+	log   *slog.Logger
+
+	inflight atomic.Int64                 // admitted run/batch handler calls
+	loads    map[string]*atomic.Int64     // per-backend in-flight jobs (bounded-load signal)
+
+	mu       sync.RWMutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New builds a gateway over the configured backends and starts its
+// health checker.
+func New(cfg Config) (*Gateway, error) {
+	cfg.fillDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: at least one backend is required")
+	}
+	seen := map[string]bool{}
+	backends := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("gateway: duplicate backend %s", b)
+		}
+		seen[b] = true
+		backends = append(backends, b)
+	}
+	if len(backends) == 0 {
+		return nil, errors.New("gateway: at least one backend is required")
+	}
+	cfg.Backends = backends
+
+	g := &Gateway{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Replicas),
+		m:     newGwMetrics(),
+		log:   cfg.Logger,
+		loads: make(map[string]*atomic.Int64, len(backends)),
+	}
+	for _, b := range backends {
+		g.ring.Add(b)
+		g.loads[b] = &atomic.Int64{}
+		g.m.backendUp.With(backendLabel(b)).Set(1)
+		g.m.inflight.With(backendLabel(b)) // materialize the series at 0
+	}
+	g.m.reg.NewGaugeFunc("asc_gw_backends_healthy", "Backends currently in the routable set.",
+		func() float64 {
+			if g.check == nil {
+				return float64(len(g.cfg.Backends))
+			}
+			return float64(g.check.HealthyCount())
+		})
+	g.m.reg.NewGaugeFunc("asc_gw_inflight_requests", "Run and batch calls currently inside the gateway.",
+		func() float64 { return float64(g.inflight.Load()) })
+
+	g.check = newChecker(backends, healthConfig{
+		Interval:   cfg.HealthInterval,
+		Timeout:    cfg.HealthTimeout,
+		FailAfter:  cfg.HealthFailAfter,
+		RiseAfter:  cfg.HealthRiseAfter,
+		MaxBackoff: cfg.HealthMaxBackoff,
+	}, g.log, g.onHealthChange)
+	go g.check.run()
+	return g, nil
+}
+
+// onHealthChange mirrors a health transition into the metrics. The ring
+// keeps every configured backend — selection filters by health — so an
+// ejected backend's keys fall to their ring successors and return home
+// on re-admission, instead of reshuffling the whole ring twice.
+func (g *Gateway) onHealthChange(name string, healthy bool) {
+	if healthy {
+		g.m.backendUp.With(backendLabel(name)).Set(1)
+		g.m.readmissions.With(backendLabel(name)).Inc()
+	} else {
+		g.m.backendUp.With(backendLabel(name)).Set(0)
+		g.m.ejections.With(backendLabel(name)).Inc()
+	}
+}
+
+// Handler returns the gateway's HTTP API — the same surface as ascd:
+// POST /v1/run, POST /v1/batch, GET /metrics (fleet-wide), GET /healthz.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", g.handleRun)
+	mux.HandleFunc("/v1/batch", g.handleBatch)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	return mux
+}
+
+// Registry exposes the gateway's own metrics registry.
+func (g *Gateway) Registry() *obs.Registry { return g.m.reg }
+
+// Shutdown stops admission (new submissions get 503), waits for in-flight
+// requests up to ctx's deadline, and stops the health checker. Idempotent.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	already := g.draining
+	g.draining = true
+	g.mu.Unlock()
+	if !already {
+		g.check.Stop()
+	}
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gateway: shutdown: %w", ctx.Err())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds derives the gateway's shed hint from current load:
+// in-flight jobs per healthy backend, clamped to [1s, 60s]. floorHint (a
+// backend's own Retry-After, when one was seen) raises it — the fleet
+// knows more about its queues than the gateway does.
+func (g *Gateway) retryAfterSeconds(floorHint int) int {
+	healthy := g.check.HealthyCount()
+	if healthy < 1 {
+		healthy = 1
+	}
+	var load int64
+	for _, l := range g.loads {
+		load += l.Load()
+	}
+	secs := 1 + int(load)/healthy
+	if secs < floorHint {
+		secs = floorHint
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (g *Gateway) writeUnavailable(w http.ResponseWriter, status int, floorHint int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(g.retryAfterSeconds(floorHint)))
+	writeError(w, status, format, args...)
+}
+
+var safeIDRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// requestID adopts a well-formed inbound X-Request-Id or mints one; the
+// same id is forwarded to every backend attempt, so one id follows a job
+// through gateway and backend logs end to end.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 64 && safeIDRE.MatchString(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// admit performs the drain/in-flight admission dance shared by run and
+// batch. It returns false after writing the refusal; on true the caller
+// owns one wg slot and one inflight unit and must call release.
+func (g *Gateway) admit(w http.ResponseWriter, route string) bool {
+	g.mu.RLock()
+	if g.draining {
+		g.mu.RUnlock()
+		g.m.sheds.With(route, "draining").Inc()
+		g.writeUnavailable(w, http.StatusServiceUnavailable, 0, "gateway is shutting down")
+		return false
+	}
+	if g.inflight.Load() >= int64(g.cfg.MaxInflight) {
+		g.mu.RUnlock()
+		g.m.sheds.With(route, "inflight").Inc()
+		g.writeUnavailable(w, http.StatusTooManyRequests, 0, "gateway at capacity (%d in flight)", g.cfg.MaxInflight)
+		return false
+	}
+	g.inflight.Add(1)
+	g.wg.Add(1)
+	g.mu.RUnlock()
+	g.m.requests.With(route).Inc()
+	return true
+}
+
+func (g *Gateway) release() {
+	g.inflight.Add(-1)
+	g.wg.Done()
+}
+
+// routingKey is what a job hashes on: the pre-submit program digest
+// (progcache.RequestDigest — the same digest the backend caches and gangs
+// by) joined with the full Config.Key(), so one kernel+geometry is one
+// ring arc.
+func routingKey(req *client.RunRequest) string {
+	return progcache.RequestDigest(req.ASCL, req.Asm, req.Config.ASC()) + "|" + req.Config.ASC().Key()
+}
+
+// candidates returns the ordered backends to try for key: the bounded-
+// load pick first (the key's owner unless it is over the load bound),
+// then the remaining healthy replicas in ring order, truncated to
+// MaxAttempts.
+func (g *Gateway) candidates(key string) []string {
+	prefs := g.ring.Preference(key)
+	healthy := prefs[:0:len(prefs)]
+	for _, b := range prefs {
+		if g.check.Healthy(b) {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil
+	}
+	pick, spilled := PickBounded(healthy, func(b string) int64 { return g.loads[b].Load() }, g.cfg.LoadFactor)
+	if spilled {
+		g.m.spills.Inc()
+	}
+	out := make([]string, 0, len(healthy))
+	out = append(out, pick)
+	for _, b := range healthy {
+		if b != pick {
+			out = append(out, b)
+		}
+	}
+	if len(out) > g.cfg.MaxAttempts {
+		out = out[:g.cfg.MaxAttempts]
+	}
+	return out
+}
+
+// backendResponse is one proxied attempt's outcome.
+type backendResponse struct {
+	status     int
+	body       []byte
+	header     http.Header
+	retryAfter int // parsed Retry-After seconds on 429/503
+}
+
+// forward issues one backend attempt. Simulation jobs are pure — a rerun
+// is bit-identical and side-effect free — so every attempt is safely
+// idempotent, including after an ambiguous transport failure.
+func (g *Gateway) forward(ctx context.Context, backend, path, id string, body []byte) (*backendResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, backend+path, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	resp, err := g.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	br := &backendResponse{status: resp.StatusCode, body: data, header: resp.Header}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs > 0 {
+			br.retryAfter = secs
+		}
+	}
+	return br, nil
+}
+
+// retryable reports whether a backend response means "try another
+// replica": 429 (queue full) and 503 (draining or overloaded) are load
+// statements about one node, not about the job.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// proxyToFleet runs the attempt loop for one routed unit (a run request
+// or one batch digest group): walk the candidate replicas, forward,
+// retry 429/503 and transport failures on the next replica, and report
+// how the unit resolved. jobs weights the per-backend load accounting.
+// A nil response with ok=false means the unit shed; hint carries the
+// largest backend Retry-After seen, for the shed response.
+func (g *Gateway) proxyToFleet(ctx context.Context, key, path, id string, body []byte, jobs int64, log *slog.Logger) (resp *backendResponse, backend string, hint int) {
+	cands := g.candidates(key)
+	for i, b := range cands {
+		if i > 0 {
+			g.m.retries.Inc()
+			log.Debug("retrying on next replica", "backend", b, "attempt", i+1)
+		}
+		load := g.loads[b]
+		load.Add(jobs)
+		g.m.inflight.With(backendLabel(b)).Add(jobs)
+		r, err := g.forward(ctx, b, path, id, body)
+		load.Add(-jobs)
+		g.m.inflight.With(backendLabel(b)).Add(-jobs)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The client went away or the deadline hit; no replica can
+				// help and health is not implicated.
+				return nil, "", hint
+			}
+			g.m.backendRequests.With(backendLabel(b), "transport").Inc()
+			g.check.ReportFailure(b, err)
+			log.Warn("backend transport failure", "backend", b, "error", err.Error())
+			continue
+		}
+		if retryable(r.status) {
+			g.m.backendRequests.With(backendLabel(b), "retryable").Inc()
+			if r.retryAfter > hint {
+				hint = r.retryAfter
+			}
+			continue
+		}
+		g.m.backendRequests.With(backendLabel(b), "ok").Inc()
+		return r, b, hint
+	}
+	return nil, "", hint
+}
+
+// handleRun routes one job to the backend that owns its program digest
+// and relays the backend's response verbatim — the gateway adds routing,
+// not semantics.
+func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	log := g.log.With("request_id", id)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req client.RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if !g.admit(w, "run") {
+		return
+	}
+	defer g.release()
+	start := time.Now()
+	defer func() { g.m.latency.Observe(time.Since(start).Seconds()) }()
+
+	key := routingKey(&req)
+	resp, backend, hint := g.proxyToFleet(r.Context(), key, "/v1/run", id, body, 1, log)
+	if resp == nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful can be written
+		}
+		g.shedRun(w, log, hint)
+		return
+	}
+	log.Debug("run routed", "backend", backend, "status", resp.status)
+	relay(w, resp)
+}
+
+// shedRun emits the gateway's saturation response for a run that
+// exhausted its replicas.
+func (g *Gateway) shedRun(w http.ResponseWriter, log *slog.Logger, hint int) {
+	if g.check.HealthyCount() == 0 {
+		g.m.sheds.With("run", "no_backends").Inc()
+		log.Warn("job shed", "reason", "no healthy backends")
+		g.writeUnavailable(w, http.StatusServiceUnavailable, hint, "no healthy backend available")
+		return
+	}
+	g.m.sheds.With("run", "saturated").Inc()
+	log.Warn("job shed", "reason", "all replicas backpressured")
+	g.writeUnavailable(w, http.StatusServiceUnavailable, hint, "fleet saturated: every replica backpressured")
+}
+
+// relay copies a backend response to the client byte for byte, keeping
+// the backend's status, error shape, and Retry-After (results must be
+// bit-identical to a direct ascd call).
+func relay(w http.ResponseWriter, resp *backendResponse) {
+	if ct := resp.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// batchGroup is one routed unit of a split batch: the original job
+// indices of one digest group chunk.
+type batchGroup struct {
+	key  string
+	idxs []int
+}
+
+// splitBatch partitions a batch's jobs by routing key, preserving
+// request order within each group, and chunks groups to the backend
+// batch cap. Same-program jobs stay together, so they arrive at one
+// backend as a gangable batch.
+func (g *Gateway) splitBatch(req *client.BatchRequest) []batchGroup {
+	byKey := map[string]int{}
+	var groups []batchGroup
+	for i := range req.Jobs {
+		key := routingKey(&req.Jobs[i])
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, batchGroup{key: key})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	var chunked []batchGroup
+	for _, grp := range groups {
+		for len(grp.idxs) > g.cfg.BackendBatchMaxJobs {
+			chunked = append(chunked, batchGroup{key: grp.key, idxs: grp.idxs[:g.cfg.BackendBatchMaxJobs]})
+			grp.idxs = grp.idxs[g.cfg.BackendBatchMaxJobs:]
+		}
+		chunked = append(chunked, grp)
+	}
+	return chunked
+}
+
+// handleBatch splits a batch by digest group, routes each group to its
+// ring owner, and reassembles per-job results in request order. Group
+// failures degrade to per-job errors — the batch response contract
+// (HTTP 200, index-aligned outcome vector) survives any single backend.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	log := g.log.With("request_id", id)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req client.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > g.cfg.BatchMaxJobs {
+		writeError(w, http.StatusBadRequest, "batch has %d jobs, gateway cap is %d", len(req.Jobs), g.cfg.BatchMaxJobs)
+		return
+	}
+	if req.TimeoutMs < 0 {
+		writeError(w, http.StatusBadRequest, "timeoutMs must be non-negative")
+		return
+	}
+	if !g.admit(w, "batch") {
+		return
+	}
+	defer g.release()
+	start := time.Now()
+	defer func() { g.m.latency.Observe(time.Since(start).Seconds()) }()
+
+	groups := g.splitBatch(&req)
+	log.Debug("batch split", "jobs", len(req.Jobs), "groups", len(groups))
+	outcomes := make([]client.BatchJobResult, len(req.Jobs))
+	var wg sync.WaitGroup
+	for _, grp := range groups {
+		g.m.batchGroups.Inc()
+		g.m.batchGroupSize.Observe(float64(len(grp.idxs)))
+		wg.Add(1)
+		go func(grp batchGroup) {
+			defer wg.Done()
+			g.routeGroup(r.Context(), &req, grp, outcomes, id, log)
+		}(grp)
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		return // client gone
+	}
+
+	res := client.BatchResult{Jobs: outcomes}
+	for i := range res.Jobs {
+		switch {
+		case res.Jobs[i].Result != nil:
+			res.Completed++
+		case res.Jobs[i].Status == http.StatusRequestTimeout:
+			res.Canceled++
+		default:
+			res.Failed++
+		}
+	}
+	log.Info("batch completed", "jobs", len(req.Jobs), "groups", len(groups),
+		"completed", res.Completed, "failed", res.Failed, "canceled", res.Canceled,
+		"duration", time.Since(start).String())
+	writeJSON(w, http.StatusOK, &res)
+}
+
+// routeGroup forwards one digest group as a sub-batch to its ring owner
+// and scatters the backend's index-aligned results back to the group's
+// original batch positions.
+func (g *Gateway) routeGroup(ctx context.Context, req *client.BatchRequest, grp batchGroup,
+	outcomes []client.BatchJobResult, id string, log *slog.Logger) {
+
+	sub := client.BatchRequest{Jobs: make([]client.RunRequest, len(grp.idxs)), TimeoutMs: req.TimeoutMs}
+	for si, i := range grp.idxs {
+		sub.Jobs[si] = req.Jobs[i]
+	}
+	body, err := json.Marshal(&sub)
+	if err != nil {
+		g.failGroup(outcomes, grp, http.StatusInternalServerError, fmt.Sprintf("encoding sub-batch: %v", err))
+		return
+	}
+
+	resp, backend, hint := g.proxyToFleet(ctx, grp.key, "/v1/batch", id, body, int64(len(grp.idxs)), log)
+	if resp == nil {
+		if ctx.Err() != nil {
+			g.failGroup(outcomes, grp, http.StatusRequestTimeout, "batch canceled before the group resolved")
+			return
+		}
+		g.m.sheds.With("batch", "saturated").Inc()
+		log.Warn("batch group shed", "jobs", len(grp.idxs))
+		secs := g.retryAfterSeconds(hint)
+		g.failGroup(outcomes, grp, http.StatusServiceUnavailable,
+			fmt.Sprintf("no backend available for this job group; retry after %ds", secs))
+		return
+	}
+	if resp.status != http.StatusOK {
+		// The backend refused the whole sub-batch on non-load grounds
+		// (it cannot be 429/503 here — those retried). Surface its answer
+		// per job.
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(resp.body))
+		if json.Unmarshal(resp.body, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		g.failGroup(outcomes, grp, resp.status, msg)
+		return
+	}
+	var bres client.BatchResult
+	if err := json.Unmarshal(resp.body, &bres); err != nil || len(bres.Jobs) != len(grp.idxs) {
+		g.failGroup(outcomes, grp, http.StatusBadGateway,
+			fmt.Sprintf("backend %s returned a malformed batch response", backend))
+		return
+	}
+	for si, i := range grp.idxs {
+		outcomes[i] = bres.Jobs[si]
+	}
+	log.Debug("batch group routed", "backend", backend, "jobs", len(grp.idxs))
+}
+
+// failGroup marks every job of a group with one error outcome.
+func (g *Gateway) failGroup(outcomes []client.BatchJobResult, grp batchGroup, status int, msg string) {
+	for _, i := range grp.idxs {
+		outcomes[i] = client.BatchJobResult{Status: status, Error: msg}
+	}
+}
+
+// handleHealthz reports gateway liveness: 200 only while the gateway is
+// admitting and at least one backend is routable, so a load balancer in
+// front of several gateways treats a fleetless gateway as down.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
+	draining := g.draining
+	g.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case g.check.HealthyCount() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no healthy backends")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// handleMetrics serves the fleet-wide scrape: the gateway's own asc_gw_*
+// series merged with every backend's registry. By default each backend
+// sample gains a backend label (per-node attribution — which node's
+// program cache is hitting); with ?view=fleet, same-name samples are
+// summed across backends instead (counters sum, histogram buckets merge
+// element-wise), giving fleet totals under the original series names.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sum := r.URL.Query().Get("view") == "fleet"
+
+	own, err := g.ownFamilies()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("rendering gateway metrics: %v", err), http.StatusInternalServerError)
+		return
+	}
+	merged := own
+	for _, sc := range g.scrapeBackends(r.Context()) {
+		if sc.err != nil {
+			g.m.scrapeErrors.With(backendLabel(sc.backend)).Inc()
+			continue
+		}
+		fams := sc.fams
+		if !sum {
+			for _, f := range fams {
+				for i := range f.Samples {
+					f.Samples[i] = f.Samples[i].WithLabel("backend", backendLabel(sc.backend))
+				}
+			}
+		}
+		merged = obs.MergeFamilies(merged, fams)
+	}
+	if sum {
+		for _, f := range merged {
+			f.SumSamples()
+		}
+	}
+	var b strings.Builder
+	obs.WriteFamilies(&b, merged)
+	w.Header().Set("Content-Type", obs.ContentType)
+	io.WriteString(w, b.String())
+}
+
+// ownFamilies renders and re-parses the gateway's registry so its series
+// merge through the same path as backend scrapes.
+func (g *Gateway) ownFamilies() ([]*obs.ParsedFamily, error) {
+	var b strings.Builder
+	if err := g.m.reg.WritePrometheus(&b); err != nil {
+		return nil, err
+	}
+	return obs.ParseText(b.String())
+}
+
+// backendLabel strips the scheme from a backend URL for label values:
+// host:port reads better on dashboards and matches instance-label
+// conventions.
+func backendLabel(base string) string {
+	if _, rest, ok := strings.Cut(base, "://"); ok {
+		return rest
+	}
+	return base
+}
+
+type scrapeResult struct {
+	backend string
+	fams    []*obs.ParsedFamily
+	err     error
+}
+
+// scrapeBackends fetches every backend's /metrics concurrently, bounded
+// by ScrapeTimeout. Ejected backends are scraped too — a draining node
+// still reports, and its counters are part of fleet truth until it is
+// gone.
+func (g *Gateway) scrapeBackends(ctx context.Context) []scrapeResult {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ScrapeTimeout)
+	defer cancel()
+	out := make([]scrapeResult, len(g.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range g.cfg.Backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			out[i] = scrapeResult{backend: b}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b+"/metrics", nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := g.cfg.HTTPClient.Do(req)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				out[i].err = fmt.Errorf("scrape %s: %s", b, resp.Status)
+				return
+			}
+			out[i].fams, out[i].err = obs.ParseText(string(data))
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"repro/internal/obs"
+)
+
+// gwDurationBuckets bound asc_gw_request_duration_seconds: gateway
+// latency is backend latency plus routing, so the range matches the
+// backend histogram.
+var gwDurationBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// gwGroupBuckets bound the jobs-per-digest-group histogram.
+var gwGroupBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// gwMetrics is the gateway's instrument panel. Everything here is
+// routing-layer truth (what the gateway did); simulation-depth truth
+// lives on the backends and reaches the scraper through the fleet merge.
+type gwMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec // asc_gw_requests_total{route}
+	sheds    *obs.CounterVec // asc_gw_sheds_total{route,reason}
+	latency  *obs.Histogram  // asc_gw_request_duration_seconds
+
+	backendRequests *obs.CounterVec // asc_gw_backend_requests_total{backend,outcome}
+	retries         *obs.Counter    // asc_gw_retries_total
+	spills          *obs.Counter    // asc_gw_load_spills_total
+	backendUp       *obs.GaugeVec   // asc_gw_backend_up{backend}
+	ejections       *obs.CounterVec // asc_gw_backend_ejections_total{backend}
+	readmissions    *obs.CounterVec // asc_gw_backend_readmissions_total{backend}
+	inflight        *obs.GaugeVec   // asc_gw_backend_inflight{backend}
+
+	batchGroups    *obs.Counter   // asc_gw_batch_groups_total
+	batchGroupSize *obs.Histogram // asc_gw_batch_group_size_jobs
+
+	scrapeErrors *obs.CounterVec // asc_gw_scrape_errors_total{backend}
+}
+
+func newGwMetrics() *gwMetrics {
+	reg := obs.NewRegistry()
+	return &gwMetrics{
+		reg: reg,
+		requests: reg.NewCounterVec("asc_gw_requests_total",
+			"Requests admitted by the gateway, by route (run, batch).", "route"),
+		sheds: reg.NewCounterVec("asc_gw_sheds_total",
+			"Requests the gateway shed instead of serving, by route and reason (saturated: every ring replica was unavailable or backpressured; inflight: the gateway's own in-flight bound; no_backends: no healthy backend).",
+			"route", "reason"),
+		latency: reg.NewHistogram("asc_gw_request_duration_seconds",
+			"Wall-clock latency of gateway requests, routing and backend time included.", gwDurationBuckets),
+
+		backendRequests: reg.NewCounterVec("asc_gw_backend_requests_total",
+			"Proxied backend attempts by outcome (ok: any HTTP response relayed or reassembled, including per-job failures; retryable: 429/503 answered by trying the next replica; transport: connection-level failure).",
+			"backend", "outcome"),
+		retries: reg.NewCounter("asc_gw_retries_total",
+			"Attempts re-issued to another ring replica after a retryable backend response or a transport failure."),
+		spills: reg.NewCounter("asc_gw_load_spills_total",
+			"Picks that skipped the key's first-preference backend because it exceeded the bounded-load factor."),
+		backendUp: reg.NewGaugeVec("asc_gw_backend_up",
+			"1 while the backend is in the routable set, 0 while ejected.", "backend"),
+		ejections: reg.NewCounterVec("asc_gw_backend_ejections_total",
+			"Health transitions out of the routable set.", "backend"),
+		readmissions: reg.NewCounterVec("asc_gw_backend_readmissions_total",
+			"Health transitions back into the routable set.", "backend"),
+		inflight: reg.NewGaugeVec("asc_gw_backend_inflight",
+			"Requests currently proxied to the backend (the bounded-load signal).", "backend"),
+
+		batchGroups: reg.NewCounter("asc_gw_batch_groups_total",
+			"Digest groups split out of incoming batches and routed independently."),
+		batchGroupSize: reg.NewHistogram("asc_gw_batch_group_size_jobs",
+			"Jobs per routed digest group.", gwGroupBuckets),
+
+		scrapeErrors: reg.NewCounterVec("asc_gw_scrape_errors_total",
+			"Backend /metrics scrapes that failed during a fleet scrape.", "backend"),
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a parser for the
+// text this package renders (and any v0.0.4-compatible exporter emits),
+// plus helpers to relabel, merge, and re-render parsed families. ascgw
+// uses it to serve a fleet-wide /metrics: each backend's scrape is parsed,
+// tagged with a backend label (or summed across backends), merged with the
+// gateway's own registry output, and rendered back out lint-clean.
+
+// ParsedSample is one sample line of a parsed exposition: the full sample
+// name (histogram samples keep their _bucket/_sum/_count suffix), its
+// label pairs in rendered order, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one label pair of a parsed sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Samples []ParsedSample
+}
+
+// ParseText parses a Prometheus text exposition (format v0.0.4) into its
+// families, preserving family and sample order. Samples with no preceding
+// TYPE line land in an "untyped" family. It accepts the subset of the
+// format this package renders — which is also what every backend in an
+// asc fleet emits — and returns an error on anything structurally
+// malformed (unbalanced braces, unparseable values).
+func ParseText(text string) ([]*ParsedFamily, error) {
+	var fams []*ParsedFamily
+	byName := map[string]*ParsedFamily{}
+	family := func(name string) *ParsedFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &ParsedFamily{Name: name, Type: "untyped"}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			parts := strings.SplitN(rest, " ", 2)
+			f := family(parts[0])
+			if len(parts) == 2 {
+				f.Help = unescapeHelp(parts[1])
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			family(parts[0]).Type = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		// Histogram child samples attach to their base family when one is
+		// declared; a bare _bucket/_sum/_count with no histogram TYPE stays
+		// its own untyped family.
+		base := s.Name
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s.Name, sfx) {
+				if f, ok := byName[strings.TrimSuffix(s.Name, sfx)]; ok && f.Type == "histogram" {
+					base = strings.TrimSuffix(s.Name, sfx)
+					break
+				}
+			}
+		}
+		family(base).Samples = append(family(base).Samples, s)
+	}
+	return fams, nil
+}
+
+// parseSample splits one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		s.Name = line[:i]
+		var err error
+		if s.Labels, err = parseLabels(line[i+1 : j]); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample without value: %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable sample value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels splits a rendered label body (`k="v",k2="v2"`), undoing the
+// exposition escapes.
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		out = append(out, Label{Name: name, Value: b.String()})
+		rest = strings.TrimSpace(rest[i+1:])
+		body = strings.TrimPrefix(rest, ",")
+	}
+	return out, nil
+}
+
+func unescapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\n`, "\n")
+	return strings.ReplaceAll(h, `\\`, `\`)
+}
+
+// WithLabel returns a copy of s with the given label pair appended (after
+// any existing labels, before a histogram le pair if present — position
+// does not matter to scrapers, only the set does, but keeping le last
+// matches this package's renderer).
+func (s ParsedSample) WithLabel(name, value string) ParsedSample {
+	labels := make([]Label, 0, len(s.Labels)+1)
+	inserted := false
+	for _, l := range s.Labels {
+		if l.Name == "le" && !inserted {
+			labels = append(labels, Label{Name: name, Value: value})
+			inserted = true
+		}
+		labels = append(labels, l)
+	}
+	if !inserted {
+		labels = append(labels, Label{Name: name, Value: value})
+	}
+	return ParsedSample{Name: s.Name, Labels: labels, Value: s.Value}
+}
+
+// labelKey is the sample's identity for merging: name plus sorted label
+// pairs.
+func (s ParsedSample) labelKey() string {
+	pairs := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		pairs[i] = l.Name + "\x1f" + l.Value
+	}
+	sort.Strings(pairs)
+	return s.Name + "\x1e" + strings.Join(pairs, "\x1f\x1f")
+}
+
+// MergeFamilies folds src into dst (both keyed by family name, ordered):
+// families new to dst are appended; families present in both get src's
+// samples appended after dst's. Sample identities are not deduplicated —
+// callers distinguish same-name samples with a label (WithLabel) or sum
+// them first (SumSamples).
+func MergeFamilies(dst []*ParsedFamily, src []*ParsedFamily) []*ParsedFamily {
+	byName := make(map[string]*ParsedFamily, len(dst))
+	for _, f := range dst {
+		byName[f.Name] = f
+	}
+	for _, f := range src {
+		d, ok := byName[f.Name]
+		if !ok {
+			cp := &ParsedFamily{Name: f.Name, Help: f.Help, Type: f.Type,
+				Samples: append([]ParsedSample(nil), f.Samples...)}
+			byName[f.Name] = cp
+			dst = append(dst, cp)
+			continue
+		}
+		if d.Help == "" {
+			d.Help = f.Help
+		}
+		if d.Type == "untyped" && f.Type != "" {
+			d.Type = f.Type
+		}
+		d.Samples = append(d.Samples, f.Samples...)
+	}
+	return dst
+}
+
+// SumSamples collapses samples with identical name and label tuple by
+// summing their values, preserving first-seen order. Applied to the same
+// family scraped from N backends, it yields the fleet-wide view: counters
+// and gauges sum, and histogram _bucket/_sum/_count series merge
+// element-wise (backends built from one binary share bucket bounds, so
+// per-le sums remain cumulative).
+func (f *ParsedFamily) SumSamples() {
+	byKey := make(map[string]int, len(f.Samples))
+	out := f.Samples[:0]
+	for _, s := range f.Samples {
+		k := s.labelKey()
+		if i, ok := byKey[k]; ok {
+			out[i].Value += s.Value
+			continue
+		}
+		byKey[k] = len(out)
+		out = append(out, s)
+	}
+	f.Samples = out
+}
+
+// WriteFamilies renders families back into text exposition form, sorted
+// by family name, with HELP/TYPE lines preceding samples — the same shape
+// WritePrometheus produces, so output from a merge passes Lint.
+func WriteFamilies(b *strings.Builder, fams []*ParsedFamily) {
+	sorted := append([]*ParsedFamily(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, f := range sorted {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		// HELP always precedes TYPE, even when empty: Lint (and strict
+		// scrapers) require the pair in that order.
+		fmt.Fprintf(b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.Name, typ)
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			fmt.Fprintf(b, " %s\n", formatFloat(s.Value))
+		}
+	}
+}

@@ -78,6 +78,20 @@ func Key(kind, source string, cfg asc.Config) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// RequestDigest fingerprints a run request's compilation input — exactly
+// one of ascl or asm set, targeting cfg — without compiling anything. It
+// is the digest a served job will be cached under, exposed pre-submit so
+// a routing tier (ascgw) can consistent-hash jobs to the backend whose
+// program cache and warm pool already hold the kernel, and so batch
+// admission can group same-program jobs before any backend sees them.
+func RequestDigest(ascl, asm string, cfg asc.Config) string {
+	kind, source := "asm", asm
+	if ascl != "" {
+		kind, source = "ascl", ascl
+	}
+	return Key(kind, source, cfg)
+}
+
 // Cache is the LRU-bounded content-addressed store.
 type Cache struct {
 	mu      sync.Mutex

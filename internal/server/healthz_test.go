@@ -1,0 +1,93 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestHealthzDraining is the regression test for the gateway's ejection
+// signal: /healthz must flip to 503 "draining" the moment Shutdown
+// begins, not keep answering "ok" while the server refuses work.
+func TestHealthzDraining(t *testing.T) {
+	s := server.New(server.Config{Workers: 1})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	resp, body := httpGet(t, hs.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("before shutdown: got %d %q, want 200 ok", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	resp, body = httpGet(t, hs.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after shutdown: got %d %q, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "draining") {
+		t.Fatalf("after shutdown: body %q does not say draining", body)
+	}
+}
+
+// TestRequestIDAdoption checks that a well-formed inbound X-Request-Id is
+// echoed back (so one id follows a job through gateway and backend logs)
+// while hostile or oversized ids are replaced, not reflected.
+func TestRequestIDAdoption(t *testing.T) {
+	s := server.New(server.Config{Workers: 1})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		hs.Close()
+	})
+
+	post := func(id string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/run", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-Id")
+	}
+
+	if got := post("gw-abc.123_456"); got != "gw-abc.123_456" {
+		t.Errorf("well-formed id not adopted: got %q", got)
+	}
+	if got := post(""); got == "" {
+		t.Error("no inbound id: response is missing a generated X-Request-Id")
+	}
+	for _, bad := range []string{
+		"has space",
+		"semi;colon",
+		`quote"id`,
+		strings.Repeat("x", 65),
+	} {
+		got := post(bad)
+		if got == bad {
+			t.Errorf("hostile id %q was reflected", bad)
+		}
+		if got == "" {
+			t.Errorf("hostile id %q: no replacement id generated", bad)
+		}
+	}
+}

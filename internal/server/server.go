@@ -31,6 +31,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -250,11 +251,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness for load balancers and the ascgw health
+// checker. A draining server answers 503 "draining": it still finishes
+// in-flight jobs, but admits nothing new, so routing tiers must stop
+// sending it traffic immediately rather than on their next 503-from-run.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // Registry exposes the server's metrics registry so embedders can mount
@@ -327,9 +342,25 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// requestID resolves the id for a request: a well-formed inbound
+// X-Request-Id (set by ascgw or any fronting proxy) is adopted so one id
+// threads through gateway and backend logs; anything else gets a fresh
+// id. Adopted ids are restricted to a log-safe charset and length.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 64 && safeIDRE.MatchString(id) {
+		return id
+	}
+	return newRequestID()
+}
+
+// safeIDRE is the charset adopted inbound request ids must match: enough
+// for UUIDs and derived ids, no whitespace or quoting that could mangle
+// structured logs.
+var safeIDRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
 // handleRun admits a job into the bounded queue and waits for its outcome.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	id := newRequestID()
+	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	log := s.log.With("request_id", id)
 	if r.Method != http.MethodPost {
@@ -516,11 +547,7 @@ func (s *Server) worker() {
 // progcache key, which is also how batch admission recognizes same-program
 // jobs for ganging without comparing sources.
 func progDigest(req *client.RunRequest) string {
-	kind, source := "asm", req.Asm
-	if req.ASCL != "" {
-		kind, source = "ascl", req.ASCL
-	}
-	return progcache.Key(kind, source, req.Config.ASC())
+	return progcache.RequestDigest(req.ASCL, req.Asm, req.Config.ASC())
 }
 
 // compileJob resolves a request's program through the content-addressed
@@ -732,7 +759,7 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 // of work, the way one broadcast/reduction pipeline fill is hidden
 // across 16 hardware threads.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	id := newRequestID()
+	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	log := s.log.With("request_id", id)
 	if r.Method != http.MethodPost {

@@ -1,0 +1,138 @@
+#!/usr/bin/env sh
+# fleet_smoke.sh — end-to-end smoke of the distributed serving tier on
+# loopback: boot two ascd backends and one ascgw in front, drive mixed
+# /v1/run and /v1/batch traffic through the gateway, kill one backend
+# mid-stream, and assert that (a) every response is a success or an
+# honest shed (429/503 with Retry-After) — never a transport error or a
+# hang — and (b) results stay correct throughout. Run via `make
+# fleet-smoke`. Requires: go, curl. Exits non-zero on any violation.
+set -eu
+
+GW_PORT=18641
+B1_PORT=18651
+B2_PORT=18652
+WORKDIR="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+	for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "fleet-smoke: $*"; }
+fail() { echo "fleet-smoke: FAIL: $*" >&2; exit 1; }
+
+say "building ascd and ascgw"
+go build -o "$WORKDIR/ascd" ./cmd/ascd
+go build -o "$WORKDIR/ascgw" ./cmd/ascgw
+
+"$WORKDIR/ascd" -addr 127.0.0.1:$B1_PORT -log-level warn &
+B1_PID=$!; PIDS="$PIDS $B1_PID"
+"$WORKDIR/ascd" -addr 127.0.0.1:$B2_PORT -log-level warn &
+B2_PID=$!; PIDS="$PIDS $B2_PID"
+# Short health interval so the killed backend ejects within the test.
+"$WORKDIR/ascgw" -addr 127.0.0.1:$GW_PORT \
+	-backends http://127.0.0.1:$B1_PORT,http://127.0.0.1:$B2_PORT \
+	-health-interval 200ms -health-failures 2 -log-level warn &
+GW_PID=$!; PIDS="$PIDS $GW_PID"
+
+wait_healthy() {
+	i=0
+	until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "port $1 not healthy after 10s"
+		sleep 0.1
+	done
+}
+wait_healthy $B1_PORT
+wait_healthy $B2_PORT
+wait_healthy $GW_PORT
+say "gateway and both backends healthy"
+
+RUN_BODY='{"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[1],[2],[3],[4]], "dumpScalar": 1}'
+# Same program twice and a second geometry: two digest groups, gangable.
+BATCH_BODY='{"jobs": [
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[1],[2],[3],[4]], "dumpScalar": 1},
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[2],[2],[3],[3]], "dumpScalar": 1},
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 8, "width": 32}, "localMem": [[1],[1],[1],[1],[1],[1],[1],[2]], "dumpScalar": 1}
+]}'
+
+# one_run/one_batch: POST through the gateway, tolerate honest sheds
+# (429/503), fail hard on transport errors, other statuses, or wrong
+# results. A 20s curl cap turns a hung request into a failure.
+one_run() {
+	code=$(curl -s -o "$WORKDIR/resp" -w '%{http_code}' --max-time 20 \
+		"http://127.0.0.1:$GW_PORT/v1/run" -d "$RUN_BODY") || fail "run: transport error through gateway"
+	case "$code" in
+	200) grep -q '"scalarMem":\[10\]' "$WORKDIR/resp" || fail "run: wrong result: $(cat "$WORKDIR/resp")" ;;
+	429 | 503) SHEDS=$((SHEDS + 1)) ;;
+	*) fail "run: unexpected status $code: $(cat "$WORKDIR/resp")" ;;
+	esac
+}
+one_batch() {
+	code=$(curl -s -o "$WORKDIR/resp" -w '%{http_code}' --max-time 20 \
+		"http://127.0.0.1:$GW_PORT/v1/batch" -d "$BATCH_BODY") || fail "batch: transport error through gateway"
+	case "$code" in
+	200)
+		# Per-job sheds inside a 200 are honest too; completed jobs must
+		# be correct (sums 10, 10, 9).
+		if grep -q '"failed":0' "$WORKDIR/resp"; then
+			grep -q '"scalarMem":\[9\]' "$WORKDIR/resp" || fail "batch: wrong results: $(cat "$WORKDIR/resp")"
+		else
+			grep -q '"status":50[03]\|"status":429' "$WORKDIR/resp" || fail "batch: non-shed job failure: $(cat "$WORKDIR/resp")"
+			SHEDS=$((SHEDS + 1))
+		fi
+		;;
+	429 | 503) SHEDS=$((SHEDS + 1)) ;;
+	*) fail "batch: unexpected status $code: $(cat "$WORKDIR/resp")" ;;
+	esac
+}
+
+SHEDS=0
+say "phase 1: mixed traffic through the healthy fleet"
+i=0
+while [ "$i" -lt 10 ]; do
+	one_run
+	one_batch
+	i=$((i + 1))
+done
+[ "$SHEDS" -eq 0 ] || fail "healthy fleet shed $SHEDS requests"
+
+say "phase 2: killing backend 1 mid-stream"
+kill -9 "$B1_PID" 2>/dev/null || true
+i=0
+while [ "$i" -lt 15 ]; do
+	one_run
+	one_batch
+	i=$((i + 1))
+done
+say "phase 2 done ($SHEDS sheds, all other responses correct)"
+
+# The killed backend must be ejected from the fleet scrape's up gauge.
+i=0
+until curl -s "http://127.0.0.1:$GW_PORT/metrics" | grep -q "asc_gw_backend_up{backend=\"127.0.0.1:$B1_PORT\"} 0"; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "backend 1 never ejected from asc_gw_backend_up"
+	sleep 0.1
+done
+say "backend 1 ejected"
+
+say "phase 3: traffic settles on the survivor"
+SETTLED=0
+i=0
+while [ "$i" -lt 10 ]; do
+	before=$SHEDS
+	one_run
+	[ "$SHEDS" -eq "$before" ] && SETTLED=$((SETTLED + 1))
+	i=$((i + 1))
+done
+[ "$SETTLED" -ge 8 ] || fail "only $SETTLED/10 runs succeeded after ejection settled"
+
+# Fleet scrape must still be well-formed and carry both tiers' series.
+curl -s "http://127.0.0.1:$GW_PORT/metrics" >"$WORKDIR/scrape"
+grep -q '^asc_gw_requests_total' "$WORKDIR/scrape" || fail "scrape missing gateway series"
+grep -q 'asc_requests_total{backend=' "$WORKDIR/scrape" || fail "scrape missing backend-labeled series"
+curl -s "http://127.0.0.1:$GW_PORT/metrics?view=fleet" | grep -q '^asc_requests_total ' || fail "fleet view missing summed series"
+
+say "OK (0 transport errors, $SHEDS honest sheds across the kill window)"
