@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-engines obs-demo fleet-smoke apicheck apiupdate hotpath-lint check
+.PHONY: build vet test race bench bench-engines obs-demo fleet-smoke trace-demo apicheck apiupdate hotpath-lint check
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,20 @@ obs-demo:
 	echo "--- GET /metrics ---"; \
 	curl -s http://127.0.0.1:18642/metrics
 
-# Distributed-tier smoke: 1 ascgw + 2 ascd on loopback, mixed run/batch
-# traffic through the gateway, one backend killed mid-stream. Asserts no
-# transport errors and no non-shed failures reach the client — only
-# successes or 429/503 with Retry-After — and that the fleet /metrics
-# merge stays well-formed. See scripts/fleet_smoke.sh.
+# Distributed-tier smoke: 1 ascgw + 2 ascd on loopback, one traced batch
+# whose stitched trace must carry spans from both tiers, then mixed
+# run/batch traffic through the gateway with one backend killed
+# mid-stream. Asserts no transport errors and no non-shed failures reach
+# the client — only successes or 429/503 with Retry-After — and that the
+# fleet /metrics merge stays well-formed. See scripts/fleet_smoke.sh.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# Distributed-tracing demo: boot a loopback fleet, run one traced batch,
+# and pretty-print the stitched fleet-wide waterfall plus the exemplars
+# that reference it. See scripts/trace_demo.sh and docs/OBSERVABILITY.md.
+trace-demo:
+	sh scripts/trace_demo.sh
 
 # Serial-vs-parallel host engine comparison plus BENCH_results.json.
 bench-engines:

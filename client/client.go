@@ -3,6 +3,8 @@ package client
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -114,6 +116,24 @@ func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duratio
 	return d
 }
 
+// newCallIdentity mints the correlation identity for one logical call: an
+// X-Request-Id and a W3C traceparent sharing the same 8 random bytes (the
+// request id doubles as the client's span id). do mints it once and resends
+// it verbatim on every retry attempt, so server-side logs, traces, and
+// dedup all see one id per job no matter how many attempts it took to land.
+// The traceparent flags are 00: the client proposes the trace identity but
+// leaves the keep decision to the serving tiers' deterministic head sampler.
+func newCallIdentity() (id, traceparent string) {
+	var b [24]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Matches the server-side fallback: a constant id degrades
+		// correlation, nothing else.
+		return "0000000000000000", ""
+	}
+	id = hex.EncodeToString(b[:8])
+	return id, "00-" + hex.EncodeToString(b[8:24]) + "-" + id + "-00"
+}
+
 // do issues one request with retries and decodes the JSON response into
 // out, converting non-2xx statuses into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -124,9 +144,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return err
 		}
 	}
+	id, tp := newCallIdentity()
 	policy := c.retry.withDefaults()
 	for attempt := 1; ; attempt++ {
-		err := c.doOnce(ctx, method, path, buf, out)
+		err := c.doOnce(ctx, method, path, id, tp, buf, out)
 		var ae *APIError
 		if err == nil || attempt >= policy.MaxAttempts ||
 			!errors.As(err, &ae) || !ae.Temporary() {
@@ -142,8 +163,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-// doOnce is a single HTTP attempt.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+// doOnce is a single HTTP attempt carrying the call's fixed identity.
+func (c *Client) doOnce(ctx context.Context, method, path, id, tp string, body []byte, out any) error {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -163,6 +184,10 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	// The client always wants the JSON views; /metrics defaults to
 	// Prometheus text exposition without this.
 	req.Header.Set("Accept", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	if tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

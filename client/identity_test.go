@@ -1,0 +1,97 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+var traceparentRE = regexp.MustCompile(`^00-[0-9a-f]{32}-[0-9a-f]{16}-0[013]$`)
+
+// TestRetriesReuseRequestIdentity checks that one logical call keeps one
+// correlation identity across retries: a flaky server that 429s the first
+// two attempts must see the same X-Request-Id and the same traceparent on
+// all three, so server-side logs and traces tie the attempts together
+// instead of looking like three unrelated jobs.
+func TestRetriesReuseRequestIdentity(t *testing.T) {
+	var mu sync.Mutex
+	var ids, tps []string
+	attempts := 0
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-Id"))
+		tps = append(tps, r.Header.Get("traceparent"))
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error": "busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"cycles": 7}`))
+	}))
+	defer hs.Close()
+
+	c := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	if _, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ids) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(ids))
+	}
+	distinct := map[string]bool{}
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("an attempt arrived without X-Request-Id")
+		}
+		distinct[id] = true
+	}
+	if len(distinct) != 1 {
+		t.Errorf("retries used %d distinct request ids %v, want 1", len(distinct), ids)
+	}
+	for i, tp := range tps {
+		if !traceparentRE.MatchString(tp) {
+			t.Fatalf("attempt %d traceparent %q is not a valid W3C header", i+1, tp)
+		}
+		if tp != tps[0] {
+			t.Errorf("attempt %d traceparent %q differs from first %q", i+1, tp, tps[0])
+		}
+	}
+}
+
+// TestSeparateCallsGetSeparateIdentities checks the identity is per logical
+// call, not per client: two Run calls must not share a request id (that
+// would merge unrelated jobs in server logs).
+func TestSeparateCallsGetSeparateIdentities(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-Id"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"cycles": 7}`))
+	}))
+	defer hs.Close()
+
+	c := client.New(hs.URL)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Run(context.Background(), client.RunRequest{Asm: "halt"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Errorf("two calls produced ids %v, want two distinct ids", ids)
+	}
+}

@@ -25,6 +25,12 @@
 //	                  negative disables)
 //	-gang-min-jobs N  minimum same-program batch jobs executed as one
 //	                  lockstep gang (negative disables ganging)
+//	-trace-sample F   deterministic head-sampling rate for distributed
+//	                  traces in [0,1] (default 0: keep only errored, slow,
+//	                  or caller-flagged traces)
+//	-trace-slow D     always keep traces at least this slow (default 1s)
+//	-trace-ring N     finished traces retained for GET /debug/traces
+//	                  (default 256; negative disables tracing)
 //	-log-level L      debug, info, warn, or error (default info)
 //	-log-format F     text or json (default text)
 //	-debug-addr A     optional diagnostics listener: net/http/pprof plus
@@ -32,9 +38,10 @@
 //
 // Endpoints: POST /v1/run, POST /v1/batch, GET /metrics (Prometheus text
 // exposition; JSON via Accept: application/json or ?format=json),
-// GET /healthz. See docs/SERVER.md for the API schema, docs/API.md for
-// the v1 stability contract, and docs/OBSERVABILITY.md for the metric
-// catalog, log fields, and pprof usage. SIGINT/SIGTERM trigger a
+// GET /healthz, GET /debug/traces (retained distributed traces as JSON).
+// See docs/SERVER.md for the API schema, docs/API.md for the v1 stability
+// contract, and docs/OBSERVABILITY.md for the metric catalog, tracing,
+// log fields, and pprof usage. SIGINT/SIGTERM trigger a
 // graceful shutdown that stops admission (503) and drains queued and
 // in-flight jobs, batches included.
 package main
@@ -71,6 +78,9 @@ func main() {
 	batchConcurrency := flag.Int("batch-concurrency", 0, "batch sub-jobs executing at once (0 = workers)")
 	programCacheSize := flag.Int("program-cache-size", 128, "compiled programs kept in the content-addressed cache (negative = off)")
 	gangMinJobs := flag.Int("gang-min-jobs", 0, "minimum same-program batch jobs ganged into one lockstep run (0 = default 2, negative = off)")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for distributed traces in [0,1]")
+	traceSlow := flag.Duration("trace-slow", time.Second, "always keep traces at least this slow")
+	traceRing := flag.Int("trace-ring", 256, "finished traces retained for /debug/traces (negative = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "diagnostics listener (pprof + runtime metrics); empty = off")
@@ -100,6 +110,9 @@ func main() {
 		BatchConcurrency: *batchConcurrency,
 		ProgramCacheSize: *programCacheSize,
 		GangMinJobs:      *gangMinJobs,
+		TraceSample:      *traceSample,
+		TraceSlow:        *traceSlow,
+		TraceRing:        *traceRing,
 		Logger:           logger,
 	})
 	hs := &http.Server{

@@ -28,7 +28,14 @@
 //	-health-failures N  consecutive probe failures to eject (default 3)
 //	-health-rises N     consecutive successes to re-admit (default 2)
 //	-scrape-timeout D   budget for each backend /metrics fetch during a
-//	                    fleet scrape (default 2s)
+//	                    fleet scrape and each backend /debug/traces fetch
+//	                    during trace stitching (default 2s)
+//	-trace-sample F     deterministic head-sampling rate for distributed
+//	                    traces in [0,1]; set the same rate on the backends
+//	                    so every tier keeps the same traces (default 0)
+//	-trace-slow D       always keep traces at least this slow (default 1s)
+//	-trace-ring N       finished traces retained for GET /debug/traces
+//	                    (default 256; negative disables tracing)
 //	-drain-timeout D    how long shutdown waits for in-flight requests
 //	-log-level L        debug, info, warn, or error (default info)
 //	-log-format F       text or json (default text)
@@ -37,9 +44,12 @@
 // by program digest so same-program jobs reach one backend as a gangable
 // group), GET /metrics (fleet-wide: gateway asc_gw_* series plus every
 // backend's registry, per-sample backend label by default, summed with
-// ?view=fleet), GET /healthz. See docs/SERVER.md for fleet deployment
-// and docs/OBSERVABILITY.md for the asc_gw_* catalog. SIGINT/SIGTERM
-// drain in-flight requests before exit.
+// ?view=fleet), GET /healthz, GET /debug/traces (with ?trace=<id> the
+// gateway stitches its own spans with every backend's spans for that
+// trace into one fleet-wide waterfall; ?format=waterfall renders it as
+// text). See docs/SERVER.md for fleet deployment and
+// docs/OBSERVABILITY.md for the asc_gw_* catalog and tracing.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -72,7 +82,10 @@ func main() {
 	healthTimeout := flag.Duration("health-timeout", time.Second, "single health probe timeout")
 	healthFailures := flag.Int("health-failures", 3, "consecutive probe failures to eject a backend")
 	healthRises := flag.Int("health-rises", 2, "consecutive probe successes to re-admit a backend")
-	scrapeTimeout := flag.Duration("scrape-timeout", 2*time.Second, "budget for each backend /metrics fetch")
+	scrapeTimeout := flag.Duration("scrape-timeout", 2*time.Second, "budget for each backend /metrics or /debug/traces fetch")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for distributed traces in [0,1]")
+	traceSlow := flag.Duration("trace-slow", time.Second, "always keep traces at least this slow")
+	traceRing := flag.Int("trace-ring", 256, "finished traces retained for /debug/traces (negative = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -107,6 +120,9 @@ func main() {
 		HealthFailAfter:     *healthFailures,
 		HealthRiseAfter:     *healthRises,
 		ScrapeTimeout:       *scrapeTimeout,
+		TraceSample:         *traceSample,
+		TraceSlow:           *traceSlow,
+		TraceRing:           *traceRing,
 		Logger:              logger,
 	})
 	if err != nil {

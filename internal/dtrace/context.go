@@ -1,0 +1,46 @@
+package dtrace
+
+import "context"
+
+// Trace context threading: the serving layers run one request through
+// several functions and goroutines (queue worker, batch fan-out, gang
+// groups), so the active trace and the current parent span ride the
+// context. All helpers tolerate a nil trace — an untraced context costs
+// one pointer lookup per stage, nothing more.
+
+type ctxKey struct{}
+
+type ctxVal struct {
+	trace *Active
+	span  *Span // current parent for spans started below this point
+}
+
+// ContextWith returns ctx carrying the trace with span as the current
+// parent. A nil trace returns ctx unchanged.
+func ContextWith(ctx context.Context, a *Active, span *Span) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{trace: a, span: span})
+}
+
+// FromContext returns the active trace and current parent span (nil, nil
+// when the request is untraced).
+func FromContext(ctx context.Context) (*Active, *Span) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.trace, v.span
+	}
+	return nil, nil
+}
+
+// Start opens a span named name under the context's current parent and
+// returns a derived context in which the new span is the parent. On an
+// untraced context it returns ctx and a nil span.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	a, parent := FromContext(ctx)
+	if a == nil {
+		return ctx, nil
+	}
+	sp := a.StartSpan(name, parent, attrs...)
+	return context.WithValue(ctx, ctxKey{}, ctxVal{trace: a, span: sp}), sp
+}

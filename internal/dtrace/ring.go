@@ -1,0 +1,118 @@
+package dtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRec is one finished span as retained in the ring and served as
+// JSON. ParentID links spans into the waterfall tree; after a gateway
+// stitch the parent may live on another tier (the gateway's forward span
+// is the parent of the backend's root).
+type SpanRec struct {
+	SpanID     string         `json:"spanId"`
+	ParentID   string         `json:"parentId,omitempty"`
+	Service    string         `json:"service"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMs float64        `json:"durationMs"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// FinishedTrace is one retained trace: the root's identity and timing
+// plus every span recorded under it.
+type FinishedTrace struct {
+	TraceID    string    `json:"traceId"`
+	RequestID  string    `json:"requestId,omitempty"`
+	Service    string    `json:"service"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	Error      bool      `json:"error,omitempty"`
+	Sampled    bool      `json:"sampled"`
+	Spans      []SpanRec `json:"spans"`
+}
+
+// ring is a bounded overwrite-oldest buffer of finished traces.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*FinishedTrace
+	next int // next write slot
+	n    int // traces currently held
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]*FinishedTrace, size)}
+}
+
+func (r *ring) push(t *FinishedTrace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// byID returns the newest retained trace with the given id, or nil.
+func (r *ring) byID(traceID string) *FinishedTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t != nil && t.TraceID == traceID {
+			return t
+		}
+	}
+	return nil
+}
+
+// Filter selects retained traces for /debug/traces. Zero values match
+// everything.
+type Filter struct {
+	TraceID     string        // exact trace id
+	ErrorOnly   bool          // only errored traces
+	MinDuration time.Duration // only traces at least this slow
+	Limit       int           // newest-first cap (0 = 64)
+}
+
+// list returns matching traces, newest first.
+func (r *ring) list(f Filter) []*FinishedTrace {
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 64
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*FinishedTrace, 0, min(limit, r.n))
+	for i := 1; i <= r.n && len(out) < limit; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t == nil {
+			continue
+		}
+		if f.TraceID != "" && t.TraceID != f.TraceID {
+			continue
+		}
+		if f.ErrorOnly && !t.Error {
+			continue
+		}
+		if f.MinDuration > 0 && t.DurationMs < f.MinDuration.Seconds()*1000 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// List returns retained traces matching f, newest first (nil tracer: none).
+func (tr *Tracer) List(f Filter) []*FinishedTrace {
+	if tr == nil {
+		return nil
+	}
+	return tr.ring.list(f)
+}

@@ -1,0 +1,67 @@
+package dtrace
+
+import "strings"
+
+// The W3C Trace Context traceparent header: version "00", a 16-byte trace
+// id, an 8-byte parent span id, and a flags byte whose low bit is the
+// sampled flag — all lowercase hex, dash-separated:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// The fleet adopts any valid inbound header (the edge minted the trace)
+// and mints a fresh one otherwise, so a request has exactly one trace id
+// across client, gateway, and every backend attempt.
+
+// ParseTraceparent splits a traceparent header. ok is false on anything
+// malformed: wrong field count or width, non-hex, an all-zero trace or
+// span id, or an unknown version.
+func ParseTraceparent(h string) (traceID, spanID string, sampled, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", "", false, false
+	}
+	// Version ff is reserved-invalid; other future versions would be
+	// accepted by a lenient parser, but this fleet only mints 00 and
+	// adopting an unknown layout risks garbage ids, so require 00.
+	if parts[0] != "00" {
+		return "", "", false, false
+	}
+	for _, p := range parts {
+		if !isHex(p) {
+			return "", "", false, false
+		}
+	}
+	if allZero(parts[1]) || allZero(parts[2]) {
+		return "", "", false, false
+	}
+	return parts[1], parts[2], parts[3] == "01" || parts[3] == "03", true
+}
+
+// FormatTraceparent renders the outbound header.
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

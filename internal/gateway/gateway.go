@@ -10,6 +10,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"regexp"
 	"strconv"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/dtrace"
 	"repro/internal/obs"
 	"repro/internal/progcache"
 )
@@ -65,8 +67,20 @@ type Config struct {
 	HealthMaxBackoff time.Duration
 
 	// ScrapeTimeout bounds each backend /metrics fetch during a fleet
-	// scrape (default 2s).
+	// scrape (default 2s). It also bounds backend /debug/traces fetches
+	// when stitching a fleet-wide trace.
 	ScrapeTimeout time.Duration
+
+	// TraceSample is the deterministic head-sampling rate for distributed
+	// traces, in [0, 1] (default 0: retain only errored/slow/flagged
+	// traces). Configure gateway and backends with the same rate and they
+	// agree per trace id without coordination.
+	TraceSample float64
+	// TraceSlow is the always-keep latency threshold (default 1s).
+	TraceSlow time.Duration
+	// TraceRing bounds finished traces retained for GET /debug/traces
+	// (default 256; negative disables tracing).
+	TraceRing int
 
 	// HTTPClient is the proxy transport (default: a dedicated client with
 	// generous idle-connection reuse and no overall timeout — simulations
@@ -121,14 +135,15 @@ func (c *Config) fillDefaults() {
 // caches, warm pools, and gang grouping keep their hit rates through
 // scale-out. Create it with New, mount Handler, stop it with Shutdown.
 type Gateway struct {
-	cfg   Config
-	ring  *Ring
-	check *checker
-	m     *gwMetrics
-	log   *slog.Logger
+	cfg    Config
+	ring   *Ring
+	check  *checker
+	m      *gwMetrics
+	log    *slog.Logger
+	tracer *dtrace.Tracer
 
-	inflight atomic.Int64                 // admitted run/batch handler calls
-	loads    map[string]*atomic.Int64     // per-backend in-flight jobs (bounded-load signal)
+	inflight atomic.Int64             // admitted run/batch handler calls
+	loads    map[string]*atomic.Int64 // per-backend in-flight jobs (bounded-load signal)
 
 	mu       sync.RWMutex
 	draining bool
@@ -164,10 +179,16 @@ func New(cfg Config) (*Gateway, error) {
 	cfg.Backends = backends
 
 	g := &Gateway{
-		cfg:   cfg,
-		ring:  NewRing(cfg.Replicas),
-		m:     newGwMetrics(),
-		log:   cfg.Logger,
+		cfg:  cfg,
+		ring: NewRing(cfg.Replicas),
+		m:    newGwMetrics(),
+		log:  cfg.Logger,
+		tracer: dtrace.New(dtrace.Options{
+			Service:  "ascgw",
+			Sample:   cfg.TraceSample,
+			Slow:     cfg.TraceSlow,
+			RingSize: cfg.TraceRing,
+		}),
 		loads: make(map[string]*atomic.Int64, len(backends)),
 	}
 	for _, b := range backends {
@@ -212,15 +233,20 @@ func (g *Gateway) onHealthChange(name string, healthy bool) {
 }
 
 // Handler returns the gateway's HTTP API — the same surface as ascd:
-// POST /v1/run, POST /v1/batch, GET /metrics (fleet-wide), GET /healthz.
+// POST /v1/run, POST /v1/batch, GET /metrics (fleet-wide), GET /healthz,
+// GET /debug/traces (stitched fleet-wide waterfalls).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", g.handleRun)
 	mux.HandleFunc("/v1/batch", g.handleBatch)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/debug/traces", g.handleTraces)
 	return mux
 }
+
+// Tracer exposes the gateway's tracer; nil when disabled.
+func (g *Gateway) Tracer() *dtrace.Tracer { return g.tracer }
 
 // Registry exposes the gateway's own metrics registry.
 func (g *Gateway) Registry() *obs.Registry { return g.m.reg }
@@ -342,8 +368,10 @@ func routingKey(req *client.RunRequest) string {
 // candidates returns the ordered backends to try for key: the bounded-
 // load pick first (the key's owner unless it is over the load bound),
 // then the remaining healthy replicas in ring order, truncated to
-// MaxAttempts.
-func (g *Gateway) candidates(key string) []string {
+// MaxAttempts. spilled reports whether the bounded-load rule skipped the
+// key's first-preference backend; the caller owns the metric and the
+// route span attribute.
+func (g *Gateway) candidates(key string) (out []string, spilled bool) {
 	prefs := g.ring.Preference(key)
 	healthy := prefs[:0:len(prefs)]
 	for _, b := range prefs {
@@ -352,13 +380,10 @@ func (g *Gateway) candidates(key string) []string {
 		}
 	}
 	if len(healthy) == 0 {
-		return nil
+		return nil, false
 	}
 	pick, spilled := PickBounded(healthy, func(b string) int64 { return g.loads[b].Load() }, g.cfg.LoadFactor)
-	if spilled {
-		g.m.spills.Inc()
-	}
-	out := make([]string, 0, len(healthy))
+	out = make([]string, 0, len(healthy))
 	out = append(out, pick)
 	for _, b := range healthy {
 		if b != pick {
@@ -368,7 +393,7 @@ func (g *Gateway) candidates(key string) []string {
 	if len(out) > g.cfg.MaxAttempts {
 		out = out[:g.cfg.MaxAttempts]
 	}
-	return out
+	return out, spilled
 }
 
 // backendResponse is one proxied attempt's outcome.
@@ -382,7 +407,10 @@ type backendResponse struct {
 // forward issues one backend attempt. Simulation jobs are pure — a rerun
 // is bit-identical and side-effect free — so every attempt is safely
 // idempotent, including after an ambiguous transport failure.
-func (g *Gateway) forward(ctx context.Context, backend, path, id string, body []byte) (*backendResponse, error) {
+// tp, when non-empty, is the outbound W3C traceparent whose span id is
+// this attempt's forward/retry span — the backend's root span parents to
+// it, which is what lets Stitch render one fleet-wide tree.
+func (g *Gateway) forward(ctx context.Context, backend, path, id, tp string, body []byte) (*backendResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, backend+path, strings.NewReader(string(body)))
 	if err != nil {
 		return nil, err
@@ -390,6 +418,9 @@ func (g *Gateway) forward(ctx context.Context, backend, path, id string, body []
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "application/json")
 	req.Header.Set("X-Request-Id", id)
+	if tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := g.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -422,39 +453,60 @@ func retryable(status int) bool {
 // A nil response with ok=false means the unit shed; hint carries the
 // largest backend Retry-After seen, for the shed response.
 func (g *Gateway) proxyToFleet(ctx context.Context, key, path, id string, body []byte, jobs int64, log *slog.Logger) (resp *backendResponse, backend string, hint int) {
-	cands := g.candidates(key)
+	cands, spilled := g.candidates(key)
+	if spilled {
+		g.m.spills.Inc()
+	}
+	a, parent := dtrace.FromContext(ctx)
+	route := a.StartSpan("route", parent,
+		dtrace.Bool("spilled", spilled), dtrace.Int("candidates", int64(len(cands))))
+	defer route.End()
 	for i, b := range cands {
+		name := "forward"
 		if i > 0 {
+			name = "retry"
 			g.m.retries.Inc()
 			log.Debug("retrying on next replica", "backend", b, "attempt", i+1)
 		}
+		asp := a.StartSpan(name, route,
+			dtrace.Str("backend", backendLabel(b)), dtrace.Int("attempt", int64(i+1)))
 		load := g.loads[b]
 		load.Add(jobs)
 		g.m.inflight.With(backendLabel(b)).Add(jobs)
-		r, err := g.forward(ctx, b, path, id, body)
+		r, err := g.forward(ctx, b, path, id, a.Traceparent(asp), body)
 		load.Add(-jobs)
 		g.m.inflight.With(backendLabel(b)).Add(-jobs)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The client went away or the deadline hit; no replica can
 				// help and health is not implicated.
+				asp.EndErr("canceled: " + err.Error())
 				return nil, "", hint
 			}
 			g.m.backendRequests.With(backendLabel(b), "transport").Inc()
 			g.check.ReportFailure(b, err)
+			asp.EndErr(err.Error())
 			log.Warn("backend transport failure", "backend", b, "error", err.Error())
 			continue
 		}
+		asp.SetAttr(dtrace.Int("status", int64(r.status)))
 		if retryable(r.status) {
 			g.m.backendRequests.With(backendLabel(b), "retryable").Inc()
+			// Backpressure from one replica is load truth, not an error:
+			// close the attempt span with its status and try the next one.
+			asp.SetAttr(dtrace.Str("outcome", "retryable"))
+			asp.End()
 			if r.retryAfter > hint {
 				hint = r.retryAfter
 			}
 			continue
 		}
 		g.m.backendRequests.With(backendLabel(b), "ok").Inc()
+		asp.End()
+		route.SetAttr(dtrace.Str("backend", backendLabel(b)), dtrace.Int("attempts", int64(i+1)))
 		return r, b, hint
 	}
+	route.SetAttr(dtrace.Bool("shed", true))
 	return nil, "", hint
 }
 
@@ -465,38 +517,74 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	log := g.log.With("request_id", id)
+	tr, log := g.startTrace(w, r, "run", id, log)
+	defer tr.Finish()
 	if r.Method != http.MethodPost {
+		tr.SetError()
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
 	var req client.RunRequest
 	if err := json.Unmarshal(body, &req); err != nil {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if !g.admit(w, "run") {
+		tr.SetError()
 		return
 	}
 	defer g.release()
 	start := time.Now()
-	defer func() { g.m.latency.Observe(time.Since(start).Seconds()) }()
+	defer func() { g.observeLatency(tr, time.Since(start).Seconds()) }()
 
 	key := routingKey(&req)
-	resp, backend, hint := g.proxyToFleet(r.Context(), key, "/v1/run", id, body, 1, log)
+	ctx := dtrace.ContextWith(r.Context(), tr, tr.Root())
+	resp, backend, hint := g.proxyToFleet(ctx, key, "/v1/run", id, body, 1, log)
 	if resp == nil {
+		tr.SetError()
 		if r.Context().Err() != nil {
 			return // client gone; nothing useful can be written
 		}
 		g.shedRun(w, log, hint)
 		return
 	}
+	if resp.status >= http.StatusBadRequest {
+		tr.SetError()
+	}
 	log.Debug("run routed", "backend", backend, "status", resp.status)
 	relay(w, resp)
+}
+
+// startTrace begins the distributed trace for one gateway request,
+// adopting a client-supplied traceparent when present. The trace id is
+// echoed in X-Trace-Id and stamped on every log line so a log line, an
+// exemplar, and GET /debug/traces?trace=<id> all meet at the same id.
+func (g *Gateway) startTrace(w http.ResponseWriter, r *http.Request, name, id string, log *slog.Logger) (*dtrace.Active, *slog.Logger) {
+	tr := g.tracer.StartTrace(r.Header.Get("traceparent"), name, id)
+	if tr == nil {
+		return nil, log
+	}
+	w.Header().Set("X-Trace-Id", tr.TraceID())
+	return tr, log.With("trace_id", tr.TraceID(), "span_id", tr.Root().ID())
+}
+
+// observeLatency records gateway request latency, attaching a trace-id
+// exemplar when the request's trace is head-sampled (and therefore
+// retrievable from /debug/traces).
+func (g *Gateway) observeLatency(tr *dtrace.Active, seconds float64) {
+	if tr.Sampled() {
+		g.m.latency.ObserveWithExemplar(seconds, float64(time.Now().UnixMilli())/1000,
+			obs.Label{Name: "trace_id", Value: tr.TraceID()})
+		return
+	}
+	g.m.latency.Observe(seconds)
 }
 
 // shedRun emits the gateway's saturation response for a run that
@@ -570,41 +658,52 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	log := g.log.With("request_id", id)
+	tr, log := g.startTrace(w, r, "batch", id, log)
+	defer tr.Finish()
 	if r.Method != http.MethodPost {
+		tr.SetError()
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
 	var req client.BatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if len(req.Jobs) == 0 {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
 	if len(req.Jobs) > g.cfg.BatchMaxJobs {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "batch has %d jobs, gateway cap is %d", len(req.Jobs), g.cfg.BatchMaxJobs)
 		return
 	}
 	if req.TimeoutMs < 0 {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "timeoutMs must be non-negative")
 		return
 	}
 	if !g.admit(w, "batch") {
+		tr.SetError()
 		return
 	}
 	defer g.release()
 	start := time.Now()
-	defer func() { g.m.latency.Observe(time.Since(start).Seconds()) }()
+	defer func() { g.observeLatency(tr, time.Since(start).Seconds()) }()
 
 	groups := g.splitBatch(&req)
+	tr.Root().SetAttr(dtrace.Int("jobs", int64(len(req.Jobs))), dtrace.Int("groups", int64(len(groups))))
 	log.Debug("batch split", "jobs", len(req.Jobs), "groups", len(groups))
+	batchCtx := dtrace.ContextWith(r.Context(), tr, tr.Root())
 	outcomes := make([]client.BatchJobResult, len(req.Jobs))
 	var wg sync.WaitGroup
 	for _, grp := range groups {
@@ -613,11 +712,12 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(grp batchGroup) {
 			defer wg.Done()
-			g.routeGroup(r.Context(), &req, grp, outcomes, id, log)
+			g.routeGroup(batchCtx, &req, grp, outcomes, id, log)
 		}(grp)
 	}
 	wg.Wait()
 	if r.Context().Err() != nil {
+		tr.SetError()
 		return // client gone
 	}
 
@@ -644,12 +744,18 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) routeGroup(ctx context.Context, req *client.BatchRequest, grp batchGroup,
 	outcomes []client.BatchJobResult, id string, log *slog.Logger) {
 
+	digest, _, _ := strings.Cut(grp.key, "|")
+	ctx, csp := dtrace.Start(ctx, "chunk",
+		dtrace.Str("digest", progcache.ShortDigest(digest)), dtrace.Int("jobs", int64(len(grp.idxs))))
+	defer csp.End()
+
 	sub := client.BatchRequest{Jobs: make([]client.RunRequest, len(grp.idxs)), TimeoutMs: req.TimeoutMs}
 	for si, i := range grp.idxs {
 		sub.Jobs[si] = req.Jobs[i]
 	}
 	body, err := json.Marshal(&sub)
 	if err != nil {
+		csp.EndErr(err.Error())
 		g.failGroup(outcomes, grp, http.StatusInternalServerError, fmt.Sprintf("encoding sub-batch: %v", err))
 		return
 	}
@@ -657,12 +763,14 @@ func (g *Gateway) routeGroup(ctx context.Context, req *client.BatchRequest, grp 
 	resp, backend, hint := g.proxyToFleet(ctx, grp.key, "/v1/batch", id, body, int64(len(grp.idxs)), log)
 	if resp == nil {
 		if ctx.Err() != nil {
+			csp.EndErr("canceled")
 			g.failGroup(outcomes, grp, http.StatusRequestTimeout, "batch canceled before the group resolved")
 			return
 		}
 		g.m.sheds.With("batch", "saturated").Inc()
 		log.Warn("batch group shed", "jobs", len(grp.idxs))
 		secs := g.retryAfterSeconds(hint)
+		csp.EndErr("shed: every replica backpressured")
 		g.failGroup(outcomes, grp, http.StatusServiceUnavailable,
 			fmt.Sprintf("no backend available for this job group; retry after %ds", secs))
 		return
@@ -678,15 +786,18 @@ func (g *Gateway) routeGroup(ctx context.Context, req *client.BatchRequest, grp 
 		if json.Unmarshal(resp.body, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
+		csp.EndErr(msg)
 		g.failGroup(outcomes, grp, resp.status, msg)
 		return
 	}
 	var bres client.BatchResult
 	if err := json.Unmarshal(resp.body, &bres); err != nil || len(bres.Jobs) != len(grp.idxs) {
+		csp.EndErr("malformed batch response")
 		g.failGroup(outcomes, grp, http.StatusBadGateway,
 			fmt.Sprintf("backend %s returned a malformed batch response", backend))
 		return
 	}
+	csp.SetAttr(dtrace.Str("backend", backendLabel(backend)))
 	for si, i := range grp.idxs {
 		outcomes[i] = bres.Jobs[si]
 	}
@@ -735,9 +846,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	merged := own
-	for _, sc := range g.scrapeBackends(r.Context()) {
+	scrapes := g.scrapeBackends(r.Context())
+	var failed []string
+	for _, sc := range scrapes {
 		if sc.err != nil {
-			g.m.scrapeErrors.With(backendLabel(sc.backend)).Inc()
+			g.m.scrapeFailures.With(backendLabel(sc.backend)).Inc()
+			failed = append(failed, backendLabel(sc.backend))
 			continue
 		}
 		fams := sc.fams
@@ -756,9 +870,103 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var b strings.Builder
+	// Partial-merge status rides as a plain comment: scrapers skip it, a
+	// human reading the exposition (or a test) sees at a glance whether
+	// the fleet view is complete.
+	fmt.Fprintf(&b, "# asc-gw-fleet-scrape: %d/%d backends merged", len(scrapes)-len(failed), len(scrapes))
+	if len(failed) > 0 {
+		fmt.Fprintf(&b, "; failed: %s", strings.Join(failed, ","))
+	}
+	b.WriteByte('\n')
 	obs.WriteFamilies(&b, merged)
 	w.Header().Set("Content-Type", obs.ContentType)
 	io.WriteString(w, b.String())
+}
+
+// handleTraces serves distributed traces. Without a trace filter it lists
+// the gateway's own retained traces (newest first); with ?trace=<id> it
+// stitches the gateway's half with every backend's half of the same trace
+// — fetched live from each backend's /debug/traces — into one fleet-wide
+// trace whose waterfall spans both tiers. ?format=waterfall renders that
+// trace as text instead of JSON.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := dtrace.FilterFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dump := dtrace.TraceDump{Service: "ascgw", Traces: []*dtrace.FinishedTrace{}}
+	if f.TraceID != "" {
+		var base *dtrace.FinishedTrace
+		if g.tracer != nil {
+			base = g.tracer.Lookup(f.TraceID)
+		}
+		remotes := g.fetchBackendTraces(r.Context(), f.TraceID)
+		if st := dtrace.Stitch(base, remotes...); st != nil {
+			dump.Traces = append(dump.Traces, st)
+		}
+	} else if g.tracer != nil {
+		dump.Traces = g.tracer.List(f)
+	}
+	if r.URL.Query().Get("format") == "waterfall" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(dump.Traces) == 0 {
+			io.WriteString(w, dtrace.Waterfall(nil))
+			return
+		}
+		for _, t := range dump.Traces {
+			io.WriteString(w, dtrace.Waterfall(t))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&dump)
+}
+
+// fetchBackendTraces asks every backend for its retained half of one
+// trace, bounded by ScrapeTimeout. Backends that never retained the trace
+// (or are down) simply contribute nothing — Stitch treats absence as an
+// orphaned-but-renderable tree, so a partial fleet still yields a usable
+// waterfall.
+func (g *Gateway) fetchBackendTraces(ctx context.Context, traceID string) []*dtrace.FinishedTrace {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ScrapeTimeout)
+	defer cancel()
+	halves := make([][]*dtrace.FinishedTrace, len(g.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range g.cfg.Backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				b+"/debug/traces?trace="+url.QueryEscape(traceID), nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.cfg.HTTPClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var dump dtrace.TraceDump
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&dump); err != nil {
+				return
+			}
+			halves[i] = dump.Traces
+		}(i, b)
+	}
+	wg.Wait()
+	var out []*dtrace.FinishedTrace
+	for _, ts := range halves {
+		out = append(out, ts...)
+	}
+	return out
 }
 
 // ownFamilies renders and re-parses the gateway's registry so its series

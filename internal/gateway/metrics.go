@@ -36,7 +36,7 @@ type gwMetrics struct {
 	batchGroups    *obs.Counter   // asc_gw_batch_groups_total
 	batchGroupSize *obs.Histogram // asc_gw_batch_group_size_jobs
 
-	scrapeErrors *obs.CounterVec // asc_gw_scrape_errors_total{backend}
+	scrapeFailures *obs.CounterVec // asc_gw_scrape_failures_total{backend}
 }
 
 func newGwMetrics() *gwMetrics {
@@ -72,7 +72,7 @@ func newGwMetrics() *gwMetrics {
 		batchGroupSize: reg.NewHistogram("asc_gw_batch_group_size_jobs",
 			"Jobs per routed digest group.", gwGroupBuckets),
 
-		scrapeErrors: reg.NewCounterVec("asc_gw_scrape_errors_total",
-			"Backend /metrics scrapes that failed during a fleet scrape.", "backend"),
+		scrapeFailures: reg.NewCounterVec("asc_gw_scrape_failures_total",
+			"Backend /metrics scrapes that failed during a fleet scrape; the merged exposition's leading comment line reports how many backends each scrape actually covered.", "backend"),
 	}
 }

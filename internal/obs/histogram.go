@@ -14,10 +14,20 @@ import (
 type Histogram struct {
 	bounds []float64 // ascending, finite
 
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1; the final slot is the +Inf bucket
-	total  int64
-	sum    float64
+	mu        sync.Mutex
+	counts    []int64 // len(bounds)+1; the final slot is the +Inf bucket
+	total     int64
+	sum       float64
+	exemplars []*Exemplar // len(bounds)+1 when any exemplar was recorded
+}
+
+// Exemplar is an OpenMetrics exemplar: a reference from one histogram
+// bucket (or counter sample) to a concrete observation — in this fleet, a
+// trace id — rendered after the sample as `# {labels} value timestamp`.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
+	Ts     float64 // unix seconds; 0 omits the timestamp
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -38,6 +48,23 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.total++
 	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveWithExemplar records one value and attaches an exemplar to the
+// bucket it lands in, replacing that bucket's previous exemplar (latest
+// wins — the point of an exemplar is a recent, retrievable instance).
+// ts is the observation time in unix seconds.
+func (h *Histogram) ObserveWithExemplar(v float64, ts float64, labels ...Label) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = &Exemplar{Labels: labels, Value: v, Ts: ts}
 	h.mu.Unlock()
 }
 
@@ -102,9 +129,13 @@ func (h *Histogram) MaxBound() float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// snapshot copies the counts, total, and sum under the lock.
-func (h *Histogram) snapshot() (counts []int64, total int64, sum float64) {
+// snapshot copies the counts, total, sum, and per-bucket exemplars under
+// the lock. exemplars is nil when none were ever recorded.
+func (h *Histogram) snapshot() (counts []int64, total int64, sum float64, exemplars []*Exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]int64(nil), h.counts...), h.total, h.sum
+	if h.exemplars != nil {
+		exemplars = append([]*Exemplar(nil), h.exemplars...)
+	}
+	return append([]int64(nil), h.counts...), h.total, h.sum, exemplars
 }

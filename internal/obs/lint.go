@@ -71,18 +71,28 @@ func Lint(text string) error {
 			continue // comment
 		}
 
-		// Sample line: name[{labels}] value
+		// Sample line: name[{labels}] value [ts] [# {exemplar} value [ts]].
+		// The label block ends at the first close brace outside quotes —
+		// an exemplar carries a second brace block on the same line.
 		name := line
 		labels := ""
-		if i := strings.IndexByte(line, '{'); i >= 0 {
-			j := strings.LastIndexByte(line, '}')
-			if j < i {
+		rest := line
+		// As in parseSample: only a '{' adjacent to the name opens the
+		// sample's label block; a later one belongs to an exemplar.
+		if i := strings.IndexAny(line, " \t{"); i >= 0 && line[i] == '{' {
+			j := labelBlockEnd(line, i+1)
+			if j < 0 {
 				return fmt.Errorf("line %d: unbalanced braces in %q", lineNo, line)
 			}
 			name, labels = line[:i], line[i+1:j]
-			line = line[:i] + line[j+1:]
+			rest = name + " " + line[j+1:]
 		}
-		fields := strings.Fields(line)
+		exPart := ""
+		if h := strings.IndexByte(rest, '#'); h >= 0 {
+			exPart = strings.TrimSpace(rest[h+1:])
+			rest = rest[:h]
+		}
+		fields := strings.Fields(rest)
 		if len(fields) < 2 {
 			return fmt.Errorf("line %d: sample without value: %q", lineNo, line)
 		}
@@ -93,6 +103,11 @@ func Lint(text string) error {
 		value, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			return fmt.Errorf("line %d: unparseable sample value %q", lineNo, fields[1])
+		}
+		if exPart != "" {
+			if _, err := parseExemplar(exPart); err != nil {
+				return fmt.Errorf("line %d: %v in %q", lineNo, err, line)
+			}
 		}
 
 		// Resolve the owning family: histogram samples use the base name
@@ -115,6 +130,11 @@ func Lint(text string) error {
 		sampled[base] = true
 		if f.typ == "histogram" && suffix == "" {
 			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+		}
+		// OpenMetrics allows exemplars only on counter samples and
+		// histogram buckets — not on gauges, _sum, or _count.
+		if exPart != "" && f.typ != "counter" && !(f.typ == "histogram" && suffix == "_bucket") {
+			return fmt.Errorf("line %d: exemplar on %s sample %q", lineNo, f.typ+suffix, name)
 		}
 
 		if f.typ == "histogram" {

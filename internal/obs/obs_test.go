@@ -73,7 +73,7 @@ func TestHistogramBuckets(t *testing.T) {
 	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5, 100} {
 		h.Observe(v)
 	}
-	counts, total, sum := h.snapshot()
+	counts, total, sum, _ := h.snapshot()
 	want := []int64{2, 2, 1, 2} // le=1: {0.5,1}; le=2: {1.5,2}; le=4: {4}; +Inf: {5,100}
 	for i, w := range want {
 		if counts[i] != w {

@@ -16,11 +16,13 @@ import (
 
 // ParsedSample is one sample line of a parsed exposition: the full sample
 // name (histogram samples keep their _bucket/_sum/_count suffix), its
-// label pairs in rendered order, and the value.
+// label pairs in rendered order, the value, and the OpenMetrics exemplar
+// when the line carried one.
 type ParsedSample struct {
-	Name   string
-	Labels []Label
-	Value  float64
+	Name     string
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Label is one label pair of a parsed sample.
@@ -103,13 +105,21 @@ func ParseText(text string) ([]*ParsedFamily, error) {
 	return fams, nil
 }
 
-// parseSample splits one sample line: name[{labels}] value [timestamp].
+// parseSample splits one sample line:
+//
+//	name[{labels}] value [timestamp] [# {exemplar-labels} value [timestamp]]
+//
+// The sample's label block is terminated by the first close brace outside a
+// quoted label value — not the last brace on the line, which would swallow
+// an exemplar's label set.
 func parseSample(line string) (ParsedSample, error) {
 	var s ParsedSample
 	rest := line
-	if i := strings.IndexByte(line, '{'); i >= 0 {
-		j := strings.LastIndexByte(line, '}')
-		if j < i {
+	// A sample's label block opens immediately after the metric name — a
+	// '{' past the first whitespace belongs to an exemplar, not the sample.
+	if i := strings.IndexAny(line, " \t{"); i >= 0 && line[i] == '{' {
+		j := labelBlockEnd(line, i+1)
+		if j < 0 {
 			return s, fmt.Errorf("unbalanced braces in %q", line)
 		}
 		s.Name = line[:i]
@@ -119,12 +129,19 @@ func parseSample(line string) (ParsedSample, error) {
 		}
 		rest = strings.TrimSpace(line[j+1:])
 	} else {
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
+		if i < 0 {
 			return s, fmt.Errorf("sample without value: %q", line)
 		}
-		s.Name = fields[0]
-		rest = strings.Join(fields[1:], " ")
+		s.Name = line[:i]
+		rest = strings.TrimSpace(line[i:])
+	}
+	// Everything before a '#' (if any) is value [timestamp]; after it, the
+	// exemplar. The value/timestamp region contains no quotes, so a plain
+	// byte scan is safe.
+	exPart := ""
+	if h := strings.IndexByte(rest, '#'); h >= 0 {
+		exPart = strings.TrimSpace(rest[h+1:])
+		rest = strings.TrimSpace(rest[:h])
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 {
@@ -135,7 +152,67 @@ func parseSample(line string) (ParsedSample, error) {
 		return s, fmt.Errorf("unparseable sample value %q", fields[0])
 	}
 	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing a label block whose
+// body starts at `start`, honouring quoted label values (a '}' inside
+// quotes, or a backslash-escaped quote, does not terminate the block).
+// Returns -1 when the block never closes.
+func labelBlockEnd(line string, start int) int {
+	inQuote := false
+	for i := start; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseExemplar parses the suffix after a sample line's '#':
+// `{labels} value [timestamp]`.
+func parseExemplar(part string) (*Exemplar, error) {
+	if len(part) == 0 || part[0] != '{' {
+		return nil, fmt.Errorf("exemplar without label set")
+	}
+	j := labelBlockEnd(part, 1)
+	if j < 0 {
+		return nil, fmt.Errorf("unbalanced exemplar braces")
+	}
+	labels, err := parseLabels(part[1:j])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(part[j+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("malformed exemplar value")
+	}
+	ex := &Exemplar{Labels: labels}
+	if ex.Value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("unparseable exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("unparseable exemplar timestamp %q", fields[1])
+		}
+	}
+	return ex, nil
 }
 
 // parseLabels splits a rendered label body (`k="v",k2="v2"`), undoing the
@@ -204,7 +281,7 @@ func (s ParsedSample) WithLabel(name, value string) ParsedSample {
 	if !inserted {
 		labels = append(labels, Label{Name: name, Value: value})
 	}
-	return ParsedSample{Name: s.Name, Labels: labels, Value: s.Value}
+	return ParsedSample{Name: s.Name, Labels: labels, Value: s.Value, Exemplar: s.Exemplar}
 }
 
 // labelKey is the sample's identity for merging: name plus sorted label
@@ -261,6 +338,11 @@ func (f *ParsedFamily) SumSamples() {
 		k := s.labelKey()
 		if i, ok := byKey[k]; ok {
 			out[i].Value += s.Value
+			// Exemplars don't sum; the most recent observation wins so the
+			// fleet view points at a live, retrievable trace.
+			if s.Exemplar != nil && (out[i].Exemplar == nil || s.Exemplar.Ts > out[i].Exemplar.Ts) {
+				out[i].Exemplar = s.Exemplar
+			}
 			continue
 		}
 		byKey[k] = len(out)
@@ -299,7 +381,7 @@ func WriteFamilies(b *strings.Builder, fams []*ParsedFamily) {
 				}
 				b.WriteByte('}')
 			}
-			fmt.Fprintf(b, " %s\n", formatFloat(s.Value))
+			fmt.Fprintf(b, " %s%s\n", formatFloat(s.Value), exemplarString(s.Exemplar))
 		}
 	}
 }

@@ -141,10 +141,10 @@ func TestSumSamples(t *testing.T) {
 		t.Fatalf("summed exposition fails lint: %v\n%s", err, out)
 	}
 	for _, want := range []string{
-		"asc_runs_total 14",                            // 5 + 9
-		`asc_cache_hits_total{tier="program"} 3`,       // 1 + 2
-		`asc_cache_hits_total{tier="pool"} 5`,          // 2 + 3
-		`asc_latency_seconds_bucket{le="+Inf"} 4`,      // 2 observations per backend
+		"asc_runs_total 14",                       // 5 + 9
+		`asc_cache_hits_total{tier="program"} 3`,  // 1 + 2
+		`asc_cache_hits_total{tier="pool"} 5`,     // 2 + 3
+		`asc_latency_seconds_bucket{le="+Inf"} 4`, // 2 observations per backend
 		"asc_latency_seconds_count 4",
 	} {
 		if !strings.Contains(out, want) {
@@ -157,10 +157,10 @@ func TestSumSamples(t *testing.T) {
 // of merging garbage into a fleet scrape.
 func TestParseTextErrors(t *testing.T) {
 	for _, bad := range []string{
-		"asc_x{le=\"0.1\" 1",       // unbalanced braces
-		"asc_x notanumber",         // unparseable value
-		"asc_x{novalue} 1",         // label without =
-		`asc_x{l="unterminated 1`,  // unterminated label value
+		"asc_x{le=\"0.1\" 1",      // unbalanced braces
+		"asc_x notanumber",        // unparseable value
+		"asc_x{novalue} 1",        // label without =
+		`asc_x{l="unterminated 1`, // unterminated label value
 	} {
 		if _, err := ParseText(bad); err == nil {
 			t.Errorf("ParseText(%q) accepted malformed input", bad)

@@ -63,15 +63,23 @@ func (f *family) render(b *strings.Builder) {
 		case *Gauge:
 			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
 		case *Histogram:
-			counts, total, sum := c.snapshot()
+			counts, total, sum, exemplars := c.snapshot()
+			exemplarAt := func(bi int) *Exemplar {
+				if exemplars == nil {
+					return nil
+				}
+				return exemplars[bi]
+			}
 			var cum int64
 			for bi, bound := range c.bounds {
 				cum += counts[bi]
-				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-					labelString(f.labels, values, "le", formatFloat(bound)), cum)
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+					labelString(f.labels, values, "le", formatFloat(bound)), cum,
+					exemplarString(exemplarAt(bi)))
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-				labelString(f.labels, values, "le", "+Inf"), total)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+				labelString(f.labels, values, "le", "+Inf"), total,
+				exemplarString(exemplarAt(len(c.bounds))))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(sum))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), total)
 		}
@@ -105,6 +113,42 @@ func labelString(names, values []string, extraName, extraValue string) string {
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// exemplarString renders an OpenMetrics exemplar suffix — a space, `#`,
+// the exemplar label set, the observed value, and (when present) the
+// observation timestamp:
+//
+//	asc_request_duration_seconds_bucket{le="0.05"} 12 # {trace_id="4bf9…"} 0.043 1754524800.125
+//
+// Returns "" for a nil exemplar so sample lines without exemplars render
+// exactly as before. The timestamp uses fixed-point shortest form
+// (formatTs) so the text round-trips through ParseText/WriteFamilies.
+func exemplarString(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" # {")
+	for i, l := range ex.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteString("} ")
+	b.WriteString(formatFloat(ex.Value))
+	if ex.Ts != 0 {
+		b.WriteByte(' ')
+		b.WriteString(formatTs(ex.Ts))
+	}
+	return b.String()
+}
+
+// formatTs renders an exemplar timestamp as shortest-round-trip
+// fixed-point decimal ("1754524800.125"), the OpenMetrics timestamp shape.
+func formatTs(ts float64) string {
+	return strconv.FormatFloat(ts, 'f', -1, 64)
 }
 
 // escapeLabel escapes a label value per the exposition format: backslash,

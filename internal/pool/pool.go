@@ -18,6 +18,7 @@ package pool
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	asc "repro"
 )
@@ -29,6 +30,12 @@ type Stats struct {
 	Misses    int64 // Get that had to construct a processor
 	Evictions int64 // Put dropped because the idle cap was reached
 	Idle      int   // machines currently parked in the pool
+	// BuildNanos is the cumulative wall-clock time spent constructing
+	// machines on misses — the cold-start cost the warm pool exists to
+	// amortize. BuildNanos/Misses is the average price of a miss, which
+	// the serving tier's traces and dashboards can weigh against observed
+	// hit rates when sizing -pool-idle.
+	BuildNanos int64
 }
 
 // Pool is the warm-machine fleet.
@@ -101,11 +108,21 @@ func (p *Pool) Get(cfg asc.Config, prog *asc.Program) (*asc.Processor, bool, err
 	p.keyStatsLocked(key).Misses++
 	p.mu.Unlock()
 
+	start := time.Now()
 	proc, err := asc.New(cfg, prog)
 	if err != nil {
 		return nil, false, err
 	}
+	p.addBuildTime(key, time.Since(start))
 	return proc, false, nil
+}
+
+// addBuildTime accumulates the construction cost of one pool miss.
+func (p *Pool) addBuildTime(key string, d time.Duration) {
+	p.mu.Lock()
+	p.stats.BuildNanos += int64(d)
+	p.keyStatsLocked(key).BuildNanos += int64(d)
+	p.mu.Unlock()
 }
 
 // Put parks a processor for reuse under the configuration it was built
@@ -161,10 +178,12 @@ func (p *Pool) GetGang(cfg asc.Config, prog *asc.Program, lanes int) (*asc.Gang,
 	p.keyStatsLocked(key).Misses++
 	p.mu.Unlock()
 
+	start := time.Now()
 	g, err := asc.NewGang(cfg, prog, lanes)
 	if err != nil {
 		return nil, false, err
 	}
+	p.addBuildTime(key, time.Since(start))
 	return g, false, nil
 }
 

@@ -342,3 +342,38 @@ func TestGangCheckout(t *testing.T) {
 		t.Errorf("gang key stats = %+v (present %v), want hits=1 misses=1", ks, ok)
 	}
 }
+
+// TestBuildTimeAccounting checks that BuildNanos accumulates construction
+// cost on misses only: hits recycle a warm machine and must not move it.
+func TestBuildTimeAccounting(t *testing.T) {
+	p := New(4)
+	cfg := asc.Config{PEs: 4, Width: 32}
+	a, _, err := p.Get(cfg, sumProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.BuildNanos <= 0 {
+		t.Fatalf("BuildNanos = %d after a miss, want > 0", s.BuildNanos)
+	}
+	afterMiss := s.BuildNanos
+	if ks := p.StatsByKey()[cfg.Key()]; ks.BuildNanos != afterMiss {
+		t.Errorf("per-key BuildNanos = %d, want %d (single-key pool)", ks.BuildNanos, afterMiss)
+	}
+	p.Put(a)
+	if _, hit, err := p.Get(cfg, sumProg); err != nil || !hit {
+		t.Fatalf("warm Get: hit=%v err=%v, want a hit", hit, err)
+	}
+	if s := p.Stats(); s.BuildNanos != afterMiss {
+		t.Errorf("BuildNanos moved on a hit: %d -> %d", afterMiss, s.BuildNanos)
+	}
+	// Gang misses pay into the same ledger, under the gang's composite key.
+	g, _, err := p.GetGang(cfg, sumProg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.PutGang(g)
+	if s := p.Stats(); s.BuildNanos <= afterMiss {
+		t.Errorf("gang miss did not add build time: %d -> %d", afterMiss, s.BuildNanos)
+	}
+}

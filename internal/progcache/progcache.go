@@ -92,6 +92,18 @@ func RequestDigest(ascl, asm string, cfg asc.Config) string {
 	return Key(kind, source, cfg)
 }
 
+// ShortDigest abbreviates a content digest for human-facing surfaces —
+// span attributes, log lines, waterfall output — the way git abbreviates
+// commit hashes. Twelve hex characters (48 bits) is far beyond collision
+// range for any realistic program population; the full digest stays the
+// cache and routing key.
+func ShortDigest(digest string) string {
+	if len(digest) <= 12 {
+		return digest
+	}
+	return digest[:12]
+}
+
 // Cache is the LRU-bounded content-addressed store.
 type Cache struct {
 	mu      sync.Mutex

@@ -71,6 +71,7 @@ type metrics struct {
 	poolHits      *obs.CounterVec // asc_pool_hits_total{config}
 	poolMisses    *obs.CounterVec // asc_pool_misses_total{config}
 	poolEvictions *obs.CounterVec // asc_pool_evictions_total{config}
+	poolBuild     *obs.CounterVec // asc_pool_build_nanoseconds_total{config}
 	poolIdle      *obs.GaugeVec   // asc_pool_idle_machines{config}
 }
 
@@ -130,6 +131,8 @@ func newMetrics() *metrics {
 			"Machine checkouts that had to construct a processor, per configuration.", "config"),
 		poolEvictions: reg.NewCounterVec("asc_pool_evictions_total",
 			"Machines dropped at check-in because the idle cap was reached, per configuration.", "config"),
+		poolBuild: reg.NewCounterVec("asc_pool_build_nanoseconds_total",
+			"Wall-clock time spent constructing machines on pool misses, per configuration. Divided by asc_pool_misses_total this is the average cold-start price a miss pays — the cost traces report as the gap between a compile span and its exec span on unpooled configs.", "config"),
 		poolIdle: reg.NewGaugeVec("asc_pool_idle_machines",
 			"Warm machines currently parked, per configuration.", "config"),
 	}

@@ -41,6 +41,7 @@ import (
 
 	asc "repro"
 	"repro/client"
+	"repro/internal/dtrace"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/progcache"
@@ -97,6 +98,19 @@ type Config struct {
 	// wire semantics and per-job results are unchanged. Jobs that opt into
 	// tracing or SMT always run solo.
 	GangMinJobs int
+
+	// TraceSample is the deterministic head-sampling rate for distributed
+	// traces, in [0, 1]: the fraction of trace ids retained even when fast
+	// and successful (default 0 — only errored, slow, or upstream-flagged
+	// traces are kept). The decision is a pure function of the trace id, so
+	// gateway and backends agree without coordination.
+	TraceSample float64
+	// TraceSlow is the always-keep latency threshold: traces at least this
+	// slow are retained regardless of sampling (default 1s).
+	TraceSlow time.Duration
+	// TraceRing bounds finished traces retained for GET /debug/traces
+	// (default 256; negative disables tracing entirely).
+	TraceRing int
 
 	// Logger receives structured job lifecycle events (admitted, started,
 	// completed, failed, rejected, canceled), each carrying the request id
@@ -162,6 +176,7 @@ type job struct {
 	req      *client.RunRequest
 	id       string // request id, returned in X-Request-Id and logged
 	log      *slog.Logger
+	trace    *dtrace.Active // nil when tracing is disabled
 	enqueued time.Time
 	done     chan jobOutcome
 }
@@ -179,11 +194,12 @@ type jobOutcome struct {
 // Server is the serving core. Create it with New, mount Handler, and stop
 // it with Shutdown.
 type Server struct {
-	cfg   Config
-	pool  *pool.Pool
-	progs *progcache.Cache
-	m     *metrics
-	log   *slog.Logger
+	cfg    Config
+	pool   *pool.Pool
+	progs  *progcache.Cache
+	m      *metrics
+	log    *slog.Logger
+	tracer *dtrace.Tracer
 
 	jobs chan *job
 	wg   sync.WaitGroup
@@ -204,11 +220,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:      cfg,
-		pool:     pool.New(cfg.PoolIdle),
-		progs:    progcache.New(cfg.ProgramCacheSize),
-		m:        newMetrics(),
-		log:      cfg.Logger,
+		cfg:   cfg,
+		pool:  pool.New(cfg.PoolIdle),
+		progs: progcache.New(cfg.ProgramCacheSize),
+		m:     newMetrics(),
+		log:   cfg.Logger,
+		tracer: dtrace.New(dtrace.Options{
+			Service:  "ascd",
+			Sample:   cfg.TraceSample,
+			Slow:     cfg.TraceSlow,
+			RingSize: cfg.TraceRing,
+		}),
 		jobs:     make(chan *job, cfg.QueueDepth),
 		batchSem: make(chan struct{}, cfg.BatchConcurrency),
 	}
@@ -229,6 +251,7 @@ func New(cfg Config) *Server {
 			s.m.poolHits.With(key).Set(ks.Hits)
 			s.m.poolMisses.With(key).Set(ks.Misses)
 			s.m.poolEvictions.With(key).Set(ks.Evictions)
+			s.m.poolBuild.With(key).Set(ks.BuildNanos)
 			s.m.poolIdle.With(key).Set(int64(ks.Idle))
 		}
 		cs := s.progs.Stats()
@@ -245,15 +268,20 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP API: POST /v1/run, POST /v1/batch,
-// GET /metrics, GET /healthz.
+// GET /metrics, GET /healthz, GET /debug/traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/traces", s.tracer.Handler())
 	return mux
 }
+
+// Tracer exposes the server's tracer so embedders (and the fleet smoke
+// tooling) can inspect retained traces directly; nil when disabled.
+func (s *Server) Tracer() *dtrace.Tracer { return s.tracer }
 
 // handleHealthz reports liveness for load balancers and the ascgw health
 // checker. A draining server answers 503 "draining": it still finishes
@@ -358,6 +386,33 @@ func requestID(r *http.Request) string {
 // structured logs.
 var safeIDRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
 
+// startTrace begins the distributed trace for one request: a valid inbound
+// traceparent (from ascgw or any W3C-propagating client) is adopted,
+// anything else mints a fresh trace. The trace id is echoed in X-Trace-Id
+// and threaded through the request's slog lines, and Finish retention runs
+// when the handler returns.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, name, id string, log *slog.Logger) (*dtrace.Active, *slog.Logger) {
+	tr := s.tracer.StartTrace(r.Header.Get("traceparent"), name, id)
+	if tr == nil {
+		return nil, log
+	}
+	w.Header().Set("X-Trace-Id", tr.TraceID())
+	return tr, log.With("trace_id", tr.TraceID(), "span_id", tr.Root().ID())
+}
+
+// observeLatency records a request duration, attaching a trace-id exemplar
+// when the request's trace is sampled — sampled traces are the ones
+// guaranteed retrievable from /debug/traces, so the exemplar is a live
+// link from the histogram bucket to a full waterfall.
+func (s *Server) observeLatency(tr *dtrace.Active, seconds float64) {
+	if tr.Sampled() {
+		s.m.latency.ObserveWithExemplar(seconds, float64(time.Now().UnixMilli())/1000,
+			obs.Label{Name: "trace_id", Value: tr.TraceID()})
+		return
+	}
+	s.m.latency.Observe(seconds)
+}
+
 // handleRun admits a job into the bounded queue and waits for its outcome.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := requestID(r)
@@ -367,24 +422,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr, log := s.startTrace(w, r, "run", id, log)
+	defer tr.Finish()
 	var req client.RunRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		log.Warn("job rejected", "reason", "bad request body", "error", err.Error())
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if err := s.validate(&req); err != nil {
 		log.Warn("job rejected", "reason", "validation", "error", err.Error())
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	j := &job{
-		ctx:      r.Context(),
+		ctx:      dtrace.ContextWith(r.Context(), tr, tr.Root()),
 		req:      &req,
 		id:       id,
 		log:      log,
+		trace:    tr,
 		enqueued: time.Now(),
 		done:     make(chan jobOutcome, 1),
 	}
@@ -392,11 +452,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Admission: non-blocking enqueue under the drain guard. A full queue
 	// is backpressure (429, retryable), a draining server is going away
 	// (503).
+	admStart := time.Now()
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
 		s.m.outcomes.With("rejected").Inc()
 		log.Warn("job rejected", "reason", "draining")
+		tr.Record("admission", nil, admStart, time.Now(), dtrace.Str("outcome", "draining"))
+		tr.SetError()
 		s.writeUnavailable(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -407,9 +470,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		s.m.outcomes.With("rejected").Inc()
 		log.Warn("job rejected", "reason", "queue full", "queue_cap", s.cfg.QueueDepth)
+		tr.Record("admission", nil, admStart, time.Now(), dtrace.Str("outcome", "queue_full"))
+		tr.SetError()
 		s.writeUnavailable(w, http.StatusTooManyRequests, "job queue full (%d waiting)", s.cfg.QueueDepth)
 		return
 	}
+	tr.Record("admission", nil, admStart, time.Now(), dtrace.Str("outcome", "admitted"))
 	s.m.requests.Inc()
 	log.Debug("job admitted", "source", sourceKind(&req), "trace", req.Trace)
 
@@ -418,10 +484,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// while the worker abandons the job via the same context.
 	select {
 	case out := <-j.done:
-		s.m.latency.Observe(time.Since(j.enqueued).Seconds())
+		s.observeLatency(tr, time.Since(j.enqueued).Seconds())
 		if out.result != nil {
 			writeJSON(w, http.StatusOK, out.result)
 		} else {
+			tr.SetError()
 			writeError(w, out.status, "%s", out.errMsg)
 		}
 	case <-r.Context().Done():
@@ -515,6 +582,8 @@ func (s *Server) worker() {
 			continue
 		}
 		j.log.Debug("job started", "queue_wait", time.Since(j.enqueued).String())
+		j.trace.Record("queue_wait", nil, j.enqueued, time.Now(),
+			dtrace.Int("queue_depth", int64(len(s.jobs))))
 		s.m.running.Add(1)
 		start := time.Now()
 		out := s.runJob(j.ctx, j.req)
@@ -691,10 +760,14 @@ func baseRunResult(stats asc.Stats, asmText string, poolHit, cacheHit bool) *cli
 // the single-run worker lane and the batch lane execute through it, so a
 // batch of N jobs is bit-identical to N sequential /v1/run calls.
 func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutcome {
+	_, csp := dtrace.Start(jobCtx, "compile", dtrace.Str("kind", sourceKind(req)))
 	art, cacheHit, fail := s.compileJob(req)
 	if fail != nil {
+		csp.EndErr(fail.errMsg)
 		return *fail
 	}
+	csp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)), dtrace.Bool("cache_hit", cacheHit))
+	csp.End()
 	prog, asmText := art.Prog, art.Asm
 
 	cfg := req.Config.ASC()
@@ -730,10 +803,14 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 	ctx, cancel := context.WithTimeout(jobCtx, timeout)
 	defer cancel()
 
+	_, esp := dtrace.Start(jobCtx, "exec", dtrace.Bool("pool_hit", hit))
 	stats, err := proc.RunContext(ctx, maxCycles)
+	esp.SetAttr(dtrace.Int("cycles", stats.Cycles))
 	if err != nil {
+		esp.EndErr(err.Error())
 		return runErrOutcome(err, stats, timeout, maxCycles)
 	}
+	esp.End()
 
 	res := baseRunResult(stats, asmText, hit, cacheHit)
 	if req.Trace {
@@ -766,23 +843,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr, log := s.startTrace(w, r, "batch", id, log)
+	defer tr.Finish()
 	var req client.BatchRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		log.Warn("batch rejected", "reason", "bad request body", "error", err.Error())
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if len(req.Jobs) == 0 {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.BatchMaxJobs {
 		log.Warn("batch rejected", "reason", "too many jobs", "jobs", len(req.Jobs), "cap", s.cfg.BatchMaxJobs)
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "batch has %d jobs, cap is %d", len(req.Jobs), s.cfg.BatchMaxJobs)
 		return
 	}
 	if req.TimeoutMs < 0 {
+		tr.SetError()
 		writeError(w, http.StatusBadRequest, "timeoutMs must be non-negative")
 		return
 	}
@@ -790,11 +873,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Whole-batch admission under the drain guard. The batch lane's
 	// bounded queue is the in-flight sub-job count: concurrency plus a
 	// queue's worth of waiting jobs, mirroring the single-run lane.
+	admStart := time.Now()
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
 		s.m.batchRejected.Inc()
 		log.Warn("batch rejected", "reason", "draining")
+		tr.Record("admission", nil, admStart, time.Now(), dtrace.Str("outcome", "draining"))
+		tr.SetError()
 		s.writeUnavailable(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -806,6 +892,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.mu.RUnlock()
 			s.m.batchRejected.Inc()
 			log.Warn("batch rejected", "reason", "batch lane full", "inflight", cur, "jobs", n)
+			tr.Record("admission", nil, admStart, time.Now(), dtrace.Str("outcome", "lane_full"))
+			tr.SetError()
 			s.writeUnavailable(w, http.StatusTooManyRequests, "batch lane full (%d jobs in flight, cap %d)", cur, limit)
 			return
 		}
@@ -816,6 +904,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchWg.Add(1) // under the RLock: Shutdown cannot start waiting yet
 	s.mu.RUnlock()
 	defer s.batchWg.Done()
+	tr.Record("admission", nil, admStart, time.Now(),
+		dtrace.Str("outcome", "admitted"), dtrace.Int("jobs", n))
 
 	s.m.batchRequests.Inc()
 	s.m.batchSize.Observe(float64(n))
@@ -826,7 +916,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// HTTP request context. When it ends, unfinished jobs are canceled and
 	// the response carries the finished jobs' results alongside per-job
 	// canceled markers.
-	batchCtx := r.Context()
+	batchCtx := dtrace.ContextWith(r.Context(), tr, tr.Root())
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		batchCtx, cancel = context.WithTimeout(batchCtx, time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -846,7 +936,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			defer s.batchInflight.Add(-1)
-			outcomes[i] = s.runBatchJob(batchCtx, &req.Jobs[i])
+			jctx, sp := dtrace.Start(batchCtx, "job", dtrace.Int("index", int64(i)))
+			jobStart := time.Now()
+			out := s.runBatchJob(jctx, &req.Jobs[i])
+			// Sub-jobs observe into the same request-duration histogram the
+			// single-run lane uses: one histogram answers "how long does a
+			// job take here" regardless of how it arrived.
+			s.observeLatency(tr, time.Since(jobStart).Seconds())
+			if out.result == nil {
+				sp.EndErr(out.errMsg)
+			} else {
+				sp.End()
+			}
+			outcomes[i] = out
 		}(i)
 	}
 	for _, grp := range groups {
@@ -854,7 +956,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(grp []int) {
 			defer wg.Done()
 			defer s.batchInflight.Add(-int64(len(grp)))
+			gangStart := time.Now()
 			s.runGangGroup(batchCtx, req.Jobs, grp, outcomes)
+			// Lockstep lanes share wall-clock: each lane's duration is the
+			// group's.
+			sec := time.Since(gangStart).Seconds()
+			for range grp {
+				s.observeLatency(tr, sec)
+			}
 		}(grp)
 	}
 	// Wait for every sub-job, canceled batches included: sub-jobs hold
@@ -997,16 +1106,24 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 		return
 	}
 
+	gctx, gsp := dtrace.Start(batchCtx, "gang_group", dtrace.Int("lanes", int64(len(grp))))
+	defer gsp.End()
+
 	lead := &jobs[grp[0]]
+	_, csp := dtrace.Start(gctx, "compile", dtrace.Str("kind", sourceKind(lead)))
 	art, cacheHit, fail := s.compileJob(lead)
 	if fail != nil {
 		// The group shares one program; a compile failure is every job's
 		// failure.
+		csp.EndErr(fail.errMsg)
 		for _, i := range grp {
 			outcomes[i] = *fail
 		}
 		return
 	}
+	csp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)), dtrace.Bool("cache_hit", cacheHit))
+	csp.End()
+	gsp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)))
 	cfg := lead.Config.ASC()
 	geom, err := cfg.Geometry()
 	if err != nil {
@@ -1073,9 +1190,11 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 	maxCycles := s.effMaxCycles(lead)
 	timeout := s.effTimeout(lead)
 	s.m.gangSize.Observe(float64(len(valid)))
-	runCtx, cancel := context.WithTimeout(batchCtx, timeout)
+	runCtx, cancel := context.WithTimeout(gctx, timeout)
 	defer cancel()
+	_, esp := dtrace.Start(gctx, "exec", dtrace.Int("lanes", int64(len(valid))), dtrace.Bool("pool_hit", poolHit))
 	res := g.RunContext(runCtx, maxCycles)
+	esp.End()
 
 	for lane, i := range valid {
 		s.m.gangJobs.Inc()
@@ -1091,7 +1210,14 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 		switch {
 		case lr.Peeled:
 			s.m.gangPeels.Inc()
-			outcomes[i] = s.finishPeeled(runCtx, batchCtx, &jobs[i], art, laneCacheHit, lr, maxCycles, timeout, geom)
+			pctx, psp := dtrace.Start(runCtx, "peel",
+				dtrace.Int("index", int64(i)), dtrace.Int("peel_cycle", lr.PeelCycle))
+			outcomes[i] = s.finishPeeled(pctx, batchCtx, &jobs[i], art, laneCacheHit, lr, maxCycles, timeout, geom)
+			if out := &outcomes[i]; out.result == nil {
+				psp.EndErr(out.errMsg)
+			} else {
+				psp.End()
+			}
 		case lr.Err != nil:
 			outcomes[i] = rewriteBatchCancel(batchCtx, runErrOutcome(lr.Err, lr.Stats, timeout, maxCycles))
 		default:
@@ -1125,8 +1251,15 @@ func (s *Server) finishPeeled(runCtx, batchCtx context.Context, req *client.RunR
 	if remaining <= 0 {
 		remaining = 1
 	}
+	_, rsp := dtrace.Start(runCtx, "solo_resume",
+		dtrace.Int("remaining_cycles", remaining), dtrace.Bool("pool_hit", hit))
 	stats, err := proc.RunContext(runCtx, remaining)
 	merged := mergeStats(lr.Stats, stats)
+	if err != nil {
+		rsp.EndErr(err.Error())
+	} else {
+		rsp.End()
+	}
 	if err != nil {
 		return rewriteBatchCancel(batchCtx, runErrOutcome(err, merged, timeout, maxCycles))
 	}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # fleet_smoke.sh — end-to-end smoke of the distributed serving tier on
-# loopback: boot two ascd backends and one ascgw in front, drive mixed
-# /v1/run and /v1/batch traffic through the gateway, kill one backend
-# mid-stream, and assert that (a) every response is a success or an
+# loopback: boot two ascd backends and one ascgw in front, run one traced
+# batch and assert its stitched trace carries spans from both tiers, drive
+# mixed /v1/run and /v1/batch traffic through the gateway, kill one
+# backend mid-stream, and assert that (a) every response is a success or an
 # honest shed (429/503 with Retry-After) — never a transport error or a
 # hang — and (b) results stay correct throughout. Run via `make
 # fleet-smoke`. Requires: go, curl. Exits non-zero on any violation.
@@ -27,14 +28,16 @@ say "building ascd and ascgw"
 go build -o "$WORKDIR/ascd" ./cmd/ascd
 go build -o "$WORKDIR/ascgw" ./cmd/ascgw
 
-"$WORKDIR/ascd" -addr 127.0.0.1:$B1_PORT -log-level warn &
+"$WORKDIR/ascd" -addr 127.0.0.1:$B1_PORT -trace-sample 1 -log-level warn &
 B1_PID=$!; PIDS="$PIDS $B1_PID"
-"$WORKDIR/ascd" -addr 127.0.0.1:$B2_PORT -log-level warn &
+"$WORKDIR/ascd" -addr 127.0.0.1:$B2_PORT -trace-sample 1 -log-level warn &
 B2_PID=$!; PIDS="$PIDS $B2_PID"
 # Short health interval so the killed backend ejects within the test.
+# Full trace sampling on every tier so the traced-batch phase can fetch
+# its stitched trace deterministically.
 "$WORKDIR/ascgw" -addr 127.0.0.1:$GW_PORT \
 	-backends http://127.0.0.1:$B1_PORT,http://127.0.0.1:$B2_PORT \
-	-health-interval 200ms -health-failures 2 -log-level warn &
+	-health-interval 200ms -health-failures 2 -trace-sample 1 -log-level warn &
 GW_PID=$!; PIDS="$PIDS $GW_PID"
 
 wait_healthy() {
@@ -88,6 +91,21 @@ one_batch() {
 	*) fail "batch: unexpected status $code: $(cat "$WORKDIR/resp")" ;;
 	esac
 }
+
+say "phase 0: one traced batch, stitched across both tiers"
+TRACE_ID=4bf92f3577b34da6a3ce929d0e0e4736
+code=$(curl -s -o "$WORKDIR/tresp" -w '%{http_code}' --max-time 20 \
+	-H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+	"http://127.0.0.1:$GW_PORT/v1/batch" -d "$BATCH_BODY") || fail "traced batch: transport error"
+[ "$code" = 200 ] || fail "traced batch: status $code: $(cat "$WORKDIR/tresp")"
+curl -s --max-time 20 "http://127.0.0.1:$GW_PORT/debug/traces?trace=$TRACE_ID" >"$WORKDIR/trace"
+grep -q "\"traceId\":\"$TRACE_ID\"" "$WORKDIR/trace" || fail "stitched trace $TRACE_ID not retrievable from the gateway"
+grep -q '"service":"ascgw"' "$WORKDIR/trace" || fail "stitched trace has no gateway spans"
+grep -q '"service":"ascd"' "$WORKDIR/trace" || fail "stitched trace has no backend spans"
+grep -q '"name":"route"' "$WORKDIR/trace" || fail "stitched trace missing route span"
+grep -q '"name":"exec"' "$WORKDIR/trace" || fail "stitched trace missing exec span"
+curl -s --max-time 20 "http://127.0.0.1:$GW_PORT/debug/traces?trace=$TRACE_ID&format=waterfall" | sed 's/^/fleet-smoke:   /'
+say "stitched trace OK (spans from both tiers under one id)"
 
 SHEDS=0
 say "phase 1: mixed traffic through the healthy fleet"

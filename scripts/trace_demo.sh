@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# trace_demo.sh — boot a tiny loopback fleet (two ascd, one ascgw), run a
+# traced batch through the gateway, and pretty-print the stitched
+# fleet-wide waterfall with asctrace. Run via `make trace-demo`.
+# Requires: go, curl.
+set -eu
+
+GW_PORT=18671
+B1_PORT=18681
+B2_PORT=18682
+WORKDIR="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+	for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "trace-demo: $*"; }
+fail() { echo "trace-demo: FAIL: $*" >&2; exit 1; }
+
+say "building ascd, ascgw, asctrace"
+go build -o "$WORKDIR/ascd" ./cmd/ascd
+go build -o "$WORKDIR/ascgw" ./cmd/ascgw
+go build -o "$WORKDIR/asctrace" ./cmd/asctrace
+
+"$WORKDIR/ascd" -addr 127.0.0.1:$B1_PORT -trace-sample 1 -log-level warn &
+PIDS="$PIDS $!"
+"$WORKDIR/ascd" -addr 127.0.0.1:$B2_PORT -trace-sample 1 -log-level warn &
+PIDS="$PIDS $!"
+"$WORKDIR/ascgw" -addr 127.0.0.1:$GW_PORT \
+	-backends http://127.0.0.1:$B1_PORT,http://127.0.0.1:$B2_PORT \
+	-trace-sample 1 -log-level warn &
+PIDS="$PIDS $!"
+
+wait_healthy() {
+	i=0
+	until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "port $1 not healthy after 10s"
+		sleep 0.1
+	done
+}
+wait_healthy $B1_PORT
+wait_healthy $B2_PORT
+wait_healthy $GW_PORT
+
+# Two digest groups (pes=4 ganged pair + a pes=8 single) so the waterfall
+# shows chunk routing, gang grouping, and execution on real backends.
+TRACE_ID=$(od -An -N16 -tx1 /dev/urandom | tr -d ' \n')
+BATCH_BODY='{"jobs": [
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[1],[2],[3],[4]], "dumpScalar": 1},
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 4, "width": 32}, "localMem": [[2],[2],[3],[3]], "dumpScalar": 1},
+  {"ascl": "parallel v = pread(0); write(0, sumval(v));", "config": {"pes": 8, "width": 32}, "localMem": [[1],[1],[1],[1],[1],[1],[1],[2]], "dumpScalar": 1}
+]}'
+
+say "running one traced batch (trace $TRACE_ID)"
+code=$(curl -s -o "$WORKDIR/resp" -w '%{http_code}' --max-time 20 \
+	-H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+	"http://127.0.0.1:$GW_PORT/v1/batch" -d "$BATCH_BODY") || fail "transport error"
+[ "$code" = 200 ] || fail "batch status $code: $(cat "$WORKDIR/resp")"
+
+echo
+"$WORKDIR/asctrace" -trace "$TRACE_ID" "http://127.0.0.1:$GW_PORT/debug/traces"
+echo
+say "the same id is in the histograms: look for trace_id=\"$TRACE_ID\" exemplars"
+curl -s "http://127.0.0.1:$GW_PORT/metrics" | grep -m 3 "trace_id=\"$TRACE_ID\"" || true
