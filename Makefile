@@ -18,7 +18,7 @@ test:
 # even on single-core hosts (see internal/machine/engine_test.go), and the
 # serving stack runs concurrent compile->simulate round trips.
 race:
-	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/... ./internal/obs/... ./internal/gateway/...
+	$(GO) test -race ./internal/machine/... ./internal/core/... ./internal/server/... ./internal/pool/... ./internal/obs/... ./internal/gateway/... ./internal/migrate/... ./client/...
 
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
@@ -69,6 +69,10 @@ apicheck:
 	  { echo "apicheck: package repro surface drifted; run 'make apiupdate' if intentional"; exit 1; }
 	@diff -u docs/api/client.txt /tmp/asc-apicheck-client.txt || \
 	  { echo "apicheck: package repro/client surface drifted; run 'make apiupdate' if intentional"; exit 1; }
+	@dep=$$(grep -c 'Deprecated:' /tmp/asc-apicheck-client.txt); \
+	if [ "$$dep" -gt 2 ]; then \
+	  echo "apicheck: $$dep Deprecated markers in repro/client; the deprecated surface is frozen at 2 (Client.BaseURL, Client.HTTPClient) — extend the live API instead"; exit 1; \
+	fi
 	@echo "apicheck: exported API matches docs/api goldens"
 
 apiupdate:

@@ -362,6 +362,12 @@ func convertStats(cs core.Stats) Stats {
 // exhaustion from architectural traps.
 var ErrCycleLimit = core.ErrCycleLimit
 
+// ErrCheckpoint reports that RunContext stopped because RequestCheckpoint
+// was called: the machine is at a quiescent point and Snapshot() captures a
+// state that resumes bit-identically on any identically configured
+// processor. The serving tier's live-migration path is built on this.
+var ErrCheckpoint = core.ErrCheckpoint
+
 // Processor is a simulated Multithreaded ASC Processor instance.
 type Processor struct {
 	cfg  Config
@@ -447,6 +453,17 @@ func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, err
 // Step advances one clock cycle; it reports false once the machine halted
 // and the pipeline drained.
 func (p *Processor) Step() (bool, error) { return p.core.Step() }
+
+// Cycle returns the current simulation cycle — the resume point a
+// checkpoint taken now will continue from.
+func (p *Processor) Cycle() int64 { return p.core.Cycle() }
+
+// RequestCheckpoint asks an in-flight RunContext to suspend at the next
+// poll-window boundary with ErrCheckpoint, leaving the machine quiescent
+// for Snapshot. Safe to call from any goroutine. A request with no run in
+// flight applies to the next RunContext; Reset clears it. Runs shorter
+// than the poll window (a few thousand cycles) complete instead.
+func (p *Processor) RequestCheckpoint() { p.core.RequestCheckpoint() }
 
 // Scalar reads scalar register r of hardware thread t.
 func (p *Processor) Scalar(t int, r int) int64 {

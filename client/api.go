@@ -186,6 +186,11 @@ type APIError struct {
 	// (zero when absent). The client's retry policy (WithRetry) waits at
 	// least this long before the next attempt.
 	RetryAfter time.Duration
+	// Envelope is the snapshot envelope of a suspended resumable session,
+	// set when a 503 carries the drain handshake (see SessionDraining).
+	// The retry machinery never resubmits such a call; Session.Run resumes
+	// from the envelope instead.
+	Envelope *SnapshotEnvelope
 }
 
 // Temporary reports whether the error is worth retrying: 429 (queue full)

@@ -16,8 +16,19 @@ import (
 	"time"
 )
 
-// Client is an HTTP client for an ascd daemon. Build it with New; the
-// exported fields remain for compatibility with pre-options callers.
+// Client is an HTTP client for an ascd daemon (or an ascgw gateway — the
+// wire surface is identical). Build it with New and configure it with
+// options.
+//
+// # Legacy compatibility
+//
+// The two exported fields below predate the options constructor and are
+// the client's entire deprecated surface — it is frozen at these two, and
+// `make apicheck` fails if another Deprecated field or symbol appears.
+// Both keep working forever under the v1 contract: New stores its baseURL
+// argument in BaseURL, and WithHTTPClient stores into HTTPClient, so
+// pre-options code that reads or mutates the fields observes exactly the
+// historical behavior.
 type Client struct {
 	// BaseURL is the daemon address, e.g. "http://localhost:8642".
 	//
@@ -153,6 +164,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			!errors.As(err, &ae) || !ae.Temporary() {
 			return err
 		}
+		if ae.Envelope != nil {
+			// A 503 carrying a snapshot envelope is the drain handshake,
+			// not backpressure: the job already ran partway and must be
+			// resumed from the envelope, never resubmitted from scratch.
+			return err
+		}
 		t := time.NewTimer(policy.backoff(attempt, ae.RetryAfter))
 		select {
 		case <-t.C:
@@ -208,6 +225,12 @@ func (c *Client) doOnce(ctx context.Context, method, path, id, tp string, body [
 			ae.Message = eb.Error
 		} else {
 			ae.Message = strings.TrimSpace(string(data))
+		}
+		// The drain handshake: a 503 answered to an in-flight resumable
+		// session carries the snapshot envelope in the error body.
+		var sd SessionDraining
+		if json.Unmarshal(data, &sd) == nil && sd.Envelope != nil {
+			ae.Envelope = sd.Envelope
 		}
 		return ae
 	}

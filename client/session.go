@@ -1,0 +1,265 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrSessionSuspended is returned by Session.Run and Session.Resume when
+// the segment suspended into a snapshot envelope instead of completing —
+// a requested checkpoint, or a drain the session's retry budget could not
+// ride out. The envelope is held by the Session; call Resume to continue,
+// or Envelope to export it.
+var ErrSessionSuspended = errors.New("client: session suspended into a snapshot envelope")
+
+// Session is a resumable job: a simulation that can be checkpointed into a
+// snapshot envelope, survive its backend draining (the session resumes the
+// envelope on whatever the base URL routes to next — transparently when
+// the base URL is an ascgw, by retrying through it otherwise), and be
+// continued across process restarts by re-hydrating the envelope.
+//
+// A Session is safe for concurrent use, but Run/Resume represent one
+// logical job: run them from one goroutine and use Checkpoint from others.
+type Session struct {
+	c   *Client
+	req SessionRequest
+
+	resumeRetry RetryPolicy
+
+	mu     sync.Mutex
+	id     string
+	env    *SnapshotEnvelope
+	result *SessionResult
+	closed bool
+}
+
+// SessionOption configures a Session built by NewSession.
+type SessionOption func(*Session)
+
+// WithCheckpointEvery checkpoints the running session every n simulated
+// cycles (rounded up to the engine's poll window), so the latest envelope
+// is always exported from GET /v1/sessions/{id} while the job runs.
+func WithCheckpointEvery(n int64) SessionOption {
+	return func(s *Session) { s.req.CheckpointEveryCycles = n }
+}
+
+// WithResumeRetry shapes the session's automatic resume-after-drain loop:
+// when a run or resume comes back with a drain handshake (503 plus
+// envelope), the session retries the resume up to p.MaxAttempts times with
+// the policy's backoff. The zero policy takes 3 attempts with default
+// backoff.
+func WithResumeRetry(p RetryPolicy) SessionOption {
+	return func(s *Session) { s.resumeRetry = p }
+}
+
+// NewSession prepares a resumable session for req. Nothing is sent until
+// Run.
+func (c *Client) NewSession(req RunRequest, opts ...SessionOption) *Session {
+	s := &Session{
+		c:           c,
+		req:         SessionRequest{RunRequest: req, Resumable: true},
+		resumeRetry: RetryPolicy{MaxAttempts: 3},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// ResumeSession re-hydrates a session from an exported envelope (from a
+// prior Session.Envelope, a GET /v1/sessions/{id}, or a drain handshake
+// another process caught). Call Resume to continue it.
+func (c *Client) ResumeSession(env *SnapshotEnvelope, opts ...SessionOption) *Session {
+	s := &Session{
+		c:           c,
+		req:         SessionRequest{RunRequest: env.Request, Resumable: true, CheckpointEveryCycles: env.CheckpointEveryCycles},
+		resumeRetry: RetryPolicy{MaxAttempts: 3},
+		env:         env,
+	}
+	if env != nil {
+		s.id = env.SessionID
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// ID returns the server-assigned session id ("" before Run).
+func (s *Session) ID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// Envelope returns the latest snapshot envelope the session holds, nil if
+// none was minted yet. The envelope is self-contained: persist it and
+// continue the job later (or elsewhere) with Client.ResumeSession.
+func (s *Session) Envelope() *SnapshotEnvelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.env
+}
+
+// Result returns the terminal result once the session completed, else nil.
+func (s *Session) Result() *SessionResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result
+}
+
+// Run submits the session and blocks until it completes, suspends, or
+// fails. A drain handshake (503 with envelope) is absorbed: the session
+// resumes the envelope automatically under the resume-retry policy, so a
+// backend draining mid-job surfaces as nothing at all. It returns
+// ErrSessionSuspended when the session suspended without completing (an
+// explicit checkpoint, or a drain that outlasted the retry budget — the
+// envelope is retained either way).
+func (s *Session) Run(ctx context.Context) (*SessionResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("client: session is closed")
+	}
+	req := s.req
+	s.mu.Unlock()
+	var res SessionResult
+	err := s.c.do(ctx, http.MethodPost, "/v1/sessions", req, &res)
+	return s.settle(ctx, &res, err)
+}
+
+// Resume continues a suspended session from its held envelope, blocking
+// like Run. Use it after ErrSessionSuspended or on a re-hydrated session.
+func (s *Session) Resume(ctx context.Context) (*SessionResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("client: session is closed")
+	}
+	env := s.env
+	s.mu.Unlock()
+	if env == nil {
+		return nil, errors.New("client: session holds no envelope to resume")
+	}
+	res, err := s.resumeEnvelope(ctx, env)
+	return s.settle(ctx, res, err)
+}
+
+// resumeEnvelope POSTs one resume call for env.
+func (s *Session) resumeEnvelope(ctx context.Context, env *SnapshotEnvelope) (*SessionResult, error) {
+	var res SessionResult
+	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+env.SessionID+"/resume", ResumeRequest{Envelope: env}, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// settle folds one segment's outcome into the session, riding out drain
+// handshakes by resuming the returned envelope under the retry policy.
+func (s *Session) settle(ctx context.Context, res *SessionResult, err error) (*SessionResult, error) {
+	policy := s.resumeRetry.withDefaults()
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		var ae *APIError
+		switch {
+		case err == nil:
+			// A 200: completed, or suspended by an explicit checkpoint.
+			s.mu.Lock()
+			s.id = res.SessionID
+			if res.Envelope != nil {
+				s.env = res.Envelope
+			}
+			if res.State == "completed" {
+				s.result = res
+				s.mu.Unlock()
+				return res, nil
+			}
+			s.mu.Unlock()
+			return res, fmt.Errorf("%w (reason: %s)", ErrSessionSuspended, res.Reason)
+		case errors.As(err, &ae) && ae.Envelope != nil:
+			// The drain handshake: hold the envelope and resume it.
+			s.mu.Lock()
+			s.id = ae.Envelope.SessionID
+			s.env = ae.Envelope
+			env := s.env
+			s.mu.Unlock()
+			if attempt >= policy.MaxAttempts {
+				return nil, fmt.Errorf("%w (reason: draining, after %d resume attempts): %v",
+					ErrSessionSuspended, attempt, err)
+			}
+			t := time.NewTimer(policy.backoff(attempt, ae.RetryAfter))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			res, err = s.resumeEnvelope(ctx, env)
+		default:
+			return nil, err
+		}
+	}
+}
+
+// Checkpoint asks the running session to suspend at its next cycle-window
+// boundary and returns its status — with the envelope once the checkpoint
+// landed. Call it from another goroutine while Resume blocks: Resume then
+// returns ErrSessionSuspended and the session holds the envelope.
+//
+// It requires the server-assigned session id, which a fresh session only
+// learns when its first segment returns — so Checkpoint works on resumed
+// and re-hydrated sessions, but not during a fresh session's first Run.
+// To checkpoint a first segment mid-run, use WithCheckpointEvery (the
+// server minted envelopes are exported from GET /v1/sessions/{id}), or
+// POST /v1/sessions/{id}/checkpoint with an id from GET /v1/sessions.
+func (s *Session) Checkpoint(ctx context.Context) (*SessionStatus, error) {
+	s.mu.Lock()
+	id := s.id
+	s.mu.Unlock()
+	if id == "" {
+		return nil, errors.New("client: session has not started")
+	}
+	var st SessionStatus
+	if err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/checkpoint", struct{}{}, &st); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if st.Envelope != nil {
+		s.env = st.Envelope
+	}
+	s.mu.Unlock()
+	return &st, nil
+}
+
+// Status fetches the session's registry record from the server.
+func (s *Session) Status(ctx context.Context) (*SessionStatus, error) {
+	s.mu.Lock()
+	id := s.id
+	s.mu.Unlock()
+	if id == "" {
+		return nil, errors.New("client: session has not started")
+	}
+	var st SessionStatus
+	if err := s.c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Close marks the session finished on the client side. It does not
+// contact the server (a suspended session's record ages out of the
+// server's retention window on its own); the held envelope stays
+// exportable via Envelope.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,182 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// sessionStub fakes the v1.1 session endpoints with scripted outcomes.
+type sessionStub struct {
+	posts   atomic.Int64
+	resumes atomic.Int64
+	// drainPosts: answer the first N POST /v1/sessions with drain
+	// handshakes; drainResumes likewise for resume calls.
+	drainPosts   int64
+	drainResumes int64
+	// suspendFirst answers the first POST with a 200 "suspended" result
+	// (an explicit checkpoint landed).
+	suspendFirst bool
+}
+
+func (s *sessionStub) envelope() *client.SnapshotEnvelope {
+	return &client.SnapshotEnvelope{Version: 1, SessionID: "s1"}
+}
+
+func (s *sessionStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		n := s.posts.Add(1)
+		if s.suspendFirst {
+			writeJSON(w, http.StatusOK, client.SessionResult{
+				SessionID: "s1", State: "suspended", Reason: "requested", Envelope: s.envelope(),
+			})
+			return
+		}
+		if n <= s.drainPosts {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusServiceUnavailable, client.SessionDraining{
+				Error: "server draining", Envelope: s.envelope(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, client.SessionResult{SessionID: "s1", State: "completed",
+			Result: &client.RunResult{Cycles: 7}})
+	})
+	mux.HandleFunc("/v1/sessions/s1/resume", func(w http.ResponseWriter, r *http.Request) {
+		n := s.resumes.Add(1)
+		if n <= s.drainResumes {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusServiceUnavailable, client.SessionDraining{
+				Error: "successor draining too", Envelope: s.envelope(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, client.SessionResult{SessionID: "s1", State: "completed",
+			Resumed: true, Result: &client.RunResult{Cycles: 7}})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// TestSessionAbsorbsDrainHandshake: a 503 carrying an envelope is not
+// retried by the transport-level retry machinery (that would resubmit the
+// job from scratch); the session resumes the envelope instead, and the
+// caller sees one clean completion.
+func TestSessionAbsorbsDrainHandshake(t *testing.T) {
+	stub := &sessionStub{drainPosts: 1}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+	// A transport retry policy is configured on purpose: it must NOT kick
+	// in for the handshake 503.
+	c := client.New(hs.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	sess := c.NewSession(client.RunRequest{Asm: "halt"},
+		client.WithResumeRetry(client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}))
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run across handshake: %v", err)
+	}
+	if res.State != "completed" || !res.Resumed || res.Result.Cycles != 7 {
+		t.Errorf("result %+v, want a completed resumed segment", res)
+	}
+	if got := stub.posts.Load(); got != 1 {
+		t.Errorf("POST /v1/sessions hit %d times, want 1 (handshake must not be transport-retried)", got)
+	}
+	if got := stub.resumes.Load(); got != 1 {
+		t.Errorf("resume hit %d times, want 1", got)
+	}
+	if sess.ID() != "s1" {
+		t.Errorf("session id %q, want s1", sess.ID())
+	}
+}
+
+// TestSessionSuspendsAfterResumeBudget: when every backend keeps draining,
+// the session gives up after its resume-retry budget but retains the
+// freshest envelope for a later manual resume.
+func TestSessionSuspendsAfterResumeBudget(t *testing.T) {
+	stub := &sessionStub{drainPosts: 99, drainResumes: 99}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+	sess := c.NewSession(client.RunRequest{Asm: "halt"},
+		client.WithResumeRetry(client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}))
+	_, err := sess.Run(context.Background())
+	if !errors.Is(err, client.ErrSessionSuspended) {
+		t.Fatalf("exhausted run returned %v, want ErrSessionSuspended", err)
+	}
+	if sess.Envelope() == nil {
+		t.Fatal("session dropped its envelope on exhaustion")
+	}
+	if got := stub.resumes.Load(); got != 1 {
+		t.Errorf("resume attempts %d, want 1 (budget of 2 minus the original handshake)", got)
+	}
+}
+
+// TestSessionExplicitCheckpointThenResume: a 200 "suspended" answer (an
+// explicit checkpoint landed) surfaces as ErrSessionSuspended with the
+// result attached, and Resume continues from the held envelope.
+func TestSessionExplicitCheckpointThenResume(t *testing.T) {
+	stub := &sessionStub{suspendFirst: true}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+	sess := c.NewSession(client.RunRequest{Asm: "halt"})
+	res, err := sess.Run(context.Background())
+	if !errors.Is(err, client.ErrSessionSuspended) {
+		t.Fatalf("suspended run returned %v, want ErrSessionSuspended", err)
+	}
+	if res == nil || res.State != "suspended" || res.Reason != "requested" {
+		t.Fatalf("suspended result %+v", res)
+	}
+	res, err = sess.Resume(context.Background())
+	if err != nil || res.State != "completed" {
+		t.Fatalf("resume: res %+v err %v", res, err)
+	}
+
+	// Closing ends the client-side session; the envelope stays exportable.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err == nil {
+		t.Error("closed session accepted Run")
+	}
+	if sess.Envelope() == nil {
+		t.Error("closed session dropped its envelope")
+	}
+}
+
+// TestResumeSessionRehydrates: an exported envelope re-hydrates a session
+// in a fresh process and continues through the resume endpoint.
+func TestResumeSessionRehydrates(t *testing.T) {
+	stub := &sessionStub{}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+	env := &client.SnapshotEnvelope{Version: 1, SessionID: "s1",
+		Request: client.RunRequest{Asm: "halt"}}
+	sess := c.ResumeSession(env)
+	if sess.ID() != "s1" {
+		t.Errorf("re-hydrated id %q, want s1", sess.ID())
+	}
+	res, err := sess.Resume(context.Background())
+	if err != nil || res.State != "completed" || !res.Resumed {
+		t.Fatalf("re-hydrated resume: res %+v err %v", res, err)
+	}
+	if got := stub.posts.Load(); got != 0 {
+		t.Errorf("re-hydrated session POSTed /v1/sessions %d times, want 0", got)
+	}
+}

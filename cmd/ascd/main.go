@@ -25,6 +25,14 @@
 //	                  negative disables)
 //	-gang-min-jobs N  minimum same-program batch jobs executed as one
 //	                  lockstep gang (negative disables ganging)
+//	-session-max-live N
+//	                  resumable sessions executing at once in the session
+//	                  lane (default: workers)
+//	-session-retain N parked session records (suspended envelopes and
+//	                  completed outcomes) kept for export (default 1024)
+//	-session-drain-wait D
+//	                  how long POST /v1/admin/drain waits for running
+//	                  sessions to reach a checkpoint (default 10s)
 //	-trace-sample F   deterministic head-sampling rate for distributed
 //	                  traces in [0,1] (default 0: keep only errored, slow,
 //	                  or caller-flagged traces)
@@ -36,7 +44,9 @@
 //	-debug-addr A     optional diagnostics listener: net/http/pprof plus
 //	                  Go runtime gauges at /metrics (off when empty)
 //
-// Endpoints: POST /v1/run, POST /v1/batch, GET /metrics (Prometheus text
+// Endpoints: POST /v1/run, POST /v1/batch, POST /v1/sessions,
+// GET/POST /v1/sessions/{id}[/resume|/checkpoint], POST /v1/admin/drain,
+// GET /metrics (Prometheus text
 // exposition; JSON via Accept: application/json or ?format=json),
 // GET /healthz, GET /debug/traces (retained distributed traces as JSON).
 // See docs/SERVER.md for the API schema, docs/API.md for the v1 stability
@@ -78,6 +88,9 @@ func main() {
 	batchConcurrency := flag.Int("batch-concurrency", 0, "batch sub-jobs executing at once (0 = workers)")
 	programCacheSize := flag.Int("program-cache-size", 128, "compiled programs kept in the content-addressed cache (negative = off)")
 	gangMinJobs := flag.Int("gang-min-jobs", 0, "minimum same-program batch jobs ganged into one lockstep run (0 = default 2, negative = off)")
+	sessionMaxLive := flag.Int("session-max-live", 0, "resumable sessions executing at once (0 = workers)")
+	sessionRetain := flag.Int("session-retain", 1024, "parked session records kept for export")
+	sessionDrainWait := flag.Duration("session-drain-wait", 10*time.Second, "drain budget for running sessions to reach a checkpoint")
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for distributed traces in [0,1]")
 	traceSlow := flag.Duration("trace-slow", time.Second, "always keep traces at least this slow")
 	traceRing := flag.Int("trace-ring", 256, "finished traces retained for /debug/traces (negative = off)")
@@ -110,6 +123,9 @@ func main() {
 		BatchConcurrency: *batchConcurrency,
 		ProgramCacheSize: *programCacheSize,
 		GangMinJobs:      *gangMinJobs,
+		SessionMaxLive:   *sessionMaxLive,
+		SessionRetain:    *sessionRetain,
+		SessionDrainWait: *sessionDrainWait,
 		TraceSample:      *traceSample,
 		TraceSlow:        *traceSlow,
 		TraceRing:        *traceRing,

@@ -36,13 +36,19 @@
 //	-trace-slow D       always keep traces at least this slow (default 1s)
 //	-trace-ring N       finished traces retained for GET /debug/traces
 //	                    (default 256; negative disables tracing)
+//	-max-migrations N   envelope hops tried when carrying a live session
+//	                    off a draining backend before handing the
+//	                    checkpoint back to the client (default 4)
 //	-drain-timeout D    how long shutdown waits for in-flight requests
 //	-log-level L        debug, info, warn, or error (default info)
 //	-log-format F       text or json (default text)
 //
 // Endpoints: POST /v1/run and POST /v1/batch (routed; batches are split
 // by program digest so same-program jobs reach one backend as a gangable
-// group), GET /metrics (fleet-wide: gateway asc_gw_* series plus every
+// group), POST /v1/sessions and GET/POST /v1/sessions/{id}[/resume]
+// (resumable sessions with transparent live migration),
+// POST /v1/admin/drain (checkpoint a backend's live sessions and resume
+// them on ring successors), GET /metrics (fleet-wide: gateway asc_gw_* series plus every
 // backend's registry, per-sample backend label by default, summed with
 // ?view=fleet), GET /healthz, GET /debug/traces (with ?trace=<id> the
 // gateway stitches its own spans with every backend's spans for that
@@ -86,6 +92,7 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for distributed traces in [0,1]")
 	traceSlow := flag.Duration("trace-slow", time.Second, "always keep traces at least this slow")
 	traceRing := flag.Int("trace-ring", 256, "finished traces retained for /debug/traces (negative = off)")
+	maxMigrations := flag.Int("max-migrations", 4, "envelope hops tried per live session migration")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -123,6 +130,7 @@ func main() {
 		TraceSample:         *traceSample,
 		TraceSlow:           *traceSlow,
 		TraceRing:           *traceRing,
+		MaxMigrations:       *maxMigrations,
 		Logger:              logger,
 	})
 	if err != nil {

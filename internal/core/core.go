@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cu"
 	"repro/internal/isa"
@@ -175,6 +176,11 @@ type Processor struct {
 
 	stats Stats
 	trace []InstRecord
+
+	// checkpointReq is set by RequestCheckpoint (any goroutine) and
+	// consumed by RunContext at the next cancel-check window boundary,
+	// stopping the run at a quiescent point with ErrCheckpoint.
+	checkpointReq atomic.Bool
 
 	// statusBuf is reused each cycle by Step to avoid per-cycle allocation.
 	statusBuf []threadState
@@ -576,6 +582,13 @@ func (p *Processor) issue(tid int) error {
 // architectural traps test with errors.Is.
 var ErrCycleLimit = errors.New("cycle limit reached before halt")
 
+// ErrCheckpoint reports that a run stopped because RequestCheckpoint was
+// called, not because the machine halted or the budget ran out. The
+// processor is at a quiescent point: Snapshot() captures a state from which
+// an identically configured machine resumes bit-identically. Callers test
+// with errors.Is.
+var ErrCheckpoint = errors.New("run suspended at checkpoint request")
+
 // cancelCheckWindow is how many cycles RunContext simulates between context
 // polls: coarse enough that the poll is invisible in the hot loop, fine
 // enough that cancellation lands within microseconds of real time.
@@ -588,10 +601,12 @@ func (p *Processor) Run(maxCycles int64) (Stats, error) {
 }
 
 // RunContext is Run with cooperative cancellation: every cancelCheckWindow
-// cycles it polls ctx and, when the context is done, stops and returns the
-// statistics so far together with the context's error. The processor is
-// left at a quiescent point (between Step calls), so it can be Reset and
-// reused afterwards.
+// cycles it polls ctx and the checkpoint request flag. When the context is
+// done it stops and returns the statistics so far together with the
+// context's error; when a checkpoint was requested it stops with
+// ErrCheckpoint instead. Either way the processor is left at a quiescent
+// point (between Step calls), so it can be Reset, Snapshot, or resumed
+// afterwards.
 func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, error) {
 	done := ctx.Done()
 	nextCheck := p.cycle + cancelCheckWindow
@@ -599,11 +614,16 @@ func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, err
 		if maxCycles > 0 && p.cycle >= maxCycles {
 			return p.finish(), fmt.Errorf("core: %w (limit %d)", ErrCycleLimit, maxCycles)
 		}
-		if done != nil && p.cycle >= nextCheck {
-			select {
-			case <-done:
-				return p.finish(), fmt.Errorf("core: run stopped at cycle %d: %w", p.cycle, ctx.Err())
-			default:
+		if p.cycle >= nextCheck {
+			if p.checkpointReq.CompareAndSwap(true, false) {
+				return p.finish(), fmt.Errorf("core: %w (cycle %d)", ErrCheckpoint, p.cycle)
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return p.finish(), fmt.Errorf("core: run stopped at cycle %d: %w", p.cycle, ctx.Err())
+				default:
+				}
 			}
 			nextCheck = p.cycle + cancelCheckWindow
 		}
@@ -652,10 +672,19 @@ func (p *Processor) Reset() {
 		StallByKind: make(map[pipeline.HazardKind]int64),
 	}
 	p.trace = nil
+	p.checkpointReq.Store(false)
 	if p.structural != nil {
 		p.structural = newStructState(p.cfg.Machine.PEs, p.cfg.Arity, p.cfg.Machine.Width)
 	}
 }
+
+// RequestCheckpoint asks an in-flight RunContext to stop at the next
+// cancel-check window boundary with ErrCheckpoint. Safe to call from any
+// goroutine; a request with no run in flight applies to the next
+// RunContext on this processor (Reset clears it). Runs shorter than the
+// poll window simply complete — there is no boundary at which to suspend
+// them.
+func (p *Processor) RequestCheckpoint() { p.checkpointReq.Store(true) }
 
 // SetProgram retargets the processor at a new program and Resets it. The
 // program is decoded and validated like New; on error the processor is

@@ -71,6 +71,15 @@ type Config struct {
 	// when stitching a fleet-wide trace.
 	ScrapeTimeout time.Duration
 
+	// MaxMigrations bounds how many envelope hops one session migration
+	// may take — each hop is a drain handshake answered by yet another
+	// draining successor (default 4).
+	MaxMigrations int
+	// DrainTimeout bounds a whole POST /v1/admin/drain walk — backend
+	// drain plus orphaned-session rescue — when the request does not set
+	// one (default 60s).
+	DrainTimeout time.Duration
+
 	// TraceSample is the deterministic head-sampling rate for distributed
 	// traces, in [0, 1] (default 0: retain only errored/slow/flagged
 	// traces). Configure gateway and backends with the same rate and they
@@ -116,6 +125,12 @@ func (c *Config) fillDefaults() {
 	if c.ScrapeTimeout <= 0 {
 		c.ScrapeTimeout = 2 * time.Second
 	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 4
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        256,
@@ -144,6 +159,16 @@ type Gateway struct {
 
 	inflight atomic.Int64             // admitted run/batch handler calls
 	loads    map[string]*atomic.Int64 // per-backend in-flight jobs (bounded-load signal)
+
+	// Session routing state: which backend each session routed through this
+	// gateway last lived on, which backends an admin drain removed from
+	// candidate selection, and the per-session migration ledger the drain
+	// walk reports from (see sessions.go).
+	sessMu      sync.RWMutex
+	sessBackend map[string]string
+	drained     map[string]bool
+	migMu       sync.Mutex
+	migLedger   map[string]*migRecord
 
 	mu       sync.RWMutex
 	draining bool
@@ -189,7 +214,10 @@ func New(cfg Config) (*Gateway, error) {
 			Slow:     cfg.TraceSlow,
 			RingSize: cfg.TraceRing,
 		}),
-		loads: make(map[string]*atomic.Int64, len(backends)),
+		loads:       make(map[string]*atomic.Int64, len(backends)),
+		sessBackend: make(map[string]string),
+		drained:     make(map[string]bool),
+		migLedger:   make(map[string]*migRecord),
 	}
 	for _, b := range backends {
 		g.ring.Add(b)
@@ -233,12 +261,17 @@ func (g *Gateway) onHealthChange(name string, healthy bool) {
 }
 
 // Handler returns the gateway's HTTP API — the same surface as ascd:
-// POST /v1/run, POST /v1/batch, GET /metrics (fleet-wide), GET /healthz,
-// GET /debug/traces (stitched fleet-wide waterfalls).
+// POST /v1/run, POST /v1/batch, POST /v1/sessions (+ /v1/sessions/{id},
+// .../resume), POST /v1/admin/drain (drain-and-migrate one backend),
+// GET /metrics (fleet-wide), GET /healthz, GET /debug/traces (stitched
+// fleet-wide waterfalls).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", g.handleRun)
 	mux.HandleFunc("/v1/batch", g.handleBatch)
+	mux.HandleFunc("/v1/sessions", g.handleSessions)
+	mux.HandleFunc("/v1/sessions/", g.handleSessionByID)
+	mux.HandleFunc("/v1/admin/drain", g.handleAdminDrain)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/debug/traces", g.handleTraces)
@@ -375,7 +408,7 @@ func (g *Gateway) candidates(key string) (out []string, spilled bool) {
 	prefs := g.ring.Preference(key)
 	healthy := prefs[:0:len(prefs)]
 	for _, b := range prefs {
-		if g.check.Healthy(b) {
+		if g.check.Healthy(b) && !g.isDrained(b) {
 			healthy = append(healthy, b)
 		}
 	}

@@ -36,6 +36,11 @@ type gwMetrics struct {
 	batchGroups    *obs.Counter   // asc_gw_batch_groups_total
 	batchGroupSize *obs.Histogram // asc_gw_batch_group_size_jobs
 
+	// Migration instruments: sessions the gateway carried between backends
+	// (drain handshakes and admin drain rescues).
+	migrations   *obs.CounterVec // asc_migrations_total{outcome}
+	migrationDur *obs.Histogram  // asc_migration_duration_seconds
+
 	scrapeFailures *obs.CounterVec // asc_gw_scrape_failures_total{backend}
 }
 
@@ -71,6 +76,12 @@ func newGwMetrics() *gwMetrics {
 			"Digest groups split out of incoming batches and routed independently."),
 		batchGroupSize: reg.NewHistogram("asc_gw_batch_group_size_jobs",
 			"Jobs per routed digest group.", gwGroupBuckets),
+
+		migrations: reg.NewCounterVec("asc_migrations_total",
+			"Session migrations the gateway performed, by outcome (migrated: envelope resumed to a terminal answer on a ring successor; restarted: a session lost to a transport failure before any checkpoint was restarted from scratch elsewhere; failed: no successor could resume the envelope).",
+			"outcome"),
+		migrationDur: reg.NewHistogram("asc_migration_duration_seconds",
+			"Wall-clock time from drain handshake to the migrated session's terminal answer.", gwDurationBuckets),
 
 		scrapeFailures: reg.NewCounterVec("asc_gw_scrape_failures_total",
 			"Backend /metrics scrapes that failed during a fleet scrape; the merged exposition's leading comment line reports how many backends each scrape actually covered.", "backend"),

@@ -1,0 +1,712 @@
+// The gateway's half of live migration: transparent session routing.
+//
+// A resumable session submitted through the gateway behaves like one
+// submitted to a single ascd — except that a backend draining mid-job is
+// invisible to the client. The backend answers the blocked POST with the
+// v1.1 drain handshake (503 plus a snapshot envelope); the gateway catches
+// it, walks the session's ring successors, and POSTs the envelope to
+// .../resume until a backend carries the job to completion. The client
+// sees one request and one result, bit-identical to an uninterrupted run.
+//
+// POST /v1/admin/drain is the operator's entry point: it removes one
+// backend from candidate selection, asks it to drain (suspending its live
+// sessions into envelopes), and rescues any suspended session no in-flight
+// client request is already migrating — fetching its exported envelope and
+// resuming it on a ring successor. The response is a per-session outcome
+// ledger.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/dtrace"
+)
+
+// sessionTableCap bounds the session→backend routing table and the
+// migration ledger; beyond it arbitrary old entries are dropped (a lookup
+// miss degrades to 404 on GET, nothing else).
+const sessionTableCap = 4096
+
+// resumeSweeps bounds how many times one migration hop re-walks the
+// candidate set when every replica answered retryably (429, or 503 without
+// an envelope). Backoff escalates 50ms → 1s between sweeps, so a replica
+// whose session lane is briefly full gets several seconds to free one.
+const resumeSweeps = 8
+
+// migRecord is one session's entry in the migration ledger.
+type migRecord struct {
+	state string // "migrating", "migrated", "failed"
+	to    string
+	err   string
+}
+
+// recordSessionBackend remembers which backend owns a session so
+// GET /v1/sessions/{id} can be proxied there.
+func (g *Gateway) recordSessionBackend(sid, backend string) {
+	if sid == "" {
+		return
+	}
+	g.sessMu.Lock()
+	if len(g.sessBackend) >= sessionTableCap {
+		for k := range g.sessBackend {
+			delete(g.sessBackend, k)
+			break
+		}
+	}
+	g.sessBackend[sid] = backend
+	g.sessMu.Unlock()
+}
+
+func (g *Gateway) sessionBackend(sid string) string {
+	g.sessMu.RLock()
+	defer g.sessMu.RUnlock()
+	return g.sessBackend[sid]
+}
+
+// setDrained removes a backend from candidate selection immediately —
+// faster than waiting for its now-failing healthz to eject it.
+func (g *Gateway) setDrained(backend string) {
+	g.sessMu.Lock()
+	g.drained[backend] = true
+	g.sessMu.Unlock()
+}
+
+func (g *Gateway) isDrained(backend string) bool {
+	g.sessMu.RLock()
+	defer g.sessMu.RUnlock()
+	return g.drained[backend]
+}
+
+// claimMigration marks a session as being migrated by an in-flight
+// request, so a concurrent admin drain walk reports it "migrating" instead
+// of double-resuming the same envelope on two backends.
+func (g *Gateway) claimMigration(sid string) {
+	g.migMu.Lock()
+	if len(g.migLedger) >= sessionTableCap {
+		for k := range g.migLedger {
+			delete(g.migLedger, k)
+			break
+		}
+	}
+	g.migLedger[sid] = &migRecord{state: "migrating"}
+	g.migMu.Unlock()
+}
+
+func (g *Gateway) settleMigration(sid, state, to, errMsg string) {
+	g.migMu.Lock()
+	g.migLedger[sid] = &migRecord{state: state, to: to, err: errMsg}
+	g.migMu.Unlock()
+}
+
+func (g *Gateway) migrationRecord(sid string) *migRecord {
+	g.migMu.Lock()
+	defer g.migMu.Unlock()
+	if rec := g.migLedger[sid]; rec != nil {
+		c := *rec
+		return &c
+	}
+	return nil
+}
+
+// parseDraining extracts the drain-handshake envelope from a 503 body;
+// nil for an ordinary (envelope-less) 503.
+func parseDraining(body []byte) *client.SnapshotEnvelope {
+	var sd client.SessionDraining
+	if json.Unmarshal(body, &sd) == nil && sd.Envelope != nil {
+		return sd.Envelope
+	}
+	return nil
+}
+
+// forwardGet issues one GET to a backend, mirroring forward's shape.
+func (g *Gateway) forwardGet(ctx context.Context, backend, path, id string) (*backendResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	resp, err := g.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &backendResponse{status: resp.StatusCode, body: data, header: resp.Header}, nil
+}
+
+// handleSessions serves POST /v1/sessions (route a session, migrating it
+// transparently if its backend drains mid-job) and GET /v1/sessions (the
+// fleet-wide session list, concatenated from every backend).
+func (g *Gateway) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		g.handleSessionList(w, r)
+		return
+	}
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	log := g.log.With("request_id", id)
+	tr, log := g.startTrace(w, r, "session", id, log)
+	defer tr.Finish()
+	if r.Method != http.MethodPost {
+		tr.SetError()
+		writeError(w, http.StatusMethodNotAllowed, "POST or GET required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req client.SessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if !g.admit(w, "session") {
+		tr.SetError()
+		return
+	}
+	defer g.release()
+	start := time.Now()
+	defer func() { g.observeLatency(tr, time.Since(start).Seconds()) }()
+
+	key := routingKey(&req.RunRequest)
+	ctx := dtrace.ContextWith(r.Context(), tr, tr.Root())
+	resp, backend, hint := g.proxySession(ctx, key, id, body, log)
+	if resp == nil {
+		tr.SetError()
+		if r.Context().Err() != nil {
+			return // client gone
+		}
+		g.m.sheds.With("session", "saturated").Inc()
+		log.Warn("session shed", "reason", "all replicas backpressured")
+		g.writeUnavailable(w, http.StatusServiceUnavailable, hint, "no backend available for this session")
+		return
+	}
+	if resp.status >= http.StatusBadRequest {
+		tr.SetError()
+	}
+	log.Debug("session routed", "backend", backend, "status", resp.status)
+	relay(w, resp)
+}
+
+// proxySession runs the session attempt loop: walk the candidate replicas
+// like proxyToFleet, but treat a 503 carrying a snapshot envelope as the
+// drain handshake — the session started, ran, and suspended — and migrate
+// it to a ring successor instead of resubmitting from scratch. A transport
+// failure before any handshake restarts the job fresh on the next replica
+// (simulations are pure; a restart is bit-identical).
+func (g *Gateway) proxySession(ctx context.Context, key, id string, body []byte, log *slog.Logger) (resp *backendResponse, backend string, hint int) {
+	cands, spilled := g.candidates(key)
+	if spilled {
+		g.m.spills.Inc()
+	}
+	a, parent := dtrace.FromContext(ctx)
+	route := a.StartSpan("route", parent,
+		dtrace.Bool("spilled", spilled), dtrace.Int("candidates", int64(len(cands))))
+	defer route.End()
+	restarted := false
+	for i, b := range cands {
+		name := "forward"
+		if i > 0 {
+			name = "retry"
+			g.m.retries.Inc()
+		}
+		asp := a.StartSpan(name, route,
+			dtrace.Str("backend", backendLabel(b)), dtrace.Int("attempt", int64(i+1)))
+		load := g.loads[b]
+		load.Add(1)
+		g.m.inflight.With(backendLabel(b)).Add(1)
+		r, err := g.forward(ctx, b, "/v1/sessions", id, a.Traceparent(asp), body)
+		load.Add(-1)
+		g.m.inflight.With(backendLabel(b)).Add(-1)
+		if err != nil {
+			if ctx.Err() != nil {
+				asp.EndErr("canceled: " + err.Error())
+				return nil, "", hint
+			}
+			g.m.backendRequests.With(backendLabel(b), "transport").Inc()
+			g.check.ReportFailure(b, err)
+			asp.EndErr(err.Error())
+			log.Warn("backend transport failure", "backend", b, "error", err.Error())
+			restarted = true // a later success started this job over from scratch
+			continue
+		}
+		asp.SetAttr(dtrace.Int("status", int64(r.status)))
+		if r.status == http.StatusServiceUnavailable {
+			if env := parseDraining(r.body); env != nil {
+				// The drain handshake: the session is suspended in our hands.
+				// From here the envelope, not the original body, is the job.
+				asp.SetAttr(dtrace.Str("outcome", "draining_handshake"))
+				asp.End()
+				log.Info("session handshake: backend draining", "backend", b, "session_id", env.SessionID)
+				g.claimMigration(env.SessionID)
+				return g.migrateSession(ctx, env, b, id, log)
+			}
+		}
+		if retryable(r.status) {
+			g.m.backendRequests.With(backendLabel(b), "retryable").Inc()
+			asp.SetAttr(dtrace.Str("outcome", "retryable"))
+			asp.End()
+			if r.retryAfter > hint {
+				hint = r.retryAfter
+			}
+			continue
+		}
+		g.m.backendRequests.With(backendLabel(b), "ok").Inc()
+		asp.End()
+		route.SetAttr(dtrace.Str("backend", backendLabel(b)), dtrace.Int("attempts", int64(i+1)))
+		if sid := sessionIDFromResult(r); sid != "" {
+			g.recordSessionBackend(sid, b)
+		}
+		if restarted && r.status == http.StatusOK {
+			g.m.migrations.With("restarted").Inc()
+		}
+		return r, b, hint
+	}
+	route.SetAttr(dtrace.Bool("shed", true))
+	return nil, "", hint
+}
+
+// sessionIDFromResult pulls the session id out of a 2xx session response.
+func sessionIDFromResult(r *backendResponse) string {
+	if r.status != http.StatusOK {
+		return ""
+	}
+	var sr client.SessionResult
+	if json.Unmarshal(r.body, &sr) == nil {
+		return sr.SessionID
+	}
+	return ""
+}
+
+// migrateSession carries a suspended session's envelope to a ring
+// successor and resumes it there, retrying across successors (with
+// backoff) up to MaxMigrations envelope hops — a successor draining too
+// hands back a fresher envelope and the walk continues from it. On
+// success the terminal backend response is returned for relay; on
+// exhaustion the latest envelope is wrapped in a gateway-minted 503
+// handshake so the client still holds a resumable checkpoint instead of a
+// dead job.
+func (g *Gateway) migrateSession(ctx context.Context, env *client.SnapshotEnvelope,
+	from, id string, log *slog.Logger) (*backendResponse, string, int) {
+
+	start := time.Now()
+	a, parent := dtrace.FromContext(ctx)
+	msp := a.StartSpan("migrate", parent,
+		dtrace.Str("session", env.SessionID), dtrace.Str("from", backendLabel(from)))
+	defer msp.End()
+
+	exclude := from
+	var hint int
+	for hop := 0; hop < g.cfg.MaxMigrations; hop++ {
+		cands, _ := g.candidates(routingKey(&env.Request))
+		handshook := false
+		// Sweep the candidate set with escalating backoff: a replica
+		// answering 429/503 may just be briefly full (another migrated
+		// session holding a lane), so a single refusal is not exhaustion.
+	sweeps:
+		for sweep := 0; sweep < resumeSweeps; sweep++ {
+			if sweep > 0 {
+				wait := time.Duration(50<<(sweep-1)) * time.Millisecond
+				if wait > time.Second {
+					wait = time.Second
+				}
+				if hintWait := time.Duration(hint) * time.Second; hintWait > wait {
+					wait = hintWait
+				}
+				if !sleepCtx(ctx, wait) {
+					msp.SetAttr(dtrace.Bool("canceled", true))
+					return nil, "", hint
+				}
+			}
+			sawRetryable := false
+			for _, b := range cands {
+				if b == exclude {
+					continue
+				}
+				if ctx.Err() != nil {
+					msp.SetAttr(dtrace.Bool("canceled", true))
+					return nil, "", hint
+				}
+				body, err := json.Marshal(&client.ResumeRequest{Envelope: env})
+				if err != nil {
+					break sweeps
+				}
+				asp := a.StartSpan("resume", msp,
+					dtrace.Str("backend", backendLabel(b)),
+					dtrace.Int("hop", int64(hop+1)), dtrace.Int("sweep", int64(sweep+1)))
+				load := g.loads[b]
+				load.Add(1)
+				g.m.inflight.With(backendLabel(b)).Add(1)
+				r, err := g.forward(ctx, b, "/v1/sessions/"+env.SessionID+"/resume", id, a.Traceparent(asp), body)
+				load.Add(-1)
+				g.m.inflight.With(backendLabel(b)).Add(-1)
+				if err != nil {
+					if ctx.Err() != nil {
+						asp.EndErr("canceled: " + err.Error())
+						msp.SetAttr(dtrace.Bool("canceled", true))
+						return nil, "", hint
+					}
+					g.m.backendRequests.With(backendLabel(b), "transport").Inc()
+					g.check.ReportFailure(b, err)
+					asp.EndErr(err.Error())
+					log.Warn("resume transport failure", "backend", b, "session_id", env.SessionID, "error", err.Error())
+					continue
+				}
+				asp.SetAttr(dtrace.Int("status", int64(r.status)))
+				if r.status == http.StatusServiceUnavailable {
+					if next := parseDraining(r.body); next != nil {
+						// The successor is draining too; it handed back a fresher
+						// envelope. Spend a hop and keep walking.
+						asp.SetAttr(dtrace.Str("outcome", "draining_handshake"))
+						asp.End()
+						log.Info("resume handshake: successor draining too",
+							"backend", b, "session_id", env.SessionID)
+						env, exclude, handshook = next, b, true
+						break sweeps
+					}
+				}
+				if retryable(r.status) {
+					g.m.backendRequests.With(backendLabel(b), "retryable").Inc()
+					asp.SetAttr(dtrace.Str("outcome", "retryable"))
+					asp.End()
+					if r.retryAfter > hint {
+						hint = r.retryAfter
+					}
+					sawRetryable = true
+					continue
+				}
+				// Terminal answer: the session completed, re-suspended for its
+				// own reasons, or failed — either way this backend owns it now.
+				g.m.backendRequests.With(backendLabel(b), "ok").Inc()
+				asp.End()
+				g.recordSessionBackend(env.SessionID, b)
+				g.m.migrationDur.Observe(time.Since(start).Seconds())
+				if r.status == http.StatusOK {
+					g.m.migrations.With("migrated").Inc()
+					g.settleMigration(env.SessionID, "migrated", b, "")
+					msp.SetAttr(dtrace.Str("to", backendLabel(b)), dtrace.Int("hops", int64(hop+1)))
+					log.Info("session migrated", "session_id", env.SessionID,
+						"from", from, "to", b, "duration", time.Since(start).String())
+				} else {
+					g.m.migrations.With("failed").Inc()
+					g.settleMigration(env.SessionID, "failed", b, strings.TrimSpace(string(r.body)))
+					msp.SetAttr(dtrace.Bool("failed", true))
+					log.Warn("session migration failed", "session_id", env.SessionID,
+						"backend", b, "status", r.status)
+				}
+				return r, b, hint
+			}
+			if !sawRetryable {
+				break
+			}
+		}
+		if !handshook {
+			break // every candidate refused outright; more hops would retread them
+		}
+	}
+	// Exhausted: hand the client the freshest envelope as a gateway-minted
+	// handshake so the checkpoint survives and a later resume can finish it.
+	g.m.migrations.With("failed").Inc()
+	g.m.migrationDur.Observe(time.Since(start).Seconds())
+	g.settleMigration(env.SessionID, "failed", "", "no backend could resume the session")
+	msp.SetAttr(dtrace.Bool("failed", true))
+	log.Warn("session migration exhausted", "session_id", env.SessionID, "from", from)
+	data, _ := json.Marshal(&client.SessionDraining{
+		Error:    "no backend could resume the session; retry the attached envelope later",
+		Envelope: env,
+	})
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set("Retry-After", "2")
+	return &backendResponse{status: http.StatusServiceUnavailable, body: data, header: hdr}, "", hint
+}
+
+// sleepCtx sleeps d or until ctx ends; false means ctx ended.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// handleSessionList concatenates every backend's GET /v1/sessions.
+func (g *Gateway) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScrapeTimeout)
+	defer cancel()
+	id := requestID(r)
+	lists := make([]client.SessionList, len(g.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range g.cfg.Backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			resp, err := g.forwardGet(ctx, b, "/v1/sessions", id)
+			if err != nil || resp.status != http.StatusOK {
+				return
+			}
+			json.Unmarshal(resp.body, &lists[i])
+		}(i, b)
+	}
+	wg.Wait()
+	out := client.SessionList{Sessions: []client.SessionStatus{}}
+	for _, l := range lists {
+		out.Sessions = append(out.Sessions, l.Sessions...)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionByID routes GET /v1/sessions/{id} to the backend the
+// session last lived on, and POST /v1/sessions/{id}/resume into the
+// migration walk (a client holding an envelope resumes through the
+// gateway without knowing the fleet).
+func (g *Gateway) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	sid, action, _ := strings.Cut(rest, "/")
+	if sid == "" {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	switch action {
+	case "":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		b := g.sessionBackend(sid)
+		if b == "" {
+			writeError(w, http.StatusNotFound, "session %s was not routed through this gateway", sid)
+			return
+		}
+		resp, err := g.forwardGet(r.Context(), b, "/v1/sessions/"+sid, requestID(r))
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "backend %s: %v", backendLabel(b), err)
+			return
+		}
+		relay(w, resp)
+	case "resume":
+		g.handleSessionResume(w, r, sid)
+	default:
+		writeError(w, http.StatusNotFound, "unknown session action %q", action)
+	}
+}
+
+// handleSessionResume resumes a client-held envelope somewhere in the
+// fleet via the same walk a drain migration uses.
+func (g *Gateway) handleSessionResume(w http.ResponseWriter, r *http.Request, sid string) {
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	log := g.log.With("request_id", id)
+	tr, log := g.startTrace(w, r, "resume", id, log)
+	defer tr.Finish()
+	if r.Method != http.MethodPost {
+		tr.SetError()
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req client.ResumeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Envelope == nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "resume requires an envelope")
+		return
+	}
+	if req.Envelope.SessionID != sid {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "envelope session id %q does not match path %q", req.Envelope.SessionID, sid)
+		return
+	}
+	if !g.admit(w, "session") {
+		tr.SetError()
+		return
+	}
+	defer g.release()
+	start := time.Now()
+	defer func() { g.observeLatency(tr, time.Since(start).Seconds()) }()
+
+	g.claimMigration(sid)
+	ctx := dtrace.ContextWith(r.Context(), tr, tr.Root())
+	resp, backend, hint := g.migrateSession(ctx, req.Envelope, "", id, log)
+	if resp == nil {
+		tr.SetError()
+		if r.Context().Err() != nil {
+			return
+		}
+		g.writeUnavailable(w, http.StatusServiceUnavailable, hint, "no backend available to resume the session")
+		return
+	}
+	if resp.status >= http.StatusBadRequest {
+		tr.SetError()
+	}
+	log.Debug("resume routed", "backend", backend, "status", resp.status)
+	relay(w, resp)
+}
+
+// handleAdminDrain serves POST /v1/admin/drain: drain one backend and
+// migrate its live sessions to ring successors. The response accounts for
+// every session the drain suspended: migrated (rescued to completion by
+// this walk), migrating (an in-flight client request is carrying it), or
+// failed.
+func (g *Gateway) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	log := g.log.With("request_id", id)
+	tr, log := g.startTrace(w, r, "drain", id, log)
+	defer tr.Finish()
+	if r.Method != http.MethodPost {
+		tr.SetError()
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req client.DrainBackendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	backend := strings.TrimRight(strings.TrimSpace(req.Backend), "/")
+	if backend != "" && !strings.Contains(backend, "://") {
+		backend = "http://" + backend
+	}
+	if _, ok := g.loads[backend]; !ok {
+		tr.SetError()
+		writeError(w, http.StatusNotFound, "backend %q is not configured on this gateway", req.Backend)
+		return
+	}
+	timeout := g.cfg.DrainTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(dtrace.ContextWith(r.Context(), tr, tr.Root()), timeout)
+	defer cancel()
+
+	log.Info("draining backend", "backend", backend)
+	g.setDrained(backend)
+
+	// Ask the backend to drain: it stops admitting, suspends every live
+	// resumable session into an envelope, and answers the blocked client
+	// POSTs with drain handshakes (which our in-flight session handlers are
+	// catching and migrating right now).
+	body, _ := json.Marshal(&client.DrainRequest{TimeoutMs: req.TimeoutMs})
+	a, parent := dtrace.FromContext(ctx)
+	dsp := a.StartSpan("backend_drain", parent, dtrace.Str("backend", backendLabel(backend)))
+	resp, err := g.forward(ctx, backend, "/v1/admin/drain", id, a.Traceparent(dsp), body)
+	if err != nil {
+		dsp.EndErr(err.Error())
+		tr.SetError()
+		writeError(w, http.StatusBadGateway, "draining backend %s: %v", backendLabel(backend), err)
+		return
+	}
+	if resp.status != http.StatusOK {
+		dsp.EndErr(fmt.Sprintf("status %d", resp.status))
+		tr.SetError()
+		writeError(w, http.StatusBadGateway, "draining backend %s: status %d: %s",
+			backendLabel(backend), resp.status, strings.TrimSpace(string(resp.body)))
+		return
+	}
+	dsp.End()
+	var dr client.DrainResult
+	if err := json.Unmarshal(resp.body, &dr); err != nil {
+		tr.SetError()
+		writeError(w, http.StatusBadGateway, "backend %s returned a malformed drain result", backendLabel(backend))
+		return
+	}
+	log.Info("backend drained", "backend", backend,
+		"suspended", len(dr.Suspended), "still_running", dr.Running)
+
+	// Give in-flight client-held sessions a beat to register their claims
+	// — their handlers received the handshakes while the backend drain was
+	// suspending, and they migrate on their own.
+	sleepCtx(ctx, 500*time.Millisecond)
+
+	out := client.DrainBackendResult{Backend: backend, Drained: true, Sessions: []client.MigratedSession{}}
+	for _, sid := range dr.Suspended {
+		ms := client.MigratedSession{SessionID: sid, From: backend}
+		if rec := g.migrationRecord(sid); rec != nil {
+			// An in-flight request (or a prior walk) owns this one.
+			ms.Outcome, ms.To, ms.Error = rec.state, rec.to, rec.err
+		} else {
+			ms = g.rescueSession(ctx, backend, sid, id, log)
+		}
+		switch ms.Outcome {
+		case "migrated":
+			out.Migrated++
+		case "failed":
+			out.Failed++
+		}
+		out.Sessions = append(out.Sessions, ms)
+	}
+	log.Info("drain walk complete", "backend", backend,
+		"migrated", out.Migrated, "failed", out.Failed, "sessions", len(out.Sessions))
+	if out.Failed > 0 {
+		tr.SetError()
+	}
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// rescueSession migrates one orphaned suspended session — one no in-flight
+// client request claimed (its client disconnected, or it was suspended by
+// a periodic checkpoint after its client got its answer): fetch the
+// exported envelope from the drained backend and resume it on a ring
+// successor, synchronously, bounded by the walk's context.
+func (g *Gateway) rescueSession(ctx context.Context, backend, sid, id string, log *slog.Logger) client.MigratedSession {
+	ms := client.MigratedSession{SessionID: sid, From: backend}
+	st, err := g.forwardGet(ctx, backend, "/v1/sessions/"+sid, id)
+	if err != nil || st.status != http.StatusOK {
+		ms.Outcome = "failed"
+		ms.Error = fmt.Sprintf("fetching envelope: %v", err)
+		if err == nil {
+			ms.Error = fmt.Sprintf("fetching envelope: status %d", st.status)
+		}
+		return ms
+	}
+	var status client.SessionStatus
+	if err := json.Unmarshal(st.body, &status); err != nil || status.Envelope == nil {
+		ms.Outcome = "failed"
+		ms.Error = "drained backend exported no envelope for this session"
+		return ms
+	}
+	g.claimMigration(sid)
+	resp, to, _ := g.migrateSession(ctx, status.Envelope, backend, id, log)
+	switch {
+	case resp != nil && resp.status == http.StatusOK:
+		ms.Outcome, ms.To = "migrated", to
+	case resp != nil:
+		ms.Outcome = "failed"
+		ms.Error = strings.TrimSpace(string(resp.body))
+	default:
+		ms.Outcome = "failed"
+		ms.Error = "migration walk canceled"
+	}
+	return ms
+}

@@ -116,6 +116,41 @@ func (m *Machine) Snapshot() []byte {
 	return b.Bytes()
 }
 
+// SnapshotInfo is the decoded header of a snapshot image, exposed so the
+// serving tier can cheaply validate an envelope (version, machine/program
+// fingerprint) before committing a warm machine to a full Restore.
+type SnapshotInfo struct {
+	Version     int64
+	Fingerprint uint64
+	Halted      bool
+}
+
+// InspectSnapshot decodes and validates the fixed header of a snapshot
+// image without touching any machine state. It rejects images that are too
+// short or carry the wrong magic/version; fingerprint compatibility is the
+// caller's to check (Restore enforces it again regardless).
+func InspectSnapshot(data []byte) (SnapshotInfo, error) {
+	const header = 4 * 8 // magic, version, fingerprint, halted
+	if len(data) < header {
+		return SnapshotInfo{}, fmt.Errorf("machine: truncated snapshot")
+	}
+	word := func(i int) int64 {
+		return int64(binary.LittleEndian.Uint64(data[i*8 : i*8+8]))
+	}
+	if word(0) != snapMagic {
+		return SnapshotInfo{}, fmt.Errorf("machine: snapshot magic mismatch: %d != %d", word(0), snapMagic)
+	}
+	info := SnapshotInfo{
+		Version:     word(1),
+		Fingerprint: uint64(word(2)),
+		Halted:      word(3) != 0,
+	}
+	if info.Version != snapVersion {
+		return SnapshotInfo{}, fmt.Errorf("machine: snapshot version mismatch: %d != %d", info.Version, snapVersion)
+	}
+	return info, nil
+}
+
 // Restore loads a snapshot into this machine. The machine must have been
 // built with the same configuration and program as the one that produced
 // the snapshot.

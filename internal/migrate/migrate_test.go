@@ -1,0 +1,270 @@
+package migrate_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	asc "repro"
+	"repro/client"
+	"repro/internal/migrate"
+	"repro/internal/progcache"
+)
+
+// longSrc runs for tens of thousands of cycles (well past the engine's
+// poll window) and halts with a deterministic result: 2000 iterations of
+// sum(idx()) over 8 PEs = 2000 * 28 = 56000 in scalar word 0.
+const longSrc = `
+	scalar n = 2000;
+	scalar acc = 0;
+	parallel v = idx();
+	while (n > 0) {
+		acc = acc + sumval(v);
+		n = n - 1;
+	}
+	write(0, acc);
+`
+
+func wireConfig() client.MachineConfig { return client.MachineConfig{PEs: 8, Width: 32} }
+
+func compileLong(t *testing.T) (*asc.Program, string) {
+	t.Helper()
+	prog, _, err := asc.CompileASCL(longSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, progcache.RequestDigest(longSrc, "", wireConfig().ASC())
+}
+
+// mintMid runs longSrc on a serial machine to an arbitrary mid-run
+// boundary and packs the suspension into a sealed envelope, exactly as the
+// serving tier does (cumulative Cycles pinned to the resume boundary).
+func mintMid(t *testing.T, budget int64) (*client.SnapshotEnvelope, asc.Stats) {
+	t.Helper()
+	prog, digest := compileLong(t)
+	cfg := wireConfig().ASC()
+	cfg.Engine = asc.EngineSerial
+	p, err := asc.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.RunContext(context.Background(), 9000)
+	if !errors.Is(err, asc.ErrCycleLimit) {
+		t.Fatalf("expected mid-run cycle limit, got %v", err)
+	}
+	boundary := p.Cycle()
+	s1.Cycles = boundary
+	req := client.RunRequest{ASCL: longSrc, Config: wireConfig(), MaxCycles: budget, DumpScalar: 1}
+	env := migrate.Pack("s-mig-test", req, digest, p.Snapshot(),
+		boundary, budget-boundary, 1, 0, s1)
+	return env, s1
+}
+
+func TestSealVerify(t *testing.T) {
+	env, _ := mintMid(t, 1_000_000)
+	if err := migrate.Verify(env); err != nil {
+		t.Fatalf("freshly sealed envelope failed verification: %v", err)
+	}
+	tampered := *env
+	tampered.ConsumedCycles += 7
+	if err := migrate.Verify(&tampered); err == nil {
+		t.Fatal("tampered envelope passed verification")
+	}
+	// A sum-less envelope from an older peer is accepted.
+	unsealed := *env
+	unsealed.Sum = ""
+	if err := migrate.Verify(&unsealed); err != nil {
+		t.Fatalf("sum-less envelope rejected: %v", err)
+	}
+	// Re-sealing after a legitimate mutation restores integrity.
+	resealed := *env
+	resealed.ConsumedCycles += 7
+	migrate.Seal(&resealed)
+	if err := migrate.Verify(&resealed); err != nil {
+		t.Fatalf("resealed envelope rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if err := migrate.Validate(nil); err == nil {
+		t.Error("nil envelope accepted")
+	}
+	base, _ := mintMid(t, 1_000_000)
+	if err := migrate.Validate(base); err != nil {
+		t.Fatalf("valid envelope rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*client.SnapshotEnvelope)
+		want   string
+	}{
+		{"tampered", func(e *client.SnapshotEnvelope) { e.RemainingCycles++; e.Sum = base.Sum }, "integrity digest"},
+		{"version", func(e *client.SnapshotEnvelope) { e.Version = 99 }, "unsupported envelope version"},
+		{"no session id", func(e *client.SnapshotEnvelope) { e.SessionID = "" }, "no session id"},
+		{"malformed digest", func(e *client.SnapshotEnvelope) { e.Digest = "nope" }, "malformed program digest"},
+		{"config key mismatch", func(e *client.SnapshotEnvelope) { e.Request.Config.PEs = 16 }, "does not match"},
+		{"memory image", func(e *client.SnapshotEnvelope) { e.Request.ScalarMem = []int64{1} }, "memory images"},
+		{"truncated snapshot", func(e *client.SnapshotEnvelope) { e.Snapshot = e.Snapshot[:8] }, "snapshot"},
+		{"spent budget", func(e *client.SnapshotEnvelope) { e.RemainingCycles = 0 }, "no remaining cycle budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := *base
+			tc.mutate(&env)
+			if tc.name != "tampered" {
+				migrate.Seal(&env)
+			}
+			err := migrate.Validate(&env)
+			if err == nil {
+				t.Fatal("broken envelope accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestResolve(t *testing.T) {
+	env, _ := mintMid(t, 1_000_000)
+	prog, digest := compileLong(t)
+	compile := func() (progcache.Program, error) {
+		p, asmText, err := asc.CompileASCL(longSrc)
+		if err != nil {
+			return progcache.Program{}, err
+		}
+		return progcache.Program{Prog: p, Asm: asmText, Digest: digest}, nil
+	}
+	compileBomb := func() (progcache.Program, error) {
+		t.Fatal("compile invoked on a path that must not recompile")
+		return progcache.Program{}, nil
+	}
+
+	t.Run("cache hit", func(t *testing.T) {
+		cache := progcache.New(4)
+		cache.Put(env.Digest, progcache.Program{Prog: prog, Digest: digest})
+		art, hit, err := migrate.Resolve(cache, env, compileBomb)
+		if err != nil || !hit {
+			t.Fatalf("hit=%v err=%v, want cached artifact", hit, err)
+		}
+		if art.Digest != digest {
+			t.Errorf("artifact digest %s, want %s", art.Digest, digest)
+		}
+	})
+	t.Run("evicted recompiles to same digest", func(t *testing.T) {
+		cache := progcache.New(4)
+		art, hit, err := migrate.Resolve(cache, env, compile)
+		if err != nil || hit {
+			t.Fatalf("hit=%v err=%v, want recompile", hit, err)
+		}
+		if art.Prog == nil {
+			t.Fatal("recompile returned no program")
+		}
+		// The rebuilt artifact is re-cached under the same digest.
+		if _, ok := cache.Get(env.Digest); !ok {
+			t.Error("recompiled artifact was not re-cached")
+		}
+	})
+	t.Run("no source is stale", func(t *testing.T) {
+		cache := progcache.New(4)
+		bare := *env
+		bare.Request.ASCL = ""
+		_, _, err := migrate.Resolve(cache, &bare, compileBomb)
+		var stale *migrate.StaleError
+		if !errors.As(err, &stale) {
+			t.Fatalf("want StaleError, got %v", err)
+		}
+		if !strings.HasPrefix(stale.Error(), "stale_snapshot:") {
+			t.Errorf("stale error %q lacks the machine-readable marker", stale)
+		}
+	})
+	t.Run("digest drift is stale", func(t *testing.T) {
+		cache := progcache.New(4)
+		drifted := *env
+		drifted.Digest = progcache.RequestDigest("write(0, 1);", "", wireConfig().ASC())
+		_, _, err := migrate.Resolve(cache, &drifted, compileBomb)
+		var stale *migrate.StaleError
+		if !errors.As(err, &stale) {
+			t.Fatalf("want StaleError, got %v", err)
+		}
+		if !strings.Contains(stale.Error(), "refusing silent recompute") {
+			t.Errorf("stale error %q does not refuse the recompute", stale)
+		}
+	})
+}
+
+// addStats folds two segments' statistics the way the serving tier does.
+func addStats(a, b asc.Stats) asc.Stats {
+	a.Cycles += b.Cycles
+	a.Instructions += b.Instructions
+	a.Scalar += b.Scalar
+	a.Parallel += b.Parallel
+	a.Reduction += b.Reduction
+	a.IdleCycles += b.IdleCycles
+	a.Contention += b.Contention
+	return a
+}
+
+// TestCrossEngineResumeBitIdentical is the migration invariant at machine
+// level: suspend a serial-engine run mid-flight into an envelope, resume it
+// on a parallel-engine machine, and the final architectural snapshot is
+// byte-identical to an uninterrupted run's — with the merged cycle and
+// instruction accounting equal as well.
+func TestCrossEngineResumeBitIdentical(t *testing.T) {
+	prog, _ := compileLong(t)
+	serialCfg := wireConfig().ASC()
+	serialCfg.Engine = asc.EngineSerial
+	parallelCfg := wireConfig().ASC()
+	parallelCfg.Engine = asc.EngineParallel
+
+	a, err := asc.New(serialCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Run(0)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	wantSnap := a.Snapshot()
+
+	env, s1 := mintMid(t, 1_000_000)
+	if err := migrate.Validate(env); err != nil {
+		t.Fatalf("mid-run envelope invalid: %v", err)
+	}
+	// The wire round trip must be lossless.
+	if got := migrate.StatsFromWire(env.Stats); got.Cycles != s1.Cycles || got.Instructions != s1.Instructions {
+		t.Fatalf("stats wire round trip lost data: %+v vs %+v", got, s1)
+	}
+
+	b, err := asc.New(parallelCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(env.Snapshot); err != nil {
+		t.Fatalf("restore on parallel engine: %v", err)
+	}
+	s2, err := b.Run(env.RemainingCycles)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	gotSnap := b.Snapshot()
+
+	if !bytes.Equal(wantSnap, gotSnap) {
+		t.Fatalf("final snapshots diverge after cross-engine resume (%d vs %d bytes)", len(wantSnap), len(gotSnap))
+	}
+	if got := b.ScalarMem(0); got != 56000 {
+		t.Errorf("resumed result = %d, want 56000", got)
+	}
+	merged := addStats(migrate.StatsFromWire(env.Stats), s2)
+	if merged.Cycles != want.Cycles {
+		t.Errorf("merged cycles %d, want %d (uninterrupted)", merged.Cycles, want.Cycles)
+	}
+	if merged.Instructions != want.Instructions || merged.Scalar != want.Scalar ||
+		merged.Parallel != want.Parallel || merged.Reduction != want.Reduction {
+		t.Errorf("merged instruction mix (%d/%d/%d/%d) diverges from uninterrupted (%d/%d/%d/%d)",
+			merged.Instructions, merged.Scalar, merged.Parallel, merged.Reduction,
+			want.Instructions, want.Scalar, want.Parallel, want.Reduction)
+	}
+}

@@ -29,6 +29,7 @@ type Stats struct {
 	Hits      int64 // Get satisfied by recycling a warm machine
 	Misses    int64 // Get that had to construct a processor
 	Evictions int64 // Put dropped because the idle cap was reached
+	Restores  int64 // GetRestored checkouts that resumed from a snapshot
 	Idle      int   // machines currently parked in the pool
 	// BuildNanos is the cumulative wall-clock time spent constructing
 	// machines on misses — the cold-start cost the warm pool exists to
@@ -115,6 +116,40 @@ func (p *Pool) Get(cfg asc.Config, prog *asc.Program) (*asc.Processor, bool, err
 	}
 	p.addBuildTime(key, time.Since(start))
 	return proc, false, nil
+}
+
+// GetRestored is Get followed by restoring an architectural snapshot into
+// the checked-out machine — the warm-pool entry point of the live-migration
+// path. The snapshot must have been taken from a machine with the same
+// configuration and program (machine fingerprinting enforces this). On a
+// restore failure the machine is still clean and warm (Restore validates
+// the image before mutating state), so it is re-parked rather than dropped;
+// a warm checkout that fails to restore is un-counted as a hit (the caller
+// never got a usable machine), mirroring the program-load-failure contract
+// of Get; a constructed machine keeps its miss (the build cost was real).
+func (p *Pool) GetRestored(cfg asc.Config, prog *asc.Program, snapshot []byte) (*asc.Processor, bool, error) {
+	proc, hit, err := p.Get(cfg, prog)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := proc.Restore(snapshot); err != nil {
+		p.Put(proc)
+		if hit {
+			// Undo the hit Get recorded: this checkout produced nothing.
+			key := cfg.Key()
+			p.mu.Lock()
+			p.stats.Hits--
+			p.keyStatsLocked(key).Hits--
+			p.mu.Unlock()
+		}
+		return nil, false, err
+	}
+	key := cfg.Key()
+	p.mu.Lock()
+	p.stats.Restores++
+	p.keyStatsLocked(key).Restores++
+	p.mu.Unlock()
+	return proc, hit, nil
 }
 
 // addBuildTime accumulates the construction cost of one pool miss.

@@ -92,6 +92,24 @@ func RequestDigest(ascl, asm string, cfg asc.Config) string {
 	return Key(kind, source, cfg)
 }
 
+// ValidDigest reports whether s has the shape of a program digest minted
+// by Key: 64 lowercase hex characters. The migration path validates
+// snapshot-envelope digests with this before consulting the cache, so a
+// malformed or truncated digest is a typed rejection rather than a
+// guaranteed cache miss that silently falls through to recompilation.
+func ValidDigest(s string) bool {
+	if len(s) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // ShortDigest abbreviates a content digest for human-facing surfaces —
 // span attributes, log lines, waterfall output — the way git abbreviates
 // commit hashes. Twelve hex characters (48 bits) is far beyond collision

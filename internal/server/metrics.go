@@ -49,6 +49,13 @@ type metrics struct {
 	gangSize  *obs.Histogram // asc_gang_size_jobs
 	gangPeels *obs.Counter   // asc_gang_divergence_peels_total
 
+	// Session-lane instruments: resumable jobs, the checkpoints they mint,
+	// and the resumes that continue them (locally or after a migration
+	// from another backend).
+	sessions           *obs.CounterVec // asc_sessions_total{outcome}: completed/suspended/failed/rejected
+	sessionCheckpoints *obs.Counter    // asc_session_checkpoints_total
+	resumedJobs        *obs.Counter    // asc_resumed_jobs_total
+
 	// Program-cache instruments, mirrored from progcache.Stats at scrape
 	// time: how often the compile/assemble front end was skipped entirely.
 	progHits      *obs.Counter // asc_program_cache_hits_total
@@ -102,6 +109,13 @@ func newMetrics() *metrics {
 			"Lanes per launched gang.", batchSizeBuckets),
 		gangPeels: reg.NewCounter("asc_gang_divergence_peels_total",
 			"Lanes that diverged from their gang mid-run and finished on a solo machine."),
+
+		sessions: reg.NewCounterVec("asc_sessions_total",
+			"Finished session segments by outcome: completed, suspended (checkpointed into an envelope), failed, rejected.", "outcome"),
+		sessionCheckpoints: reg.NewCounter("asc_session_checkpoints_total",
+			"Snapshot envelopes minted by running sessions (periodic, requested, and drain checkpoints)."),
+		resumedJobs: reg.NewCounter("asc_resumed_jobs_total",
+			"Session segments resumed from a snapshot envelope, locally or migrated in from another backend."),
 
 		progHits: reg.NewCounter("asc_program_cache_hits_total",
 			"Jobs whose compiled program came from the content-addressed cache."),

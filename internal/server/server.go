@@ -99,6 +99,18 @@ type Config struct {
 	// tracing or SMT always run solo.
 	GangMinJobs int
 
+	// SessionMaxLive bounds sessions executing at once in the session lane
+	// (POST /v1/sessions and .../resume; default: Workers). The lane runs
+	// beside the single-run workers and the batch lane.
+	SessionMaxLive int
+	// SessionRetain bounds parked session records — suspended envelopes
+	// awaiting resume plus terminal results — kept for GET /v1/sessions
+	// (default 1024; the oldest parked records are evicted first).
+	SessionRetain int
+	// SessionDrainWait bounds how long a drain waits for running sessions
+	// to reach their next checkpoint boundary (default 10s).
+	SessionDrainWait time.Duration
+
 	// TraceSample is the deterministic head-sampling rate for distributed
 	// traces, in [0, 1]: the fraction of trace ids retained even when fast
 	// and successful (default 0 — only errored, slow, or upstream-flagged
@@ -151,6 +163,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BatchConcurrency <= 0 {
 		c.BatchConcurrency = c.Workers
+	}
+	if c.SessionMaxLive <= 0 {
+		c.SessionMaxLive = c.Workers
+	}
+	if c.SessionRetain <= 0 {
+		c.SessionRetain = 1024
+	}
+	if c.SessionDrainWait <= 0 {
+		c.SessionDrainWait = 10 * time.Second
 	}
 	switch {
 	case c.ProgramCacheSize == 0:
@@ -212,8 +233,23 @@ type Server struct {
 	batchInflight atomic.Int64
 	batchWg       sync.WaitGroup
 
+	// The session lane: resumable jobs run on handler goroutines bounded
+	// by sessionSem, registered in sessions so a drain can walk them and
+	// a resume can adopt them. sessOrder is the parked-record eviction
+	// FIFO (see Config.SessionRetain).
+	sessionSem chan struct{}
+	sessionWg  sync.WaitGroup
+	sessMu     sync.Mutex
+	sessions   map[string]*session
+	sessOrder  []string
+
 	mu       sync.RWMutex // guards draining against concurrent enqueues
 	draining bool
+	// jobsClosed tracks whether the worker queue channel has been closed.
+	// An admin drain (Drain) sets draining without closing the queue so
+	// in-flight work finishes and a later Shutdown still closes it exactly
+	// once.
+	jobsClosed bool
 }
 
 // New builds a serving core and starts its workers.
@@ -231,8 +267,10 @@ func New(cfg Config) *Server {
 			Slow:     cfg.TraceSlow,
 			RingSize: cfg.TraceRing,
 		}),
-		jobs:     make(chan *job, cfg.QueueDepth),
-		batchSem: make(chan struct{}, cfg.BatchConcurrency),
+		jobs:       make(chan *job, cfg.QueueDepth),
+		batchSem:   make(chan struct{}, cfg.BatchConcurrency),
+		sessionSem: make(chan struct{}, cfg.SessionMaxLive),
+		sessions:   make(map[string]*session),
 	}
 	// Point-in-time gauges read live server state at scrape time.
 	s.m.reg.NewGaugeFunc("asc_queue_depth", "Jobs waiting in the admission queue.",
@@ -244,6 +282,9 @@ func New(cfg Config) *Server {
 	s.m.reg.NewGaugeFunc("asc_batch_running_jobs",
 		"Batch sub-jobs admitted and not yet finished (executing or waiting on the batch concurrency bound).",
 		func() float64 { return float64(s.batchInflight.Load()) })
+	s.m.reg.NewGaugeFunc("asc_sessions_live",
+		"Resumable sessions currently executing a segment in the session lane.",
+		func() float64 { return float64(len(s.sessionSem)) })
 	// Fleet and program-cache counters are maintained outside the
 	// registry; mirror them into instruments at scrape time.
 	s.m.reg.OnCollect(func() {
@@ -268,11 +309,15 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP API: POST /v1/run, POST /v1/batch,
-// GET /metrics, GET /healthz, GET /debug/traces.
+// POST /v1/sessions (+ /v1/sessions/{id}, .../resume, .../checkpoint),
+// POST /v1/admin/drain, GET /metrics, GET /healthz, GET /debug/traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSessionByID)
+	mux.HandleFunc("/v1/admin/drain", s.handleDrain)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/debug/traces", s.tracer.Handler())
@@ -309,8 +354,9 @@ func (s *Server) Registry() *obs.Registry { return s.m.reg }
 // finish, up to ctx's deadline. It is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
+	s.draining = true
+	if !s.jobsClosed {
+		s.jobsClosed = true
 		close(s.jobs)
 	}
 	s.mu.Unlock()
@@ -318,6 +364,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.wg.Wait()
 		s.batchWg.Wait()
+		s.sessionWg.Wait()
 		close(done)
 	}()
 	select {

@@ -5,8 +5,12 @@
 # mixed /v1/run and /v1/batch traffic through the gateway, kill one
 # backend mid-stream, and assert that (a) every response is a success or an
 # honest shed (429/503 with Retry-After) — never a transport error or a
-# hang — and (b) results stay correct throughout. Run via `make
-# fleet-smoke`. Requires: go, curl. Exits non-zero on any violation.
+# hang — and (b) results stay correct throughout. A final phase boots a
+# fresh two-backend fleet, drains one backend under live resumable
+# sessions, and asserts every session completes through its ring successor
+# with a state digest identical to an uninterrupted run (live migration,
+# docs/SERVER.md §drain). Run via `make fleet-smoke`. Requires: go, curl.
+# Exits non-zero on any violation.
 set -eu
 
 GW_PORT=18641
@@ -153,4 +157,99 @@ grep -q '^asc_gw_requests_total' "$WORKDIR/scrape" || fail "scrape missing gatew
 grep -q 'asc_requests_total{backend=' "$WORKDIR/scrape" || fail "scrape missing backend-labeled series"
 curl -s "http://127.0.0.1:$GW_PORT/metrics?view=fleet" | grep -q '^asc_requests_total ' || fail "fleet view missing summed series"
 
-say "OK (0 transport errors, $SHEDS honest sheds across the kill window)"
+say "phase 4: live migration — drain a backend under resumable sessions"
+# Fresh mini-fleet: the main fleet already lost a backend to phase 2, and
+# a drained backend stays out of rotation, so migration gets its own pair.
+MGW_PORT=18645
+M1_PORT=18655
+M2_PORT=18656
+"$WORKDIR/ascd" -addr 127.0.0.1:$M1_PORT -log-level warn &
+PIDS="$PIDS $!"
+"$WORKDIR/ascd" -addr 127.0.0.1:$M2_PORT -log-level warn &
+PIDS="$PIDS $!"
+"$WORKDIR/ascgw" -addr 127.0.0.1:$MGW_PORT \
+	-backends http://127.0.0.1:$M1_PORT,http://127.0.0.1:$M2_PORT \
+	-health-interval 200ms -health-failures 2 -log-level warn &
+PIDS="$PIDS $!"
+wait_healthy $M1_PORT
+wait_healthy $M2_PORT
+wait_healthy $MGW_PORT
+
+# A resumable session long enough (~15 cycles/iteration) that the drain
+# reliably lands mid-run. Distinct iteration counts give the two live
+# sessions distinct program digests, so they route independently.
+session_body() {
+	printf '{"ascl": "scalar n = %d; scalar acc = 0; parallel v = idx(); while (n > 0) { acc = acc + sumval(v); n = n - 1; } write(0, acc);", "config": {"pes": 8, "width": 32}, "dumpScalar": 1, "resumable": true}' "$1"
+}
+state_digest() { sed -n 's/.*"stateDigest":"\([0-9a-f]\{64\}\)".*/\1/p' "$1"; }
+
+ITERS_A=600000
+ITERS_B=600001
+# Uninterrupted references first: the migrated runs must reproduce these
+# final state digests bit for bit.
+for it in $ITERS_A $ITERS_B; do
+	code=$(curl -s -o "$WORKDIR/ref$it" -w '%{http_code}' --max-time 60 \
+		"http://127.0.0.1:$MGW_PORT/v1/sessions" -d "$(session_body $it)") || fail "migration: reference session transport error"
+	[ "$code" = 200 ] || fail "migration: reference session status $code: $(cat "$WORKDIR/ref$it")"
+	grep -q "\"scalarMem\":\[$((it * 28))\]" "$WORKDIR/ref$it" || fail "migration: reference result wrong: $(cat "$WORKDIR/ref$it")"
+	[ -n "$(state_digest "$WORKDIR/ref$it")" ] || fail "migration: reference session has no stateDigest"
+done
+
+# Live phase: both sessions in flight, then drain whichever backend is
+# actually executing one.
+curl -s -o "$WORKDIR/liveA" -w '%{http_code}' --max-time 60 \
+	"http://127.0.0.1:$MGW_PORT/v1/sessions" -d "$(session_body $ITERS_A)" >"$WORKDIR/liveA.code" &
+LIVE_A=$!
+curl -s -o "$WORKDIR/liveB" -w '%{http_code}' --max-time 60 \
+	"http://127.0.0.1:$MGW_PORT/v1/sessions" -d "$(session_body $ITERS_B)" >"$WORKDIR/liveB.code" &
+LIVE_B=$!
+
+VICTIM=""
+i=0
+while [ -z "$VICTIM" ]; do
+	for port in $M1_PORT $M2_PORT; do
+		if curl -s --max-time 5 "http://127.0.0.1:$port/v1/sessions" | grep -q '"state":"running"'; then
+			VICTIM="http://127.0.0.1:$port"
+			break
+		fi
+	done
+	i=$((i + 1))
+	[ "$i" -gt 200 ] && fail "migration: no backend ever reported a running session"
+	sleep 0.05
+done
+say "draining $VICTIM mid-session"
+code=$(curl -s -o "$WORKDIR/drain" -w '%{http_code}' --max-time 30 \
+	"http://127.0.0.1:$MGW_PORT/v1/admin/drain" -d "{\"backend\": \"$VICTIM\"}") || fail "migration: drain transport error"
+[ "$code" = 200 ] || fail "migration: drain status $code: $(cat "$WORKDIR/drain")"
+grep -q '"drained":true' "$WORKDIR/drain" || fail "migration: backend not drained: $(cat "$WORKDIR/drain")"
+grep -q '"failed":0' "$WORKDIR/drain" || fail "migration: drain walk failed sessions: $(cat "$WORKDIR/drain")"
+
+wait "$LIVE_A" || fail "migration: session A transport error"
+wait "$LIVE_B" || fail "migration: session B transport error"
+for v in A B; do
+	it=$ITERS_A
+	[ "$v" = B ] && it=$ITERS_B
+	code=$(cat "$WORKDIR/live$v.code")
+	[ "$code" = 200 ] || fail "migration: session $v status $code across the drain: $(cat "$WORKDIR/live$v")"
+	grep -q '"state":"completed"' "$WORKDIR/live$v" || fail "migration: session $v did not complete: $(cat "$WORKDIR/live$v")"
+	grep -q "\"scalarMem\":\[$((it * 28))\]" "$WORKDIR/live$v" || fail "migration: session $v wrong result: $(cat "$WORKDIR/live$v")"
+	[ "$(state_digest "$WORKDIR/live$v")" = "$(state_digest "$WORKDIR/ref$it")" ] || \
+		fail "migration: session $v state digest differs from uninterrupted run"
+done
+say "both sessions completed across the drain, state digests bit-identical"
+
+# The gateway accounted for at least one live migration.
+curl -s "http://127.0.0.1:$MGW_PORT/metrics" >"$WORKDIR/mscrape"
+grep '^asc_migrations_total{' "$WORKDIR/mscrape" | grep -qv ' 0$' || \
+	fail "migration: asc_migrations_total never moved: $(grep asc_migrations_total "$WORKDIR/mscrape" || true)"
+grep -q 'asc_migration_duration_seconds_count' "$WORKDIR/mscrape" || fail "migration: duration histogram not exported"
+
+# The drained backend is out of rotation; new sessions land on the
+# survivor and still complete.
+code=$(curl -s -o "$WORKDIR/post" -w '%{http_code}' --max-time 60 \
+	"http://127.0.0.1:$MGW_PORT/v1/sessions" -d "$(session_body 1000)") || fail "migration: post-drain session transport error"
+[ "$code" = 200 ] || fail "migration: post-drain session status $code"
+grep -q "\"scalarMem\":\[$((1000 * 28))\]" "$WORKDIR/post" || fail "migration: post-drain session wrong result"
+say "post-drain sessions complete on the survivor"
+
+say "OK (0 transport errors, $SHEDS honest sheds across the kill window, migration digests bit-identical)"
