@@ -89,7 +89,9 @@ apiupdate:
 HOTPATH_FILES = internal/machine/machine.go internal/machine/engine.go \
 	internal/cu/cu.go internal/pipeline/pipeline.go \
 	internal/pipeline/scoreboard.go internal/core/core.go \
-	internal/machine/gang.go internal/core/gang.go
+	internal/machine/gang.go internal/core/gang.go \
+	internal/isa/blocks.go internal/machine/execblock.go \
+	internal/core/block.go internal/core/gangblock.go
 
 hotpath-lint:
 	@if grep -nE '\.Info\(\)|scalarALUOp|parallelALUOp' $(HOTPATH_FILES); then \

@@ -89,7 +89,26 @@ type Config struct {
 	// EngineSerial, or EngineParallel. Architecturally invisible — results
 	// and cycle counts are bit-identical across engines.
 	Engine Engine
+	// Blocks selects the block-dispatch tier: BlocksAuto (default)
+	// dispatches straight-line basic blocks — with hot associative idioms
+	// fused into superinstructions — in one shot whenever exactly one
+	// hardware thread is active, falling back to the per-cycle path at
+	// control flow, traps, and multithreaded phases. BlocksOff forces the
+	// per-cycle path everywhere. Architecturally invisible: snapshots,
+	// statistics, and cycle counts are bit-identical either way.
+	Blocks BlocksMode
 }
+
+// BlocksMode selects the block-dispatch tier for Config.Blocks.
+type BlocksMode = core.BlocksMode
+
+// Block-dispatch modes for Config.Blocks.
+const (
+	// BlocksAuto engages block dispatch whenever it is provably exact.
+	BlocksAuto = core.BlocksAuto
+	// BlocksOff forces the per-cycle dispatch path (A/B baseline).
+	BlocksOff = core.BlocksOff
+)
 
 // Engine selects the host-side execution strategy for parallel and
 // reduction instructions; see the package comment.
@@ -134,9 +153,9 @@ func (c Config) normalized() Config {
 // another.
 func (c Config) Key() string {
 	n := c.normalized()
-	return fmt.Sprintf("pes=%d threads=%d width=%d lmem=%d arity=%d seqmul=%t fixed=%t smt=%t trace=%d engine=%s",
+	return fmt.Sprintf("pes=%d threads=%d width=%d lmem=%d arity=%d seqmul=%t fixed=%t smt=%t trace=%d engine=%s blocks=%s",
 		n.PEs, n.Threads, n.Width, n.LocalMemWords, n.Arity,
-		n.SeqMul, n.FixedPriority, n.SMT, n.TraceDepth, n.Engine)
+		n.SeqMul, n.FixedPriority, n.SMT, n.TraceDepth, n.Engine, n.Blocks)
 }
 
 // Geometry is the memory geometry of the machine a Config builds, after
@@ -222,6 +241,7 @@ func (c Config) coreConfig() core.Config {
 		SeqMul:     c.SeqMul,
 		SMT:        c.SMT,
 		TraceDepth: c.TraceDepth,
+		Blocks:     c.Blocks,
 	}
 	if c.FixedPriority {
 		cc.Scheduler = core.SchedFixed
@@ -284,6 +304,14 @@ func (p *Program) Label(name string) (int, bool) {
 // Words returns the binary encoding of the program.
 func (p *Program) Words() []uint32 { return append([]uint32(nil), p.prog.Words...) }
 
+// BlocksBuilt reports whether the program's block-compiled form (the
+// basic-block and superinstruction artifact the block-dispatch tier
+// executes) has already been built. The build happens lazily on the
+// first run with Config.Blocks enabled and is shared by every processor
+// running the program; the serving tier reports this per result as
+// blockCacheHit, the block-plane analogue of programCacheHit.
+func (p *Program) BlocksBuilt() bool { return p.dec.BlocksBuilt() }
+
 // Stats summarizes a simulation run.
 type Stats struct {
 	// Cycles is the total cycle count including pipeline drain.
@@ -308,6 +336,12 @@ type Stats struct {
 	// and control-redirect discards.
 	Fetches int64
 	Flushes int64
+	// BlockDispatches counts block-plane entries (each dispatching one or
+	// more micro-ops in one shot); BlockFallbacks attributes declines back
+	// to the per-cycle path ("multithread", "refill", "boundary",
+	// "window"). Both zero when Config.Blocks is off.
+	BlockDispatches int64
+	BlockFallbacks  map[string]int64
 	// PerThread[t] is the instruction count issued by hardware thread t.
 	PerThread []int64
 }
@@ -347,6 +381,14 @@ func convertStats(cs core.Stats) Stats {
 		Fetches:      cs.Fetches,
 		Flushes:      cs.Flushes,
 		PerThread:    append([]int64(nil), cs.PerThread...),
+
+		BlockDispatches: cs.BlockDispatches,
+	}
+	if len(cs.BlockFallbacks) > 0 {
+		s.BlockFallbacks = make(map[string]int64, len(cs.BlockFallbacks))
+		for k, v := range cs.BlockFallbacks {
+			s.BlockFallbacks[k] = v
+		}
 	}
 	for k, v := range cs.IdleByKind {
 		s.IdleByCause[k.String()] = v

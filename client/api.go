@@ -102,6 +102,12 @@ type RunResult struct {
 	// content-addressed compiled-program cache instead of being compiled
 	// or assembled for this request.
 	ProgramCacheHit bool `json:"programCacheHit"`
+	// BlockCacheHit reports whether the cached program already carried its
+	// block-compiled form (basic blocks plus fused superinstructions) when
+	// this job resolved it. Blocks build lazily on a program's first
+	// execution, so the first run of a kernel reports false even when
+	// ProgramCacheHit is true; repeat runs report true.
+	BlockCacheHit bool `json:"blockCacheHit"`
 	// Trace carries the pipeline diagram and stall breakdown when the
 	// request set Trace.
 	Trace *Trace `json:"trace,omitempty"`

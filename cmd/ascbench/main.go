@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -204,6 +205,114 @@ func coreBenches() []benchResult {
 		out = append(out, r)
 	}
 	return out
+}
+
+// blockFusionBenches is the block plane's A/B row: one associative
+// search-and-fold loop — a fusible parallel ALU run, a broadcast compare
+// feeding flag logic, and compare+fold/sum reduction tails, the idioms the
+// fusion catalog targets — run with the block plane on and off on the same
+// serial-engine machine. Timings are the min of 5 interleaved reps so
+// scheduler noise hits both sides alike, and every rep cross-checks the
+// two modes' statistics and terminal snapshots bit for bit: the block
+// plane is only allowed to be faster, never different.
+func blockFusionBenches() []benchResult {
+	const reps = 5
+	const pes = 16
+	const src = `
+	li s1, 8000        ; loop trips: long enough that the cycle loop,
+	                   ; not machine construction, dominates each rep
+	paddi p1, p0, 3
+	addi s3, s0, 40    ; search threshold
+loop:
+	padd p3, p3, p1    ; fusible ALU run feeding the search below
+	pcgt f1, p3, s3    ; broadcast-compare: the associative search step
+	fand f2, f1, f1
+	rcount s4, f1      ; compare+fold
+	add s5, s5, s4     ; scalar consumer: the full b+r latency exposed
+	rsum s2, p3        ; fold the values too
+	add s6, s6, s2     ; and consume again (a single thread cannot hide it)
+	addi s1, s1, -1
+	bnez s1, loop
+	sw s5, 0(s0)
+	sw s6, 1(s0)
+	halt
+`
+	onRow := benchResult{Name: "core/block-fusion/blocks=on"}
+	offRow := benchResult{Name: "core/block-fusion/blocks=off"}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		onRow.Error = err.Error()
+		return []benchResult{onRow, offRow}
+	}
+
+	run := func(off bool) (core.Stats, []byte, error) {
+		// Arity 2 deepens the broadcast/reduction tree: more b+r stall
+		// cycles per fold for the closed form to jump over.
+		cfg := core.Config{Arity: 2}
+		cfg.Machine = machine.Config{PEs: pes, Threads: 1, Width: 32}
+		cfg.Machine.Engine = machine.EngineSerial
+		if off {
+			cfg.Blocks = core.BlocksOff
+		}
+		p, err := core.New(cfg, prog.Insts)
+		if err != nil {
+			return core.Stats{}, nil, err
+		}
+		defer p.Machine().Close()
+		stats, err := p.Run(0)
+		if err != nil {
+			return core.Stats{}, nil, err
+		}
+		return stats, p.Snapshot(), nil
+	}
+
+	best := func(row *benchResult, r benchResult) {
+		if row.NsPerOp == 0 || r.NsPerOp < row.NsPerOp {
+			row.NsPerOp, row.AllocsPerOp, row.BytesPerOp = r.NsPerOp, r.AllocsPerOp, r.BytesPerOp
+		}
+		if r.Error != "" {
+			row.Error = r.Error
+		}
+	}
+	var onStats, offStats core.Stats
+	identical := 0
+	for rep := 0; rep < reps; rep++ {
+		var snapOn, snapOff []byte
+		best(&onRow, measure(1, func() (err error) {
+			onStats, snapOn, err = run(false)
+			return err
+		}))
+		best(&offRow, measure(1, func() (err error) {
+			offStats, snapOff, err = run(true)
+			return err
+		}))
+		if onRow.Error != "" || offRow.Error != "" {
+			continue
+		}
+		if onStats.Cycles != offStats.Cycles || onStats.Instructions != offStats.Instructions ||
+			onStats.IdleCycles != offStats.IdleCycles || !bytes.Equal(snapOn, snapOff) {
+			onRow.Error = fmt.Sprintf("rep %d: blocks-on run diverges from blocks-off", rep)
+			continue
+		}
+		identical++
+	}
+
+	onRow.Metrics = map[string]float64{
+		"model-cycles":       float64(onStats.Cycles),
+		"model-IPC":          onStats.IPC(),
+		"ns-per-cycle":       onRow.NsPerOp / float64(onStats.Cycles),
+		"speedup-vs-off":     offRow.NsPerOp / onRow.NsPerOp,
+		"block-dispatches":   float64(onStats.BlockDispatches),
+		"bit-identical-reps": float64(identical),
+	}
+	addStallMetrics(onRow.Metrics, onStats)
+	offRow.Metrics = map[string]float64{
+		"model-cycles": float64(offStats.Cycles),
+		"model-IPC":    offStats.IPC(),
+		"ns-per-cycle": offRow.NsPerOp / float64(offStats.Cycles),
+	}
+	addStallMetrics(offRow.Metrics, offStats)
+	return []benchResult{onRow, offRow}
 }
 
 // mergeBaseline annotates rows with the matching ns/op from a previous
@@ -480,6 +589,7 @@ func main() {
 	}
 	bench = append(bench, engineBenches()...)
 	bench = append(bench, coreBenches()...)
+	bench = append(bench, blockFusionBenches()...)
 	bench = append(bench, batchBenches()...)
 	bench = append(bench, gangBenches()...)
 	bench = append(bench, gatewayBenches()...)

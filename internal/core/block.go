@@ -1,0 +1,402 @@
+// Block-plane dispatch for the solo processor: when exactly one hardware
+// thread is active, the per-cycle fetch/classify/pick/issue loop is
+// provably equivalent to a closed form — the thread's next issue cycle is
+// max(eligible, scoreboard minimum, unit-free), every cycle before it is
+// idle and attributed to the first binding threshold, and the fetch unit
+// serves only that thread. runBlock exploits this to dispatch a whole
+// basic block (isa.BuildBlocks) per entry: singleton micro-ops issue via
+// the closed form, and fused superinstructions execute in one
+// machine.ExecFused call with per-constituent accounting replayed at
+// their back-to-back issue cycles. Every counter the generic path
+// maintains (cycles, stalls by kind, idle by kind, fetches, contention,
+// completion drain) is updated identically, so the golden cycle tests
+// hold with the block plane on or off.
+//
+// The dispatcher falls back to the generic Step — counting why — at
+// every surface the closed form does not cover: more than one active
+// thread, an empty instruction buffer (redirect/refill), a pc outside
+// every block (terminators: control flow and thread management), and a
+// pending deadlock-window expiry (the per-cycle path owns that error).
+// Architectural traps need no fallback: the closed form stops exactly
+// where the generic path would, with the trapping op popped but not
+// recorded.
+//
+// This file is in the hot-path lint set: dispatch keys on precomputed
+// micro-op selector fields only.
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// BlocksMode selects whether the block-dispatch tier may engage.
+type BlocksMode uint8
+
+const (
+	// BlocksAuto (default) dispatches block-at-a-time whenever the
+	// configuration and the dynamic thread population allow it.
+	BlocksAuto BlocksMode = iota
+	// BlocksOff forces the per-cycle path everywhere (A/B baseline).
+	BlocksOff
+)
+
+// String renders the mode for configuration fingerprints.
+func (m BlocksMode) String() string {
+	if m == BlocksOff {
+		return "off"
+	}
+	return "auto"
+}
+
+// Block-dispatch fallback reasons, indexing the fixed counter array so
+// the dispatcher itself never touches a map.
+const (
+	fbMultithread = iota // more than one thread active: lockstep closed form invalid
+	fbRefill             // instruction buffer empty: redirect resolving or fetch catching up
+	fbBoundary           // pc outside every block: a terminator owns this issue
+	fbWindow             // deadlock window would expire inside the span
+	numFallbacks
+)
+
+// fallbackReasons names the counters for Stats.BlockFallbacks and the
+// asc_sim_block_fallbacks_total metric labels.
+var fallbackReasons = [numFallbacks]string{"multithread", "refill", "boundary", "window"}
+
+// soleState classifies the thread population for the block gate.
+type soleState uint8
+
+const (
+	soleNone soleState = iota // no runnable thread (drain): fall back silently
+	soleOne                   // exactly one thread active in machine and front end
+	soleMany                  // anything else: per-cycle path required
+)
+
+// soleActive finds the single active thread, if there is exactly one.
+// The closed form needs the machine view (idle attribution, anyActive)
+// and the front-end view (fetch arbitration) to agree on one thread.
+func (p *Processor) soleActive() (int, soleState) {
+	tid, nm, nf := -1, 0, 0
+	for t := 0; t < p.cfg.Machine.Threads; t++ {
+		ma := p.mach.ThreadActive(t)
+		fa := p.front.Active(t)
+		if ma {
+			nm++
+		}
+		if fa {
+			nf++
+		}
+		if ma && fa {
+			tid = t
+		}
+		if nm > 1 || nf > 1 {
+			return -1, soleMany
+		}
+	}
+	if tid >= 0 && nm == 1 && nf == 1 {
+		return tid, soleOne
+	}
+	// At most one thread on each side but no agreement: a drain or
+	// half-stopped state (e.g. post-HALT completion wind-down) that the
+	// generic path owns; not a multithread decline.
+	return -1, soleNone
+}
+
+// blockStep is the outcome of dispatching one in-block micro-op.
+type blockStep uint8
+
+const (
+	stepIssued  blockStep = iota // issued; cycle advanced past the issue cycle
+	stepStopped                  // stopAt reached first; cycle == stopAt
+	stepNoHead                   // buffer empty mid-block; nothing changed
+	stepBail                     // deadlock window pending; nothing changed
+)
+
+// noStop is the stopAt value meaning "no stop line": the dispatcher may
+// skip arbitrarily far ahead (the deadlock window still bounds any one
+// idle span).
+const noStop = int64(^uint64(0) >> 1)
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// accountGap replays the idle attribution for cycles [p.cycle, until):
+// exactly what the generic path records when the sole active thread is
+// the best blocker, segment by binding threshold in classification order
+// (fetch eligibility, then the scoreboard's binding hazard, then the
+// sequential unit).
+func (p *Processor) accountGap(eligible, minIssue int64, kind pipeline.HazardKind, free, until int64) {
+	c := p.cycle
+	if e := min64(until, eligible); e > c {
+		p.stats.IdleCycles += e - c
+		p.stats.IdleByKind[pipeline.HazardFetch] += e - c
+		c = e
+	}
+	if m := min64(until, minIssue); m > c {
+		p.stats.IdleCycles += m - c
+		p.stats.IdleByKind[kind] += m - c
+		c = m
+	}
+	if f := min64(until, free); f > c {
+		p.stats.IdleCycles += f - c
+		p.stats.IdleByKind[pipeline.HazardStructural] += f - c
+	}
+}
+
+// dispatchOne issues the head micro-op of tid at the earliest legal
+// cycle, replaying idle, stall, and fetch accounting for every skipped
+// cycle. On a trap the processor is left exactly where the generic path
+// leaves it: op popped, stall recorded, cycle at the issue cycle,
+// nothing else updated.
+func (p *Processor) dispatchOne(tid int, stopAt int64) (blockStep, error) {
+	head, ok := p.front.Head(tid)
+	if !ok {
+		return stepNoHead, nil
+	}
+	d := head.D
+	eligible := head.EligibleAt()
+	minIssue, kind := p.sb.MinIssue(tid, d)
+	free := p.unitFreeAt(d)
+	issueC := p.cycle
+	if eligible > issueC {
+		issueC = eligible
+	}
+	if minIssue > issueC {
+		issueC = minIssue
+	}
+	if free > issueC {
+		issueC = free
+	}
+	if issueC >= stopAt {
+		// The issue lands at or past the stop cycle: account the idle
+		// prefix up to stopAt and leave the op buffered.
+		if stopAt-1-p.lastIssue > p.cfg.DeadlockWindow {
+			return stepBail, nil
+		}
+		p.accountGap(eligible, minIssue, kind, free, stopAt)
+		p.front.FetchRun(tid, p.cycle, stopAt-1)
+		p.cycle = stopAt
+		return stepStopped, nil
+	}
+	if issueC-1-p.lastIssue > p.cfg.DeadlockWindow {
+		// The generic path would raise the deadlock error inside this
+		// idle span; let it.
+		return stepBail, nil
+	}
+	if issueC > p.cycle {
+		p.accountGap(eligible, minIssue, kind, free, issueC)
+		p.front.FetchRun(tid, p.cycle, issueC-1)
+		p.cycle = issueC
+	}
+
+	// Issue at issueC, replicating Processor.issue for an in-block op
+	// (never a control-flow, thread, or blocking micro-op).
+	p.front.PopHead(tid)
+	stall := issueC - eligible
+	if stall > 0 {
+		k := kind
+		if minIssue <= eligible {
+			switch {
+			case free > eligible:
+				k = pipeline.HazardStructural
+			default:
+				k = pipeline.HazardNone
+			}
+		}
+		if k != pipeline.HazardNone {
+			p.stats.StallByKind[k] += stall
+		}
+	}
+	if _, err := p.mach.ExecDecoded(tid, d); err != nil {
+		return stepIssued, err
+	}
+	p.sb.Record(tid, d, issueC)
+	p.reserveUnit(d, issueC)
+	if c := p.params.CompletionTime(d, issueC); c > p.maxCompletion {
+		p.maxCompletion = c
+	}
+	p.stats.Instructions++
+	p.stats.PerThread[tid]++
+	switch d.Class {
+	case isa.ClassScalar:
+		p.stats.Scalar++
+	case isa.ClassParallel:
+		p.stats.Parallel++
+	case isa.ClassReduction:
+		p.stats.Reduction++
+	}
+	p.lastIssue = issueC
+	if p.cfg.Scheduler != SchedFixed {
+		p.front.MarkPicked(tid)
+	}
+	p.front.FetchRun(tid, issueC, issueC)
+	p.cycle = issueC + 1
+	return stepIssued, nil
+}
+
+// fusedStatus is the outcome of attempting a fused superinstruction.
+type fusedStatus uint8
+
+const (
+	fusedDone fusedStatus = iota // all constituents issued back to back
+	fusedFall                    // preconditions unmet; dispatch constituents singly
+)
+
+// dispatchFused issues a fused superinstruction in one machine call when
+// the closed form can prove the generic path would issue its
+// constituents back to back: every constituent buffered and eligible at
+// its staggered cycle, no external scoreboard dependence binding later
+// (in-group dependences sustain one-cycle stagger by the fusion-set
+// construction — see isa/blocks.go), and the whole group inside the stop
+// window. Anything unproven falls back to singleton dispatch, which is
+// always exact.
+func (p *Processor) dispatchFused(tid int, bo *isa.BlockOp, stopAt int64) fusedStatus {
+	k := len(bo.Ops)
+	head, ok := p.front.Head(tid)
+	if !ok || head.PC != bo.PC {
+		return fusedFall
+	}
+	d0 := bo.Ops[0]
+	eligible := head.EligibleAt()
+	minIssue, kind := p.sb.MinIssue(tid, d0)
+	issueC := p.cycle
+	if eligible > issueC {
+		issueC = eligible
+	}
+	if minIssue > issueC {
+		issueC = minIssue
+	}
+	// Fusible ops never use a sequential unit (no mul/div), so free == 0.
+	if issueC+int64(k) > stopAt {
+		return fusedFall
+	}
+	if issueC-1-p.lastIssue > p.cfg.DeadlockWindow {
+		return fusedFall
+	}
+	for j := 1; j < k; j++ {
+		e, ok := p.front.Entry(tid, j)
+		if !ok || e.PC != bo.PC+j {
+			return fusedFall
+		}
+		if e.EligibleAt() > issueC+int64(j) {
+			return fusedFall
+		}
+		// External dependences only; in-group producers (recorded below)
+		// are always satisfied at stagger 1.
+		if ext, _ := p.sb.MinIssue(tid, bo.Ops[j]); ext > issueC+int64(j) {
+			return fusedFall
+		}
+	}
+
+	if issueC > p.cycle {
+		p.accountGap(eligible, minIssue, kind, 0, issueC)
+		p.front.FetchRun(tid, p.cycle, issueC-1)
+		p.cycle = issueC
+	}
+
+	// One architectural call for the whole superinstruction (accounting
+	// below reads no machine state), then the per-constituent issue
+	// bookkeeping at cycles issueC..issueC+k-1, exactly as the generic
+	// path would have recorded it.
+	p.mach.ExecFused(tid, bo.Ops)
+	for j := 0; j < k; j++ {
+		c := issueC + int64(j)
+		h := p.front.PopHead(tid)
+		d := bo.Ops[j]
+		mi, kd := p.sb.MinIssue(tid, d)
+		if stall := c - h.EligibleAt(); stall > 0 {
+			k2 := kd
+			if mi <= h.EligibleAt() {
+				k2 = pipeline.HazardNone // no sequential units in a fused group
+			}
+			if k2 != pipeline.HazardNone {
+				p.stats.StallByKind[k2] += stall
+			}
+		}
+		p.sb.Record(tid, d, c)
+		if ct := p.params.CompletionTime(d, c); ct > p.maxCompletion {
+			p.maxCompletion = ct
+		}
+		p.stats.Instructions++
+		p.stats.PerThread[tid]++
+		switch d.Class {
+		case isa.ClassParallel:
+			p.stats.Parallel++
+		case isa.ClassReduction:
+			p.stats.Reduction++
+		}
+		p.lastIssue = c
+		if p.cfg.Scheduler != SchedFixed {
+			p.front.MarkPicked(tid)
+		}
+		p.front.FetchRun(tid, c, c)
+	}
+	p.cycle = issueC + int64(k)
+	return fusedDone
+}
+
+// runBlock dispatches from the sole active thread's current block until
+// the block ends, stopAt is reached, or a fallback surface appears. It
+// reports whether it made progress; ran=false means the caller must take
+// a generic Step.
+func (p *Processor) runBlock(stopAt int64) (ran bool, err error) {
+	tid, st := p.soleActive()
+	if st != soleOne {
+		if st == soleMany {
+			p.blockFallbacks[fbMultithread]++
+		}
+		return false, nil
+	}
+	head, ok := p.front.Head(tid)
+	if !ok {
+		p.blockFallbacks[fbRefill]++
+		return false, nil
+	}
+	blk, opIdx, sub, ok := p.blocks.Lookup(head.PC)
+	if !ok {
+		p.blockFallbacks[fbBoundary]++
+		return false, nil
+	}
+	p.blockDispatches++
+
+	progressed := false
+	for oi := opIdx; oi < len(blk.Ops); oi++ {
+		bo := &blk.Ops[oi]
+		if len(bo.Ops) > 1 && sub == 0 && p.blockFuse {
+			if p.dispatchFused(tid, bo, stopAt) == fusedDone {
+				progressed = true
+				continue
+			}
+		}
+		for ci := sub; ci < len(bo.Ops); ci++ {
+			step, err := p.dispatchOne(tid, stopAt)
+			if err != nil {
+				return true, err
+			}
+			switch step {
+			case stepIssued:
+				progressed = true
+			case stepStopped:
+				return true, nil // idle prefix accounted: that is progress
+			case stepNoHead:
+				if progressed {
+					return true, nil
+				}
+				p.blockFallbacks[fbRefill]++
+				return false, nil
+			case stepBail:
+				if progressed {
+					return true, nil
+				}
+				p.blockFallbacks[fbWindow]++
+				return false, nil
+			}
+		}
+		sub = 0
+	}
+	return true, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// stripBlockCounters clears the block-plane observability counters so two
+// Stats values can be compared for architectural-timing equality: the
+// counters describe how the work was dispatched, not what it computed or
+// when it issued, and are the only fields allowed to differ between a
+// blocks-on and a blocks-off run.
+func stripBlockCounters(s Stats) Stats {
+	s.BlockDispatches = 0
+	s.BlockFallbacks = nil
+	return s
+}
+
+// blockDiffRun runs one program on a fresh processor and returns the
+// processor (caller closes), its statistics, and the run error.
+func blockDiffRun(t *testing.T, cfg Config, dp *isa.DecodedProgram, seed laneSeed, maxCycles int64) (*Processor, Stats, error) {
+	t.Helper()
+	p, err := NewDecoded(cfg, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.apply(p.Machine())
+	stats, runErr := p.Run(maxCycles)
+	return p, stats, runErr
+}
+
+// TestBlockDifferentialRandom is the block plane's ground-truth check:
+// random forward-branching programs over all three instruction classes run
+// three ways — blocks on, blocks off, and the retained pre-decode
+// reference interpreter (ExecRef) stepped functionally. Blocks-on and
+// blocks-off must agree EXACTLY: same cycle count, same instruction and
+// idle counts, same per-kind stall attribution, and bit-identical
+// architectural snapshots (stronger than the refill-tolerance the issue
+// allows). Both must compute the same register state the functional
+// reference does. Runs on both host engines; the serial engine fuses,
+// the parallel engine dispatches blocks singleton-only.
+func TestBlockDifferentialRandom(t *testing.T) {
+	const budget = 2_000_000
+	for _, eng := range []machine.Engine{machine.EngineSerial, machine.EngineParallel} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			prog := gangRandomProgram(r, 2+r.Intn(10))
+			dp, err := isa.DecodeProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := machine.Config{PEs: 4, Threads: 1, Width: 8, Engine: eng}
+			ls := newLaneSeed(r, mc.PEs)
+
+			pOn, on, errOn := blockDiffRun(t, Config{Machine: mc, Arity: 4}, dp, ls, budget)
+			defer pOn.Machine().Close()
+			pOff, off, errOff := blockDiffRun(t, Config{Machine: mc, Arity: 4, Blocks: BlocksOff}, dp, ls, budget)
+			defer pOff.Machine().Close()
+
+			if (errOn == nil) != (errOff == nil) || (errOn != nil && errOn.Error() != errOff.Error()) {
+				t.Errorf("engine %v seed %d: blocks-on err %v, blocks-off err %v", eng, seed, errOn, errOff)
+				return false
+			}
+			if !reflect.DeepEqual(stripBlockCounters(on), stripBlockCounters(off)) {
+				t.Errorf("engine %v seed %d: stats diverged\n on: %+v\noff: %+v", eng, seed, on, off)
+				return false
+			}
+			if off.BlockDispatches != 0 || off.BlockFallbacks != nil {
+				t.Errorf("engine %v seed %d: blocks-off run reported block counters %d/%v",
+					eng, seed, off.BlockDispatches, off.BlockFallbacks)
+				return false
+			}
+			if !bytes.Equal(pOn.Snapshot(), pOff.Snapshot()) {
+				t.Errorf("engine %v seed %d: snapshots diverged", eng, seed)
+				return false
+			}
+			if errOn == nil && on.BlockDispatches == 0 {
+				// A single-threaded program with at least one instruction
+				// must take the block plane at least once.
+				t.Errorf("engine %v seed %d: block plane never engaged (fallbacks %v)", eng, seed, on.BlockFallbacks)
+				return false
+			}
+
+			if errOn != nil {
+				return true // both trapped identically; no functional reference
+			}
+			ref, err := machine.New(machine.Config{PEs: mc.PEs, Threads: 1, Width: mc.Width}, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			ls.apply(ref)
+			steps := 0
+			for !ref.Halted() {
+				if _, err := ref.ExecRef(0, prog[ref.PC(0)]); err != nil {
+					t.Fatalf("engine %v seed %d: reference trap: %v", eng, seed, err)
+				}
+				if steps++; steps > budget {
+					t.Fatalf("engine %v seed %d: forward-only program did not terminate", eng, seed)
+				}
+			}
+			for reg := uint8(1); reg < 16; reg++ {
+				if pOn.Machine().Scalar(0, reg) != ref.Scalar(0, reg) {
+					t.Errorf("engine %v seed %d: s%d = %d, reference %d",
+						eng, seed, reg, pOn.Machine().Scalar(0, reg), ref.Scalar(0, reg))
+					return false
+				}
+			}
+			for pe := 0; pe < mc.PEs; pe++ {
+				for reg := uint8(1); reg < 16; reg++ {
+					if pOn.Machine().Parallel(0, pe, reg) != ref.Parallel(0, pe, reg) {
+						t.Errorf("engine %v seed %d: PE %d p%d mismatch vs reference", eng, seed, pe, reg)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestGangBlockDifferentialRandom pins the gang leg of the same property:
+// four lanes with independently randomized register state run blocks-on
+// and blocks-off, and every lane — lockstep completion, divergence peel,
+// or trap — must come out identical: same peel decision at the same
+// cycle, same error, same statistics (minus the block counters), and
+// bit-identical snapshots.
+func TestGangBlockDifferentialRandom(t *testing.T) {
+	const lanes = 4
+	const budget = 2_000_000
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := gangRandomProgram(r, 2+r.Intn(10))
+		dp, err := isa.DecodeProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := machine.Config{PEs: 4, Threads: 1, Width: 8}
+		seeds := make([]laneSeed, lanes)
+		for i := range seeds {
+			seeds[i] = newLaneSeed(r, mc.PEs)
+		}
+
+		run := func(cfg Config) (*Gang, []LaneResult) {
+			g, err := NewGangDecoded(cfg, dp, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range seeds {
+				seeds[i].apply(g.Lane(i))
+			}
+			return g, g.Run(budget)
+		}
+		gOn, resOn := run(Config{Machine: mc, Arity: 4})
+		gOff, resOff := run(Config{Machine: mc, Arity: 4, Blocks: BlocksOff})
+
+		for i := range resOn {
+			a, b := resOn[i], resOff[i]
+			if a.Peeled != b.Peeled || a.PeelCycle != b.PeelCycle {
+				t.Errorf("seed %d lane %d: peel (%v@%d) vs (%v@%d)", seed, i, a.Peeled, a.PeelCycle, b.Peeled, b.PeelCycle)
+				return false
+			}
+			if (a.Err == nil) != (b.Err == nil) || (a.Err != nil && a.Err.Error() != b.Err.Error()) {
+				t.Errorf("seed %d lane %d: err %v vs %v", seed, i, a.Err, b.Err)
+				return false
+			}
+			if !reflect.DeepEqual(stripBlockCounters(a.Stats), stripBlockCounters(b.Stats)) {
+				t.Errorf("seed %d lane %d: stats diverged\n on: %+v\noff: %+v", seed, i, a.Stats, b.Stats)
+				return false
+			}
+			snapA, snapB := gOn.Lane(i).Snapshot(), gOff.Lane(i).Snapshot()
+			if a.Peeled {
+				snapA, snapB = a.Snapshot, b.Snapshot
+			}
+			if !bytes.Equal(snapA, snapB) {
+				t.Errorf("seed %d lane %d: snapshots diverged (peeled=%v)", seed, i, a.Peeled)
+				return false
+			}
+			if !a.Peeled && a.Err == nil && a.Stats.BlockDispatches == 0 {
+				t.Errorf("seed %d lane %d: gang block plane never engaged (fallbacks %v)", seed, i, a.Stats.BlockFallbacks)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -76,6 +76,13 @@ type Config struct {
 	// pipeline diagrams; 0 disables tracing, -1 keeps everything.
 	TraceDepth int
 
+	// Blocks selects the block-dispatch tier (see block.go): BlocksAuto
+	// engages it whenever the configuration allows (no SMT, no structural
+	// co-simulation, no tracing) and exactly one thread is active;
+	// BlocksOff forces the per-cycle path. Architecturally invisible
+	// either way — cycle accounting is bit-identical.
+	Blocks BlocksMode
+
 	// DeadlockWindow aborts the run if no instruction issues for this many
 	// consecutive cycles while threads remain (0 = default 100000).
 	DeadlockWindow int64
@@ -143,6 +150,12 @@ type Stats struct {
 	// Front-end counters.
 	Fetches int64
 	Flushes int64
+	// BlockDispatches counts block-plane entries (each covering one or
+	// more issued micro-ops); BlockFallbacks counts per-reason declines
+	// back to the per-cycle path (nil when none occurred or the block
+	// plane is off). See block.go.
+	BlockDispatches int64
+	BlockFallbacks  map[string]int64
 }
 
 // IPC is issued instructions per cycle.
@@ -176,6 +189,16 @@ type Processor struct {
 
 	stats Stats
 	trace []InstRecord
+
+	// Block-dispatch tier (block.go). blocks is nil when the tier is off
+	// or the configuration excludes it; blockFuse additionally allows
+	// fused superinstruction kernels (serial engine only — the sharded
+	// engine executes constituents individually, which the fallback
+	// single-step path already covers).
+	blocks          *isa.BlockProgram
+	blockFuse       bool
+	blockDispatches int64
+	blockFallbacks  [numFallbacks]int64
 
 	// checkpointReq is set by RequestCheckpoint (any goroutine) and
 	// consumed by RunContext at the next cancel-check window boundary,
@@ -246,6 +269,10 @@ func NewDecoded(cfg Config, dp *isa.DecodedProgram) (*Processor, error) {
 	p.statusBuf = make([]threadState, cfg.Machine.Threads)
 	if cfg.StructuralNetworks {
 		p.structural = newStructState(cfg.Machine.PEs, cfg.Arity, cfg.Machine.Width)
+	}
+	if cfg.Blocks != BlocksOff && !cfg.SMT && !cfg.StructuralNetworks && cfg.TraceDepth == 0 {
+		p.blocks = dp.Blocks()
+		p.blockFuse = !mach.EngineParallelActive()
 	}
 	return p, nil
 }
@@ -627,6 +654,21 @@ func (p *Processor) RunContext(ctx context.Context, maxCycles int64) (Stats, err
 			}
 			nextCheck = p.cycle + cancelCheckWindow
 		}
+		if p.blocks != nil {
+			// Block-dispatch tier: cover as much of the window as the
+			// closed form allows, then fall back to the per-cycle path.
+			stopAt := nextCheck
+			if maxCycles > 0 && maxCycles < stopAt {
+				stopAt = maxCycles
+			}
+			ran, err := p.runBlock(stopAt)
+			if err != nil {
+				return p.finish(), err
+			}
+			if ran {
+				continue
+			}
+		}
 		more, err := p.Step()
 		if err != nil {
 			return p.finish(), err
@@ -648,6 +690,16 @@ func (p *Processor) finish() Stats {
 	}
 	s.Fetches = p.front.Fetches
 	s.Flushes = p.front.Flushes
+	s.BlockDispatches = p.blockDispatches
+	for i, v := range p.blockFallbacks {
+		if v == 0 {
+			continue
+		}
+		if s.BlockFallbacks == nil {
+			s.BlockFallbacks = make(map[string]int64, numFallbacks)
+		}
+		s.BlockFallbacks[fallbackReasons[i]] = v
+	}
 	return s
 }
 
@@ -672,6 +724,8 @@ func (p *Processor) Reset() {
 		StallByKind: make(map[pipeline.HazardKind]int64),
 	}
 	p.trace = nil
+	p.blockDispatches = 0
+	p.blockFallbacks = [numFallbacks]int64{}
 	p.checkpointReq.Store(false)
 	if p.structural != nil {
 		p.structural = newStructState(p.cfg.Machine.PEs, p.cfg.Arity, p.cfg.Machine.Width)
@@ -704,6 +758,9 @@ func (p *Processor) SetProgram(prog []isa.Inst) error {
 // Resets it.
 func (p *Processor) SetDecoded(dp *isa.DecodedProgram) {
 	p.mach.SetDecoded(dp)
+	if p.blocks != nil {
+		p.blocks = dp.Blocks()
+	}
 	p.Reset()
 }
 

@@ -93,6 +93,13 @@ type Gang struct {
 	liveBuf []int
 	outBuf  []machine.Outcome
 	errBuf  []error
+
+	// Block-dispatch tier (gangblock.go); nil when Config.Blocks is off.
+	// Gang lanes are always serial-engine machines, so fused kernels
+	// need no separate gate.
+	blocks          *isa.BlockProgram
+	blockDispatches int64
+	blockFallbacks  [numFallbacks]int64
 }
 
 // NewGangDecoded builds a gang of n lanes around a shared decoded program.
@@ -149,6 +156,9 @@ func NewGangDecoded(cfg Config, dp *isa.DecodedProgram, n int) (*Gang, error) {
 	g.res = make([]LaneResult, n)
 	g.outBuf = make([]machine.Outcome, 0, n)
 	g.errBuf = make([]error, 0, n)
+	if cfg.Blocks != BlocksOff {
+		g.blocks = dp.Blocks()
+	}
 	return g, nil
 }
 
@@ -468,6 +478,17 @@ func (g *Gang) snapStats() Stats {
 	}
 	s.Fetches = g.front.Fetches
 	s.Flushes = g.front.Flushes
+	s.BlockDispatches = g.blockDispatches
+	s.BlockFallbacks = nil
+	for i, v := range g.blockFallbacks {
+		if v == 0 {
+			continue
+		}
+		if s.BlockFallbacks == nil {
+			s.BlockFallbacks = make(map[string]int64, numFallbacks)
+		}
+		s.BlockFallbacks[fallbackReasons[i]] = v
+	}
 	return s
 }
 
@@ -524,6 +545,20 @@ func (g *Gang) RunContext(ctx context.Context, maxCycles int64) []LaneResult {
 			}
 			nextCheck = g.cycle + cancelCheckWindow
 		}
+		if g.blocks != nil {
+			// nextCheck only advances when the context is cancellable, so
+			// it is a stop line only in that case.
+			stopAt := noStop
+			if done != nil {
+				stopAt = nextCheck
+			}
+			if maxCycles > 0 && maxCycles < stopAt {
+				stopAt = maxCycles
+			}
+			if g.runBlock(stopAt) {
+				continue
+			}
+		}
 		more, err := g.Step()
 		if err != nil {
 			g.finalizeLive(err)
@@ -563,6 +598,8 @@ func (g *Gang) Reset() {
 	for i := range g.res {
 		g.res[i] = LaneResult{}
 	}
+	g.blockDispatches = 0
+	g.blockFallbacks = [numFallbacks]int64{}
 }
 
 // SetDecoded retargets every lane at a new decoded program and Resets the
@@ -570,6 +607,9 @@ func (g *Gang) Reset() {
 func (g *Gang) SetDecoded(dp *isa.DecodedProgram) {
 	for _, m := range g.lanes {
 		m.SetDecoded(dp)
+	}
+	if g.blocks != nil {
+		g.blocks = dp.Blocks()
 	}
 	g.Reset()
 }

@@ -1,0 +1,331 @@
+// Block-plane dispatch for gang execution: the gang analogue of
+// block.go. The closed form is the same — with exactly one active
+// hardware thread the shared front end's per-cycle decisions collapse to
+// max(eligible, scoreboard minimum, unit-free) — and the per-lane
+// semantics of Gang.issue are preserved exactly: a singleton in-block
+// micro-op executes on every live lane with trapped lanes finalized
+// before the shared accounting (their statistics exclude the trapping
+// instruction) and outcome-divergent lanes peeled after it; fused
+// superinstructions are trap-free and outcome-free by construction, so
+// they execute on every lane with no divergence check. Gang lanes are
+// always serial-engine machines, so the fused kernels are always legal.
+//
+// This file is in the hot-path lint set: dispatch keys on precomputed
+// micro-op selector fields only.
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// soleActive mirrors Processor.soleActive against the leader lane. The
+// caller must ensure the gang has at least one live lane.
+func (g *Gang) soleActive() (int, soleState) {
+	lead := g.leader()
+	tid, nm, nf := -1, 0, 0
+	for t := 0; t < g.cfg.Machine.Threads; t++ {
+		ma := lead.ThreadActive(t)
+		fa := g.front.Active(t)
+		if ma {
+			nm++
+		}
+		if fa {
+			nf++
+		}
+		if ma && fa {
+			tid = t
+		}
+		if nm > 1 || nf > 1 {
+			return -1, soleMany
+		}
+	}
+	if tid >= 0 && nm == 1 && nf == 1 {
+		return tid, soleOne
+	}
+	return -1, soleNone
+}
+
+// accountGap mirrors Processor.accountGap on the shared gang statistics.
+func (g *Gang) accountGap(eligible, minIssue int64, kind pipeline.HazardKind, free, until int64) {
+	c := g.cycle
+	if e := min64(until, eligible); e > c {
+		g.stats.IdleCycles += e - c
+		g.stats.IdleByKind[pipeline.HazardFetch] += e - c
+		c = e
+	}
+	if m := min64(until, minIssue); m > c {
+		g.stats.IdleCycles += m - c
+		g.stats.IdleByKind[kind] += m - c
+		c = m
+	}
+	if f := min64(until, free); f > c {
+		g.stats.IdleCycles += f - c
+		g.stats.IdleByKind[pipeline.HazardStructural] += f - c
+	}
+}
+
+// dispatchOne issues the head micro-op at the earliest legal cycle on
+// every live lane, mirroring Gang.issue's trap/peel handling. It never
+// returns an error: per-lane traps finalize the lane with solo
+// semantics and the gang continues (or ends when none survive).
+func (g *Gang) dispatchOne(tid int, stopAt int64) blockStep {
+	head, ok := g.front.Head(tid)
+	if !ok {
+		return stepNoHead
+	}
+	d := head.D
+	eligible := head.EligibleAt()
+	minIssue, kind := g.sb.MinIssue(tid, d)
+	free := g.unitFreeAt(d)
+	issueC := g.cycle
+	if eligible > issueC {
+		issueC = eligible
+	}
+	if minIssue > issueC {
+		issueC = minIssue
+	}
+	if free > issueC {
+		issueC = free
+	}
+	if issueC >= stopAt {
+		if stopAt-1-g.lastIssue > g.cfg.DeadlockWindow {
+			return stepBail
+		}
+		g.accountGap(eligible, minIssue, kind, free, stopAt)
+		g.front.FetchRun(tid, g.cycle, stopAt-1)
+		g.cycle = stopAt
+		return stepStopped
+	}
+	if issueC-1-g.lastIssue > g.cfg.DeadlockWindow {
+		return stepBail
+	}
+	if issueC > g.cycle {
+		g.accountGap(eligible, minIssue, kind, free, issueC)
+		g.front.FetchRun(tid, g.cycle, issueC-1)
+		g.cycle = issueC
+	}
+
+	// Issue at issueC, replicating Gang.issue for an in-block op.
+	g.front.PopHead(tid)
+	if stall := issueC - eligible; stall > 0 {
+		k := kind
+		if minIssue <= eligible {
+			switch {
+			case free > eligible:
+				k = pipeline.HazardStructural
+			default:
+				k = pipeline.HazardNone
+			}
+		}
+		if k != pipeline.HazardNone {
+			g.stats.StallByKind[k] += stall
+		}
+	}
+
+	out := g.outBuf[:0]
+	errs := g.errBuf[:0]
+	for _, li := range g.live {
+		o, err := g.lanes[li].ExecDecoded(tid, d)
+		out = append(out, o)
+		errs = append(errs, err)
+	}
+	g.outBuf, g.errBuf = out, errs
+
+	ref := -1
+	for k, e := range errs {
+		if e != nil {
+			g.finalize(g.live[k], e)
+		} else if ref < 0 {
+			ref = k
+		}
+	}
+	if ref < 0 {
+		g.live = g.live[:0]
+		return stepIssued
+	}
+	refOut := out[ref]
+
+	g.sb.Record(tid, d, issueC)
+	g.reserveUnit(d, issueC)
+	if c := g.params.CompletionTime(d, issueC); c > g.maxCompletion {
+		g.maxCompletion = c
+	}
+	g.stats.Instructions++
+	g.stats.PerThread[tid]++
+	switch d.Class {
+	case isa.ClassScalar:
+		g.stats.Scalar++
+	case isa.ClassParallel:
+		g.stats.Parallel++
+	case isa.ClassReduction:
+		g.stats.Reduction++
+	}
+
+	// In-block ops produce the same fall-through Outcome on every
+	// non-trapped lane, so this peel scan finds nothing; it is kept
+	// identical to Gang.issue as the enforcement of that invariant.
+	keep := g.liveBuf[:0]
+	for k, li := range g.live {
+		switch {
+		case errs[k] != nil:
+		case out[k] != refOut:
+			g.peel(li)
+		default:
+			keep = append(keep, li)
+		}
+	}
+	g.live, g.liveBuf = keep, g.live
+
+	g.lastIssue = issueC
+	if g.cfg.Scheduler != SchedFixed {
+		g.front.MarkPicked(tid)
+	}
+	g.front.FetchRun(tid, issueC, issueC)
+	g.cycle = issueC + 1
+	return stepIssued
+}
+
+// dispatchFused mirrors Processor.dispatchFused across all live lanes.
+// Fused kernels are trap-free and outcome-free, so no lane can finalize
+// or peel inside one.
+func (g *Gang) dispatchFused(tid int, bo *isa.BlockOp, stopAt int64) fusedStatus {
+	k := len(bo.Ops)
+	head, ok := g.front.Head(tid)
+	if !ok || head.PC != bo.PC {
+		return fusedFall
+	}
+	d0 := bo.Ops[0]
+	eligible := head.EligibleAt()
+	minIssue, kind := g.sb.MinIssue(tid, d0)
+	issueC := g.cycle
+	if eligible > issueC {
+		issueC = eligible
+	}
+	if minIssue > issueC {
+		issueC = minIssue
+	}
+	if issueC+int64(k) > stopAt {
+		return fusedFall
+	}
+	if issueC-1-g.lastIssue > g.cfg.DeadlockWindow {
+		return fusedFall
+	}
+	for j := 1; j < k; j++ {
+		e, ok := g.front.Entry(tid, j)
+		if !ok || e.PC != bo.PC+j {
+			return fusedFall
+		}
+		if e.EligibleAt() > issueC+int64(j) {
+			return fusedFall
+		}
+		if ext, _ := g.sb.MinIssue(tid, bo.Ops[j]); ext > issueC+int64(j) {
+			return fusedFall
+		}
+	}
+
+	if issueC > g.cycle {
+		g.accountGap(eligible, minIssue, kind, 0, issueC)
+		g.front.FetchRun(tid, g.cycle, issueC-1)
+		g.cycle = issueC
+	}
+
+	for _, li := range g.live {
+		g.lanes[li].ExecFused(tid, bo.Ops)
+	}
+	for j := 0; j < k; j++ {
+		c := issueC + int64(j)
+		h := g.front.PopHead(tid)
+		d := bo.Ops[j]
+		mi, kd := g.sb.MinIssue(tid, d)
+		if stall := c - h.EligibleAt(); stall > 0 {
+			k2 := kd
+			if mi <= h.EligibleAt() {
+				k2 = pipeline.HazardNone
+			}
+			if k2 != pipeline.HazardNone {
+				g.stats.StallByKind[k2] += stall
+			}
+		}
+		g.sb.Record(tid, d, c)
+		if ct := g.params.CompletionTime(d, c); ct > g.maxCompletion {
+			g.maxCompletion = ct
+		}
+		g.stats.Instructions++
+		g.stats.PerThread[tid]++
+		switch d.Class {
+		case isa.ClassParallel:
+			g.stats.Parallel++
+		case isa.ClassReduction:
+			g.stats.Reduction++
+		}
+		g.lastIssue = c
+		if g.cfg.Scheduler != SchedFixed {
+			g.front.MarkPicked(tid)
+		}
+		g.front.FetchRun(tid, c, c)
+	}
+	g.cycle = issueC + int64(k)
+	return fusedDone
+}
+
+// runBlock mirrors Processor.runBlock for the gang front end.
+func (g *Gang) runBlock(stopAt int64) (ran bool) {
+	if len(g.live) == 0 {
+		return false
+	}
+	tid, st := g.soleActive()
+	if st != soleOne {
+		if st == soleMany {
+			g.blockFallbacks[fbMultithread]++
+		}
+		return false
+	}
+	head, ok := g.front.Head(tid)
+	if !ok {
+		g.blockFallbacks[fbRefill]++
+		return false
+	}
+	blk, opIdx, sub, ok := g.blocks.Lookup(head.PC)
+	if !ok {
+		g.blockFallbacks[fbBoundary]++
+		return false
+	}
+	g.blockDispatches++
+
+	progressed := false
+	for oi := opIdx; oi < len(blk.Ops); oi++ {
+		bo := &blk.Ops[oi]
+		if len(bo.Ops) > 1 && sub == 0 {
+			if g.dispatchFused(tid, bo, stopAt) == fusedDone {
+				progressed = true
+				continue
+			}
+		}
+		for ci := sub; ci < len(bo.Ops); ci++ {
+			switch g.dispatchOne(tid, stopAt) {
+			case stepIssued:
+				progressed = true
+				if len(g.live) == 0 {
+					return true // every lane trapped: the run is over
+				}
+			case stepStopped:
+				return true
+			case stepNoHead:
+				if progressed {
+					return true
+				}
+				g.blockFallbacks[fbRefill]++
+				return false
+			case stepBail:
+				if progressed {
+					return true
+				}
+				g.blockFallbacks[fbWindow]++
+				return false
+			}
+		}
+		sub = 0
+	}
+	return true
+}

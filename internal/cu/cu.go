@@ -149,6 +149,56 @@ func (c *CU) Fetch(cycle int64) {
 	}
 }
 
+// FetchRun replays the fetch unit for thread tid alone over the cycle
+// span [from, to]: the block dispatcher uses it to keep front-end state
+// and fetch accounting exact while skipping the per-cycle loop. With a
+// single active thread the fetch unit serves only tid (inactive threads
+// are skipped by the round-robin scan), at most one instruction per
+// cycle, so the replay is cycle-for-cycle identical to calling Fetch. The
+// caller must ensure tid is the only active thread over the span.
+func (c *CU) FetchRun(tid int, from, to int64) {
+	t := &c.threads[tid]
+	if !t.active {
+		return
+	}
+	cyc := from
+	if t.fetchHold > cyc {
+		cyc = t.fetchHold
+	}
+	for ; cyc <= to; cyc++ {
+		// No pops happen inside a replay span, so a full buffer stays
+		// full and an exhausted fetch PC stays exhausted: stop for good.
+		if len(t.buffer) >= c.cfg.BufferDepth {
+			return
+		}
+		if t.fetchPC < 0 || t.fetchPC >= c.prog.Len() {
+			return
+		}
+		t.buffer = append(t.buffer, Fetched{PC: t.fetchPC, D: c.prog.At(t.fetchPC), FetchCycle: cyc})
+		t.fetchPC++
+		c.fetchRR = tid
+		c.Fetches++
+	}
+}
+
+// Entry returns buffer entry i of thread tid (i 0 is the head). The fused
+// dispatcher inspects upcoming entries to verify a whole superinstruction
+// is buffered and eligible before issuing it in one shot.
+func (c *CU) Entry(tid, i int) (Fetched, bool) {
+	t := &c.threads[tid]
+	if !t.active || i >= len(t.buffer) {
+		return Fetched{}, false
+	}
+	return t.buffer[i], true
+}
+
+// MarkPicked records tid as the most recent rotating-priority selection,
+// exactly as PickRotating would have. The block dispatcher issues without
+// running the picker (with one active thread the pick is forced), but the
+// pointer must track it so a later multi-thread phase resumes the same
+// rotation the per-cycle path would have.
+func (c *CU) MarkPicked(tid int) { c.schedRR = tid }
+
 // Head returns the next instruction in program order for tid, if buffered.
 func (c *CU) Head(tid int) (Fetched, bool) {
 	t := &c.threads[tid]

@@ -91,7 +91,10 @@ func TestGatewaySessionMigration(t *testing.T) {
 	wants := make([]int64, variants)
 	refDigests := make([]string, variants)
 	for i := 0; i < variants; i++ {
-		reqs[i], wants[i] = longSessionJob(120_000 + 7*i)
+		// Sized so a drain still lands mid-run now that the block plane
+		// simulates this single-threaded reduction loop several times
+		// faster in wall-clock.
+		reqs[i], wants[i] = longSessionJob(600_000 + 7*i)
 		res, err := f.c.NewSession(reqs[i]).Run(ctx)
 		if err != nil {
 			t.Fatalf("uninterrupted reference %d: %v", i, err)

@@ -3,6 +3,8 @@ package isa
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // This file is the decode plane: a program is decoded once, up front, into
@@ -356,6 +358,12 @@ func DecodeInst(in Inst) (Decoded, error) {
 type DecodedProgram struct {
 	insts []Inst
 	ops   []Decoded
+
+	// Block plane (blocks.go): the block-compiled form, built lazily and
+	// at most once, shared by every consumer of this program.
+	blocksOnce  sync.Once
+	blocksBuilt atomic.Bool
+	blocks      *BlockProgram
 }
 
 // DecodeProgram decodes and validates a whole program: every instruction

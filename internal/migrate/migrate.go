@@ -43,13 +43,15 @@ import (
 const Version = 1
 
 // ArchKey is the engine-agnostic architectural fingerprint of a machine
-// configuration: asc.Config.Key with the host-only Engine and TraceDepth
-// knobs zeroed, exactly the normalization progcache applies. Snapshots are
-// engine-portable (machine fingerprints exclude the engine), so envelopes
-// move freely between serial and parallel backends.
+// configuration: asc.Config.Key with the host-only Engine, TraceDepth,
+// and Blocks knobs zeroed, exactly the normalization progcache applies.
+// Snapshots are engine-portable (machine fingerprints exclude the engine,
+// and the block-dispatch tier is architecturally invisible), so envelopes
+// move freely between serial, parallel, and block-dispatching backends.
 func ArchKey(cfg asc.Config) string {
 	cfg.Engine = asc.EngineAuto
 	cfg.TraceDepth = 0
+	cfg.Blocks = asc.BlocksAuto
 	return cfg.Key()
 }
 

@@ -53,22 +53,25 @@ type Stats struct {
 // Key fingerprints a compilation input: the source kind ("ascl" or "asm"),
 // the source text, and the architectural configuration key of the machine
 // it targets. The config key is the normalized architectural fingerprint
-// (asc.Config.Key with the host-only Engine and TraceDepth knobs zeroed),
-// so jobs that differ only in host engine or trace opt-in share one entry,
-// while a future configuration-dependent compiler keeps correctness.
+// (asc.Config.Key with the host-only Engine, TraceDepth, and Blocks knobs
+// zeroed), so jobs that differ only in host engine, trace opt-in, or
+// block-dispatch mode share one entry, while a future
+// configuration-dependent compiler keeps correctness.
 //
-// The "v3" version prefix invalidates keys minted before the gang-ready
-// artifact: cached Programs now carry their own Digest (batch admission
-// groups jobs into lockstep gangs by it), and artifacts from before that
-// change must not be served. The previous bump ("v2") marked the decode
-// plane, when cached asc.Programs began embedding the validated decoded
-// micro-op form. Bump the prefix whenever the shape of the cached artifact
+// The "v4" version prefix invalidates keys minted before the block plane:
+// cached Programs now lazily carry their block-compiled form (basic
+// blocks plus fused superinstructions; see asc.Program.BlocksBuilt), and
+// artifacts from before that change must not be served as block-compiled.
+// Previous bumps: "v3" marked the gang-ready artifact (Programs carry
+// their own Digest), "v2" the decode plane (embedded validated micro-op
+// form). Bump the prefix whenever the shape of the cached artifact
 // changes.
 func Key(kind, source string, cfg asc.Config) string {
 	cfg.Engine = asc.EngineAuto
 	cfg.TraceDepth = 0
+	cfg.Blocks = asc.BlocksAuto
 	h := sha256.New()
-	h.Write([]byte("v3"))
+	h.Write([]byte("v4"))
 	h.Write([]byte{0})
 	h.Write([]byte(kind))
 	h.Write([]byte{0})

@@ -1,6 +1,8 @@
 package progcache
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"testing"
@@ -43,6 +45,47 @@ func TestKeyContentAddressing(t *testing.T) {
 	// must share an entry.
 	if Key("asm", "halt", asc.Config{}) != Key("asm", "halt", asc.Config{PEs: 16, Threads: 16, Width: 8, LocalMemWords: 1024, Arity: 4}) {
 		t.Error("zero config and explicit prototype defaults produced different keys")
+	}
+}
+
+// v3Key reimplements the pre-block-plane cache key exactly as it was
+// minted before the "v4" bump: "v3" prefix, Engine and TraceDepth zeroed,
+// no Blocks normalization (the knob did not exist).
+func v3Key(kind, source string, cfg asc.Config) string {
+	cfg.Engine = asc.EngineAuto
+	cfg.TraceDepth = 0
+	h := sha256.New()
+	h.Write([]byte("v3"))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.Key()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestKeyVersionBumpInvalidatesV3 pins the block-plane cache-key bump: an
+// artifact cached by a pre-block-plane server (v3 key) must never resolve
+// under the current key for the same input — v3 Programs do not carry the
+// block-compiled form and must not be served as if they did. The Blocks
+// knob itself is host-only and must NOT separate keys.
+func TestKeyVersionBumpInvalidatesV3(t *testing.T) {
+	base := asc.Config{PEs: 16, Width: 32}
+	old := v3Key("asm", "halt", base)
+	cur := Key("asm", "halt", base)
+	if old == cur {
+		t.Fatal("v4 key equals the v3 key for the same input: version bump missing")
+	}
+	c := New(4)
+	c.Put(old, mustProgram(t))
+	if _, ok := c.Get(cur); ok {
+		t.Error("artifact cached under the v3 key resolved under the v4 key")
+	}
+	blocksOff := base
+	blocksOff.Blocks = asc.BlocksOff
+	if cur != Key("asm", "halt", blocksOff) {
+		t.Error("host-only Blocks mode changed the key")
 	}
 }
 

@@ -1,0 +1,102 @@
+package server_test
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestRunBlockCacheHit pins the per-result blockCacheHit contract on
+// /v1/run: blocks build lazily on a program's first execution, so the
+// first run of a kernel reports false (and a program-cache miss), while a
+// repeat submission finds the artifact already block-compiled and reports
+// true. The block-plane counters must show up in the exposition.
+func TestRunBlockCacheHit(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1})
+	req, want := sumRequest([]int64{1, 2, 3, 4})
+
+	first, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ScalarMem[0] != want {
+		t.Fatalf("sum = %d, want %d", first.ScalarMem[0], want)
+	}
+	if first.ProgramCacheHit || first.BlockCacheHit {
+		t.Errorf("first run: programCacheHit=%v blockCacheHit=%v, want false/false",
+			first.ProgramCacheHit, first.BlockCacheHit)
+	}
+
+	second, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.ProgramCacheHit || !second.BlockCacheHit {
+		t.Errorf("second run: programCacheHit=%v blockCacheHit=%v, want true/true",
+			second.ProgramCacheHit, second.BlockCacheHit)
+	}
+	if first.Cycles != second.Cycles || first.Instructions != second.Instructions {
+		t.Errorf("repeat run changed timing: %d/%d cycles, %d/%d instructions",
+			first.Cycles, second.Cycles, first.Instructions, second.Instructions)
+	}
+
+	_, body := httpGet(t, c.BaseURL+"/metrics", nil)
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, "asc_sim_block_dispatches_total "); ok {
+			found = true
+			if n, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err != nil || n <= 0 {
+				t.Errorf("asc_sim_block_dispatches_total = %q, want > 0", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("exposition missing asc_sim_block_dispatches_total")
+	}
+}
+
+// TestBatchBlockCacheHit pins the same contract through the gang lane:
+// a batch's jobs share one compile resolved before any lane runs, so the
+// first batch reports blockCacheHit=false on every job (the group's own
+// leader built the blocks only after resolve), and a second identical
+// batch reports true on every job.
+func TestBatchBlockCacheHit(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 4})
+	const n = 4
+	jobs := make([]client.RunRequest, n)
+	for i := range jobs {
+		req, _ := sumRequest([]int64{int64(i), 2, 3, 4}) // same program, different data
+		jobs[i] = req
+	}
+
+	first, err := c.RunBatch(context.Background(), client.BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range first.Jobs {
+		if jr.Result == nil {
+			t.Fatalf("batch 1 job %d failed: %s", i, jr.Error)
+		}
+		if jr.Result.BlockCacheHit {
+			t.Errorf("batch 1 job %d: blockCacheHit=true before any run built the blocks", i)
+		}
+	}
+
+	second, err := c.RunBatch(context.Background(), client.BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range second.Jobs {
+		if jr.Result == nil {
+			t.Fatalf("batch 2 job %d failed: %s", i, jr.Error)
+		}
+		if !jr.Result.ProgramCacheHit || !jr.Result.BlockCacheHit {
+			t.Errorf("batch 2 job %d: programCacheHit=%v blockCacheHit=%v, want true/true",
+				i, jr.Result.ProgramCacheHit, jr.Result.BlockCacheHit)
+		}
+	}
+}

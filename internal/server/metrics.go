@@ -74,6 +74,12 @@ type metrics struct {
 	simContention   *obs.Counter    // asc_sim_contention_cycles_total
 	activeThreads   *obs.Histogram  // asc_sim_active_threads
 
+	// Block-plane instruments: basic-block dispatches taken by the
+	// closed-form fast path, and the occasions it handed a cycle back to
+	// the generic per-cycle loop, by reason.
+	blockDispatches *obs.Counter    // asc_sim_block_dispatches_total
+	blockFallbacks  *obs.CounterVec // asc_sim_block_fallbacks_total{reason}
+
 	// Fleet instruments, mirrored from pool.StatsByKey at scrape time.
 	poolHits      *obs.CounterVec // asc_pool_hits_total{config}
 	poolMisses    *obs.CounterVec // asc_pool_misses_total{config}
@@ -139,6 +145,11 @@ func newMetrics() *metrics {
 		activeThreads: reg.NewHistogram("asc_sim_active_threads",
 			"Hardware threads that issued at least one instruction, per job.", threadBuckets),
 
+		blockDispatches: reg.NewCounter("asc_sim_block_dispatches_total",
+			"Basic blocks dispatched through the closed-form block plane across all jobs."),
+		blockFallbacks: reg.NewCounterVec("asc_sim_block_fallbacks_total",
+			"Block-plane dispatch attempts handed back to the generic per-cycle loop, by reason: multithread (more than one active hardware thread), refill (fetch buffer not yet holding the block head), boundary (PC outside any block), window (deadlock-detection window would expire).", "reason"),
+
 		poolHits: reg.NewCounterVec("asc_pool_hits_total",
 			"Machine checkouts satisfied by a warm machine, per configuration.", "config"),
 		poolMisses: reg.NewCounterVec("asc_pool_misses_total",
@@ -169,6 +180,10 @@ func (m *metrics) fold(s asc.Stats) {
 	m.simFetches.Add(s.Fetches)
 	m.simFlushes.Add(s.Flushes)
 	m.simContention.Add(s.Contention)
+	m.blockDispatches.Add(s.BlockDispatches)
+	for reason, v := range s.BlockFallbacks {
+		m.blockFallbacks.With(reason).Add(v)
+	}
 	if s.Instructions > 0 {
 		m.activeThreads.Observe(float64(s.ActiveThreads()))
 	}

@@ -785,8 +785,12 @@ func dumpMems(req *client.RunRequest, geom asc.Geometry, res *client.RunResult,
 	}
 }
 
-// baseRunResult builds the statistics portion of a run result.
-func baseRunResult(stats asc.Stats, asmText string, poolHit, cacheHit bool) *client.RunResult {
+// baseRunResult builds the statistics portion of a run result. blockHit
+// reports whether the cached artifact already carried its block-compiled
+// form (basic blocks plus fused superinstructions) when this job resolved
+// it — blocks build lazily on first execution, so the first run of a
+// program reports false even on a program-cache hit.
+func baseRunResult(stats asc.Stats, asmText string, poolHit, cacheHit, blockHit bool) *client.RunResult {
 	return &client.RunResult{
 		Cycles:          stats.Cycles,
 		Instructions:    stats.Instructions,
@@ -798,6 +802,7 @@ func baseRunResult(stats asc.Stats, asmText string, poolHit, cacheHit bool) *cli
 		Asm:             asmText,
 		PoolHit:         poolHit,
 		ProgramCacheHit: cacheHit,
+		BlockCacheHit:   blockHit,
 	}
 }
 
@@ -813,6 +818,7 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 		csp.EndErr(fail.errMsg)
 		return *fail
 	}
+	blockHit := cacheHit && art.Prog.BlocksBuilt()
 	csp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)), dtrace.Bool("cache_hit", cacheHit))
 	csp.End()
 	prog, asmText := art.Prog, art.Asm
@@ -859,7 +865,7 @@ func (s *Server) runJob(jobCtx context.Context, req *client.RunRequest) jobOutco
 	}
 	esp.End()
 
-	res := baseRunResult(stats, asmText, hit, cacheHit)
+	res := baseRunResult(stats, asmText, hit, cacheHit, blockHit)
 	if req.Trace {
 		res.Trace = &client.Trace{
 			Diagram: proc.PipelineDiagram(),
@@ -1168,6 +1174,10 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 		}
 		return
 	}
+	// Snapshot the block-compiled state at resolve time, before any lane
+	// runs: lanes of this very batch must not observe the blocks their own
+	// leader's first execution built.
+	blocksBuilt := art.Prog.BlocksBuilt()
 	csp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)), dtrace.Bool("cache_hit", cacheHit))
 	csp.End()
 	gsp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)))
@@ -1259,7 +1269,7 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 			s.m.gangPeels.Inc()
 			pctx, psp := dtrace.Start(runCtx, "peel",
 				dtrace.Int("index", int64(i)), dtrace.Int("peel_cycle", lr.PeelCycle))
-			outcomes[i] = s.finishPeeled(pctx, batchCtx, &jobs[i], art, laneCacheHit, lr, maxCycles, timeout, geom)
+			outcomes[i] = s.finishPeeled(pctx, batchCtx, &jobs[i], art, laneCacheHit, laneCacheHit && blocksBuilt, lr, maxCycles, timeout, geom)
 			if out := &outcomes[i]; out.result == nil {
 				psp.EndErr(out.errMsg)
 			} else {
@@ -1268,7 +1278,7 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 		case lr.Err != nil:
 			outcomes[i] = rewriteBatchCancel(batchCtx, runErrOutcome(lr.Err, lr.Stats, timeout, maxCycles))
 		default:
-			out := baseRunResult(lr.Stats, art.Asm, poolHit, laneCacheHit)
+			out := baseRunResult(lr.Stats, art.Asm, poolHit, laneCacheHit, laneCacheHit && blocksBuilt)
 			dumpMems(&jobs[i], geom, out,
 				func(w int) int64 { return g.ScalarMem(lane, w) },
 				func(pe, w int) int64 { return g.LocalMem(lane, pe, w) })
@@ -1283,7 +1293,7 @@ func (s *Server) runGangGroup(batchCtx context.Context, jobs []client.RunRequest
 // architectural state is bit-identical to having run the job solo from
 // the start (pinned by the gang differential tests).
 func (s *Server) finishPeeled(runCtx, batchCtx context.Context, req *client.RunRequest,
-	art progcache.Program, cacheHit bool, lr *asc.GangLaneResult,
+	art progcache.Program, cacheHit, blockHit bool, lr *asc.GangLaneResult,
 	maxCycles int64, timeout time.Duration, geom asc.Geometry) jobOutcome {
 
 	proc, hit, err := s.pool.Get(req.Config.ASC(), art.Prog)
@@ -1310,7 +1320,7 @@ func (s *Server) finishPeeled(runCtx, batchCtx context.Context, req *client.RunR
 	if err != nil {
 		return rewriteBatchCancel(batchCtx, runErrOutcome(err, merged, timeout, maxCycles))
 	}
-	res := baseRunResult(merged, art.Asm, hit, cacheHit)
+	res := baseRunResult(merged, art.Asm, hit, cacheHit, blockHit)
 	dumpMems(req, geom, res, proc.ScalarMem, proc.LocalMem)
 	return jobOutcome{result: res, stats: merged, simulated: true}
 }
@@ -1328,8 +1338,10 @@ func mergeStats(a, b asc.Stats) asc.Stats {
 	out.Contention += b.Contention
 	out.Fetches += b.Fetches
 	out.Flushes += b.Flushes
+	out.BlockDispatches += b.BlockDispatches
 	out.IdleByCause = mergeCauses(a.IdleByCause, b.IdleByCause)
 	out.StallByCause = mergeCauses(a.StallByCause, b.StallByCause)
+	out.BlockFallbacks = mergeCauses(a.BlockFallbacks, b.BlockFallbacks)
 	out.PerThread = append([]int64(nil), a.PerThread...)
 	for t, v := range b.PerThread {
 		if t < len(out.PerThread) {

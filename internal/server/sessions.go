@@ -334,6 +334,7 @@ func (s *Server) runSegment(jobCtx context.Context, sess *session, req *client.R
 			return s.failSession(sess, fail.status, fail.errMsg)
 		}
 	}
+	blockHit := cacheHit && art.Prog.BlocksBuilt()
 	csp.SetAttr(dtrace.Str("digest", progcache.ShortDigest(art.Digest)), dtrace.Bool("cache_hit", cacheHit))
 	csp.End()
 
@@ -506,7 +507,7 @@ func (s *Server) runSegment(jobCtx context.Context, sess *session, req *client.R
 	esp.SetAttr(dtrace.Int("cycles", merged.Cycles))
 	esp.End()
 
-	res := baseRunResult(merged, art.Asm, hit, cacheHit)
+	res := baseRunResult(merged, art.Asm, hit, cacheHit, blockHit)
 	geom, _ := proc.Config().Geometry()
 	dumpMems(req, geom, res, proc.ScalarMem, proc.LocalMem)
 
